@@ -1,0 +1,172 @@
+(* mekongc: command-line driver for the partitioning toolchain.
+
+   Operates on the built-in demo applications (the paper's benchmarks),
+   since kernels live in the embedded IR rather than in CUDA C++ files:
+
+     mekongc analyze  <app>      print the polyhedral application model
+     mekongc rewrite  <app>      print the rewritten multi-GPU host source
+     mekongc kernels  <app>      print original and partitioned kernel IR
+     mekongc run      <app>      compile and run on N simulated GPUs
+     mekongc model    <app> -o F save the application model to a file
+     mekongc compile-file <f.cu> parse a toy .cu file, compile it and
+                                 run it on N simulated GPUs
+
+   apps: vecadd, hotspot, nbody, matmul, spmv *)
+
+open Cmdliner
+
+let apps =
+  [
+    ("vecadd", fun () -> let p, _, _ = Apps.Workloads.functional_vecadd ~n:4096 in p);
+    ("hotspot", fun () -> let p, _, _ = Apps.Workloads.functional_hotspot ~n:128 ~iterations:4 in p);
+    ("nbody", fun () -> let p, _, _ = Apps.Workloads.functional_nbody ~n:512 ~iterations:2 in p);
+    ("matmul", fun () -> let p, _, _ = Apps.Workloads.functional_matmul ~n:64 in p);
+    ("spmv",
+     fun () ->
+       let m = Apps.Spmv.banded ~n:256 ~band:5 in
+       let x = Array.make 256 1.0 in
+       let result = Array.make 256 nan in
+       Apps.Spmv.program ~m ~x ~result);
+  ]
+
+let app_arg =
+  let conv_app =
+    Arg.enum (List.map (fun (n, f) -> (n, (n, f))) apps)
+  in
+  Arg.(required & pos 0 (some conv_app) None & info [] ~docv:"APP")
+
+let compile_app (name, mk) =
+  match Mekong.Toolchain.compile (mk ()) with
+  | Ok a -> a
+  | Error e ->
+    Printf.eprintf "mekongc: %s: %s\n" name (Mekong.Toolchain.error_message e);
+    exit 1
+
+let analyze_cmd =
+  let run app =
+    let artifacts = compile_app app in
+    List.iter
+      (fun (km : Mekong.Model.kernel_model) ->
+         Printf.printf "kernel %s: partition along %s\n" km.Mekong.Model.kname
+           (Dim3.axis_name km.Mekong.Model.strategy);
+         List.iter
+           (fun (am : Mekong.Model.array_model) ->
+              Printf.printf "  array %s (rank %d): %s%s\n" am.Mekong.Model.arr
+                (Array.length am.Mekong.Model.dims)
+                (if am.Mekong.Model.read <> None then
+                   if am.Mekong.Model.read_exact then "read " else "read(approx) "
+                 else "")
+                (if am.Mekong.Model.write <> None then "write" else ""))
+           km.Mekong.Model.arrays;
+         print_newline ())
+      artifacts.Mekong.Toolchain.model.Mekong.Model.kernels;
+    print_endline "--- model (s-expression) ---";
+    print_endline (Mekong.Model.to_string artifacts.Mekong.Toolchain.model)
+  in
+  Cmd.v (Cmd.info "analyze" ~doc:"print the polyhedral application model")
+    Term.(const run $ app_arg)
+
+let rewrite_cmd =
+  let run app =
+    let artifacts = compile_app app in
+    print_endline artifacts.Mekong.Toolchain.rewritten_source
+  in
+  Cmd.v (Cmd.info "rewrite" ~doc:"print the rewritten multi-GPU host source")
+    Term.(const run $ app_arg)
+
+let kernels_cmd =
+  let run app =
+    let artifacts = compile_app app in
+    List.iter
+      (fun k ->
+         print_endline "=== original kernel ===";
+         print_string (Kir.to_string k);
+         print_endline "=== partitioned kernel (Eq. 8-10 applied) ===";
+         print_string (Kir.to_string (Mekong.Partition.transform_kernel k)))
+      (Host_ir.kernels artifacts.Mekong.Toolchain.exe.Mekong.Multi_gpu.prog)
+  in
+  Cmd.v (Cmd.info "kernels" ~doc:"print original and partitioned kernel IR")
+    Term.(const run $ app_arg)
+
+let gpus_arg =
+  Arg.(value & opt int 4 & info [ "gpus"; "g" ] ~docv:"N" ~doc:"simulated GPUs")
+
+let run_cmd =
+  let run app gpus =
+    let artifacts = compile_app app in
+    let machine =
+      Gpusim.Machine.create ~functional:true
+        (Gpusim.Config.k80_box ~n_devices:gpus ())
+    in
+    let res = Mekong.Multi_gpu.run ~machine artifacts.Mekong.Toolchain.exe in
+    let stats = Gpusim.Machine.stats machine in
+    Printf.printf "%s on %d GPUs: %.3f ms simulated\n" (fst app) gpus
+      (res.Mekong.Multi_gpu.time *. 1e3);
+    Format.printf "%a@." Gpusim.Machine.pp_stats stats
+  in
+  Cmd.v (Cmd.info "run" ~doc:"compile and run on simulated GPUs")
+    Term.(const run $ app_arg $ gpus_arg)
+
+let out_arg =
+  Arg.(value & opt string "model.sexp" & info [ "o" ] ~docv:"FILE" ~doc:"output file")
+
+let model_cmd =
+  let run app out =
+    let artifacts = compile_app app in
+    Mekong.Model.save artifacts.Mekong.Toolchain.model ~file:out;
+    Printf.printf "model written to %s\n" out
+  in
+  Cmd.v (Cmd.info "model" ~doc:"save the application model to a file")
+    Term.(const run $ app_arg $ out_arg)
+
+let compile_file_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.cu")
+  in
+  let run file gpus =
+    let src =
+      let ic = open_in file in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let kernels, prog =
+      try Cuparse.parse_cu ~name:(Filename.remove_extension (Filename.basename file)) src
+      with Cuparse.Error m ->
+        Printf.eprintf "mekongc: parse error in %s: %s\n" file m;
+        exit 1
+    in
+    Printf.printf "parsed %d kernel(s) from %s\n" (List.length kernels) file;
+    match Mekong.Toolchain.compile prog with
+    | Error e ->
+      Printf.eprintf "mekongc: %s\n" (Mekong.Toolchain.error_message e);
+      exit 1
+    | Ok artifacts ->
+      List.iter
+        (fun (km : Mekong.Model.kernel_model) ->
+           Printf.printf "kernel %s: partition along %s\n" km.Mekong.Model.kname
+             (Dim3.axis_name km.Mekong.Model.strategy))
+        artifacts.Mekong.Toolchain.model.Mekong.Model.kernels;
+      (* host data is phantom (text carries no values): run in
+         performance mode *)
+      let machine =
+        Gpusim.Machine.create ~functional:false
+          (Gpusim.Config.k80_box ~n_devices:gpus ())
+      in
+      let res = Mekong.Multi_gpu.run ~machine artifacts.Mekong.Toolchain.exe in
+      let stats = Gpusim.Machine.stats machine in
+      Printf.printf "simulated on %d GPUs: %.3f ms\n" gpus
+        (res.Mekong.Multi_gpu.time *. 1e3);
+      Format.printf "%a@." Gpusim.Machine.pp_stats stats
+  in
+  Cmd.v
+    (Cmd.info "compile-file" ~doc:"parse, compile and run a toy .cu file")
+    Term.(const run $ file_arg $ gpus_arg)
+
+let () =
+  let info = Cmd.info "mekongc" ~doc:"automatic multi-GPU partitioning toolchain" in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ analyze_cmd; rewrite_cmd; kernels_cmd; run_cmd; model_cmd;
+            compile_file_cmd ]))

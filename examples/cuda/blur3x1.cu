@@ -1,0 +1,38 @@
+// A 2-D horizontal 3-tap blur written directly in the toy CUDA syntax,
+// with a dim3 launch configuration:
+//   dune exec bin/mekongc.exe -- compile-file examples/cuda/blur3x1.cu -g 8
+#include <cuda_runtime.h>
+
+__global__ void blur3(int n, float *src /* [n][n] */, float *dst /* [n][n] */) {
+  auto gx = (threadIdx.x + (blockIdx.x * blockDim.x));
+  auto gy = (threadIdx.y + (blockIdx.y * blockDim.y));
+  if (((gx < n) && (gy < n))) {
+    auto c = src[gy][gx];
+    auto l = c;
+    if ((gx > 0)) {
+      l = src[gy][(gx - 1)];
+    }
+    auto r = c;
+    if ((gx < (n - 1))) {
+      r = src[gy][(gx + 1)];
+    }
+    dst[gy][gx] = (((l + c) + r) / 3.0f);
+  }
+}
+
+int main() {
+  float *src;
+  cudaMalloc(&src, 1048576 * sizeof(float));
+  float *dst;
+  cudaMalloc(&dst, 1048576 * sizeof(float));
+  cudaMemcpy(src, host_src, 1048576 * sizeof(float), cudaMemcpyHostToDevice);
+  for (int it = 0; it < 8; it++) {
+    blur3<<<dim3(64, 64, 1), dim3(16, 16, 1)>>>(1024, src, dst);
+    std::swap(src, dst);
+  }
+  cudaMemcpy(host_out_src, src, 1048576 * sizeof(float), cudaMemcpyDeviceToHost);
+  cudaFree(src);
+  cudaFree(dst);
+  cudaDeviceSynchronize();
+  return 0;
+}

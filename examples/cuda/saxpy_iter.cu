@@ -1,0 +1,29 @@
+// A hand-written toy-CUDA source: an iterated fused scale-and-shift
+// over two ping-pong buffers, driven end-to-end from this text file by
+//   dune exec bin/mekongc.exe -- compile-file examples/cuda/saxpy_iter.cu
+#include <cuda_runtime.h>
+#include <utility>
+
+__global__ void saxpy(int n, float alpha, float *x /* [n] */, float *y /* [n] */) {
+  auto gi = (threadIdx.x + (blockIdx.x * blockDim.x));
+  if ((gi < n)) {
+    y[gi] = ((alpha * x[gi]) + 1.0f);
+  }
+}
+
+int main() {
+  float *x;
+  cudaMalloc(&x, 65536 * sizeof(float));
+  float *y;
+  cudaMalloc(&y, 65536 * sizeof(float));
+  cudaMemcpy(x, host_x, 65536 * sizeof(float), cudaMemcpyHostToDevice);
+  for (int it = 0; it < 50; it++) {
+    saxpy<<<512, 128>>>(65536, 0.5f, x, y);
+    std::swap(x, y);
+  }
+  cudaMemcpy(host_out_x, x, 65536 * sizeof(float), cudaMemcpyDeviceToHost);
+  cudaFree(x);
+  cudaFree(y);
+  cudaDeviceSynchronize();
+  return 0;
+}

@@ -1,0 +1,130 @@
+(* Hotspot: a 5-point stencil on a quadratic grid (paper §9.1, a proxy
+   for the structured-grid dwarf).  Each thread computes one element of
+   the result array from its own cell and the four neighbours, with
+   boundary cells reusing the centre value.  The computation per thread
+   is constant and low, making the benchmark sensitive to distribution
+   overheads.
+
+   The read map of [inp] is the union of five shifted copies of the
+   partition's cell block — the halo pattern of the paper's Figure 3 —
+   while the write map is a 1:1 mapping, so partitions along the y axis
+   write contiguous row bands. *)
+
+let diffusion = 0.2
+
+(* __global__ void hotspot(int n, float *inp, float *out) *)
+let kernel =
+  let open Kir in
+  let n = p "n" in
+  let gx = v "gx" and gy = v "gy" in
+  Kir.kernel ~name:"hotspot"
+    ~params:
+      [
+        Scalar "n";
+        Array { name = "inp"; dims = [| Dim_param "n"; Dim_param "n" |] };
+        Array { name = "out"; dims = [| Dim_param "n"; Dim_param "n" |] };
+      ]
+    [
+      Local ("gx", global_id Dim3.X);
+      Local ("gy", global_id Dim3.Y);
+      If
+        ( gx < n && gy < n,
+          [
+            Local ("c", load "inp" [ gy; gx ]);
+            Local ("top", v "c");
+            If (gy > i 0, [ Assign ("top", load "inp" [ gy - i 1; gx ]) ], []);
+            Local ("bottom", v "c");
+            If
+              ( gy < n - i 1,
+                [ Assign ("bottom", load "inp" [ gy + i 1; gx ]) ],
+                [] );
+            Local ("left", v "c");
+            If (gx > i 0, [ Assign ("left", load "inp" [ gy; gx - i 1 ]) ], []);
+            Local ("right", v "c");
+            If
+              ( gx < n - i 1,
+                [ Assign ("right", load "inp" [ gy; gx + i 1 ]) ],
+                [] );
+            store "out" [ gy; gx ]
+              (v "c"
+               + f diffusion
+                 * (v "top" + v "bottom" + v "left" + v "right"
+                    - f 4.0 * v "c"));
+          ],
+          [] );
+    ]
+
+let block = Dim3.make 16 ~y:16
+
+let grid_for n =
+  let g = (n + 15) / 16 in
+  Dim3.make g ~y:g
+
+(* The host program: upload, iterate with ping-pong buffers, download.
+   After each launch the buffers swap, so the final result is always in
+   the binding named "t_in". *)
+(* Builder over host arrays (real or phantom). *)
+let program_h ~n ~iterations ~(init : Host_ir.host_array)
+    ~(result : Host_ir.host_array) =
+  if init.Host_ir.len <> n * n || result.Host_ir.len <> n * n then
+    invalid_arg "Hotspot.program: size mismatch";
+  Host_ir.program ~name:"hotspot"
+    [
+      Host_ir.Malloc ("t_in", n * n);
+      Host_ir.Malloc ("t_out", n * n);
+      Host_ir.Memcpy_h2d { dst = "t_in"; src = init };
+      Host_ir.Repeat
+        ( iterations,
+          [
+            Host_ir.Launch
+              {
+                kernel;
+                grid = grid_for n;
+                block;
+                args =
+                  [ Host_ir.HInt n; Host_ir.HBuf "t_in"; Host_ir.HBuf "t_out" ];
+              };
+            Host_ir.Swap ("t_in", "t_out");
+          ] );
+      Host_ir.Memcpy_d2h { dst = result; src = "t_in" };
+      Host_ir.Free "t_in";
+      Host_ir.Free "t_out";
+    ]
+
+let program ~n ~iterations ~(init : float array) ~(result : float array) =
+  program_h ~n ~iterations ~init:(Host_ir.host_data init)
+    ~result:(Host_ir.host_data result)
+
+(* CPU reference mirroring the kernel arithmetic exactly (same
+   operation order, so results are bit-identical). *)
+let reference ~n ~iterations (init : float array) =
+  let cur = Array.copy init in
+  let nxt = Array.make (n * n) 0.0 in
+  let cur = ref cur and nxt = ref nxt in
+  for _ = 1 to iterations do
+    let a = !cur and b = !nxt in
+    for gy = 0 to n - 1 do
+      for gx = 0 to n - 1 do
+        let c = a.((gy * n) + gx) in
+        let top = if gy > 0 then a.(((gy - 1) * n) + gx) else c in
+        let bottom = if gy < n - 1 then a.(((gy + 1) * n) + gx) else c in
+        let left = if gx > 0 then a.((gy * n) + gx - 1) else c in
+        let right = if gx < n - 1 then a.((gy * n) + gx + 1) else c in
+        b.((gy * n) + gx) <-
+          c +. (diffusion *. (top +. bottom +. left +. right -. (4.0 *. c)))
+      done
+    done;
+    let t = !cur in
+    cur := !nxt;
+    nxt := t
+  done;
+  !cur
+
+(* A deterministic initial temperature field: a hot spot off-centre on
+   a 20-degree ambient plate. *)
+let initial ~n =
+  Array.init (n * n) (fun idx ->
+      let y = idx / n and x = idx mod n in
+      let dx = x - (n / 2) and dy = y - (n / 3) in
+      let d2 = float_of_int ((dx * dx) + (dy * dy)) in
+      20.0 +. (60.0 *. exp (-0.001 *. d2)))

@@ -1,0 +1,116 @@
+(* Matmul: dense product of two quadratic matrices (paper §9.1, the
+   dense-linear-algebra dwarf).  One thread computes one element of C
+   with a k-loop over a row of A and a column of B.
+
+   Under a row-band partition (the suggested strategy: split along y),
+   each device reads only its rows of A — matching the linear H2D
+   distribution — but the column-wise reads of B touch the whole
+   matrix, so the runtime corrects the mismatched distribution with an
+   all-gather before the kernel starts (paper §9.1: "this mismatched
+   data distribution is corrected by the runtime").  The lack of
+   iterative execution makes this one-time cost hard to amortize,
+   limiting scalability exactly as in the paper. *)
+
+(* __global__ void matmul(int n, float *a, float *b, float *c) *)
+let kernel =
+  let open Kir in
+  let n = p "n" in
+  let gx = v "gx" and gy = v "gy" in
+  let dims = [| Dim_param "n"; Dim_param "n" |] in
+  Kir.kernel ~name:"matmul"
+    ~params:
+      [
+        Scalar "n";
+        Array { name = "a"; dims };
+        Array { name = "b"; dims };
+        Array { name = "c"; dims };
+      ]
+    [
+      Local ("gx", global_id Dim3.X);
+      Local ("gy", global_id Dim3.Y);
+      If
+        ( gx < n && gy < n,
+          [
+            Local ("acc", f 0.0);
+            For
+              {
+                var = "k";
+                from_ = i 0;
+                to_ = n;
+                body =
+                  [
+                    Assign
+                      ( "acc",
+                        v "acc" + (load "a" [ gy; v "k" ] * load "b" [ v "k"; gx ])
+                      );
+                  ];
+              };
+            store "c" [ gy; gx ] (v "acc");
+          ],
+          [] );
+    ]
+
+let block = Dim3.make 16 ~y:16
+
+let grid_for n =
+  let g = (n + 15) / 16 in
+  Dim3.make g ~y:g
+
+(* Builder over host arrays (real or phantom). *)
+let program_h ~n ~(a : Host_ir.host_array) ~(b : Host_ir.host_array)
+    ~(result : Host_ir.host_array) =
+  if a.Host_ir.len <> n * n || b.Host_ir.len <> n * n then
+    invalid_arg "Matmul.program: size mismatch";
+  Host_ir.program ~name:"matmul"
+    [
+      Host_ir.Malloc ("a", n * n);
+      Host_ir.Malloc ("b", n * n);
+      Host_ir.Malloc ("c", n * n);
+      Host_ir.Memcpy_h2d { dst = "a"; src = a };
+      Host_ir.Memcpy_h2d { dst = "b"; src = b };
+      Host_ir.Launch
+        {
+          kernel;
+          grid = grid_for n;
+          block;
+          args =
+            [ Host_ir.HInt n; Host_ir.HBuf "a"; Host_ir.HBuf "b";
+              Host_ir.HBuf "c" ];
+        };
+      Host_ir.Memcpy_d2h { dst = result; src = "c" };
+      Host_ir.Free "a";
+      Host_ir.Free "b";
+      Host_ir.Free "c";
+    ]
+
+let program ~n ~(a : float array) ~(b : float array) ~(result : float array) =
+  program_h ~n ~a:(Host_ir.host_data a) ~b:(Host_ir.host_data b)
+    ~result:(Host_ir.host_data result)
+
+(* CPU reference mirroring the kernel arithmetic exactly. *)
+let reference ~n (a : float array) (b : float array) =
+  let c = Array.make (n * n) 0.0 in
+  for gy = 0 to n - 1 do
+    for gx = 0 to n - 1 do
+      let acc = ref 0.0 in
+      for k = 0 to n - 1 do
+        acc := !acc +. (a.((gy * n) + k) *. b.((k * n) + gx))
+      done;
+      c.((gy * n) + gx) <- !acc
+    done
+  done;
+  c
+
+(* Deterministic inputs. *)
+let initial ~n =
+  let a =
+    Array.init (n * n) (fun idx ->
+        let y = idx / n and x = idx mod n in
+        0.5 +. (0.25 *. float_of_int ((x + (3 * y)) mod 11)))
+  in
+  let b =
+    Array.init (n * n) (fun idx ->
+        let y = idx / n and x = idx mod n in
+        -1.0 +. (0.125 *. float_of_int (((5 * x) + y) mod 13)))
+  in
+  (a, b)

@@ -1,0 +1,139 @@
+(* Sparse matrix-vector product in CSR format: y = A * x.
+
+   This is the kind of workload the paper's related-work section defers
+   to page-migration approaches ("workloads with dynamic, data-driven
+   memory access patterns like graph computation, sparse linear
+   algebra"), and it exercises the degradation path of the analysis:
+
+   - the row loop bounds come from row_ptr loads (data-dependent), so
+     every read inside the loop is over-approximated to the whole
+     array — correct, but each device gathers all of vals/cols/x;
+   - the write y[row] is affine and injective, so the kernel is still
+     accepted and partitions safely.
+
+   One thread per row (scalar CSR kernel). *)
+
+(* __global__ void spmv(int n, int nnz, float *row_ptr, float *cols,
+                        float *vals, float *x, float *y) *)
+let kernel =
+  let open Kir in
+  let n = p "n" in
+  let row = v "row" in
+  Kir.kernel ~name:"spmv"
+    ~params:
+      [
+        Scalar "n";
+        Scalar "nnz";
+        Array { name = "row_ptr"; dims = [| Dim_param "n1" |] };
+        Scalar "n1";
+        Array { name = "cols"; dims = [| Dim_param "nnz" |] };
+        Array { name = "vals"; dims = [| Dim_param "nnz" |] };
+        Array { name = "x"; dims = [| Dim_param "n" |] };
+        Array { name = "y"; dims = [| Dim_param "n" |] };
+      ]
+    [
+      Local ("row", global_id Dim3.X);
+      If
+        ( row < n,
+          [
+            Local ("acc", f 0.0);
+            For
+              {
+                var = "j";
+                from_ = load "row_ptr" [ row ];
+                to_ = load "row_ptr" [ row + i 1 ];
+                body =
+                  [
+                    Assign
+                      ( "acc",
+                        v "acc"
+                        + (load "vals" [ v "j" ] * load "x" [ load "cols" [ v "j" ] ])
+                      );
+                  ];
+              };
+            store "y" [ row ] (v "acc");
+          ],
+          [] );
+    ]
+
+let block = Dim3.make 64
+
+let grid_for n = Dim3.make (Stdlib.( / ) (Stdlib.( + ) n 63) 64)
+
+(* A CSR matrix with float-encoded integer metadata (the kernel IR's
+   buffers are float arrays; row_ptr/cols hold exact small integers). *)
+type csr = {
+  n : int;
+  nnz : int;
+  row_ptr : float array; (* length n+1 *)
+  cols : float array; (* length nnz *)
+  vals : float array; (* length nnz *)
+}
+
+let program ~(m : csr) ~(x : float array) ~(result : float array) =
+  if Array.length x <> m.n || Array.length result <> m.n then
+    invalid_arg "Spmv.program: size mismatch";
+  Host_ir.program ~name:"spmv"
+    [
+      Host_ir.Malloc ("row_ptr", m.n + 1);
+      Host_ir.Malloc ("cols", m.nnz);
+      Host_ir.Malloc ("vals", m.nnz);
+      Host_ir.Malloc ("x", m.n);
+      Host_ir.Malloc ("y", m.n);
+      Host_ir.Memcpy_h2d { dst = "row_ptr"; src = Host_ir.host_data m.row_ptr };
+      Host_ir.Memcpy_h2d { dst = "cols"; src = Host_ir.host_data m.cols };
+      Host_ir.Memcpy_h2d { dst = "vals"; src = Host_ir.host_data m.vals };
+      Host_ir.Memcpy_h2d { dst = "x"; src = Host_ir.host_data x };
+      Host_ir.Launch
+        {
+          kernel;
+          grid = grid_for m.n;
+          block;
+          args =
+            [
+              Host_ir.HInt m.n; Host_ir.HInt m.nnz; Host_ir.HBuf "row_ptr";
+              Host_ir.HInt (m.n + 1); Host_ir.HBuf "cols"; Host_ir.HBuf "vals";
+              Host_ir.HBuf "x"; Host_ir.HBuf "y";
+            ];
+        };
+      Host_ir.Memcpy_d2h { dst = Host_ir.host_data result; src = "y" };
+      Host_ir.Free "row_ptr";
+      Host_ir.Free "cols";
+      Host_ir.Free "vals";
+      Host_ir.Free "x";
+      Host_ir.Free "y";
+    ]
+
+(* CPU reference mirroring the kernel arithmetic exactly. *)
+let reference ~(m : csr) (x : float array) =
+  Array.init m.n (fun row ->
+      let acc = ref 0.0 in
+      for j = int_of_float m.row_ptr.(row) to int_of_float m.row_ptr.(row + 1) - 1 do
+        acc := !acc +. (m.vals.(j) *. x.(int_of_float m.cols.(j)))
+      done;
+      !acc)
+
+(* A deterministic banded sparse matrix: each row has up to [band]
+   entries at pseudo-random columns near the diagonal. *)
+let banded ~n ~band =
+  let row_ptr = Array.make (n + 1) 0.0 in
+  let cols = ref [] and vals = ref [] in
+  let nnz = ref 0 in
+  for row = 0 to n - 1 do
+    row_ptr.(row) <- float_of_int !nnz;
+    let deg = 1 + ((row * 13) mod band) in
+    for k = 0 to deg - 1 do
+      let col = (row + (k * 7) + 1) mod n in
+      cols := float_of_int col :: !cols;
+      vals := (1.0 +. (0.125 *. float_of_int ((row + k) mod 9))) :: !vals;
+      incr nnz
+    done
+  done;
+  row_ptr.(n) <- float_of_int !nnz;
+  {
+    n;
+    nnz = !nnz;
+    row_ptr;
+    cols = Array.of_list (List.rev !cols);
+    vals = Array.of_list (List.rev !vals);
+  }

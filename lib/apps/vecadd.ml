@@ -1,0 +1,55 @@
+(* Vector addition: the minimal data-parallel kernel, used by the
+   quickstart example and as the simplest analysis target in tests.
+   Reads and writes are 1:1 with the thread grid, so the tracker holds
+   exactly one segment per partition (the paper's §8.1 extreme case). *)
+
+(* __global__ void vecadd(int n, float *a, float *b, float *c) *)
+let kernel =
+  let open Kir in
+  let n = p "n" in
+  let gi = v "gi" in
+  Kir.kernel ~name:"vecadd"
+    ~params:
+      [
+        Scalar "n";
+        Array { name = "a"; dims = [| Dim_param "n" |] };
+        Array { name = "b"; dims = [| Dim_param "n" |] };
+        Array { name = "c"; dims = [| Dim_param "n" |] };
+      ]
+    [
+      Local ("gi", global_id Dim3.X);
+      If
+        ( gi < n,
+          [ store "c" [ gi ] (load "a" [ gi ] + load "b" [ gi ]) ],
+          [] );
+    ]
+
+let block = Dim3.make 128
+
+let grid_for n = Dim3.make ((n + 127) / 128)
+
+let program ~n ~(a : float array) ~(b : float array) ~(result : float array) =
+  Host_ir.program ~name:"vecadd"
+    [
+      Host_ir.Malloc ("a", n);
+      Host_ir.Malloc ("b", n);
+      Host_ir.Malloc ("c", n);
+      Host_ir.Memcpy_h2d { dst = "a"; src = Host_ir.host_data a };
+      Host_ir.Memcpy_h2d { dst = "b"; src = Host_ir.host_data b };
+      Host_ir.Launch
+        {
+          kernel;
+          grid = grid_for n;
+          block;
+          args =
+            [ Host_ir.HInt n; Host_ir.HBuf "a"; Host_ir.HBuf "b";
+              Host_ir.HBuf "c" ];
+        };
+      Host_ir.Memcpy_d2h { dst = Host_ir.host_data result; src = "c" };
+      Host_ir.Free "a";
+      Host_ir.Free "b";
+      Host_ir.Free "c";
+    ]
+
+let reference (a : float array) (b : float array) =
+  Array.init (Array.length a) (fun idx -> a.(idx) +. b.(idx))

@@ -1,0 +1,52 @@
+(* Device memory buffers.
+
+   In functional mode a buffer carries real float data and copies move
+   bytes; in performance mode only the extents exist, so that
+   paper-sized problems (tens of GiB across 16 devices) can be
+   simulated without allocating them. *)
+
+type t = {
+  id : int;
+  device : int; (* owning device, or -1 for host-pinned staging *)
+  len : int; (* elements *)
+  data : float array option; (* Some in functional mode *)
+}
+
+let create ~id ~device ~len ~functional =
+  if len < 0 then invalid_arg "Buffer.create: negative length";
+  { id; device; len; data = (if functional then Some (Array.make len 0.0) else None) }
+
+let id b = b.id
+let device b = b.device
+let len b = b.len
+
+let data_exn b =
+  match b.data with
+  | Some d -> d
+  | None -> invalid_arg "Buffer.data_exn: performance-mode buffer has no data"
+
+let has_data b = b.data <> None
+
+(* Copy [len] elements between a host array and a device buffer or
+   between two device buffers; no-ops in performance mode. *)
+let blit_from_host ~src ~src_off b ~dst_off ~len =
+  match b.data with
+  | Some d -> Array.blit src src_off d dst_off len
+  | None -> ()
+
+let blit_to_host b ~src_off ~dst ~dst_off ~len =
+  match b.data with
+  | Some d -> Array.blit d src_off dst dst_off len
+  | None -> ()
+
+let blit ~src ~src_off ~dst ~dst_off ~len =
+  match (src.data, dst.data) with
+  | Some s, Some d -> Array.blit s src_off d dst_off len
+  | None, None -> ()
+  | _ -> invalid_arg "Buffer.blit: mixed functional/performance buffers"
+
+let check_range b ~off ~len ~what =
+  if off < 0 || len < 0 || off + len > b.len then
+    invalid_arg
+      (Printf.sprintf "%s: range [%d,%d) outside buffer %d of length %d" what
+         off (off + len) b.id b.len)

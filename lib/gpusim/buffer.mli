@@ -1,0 +1,33 @@
+(** Device memory buffers.  In functional mode a buffer carries real
+    float data; in performance mode only the extents exist, so
+    paper-sized problems never allocate tens of GiB. *)
+
+type t
+
+val create : id:int -> device:int -> len:int -> functional:bool -> t
+val id : t -> int
+
+val device : t -> int
+(** Owning device id. *)
+
+val len : t -> int
+(** Element count. *)
+
+val data_exn : t -> float array
+(** The backing data; raises [Invalid_argument] on performance-mode
+    buffers. *)
+
+val has_data : t -> bool
+
+val blit_from_host :
+  src:float array -> src_off:int -> t -> dst_off:int -> len:int -> unit
+(** Copy host data in; a no-op in performance mode. *)
+
+val blit_to_host :
+  t -> src_off:int -> dst:float array -> dst_off:int -> len:int -> unit
+
+val blit : src:t -> src_off:int -> dst:t -> dst_off:int -> len:int -> unit
+(** Device-to-device copy; both buffers must be in the same mode. *)
+
+val check_range : t -> off:int -> len:int -> what:string -> unit
+(** Raise [Invalid_argument] when the range leaves the buffer. *)

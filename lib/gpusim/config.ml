@@ -1,0 +1,93 @@
+(* Machine descriptions for the multi-GPU simulator.
+
+   The paper's testbed is a Supermicro X10DRG with eight NVIDIA K80
+   boards (16 GPU dies) behind PCIe 3.0 switches.  The constants below
+   are calibrated to that class of machine; we reproduce scaling
+   *shapes*, not absolute seconds (see DESIGN.md §4 and
+   EXPERIMENTS.md). *)
+
+type host_costs = {
+  tracker_op_seconds : float;
+      (* cost of one segment-tracker query or update (B-tree op) *)
+  range_seconds : float;
+      (* cost of emitting/handling one enumerator range *)
+  dispatch_seconds : float;
+      (* host-side bookkeeping per kernel-partition launch *)
+}
+
+type t = {
+  name : string;
+  n_devices : int;
+  sms_per_device : int;
+  ops_per_sm : float; (* simple kernel-IR operations per second per SM *)
+  blocks_per_sm : int; (* concurrently resident blocks per SM *)
+  autoboost_derate : float;
+      (* K80 autoboost: per-die throughput lost when all dies are
+         active; throughput scales linearly from 1.0 (one active die)
+         to [1 - derate] (all [total_dies] active) *)
+  total_dies : int; (* dies physically present (thermal envelope) *)
+  pcie_bandwidth : float; (* host<->device link bytes per second *)
+  p2p_bandwidth : float; (* device<->device link bytes per second *)
+  fabric_bandwidth : float;
+      (* aggregate PCIe fabric bytes per second, shared by all
+         transfers in flight (root-complex bottleneck) *)
+  transfer_latency : float; (* fixed seconds per transfer *)
+  launch_latency : float; (* fixed host seconds per kernel launch *)
+  sync_device_seconds : float;
+      (* host cost of synchronizing with one device (cudaSetDevice +
+         cudaDeviceSynchronize per context) *)
+  elem_bytes : int; (* bytes per array element *)
+  host : host_costs;
+}
+
+let k80_host_costs =
+  {
+    tracker_op_seconds = 6.0e-7;
+    range_seconds = 4.0e-7;
+    dispatch_seconds = 7.0e-6;
+  }
+
+(* K80-class box.  The per-SM operation rate is in units of kernel-IR
+   operations (one "op" bundles an instruction and its share of memory
+   traffic), calibrated so the Hotspot Medium iteration lands near the
+   9 ms a memory-bound 16384^2 stencil takes on one K80 die. *)
+let k80_box ?(n_devices = 16) () =
+  {
+    name = "supermicro-x10drg-k80";
+    n_devices;
+    sms_per_device = 13;
+    ops_per_sm = 1.35e11;
+    blocks_per_sm = 2;
+    autoboost_derate = 0.15;
+    total_dies = 16;
+    pcie_bandwidth = 10.0e9;
+    p2p_bandwidth = 6.0e9;
+    fabric_bandwidth = 8.0e9;
+    transfer_latency = 40.0e-6;
+    launch_latency = 8.0e-6;
+    sync_device_seconds = 10.0e-6;
+    elem_bytes = 4;
+    host = k80_host_costs;
+  }
+
+(* A tiny machine for functional tests: timing constants are irrelevant
+   there, device count is what matters. *)
+let test_box ?(n_devices = 4) () =
+  { (k80_box ~n_devices ()) with name = "test-box" }
+
+(* Per-die throughput factor when [active] dies are busy out of the
+   box's thermal envelope of [total_dies]. *)
+let boost_factor t ~active =
+  let total = max 1 (t.total_dies - 1) in
+  1.0
+  -. (t.autoboost_derate
+      *. float_of_int (max 0 (min active t.total_dies - 1))
+      /. float_of_int total)
+
+let pp fmt t =
+  Format.fprintf fmt
+    "%s: %d devices x %d SMs, pcie %.1f GB/s, p2p %.1f GB/s, fabric %.1f GB/s"
+    t.name t.n_devices t.sms_per_device
+    (t.pcie_bandwidth /. 1e9)
+    (t.p2p_bandwidth /. 1e9)
+    (t.fabric_bandwidth /. 1e9)

@@ -1,0 +1,49 @@
+(** Machine descriptions for the multi-GPU simulator, calibrated to the
+    paper's testbed (Supermicro X10DRG, eight NVIDIA K80 boards = 16
+    dies behind PCIe 3.0 switches).  Shapes, not absolute seconds, are
+    the reproduction target — see DESIGN.md §4. *)
+
+type host_costs = {
+  tracker_op_seconds : float;
+      (** cost of one segment-tracker query or update (B-tree op) *)
+  range_seconds : float;
+      (** cost of emitting/handling one enumerator range *)
+  dispatch_seconds : float;
+      (** host-side bookkeeping per kernel-partition launch *)
+}
+
+type t = {
+  name : string;
+  n_devices : int;
+  sms_per_device : int;
+  ops_per_sm : float;
+      (** simple kernel-IR operations per second per SM *)
+  blocks_per_sm : int;  (** concurrently resident blocks per SM *)
+  autoboost_derate : float;
+      (** per-die throughput lost when all [total_dies] are active *)
+  total_dies : int;  (** dies physically present (thermal envelope) *)
+  pcie_bandwidth : float;  (** host<->device link bytes per second *)
+  p2p_bandwidth : float;  (** device<->device link bytes per second *)
+  fabric_bandwidth : float;
+      (** aggregate PCIe fabric bytes per second, shared by all
+          transfers in flight *)
+  transfer_latency : float;  (** fixed seconds per transfer *)
+  launch_latency : float;  (** fixed host seconds per kernel launch *)
+  sync_device_seconds : float;
+      (** host cost of synchronizing with one device context *)
+  elem_bytes : int;  (** bytes per array element *)
+  host : host_costs;
+}
+
+val k80_host_costs : host_costs
+
+val k80_box : ?n_devices:int -> unit -> t
+(** The calibrated K80-class box (default 16 devices). *)
+
+val test_box : ?n_devices:int -> unit -> t
+(** Machine for functional tests (timing constants irrelevant there). *)
+
+val boost_factor : t -> active:int -> float
+(** Per-die throughput factor when [active] dies are busy. *)
+
+val pp : Format.formatter -> t -> unit

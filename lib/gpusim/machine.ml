@@ -1,0 +1,364 @@
+(* The multi-GPU machine: devices with a compute stream and dual copy
+   engines, a host thread, and a shared PCIe fabric, all advanced by a
+   simple discrete-event scheme.
+
+   Per device:
+   - one compute timeline (the default stream's kernel work);
+   - one inbound and one outbound copy engine (K80-style dual copy
+     engines), so neighbour halo exchanges do not chain serially while
+     a device's own sends still serialize.
+
+   Transfers respect default-stream ordering (they wait for the compute
+   work of the devices they touch) and contend for the shared fabric:
+   every transfer occupies the fabric for bytes/fabric_bandwidth, which
+   is what bounds all-gather-style redistribution.
+
+   Kernels run at a throughput derated by the number of active devices
+   (K80 autoboost clocks drop as more dies heat up).
+
+   In functional mode buffers carry real data, kernels execute their
+   element code, and results are bit-exact; in performance mode only
+   clocks and statistics advance. *)
+
+type device = {
+  dev_id : int;
+  compute : Timeline.t;
+  copy_in : Timeline.t;
+  copy_out : Timeline.t;
+  buffers : (int, Buffer.t) Hashtbl.t;
+}
+
+type stats = {
+  mutable h2d_bytes : int;
+  mutable d2h_bytes : int;
+  mutable p2p_bytes : int;
+  mutable n_transfers : int;
+  mutable n_launches : int;
+  mutable kernel_seconds : float;
+  mutable pattern_seconds : float;
+  mutable transfer_seconds : float;
+}
+
+(* One entry of the optional execution trace. *)
+type event = {
+  ev_kind : [ `Kernel | `H2d | `D2h | `P2p ];
+  ev_src : int; (* device id, or -1 for host *)
+  ev_dst : int;
+  ev_bytes : int; (* 0 for kernels *)
+  ev_start : float;
+  ev_finish : float;
+}
+
+type t = {
+  cfg : Config.t;
+  functional : bool;
+  devices : device array;
+  host : Timeline.t;
+  fabric : Timeline.t;
+  stats : stats;
+  mutable next_buffer_id : int;
+  mutable active_devices : int;
+      (* devices that have executed kernels: drives the autoboost
+         derate.  Multi-GPU runs use all devices from the first launch
+         round, so we track the high-water mark of launch targets. *)
+  mutable trace : event list option;
+      (* reverse-chronological event log when tracing is enabled *)
+}
+
+let issue_overhead = 1.5e-6 (* host-side cost of issuing one async op *)
+
+let create ?(functional = false) cfg =
+  {
+    cfg;
+    functional;
+    devices =
+      Array.init cfg.Config.n_devices (fun i ->
+          {
+            dev_id = i;
+            compute = Timeline.create (Printf.sprintf "dev%d.compute" i);
+            copy_in = Timeline.create (Printf.sprintf "dev%d.copy_in" i);
+            copy_out = Timeline.create (Printf.sprintf "dev%d.copy_out" i);
+            buffers = Hashtbl.create 16;
+          });
+    host = Timeline.create "host";
+    fabric = Timeline.create "fabric";
+    stats =
+      {
+        h2d_bytes = 0;
+        d2h_bytes = 0;
+        p2p_bytes = 0;
+        n_transfers = 0;
+        n_launches = 0;
+        kernel_seconds = 0.0;
+        pattern_seconds = 0.0;
+        transfer_seconds = 0.0;
+      };
+    next_buffer_id = 0;
+    active_devices = 1;
+    trace = None;
+  }
+
+(* Enable event tracing (keeps every kernel and transfer event;
+   intended for tests, debugging and trace dumps, not for paper-scale
+   performance sweeps). *)
+let enable_trace m = m.trace <- Some []
+
+let trace m = List.rev (Option.value ~default:[] m.trace)
+
+let record m ev =
+  match m.trace with None -> () | Some l -> m.trace <- Some (ev :: l)
+
+let config m = m.cfg
+let is_functional m = m.functional
+let n_devices m = Array.length m.devices
+let stats m = m.stats
+
+let device m i =
+  if i < 0 || i >= Array.length m.devices then
+    invalid_arg (Printf.sprintf "Machine.device: no device %d" i);
+  m.devices.(i)
+
+(* --- Memory management ------------------------------------------------ *)
+
+let alloc m ~device:d ~len =
+  let dev = device m d in
+  let id = m.next_buffer_id in
+  m.next_buffer_id <- id + 1;
+  let b = Buffer.create ~id ~device:d ~len ~functional:m.functional in
+  Hashtbl.replace dev.buffers id b;
+  b
+
+let free m b =
+  let dev = device m (Buffer.device b) in
+  Hashtbl.remove dev.buffers (Buffer.id b)
+
+(* --- Time -------------------------------------------------------------- *)
+
+let host_time m = Timeline.ready m.host
+
+let device_time m d =
+  let dev = device m d in
+  Float.max (Timeline.ready dev.compute)
+    (Float.max (Timeline.ready dev.copy_in) (Timeline.ready dev.copy_out))
+
+let elapsed m =
+  Array.fold_left
+    (fun acc d ->
+       Float.max acc
+         (Float.max (Timeline.ready d.compute)
+            (Float.max (Timeline.ready d.copy_in) (Timeline.ready d.copy_out))))
+    (Timeline.ready m.host) m.devices
+
+(* Host-side synchronization with every device: the host serially
+   synchronizes each context (cudaSetDevice + cudaDeviceSynchronize per
+   device, paper §8.4), then is joined with the latest engine. *)
+let synchronize m =
+  let serial =
+    m.cfg.Config.sync_device_seconds *. float_of_int (n_devices m)
+  in
+  ignore (Timeline.schedule m.host ~after:0.0 ~duration:serial ~category:"sync");
+  Timeline.wait_until m.host (elapsed m)
+
+(* Charge host-side computation (e.g. dependency resolution) to the
+   host timeline. *)
+let host_work m ~seconds ~category =
+  ignore (Timeline.schedule m.host ~after:0.0 ~duration:seconds ~category);
+  if category = "pattern" then
+    m.stats.pattern_seconds <- m.stats.pattern_seconds +. seconds
+
+(* --- Transfers --------------------------------------------------------- *)
+
+(* Shared-fabric accounting: a transfer may not start before the fabric
+   has drained the bytes of the transfers issued before it. *)
+let fabric_admit m ~start ~bytes =
+  let bus = float_of_int bytes /. m.cfg.Config.fabric_bandwidth in
+  let fstart = Float.max start (Timeline.ready m.fabric) in
+  ignore
+    (Timeline.schedule m.fabric ~after:fstart ~duration:bus ~category:"bus");
+  fstart
+
+let count_transfer m ~seconds =
+  m.stats.n_transfers <- m.stats.n_transfers + 1;
+  m.stats.transfer_seconds <- m.stats.transfer_seconds +. seconds
+
+(* Run one transfer: engines are the timelines held for the duration,
+   deps the timelines whose completion must be awaited (default-stream
+   ordering against compute).  [fabric_bytes] may exceed [bytes]:
+   device-to-device copies between GPUs under different PCIe root
+   complexes stage through host memory, crossing the fabric twice. *)
+let transfer m ~engines ~deps ~bytes ~fabric_bytes ~bandwidth =
+  let issue =
+    snd
+      (Timeline.schedule m.host ~after:0.0 ~duration:issue_overhead
+         ~category:"issue")
+  in
+  let ready =
+    List.fold_left (fun acc t -> Float.max acc (Timeline.ready t)) issue deps
+  in
+  let ready =
+    List.fold_left (fun acc t -> Float.max acc (Timeline.ready t)) ready engines
+  in
+  let start = fabric_admit m ~start:ready ~bytes:fabric_bytes in
+  let dur =
+    m.cfg.Config.transfer_latency +. (float_of_int bytes /. bandwidth)
+  in
+  List.iter
+    (fun t ->
+       Timeline.wait_until t start;
+       ignore (Timeline.schedule t ~after:start ~duration:dur ~category:"transfer"))
+    engines;
+  count_transfer m ~seconds:dur;
+  (start, start +. dur)
+
+(* Asynchronous host-to-device copy of [len] elements. *)
+let h2d m ~src ~src_off ~dst ~dst_off ~len =
+  Buffer.check_range dst ~off:dst_off ~len ~what:"h2d";
+  let bytes = len * m.cfg.Config.elem_bytes in
+  let dev = device m (Buffer.device dst) in
+  let ev_start, ev_finish =
+    transfer m ~engines:[ dev.copy_in ] ~deps:[ dev.compute ] ~bytes
+      ~fabric_bytes:bytes ~bandwidth:m.cfg.Config.pcie_bandwidth
+  in
+  record m
+    { ev_kind = `H2d; ev_src = -1; ev_dst = dev.dev_id; ev_bytes = bytes;
+      ev_start; ev_finish };
+  m.stats.h2d_bytes <- m.stats.h2d_bytes + bytes;
+  if m.functional then Buffer.blit_from_host ~src ~src_off dst ~dst_off ~len
+
+(* Asynchronous device-to-host copy. *)
+let d2h m ~src ~src_off ~dst ~dst_off ~len =
+  Buffer.check_range src ~off:src_off ~len ~what:"d2h";
+  let bytes = len * m.cfg.Config.elem_bytes in
+  let dev = device m (Buffer.device src) in
+  let ev_start, ev_finish =
+    transfer m ~engines:[ dev.copy_out ] ~deps:[ dev.compute ] ~bytes
+      ~fabric_bytes:bytes ~bandwidth:m.cfg.Config.pcie_bandwidth
+  in
+  record m
+    { ev_kind = `D2h; ev_src = dev.dev_id; ev_dst = -1; ev_bytes = bytes;
+      ev_start; ev_finish };
+  m.stats.d2h_bytes <- m.stats.d2h_bytes + bytes;
+  if m.functional then Buffer.blit_to_host src ~src_off ~dst ~dst_off ~len
+
+(* Asynchronous device-to-device copy. *)
+let p2p m ~src ~src_off ~dst ~dst_off ~len =
+  Buffer.check_range src ~off:src_off ~len ~what:"p2p(src)";
+  Buffer.check_range dst ~off:dst_off ~len ~what:"p2p(dst)";
+  let bytes = len * m.cfg.Config.elem_bytes in
+  let sdev = device m (Buffer.device src) in
+  let ddev = device m (Buffer.device dst) in
+  let engines =
+    if sdev.dev_id = ddev.dev_id then [ sdev.copy_out ]
+    else [ sdev.copy_out; ddev.copy_in ]
+  in
+  (* Staged through host memory across root complexes: the bytes cross
+     the shared fabric twice. *)
+  let ev_start, ev_finish =
+    transfer m ~engines ~deps:[ sdev.compute; ddev.compute ] ~bytes
+      ~fabric_bytes:(2 * bytes) ~bandwidth:m.cfg.Config.p2p_bandwidth
+  in
+  record m
+    { ev_kind = `P2p; ev_src = sdev.dev_id; ev_dst = ddev.dev_id;
+      ev_bytes = bytes; ev_start; ev_finish };
+  m.stats.p2p_bytes <- m.stats.p2p_bytes + bytes;
+  if m.functional then Buffer.blit ~src ~src_off ~dst ~dst_off ~len
+
+(* A packed device-to-device copy of several segments (the simulated
+   counterpart of a pitched cudaMemcpy2D): one transfer event moves the
+   summed bytes, paying the latency once. *)
+let p2p_multi m ~src ~dst ~segments =
+  let len =
+    List.fold_left (fun acc (_, _, l) -> acc + l) 0 segments
+  in
+  if len > 0 then begin
+    List.iter
+      (fun (src_off, dst_off, l) ->
+         Buffer.check_range src ~off:src_off ~len:l ~what:"p2p_multi(src)";
+         Buffer.check_range dst ~off:dst_off ~len:l ~what:"p2p_multi(dst)")
+      segments;
+    let bytes = len * m.cfg.Config.elem_bytes in
+    let sdev = device m (Buffer.device src) in
+    let ddev = device m (Buffer.device dst) in
+    let engines =
+      if sdev.dev_id = ddev.dev_id then [ sdev.copy_out ]
+      else [ sdev.copy_out; ddev.copy_in ]
+    in
+    let ev_start, ev_finish =
+      transfer m ~engines ~deps:[ sdev.compute; ddev.compute ] ~bytes
+        ~fabric_bytes:(2 * bytes) ~bandwidth:m.cfg.Config.p2p_bandwidth
+    in
+    record m
+      { ev_kind = `P2p; ev_src = sdev.dev_id; ev_dst = ddev.dev_id;
+        ev_bytes = bytes; ev_start; ev_finish };
+    m.stats.p2p_bytes <- m.stats.p2p_bytes + bytes;
+    if m.functional then
+      List.iter
+        (fun (src_off, dst_off, l) ->
+           Buffer.blit ~src ~src_off ~dst ~dst_off ~len:l)
+        segments
+  end
+
+(* --- Kernels ------------------------------------------------------------ *)
+
+(* Duration of a kernel launch.  Blocks execute over the device's
+   resident-block slots; below full occupancy the whole wave takes one
+   block's time (latency bound), above it the duration grows linearly.
+   The per-SM rate is derated by the autoboost factor for the number of
+   currently active devices. *)
+let kernel_duration m ~blocks ~ops_per_block =
+  if blocks = 0 then 0.0
+  else begin
+    let cfg = m.cfg in
+    let slots = cfg.Config.sms_per_device * cfg.Config.blocks_per_sm in
+    let boost = Config.boost_factor cfg ~active:m.active_devices in
+    let block_time =
+      ops_per_block
+      *. float_of_int cfg.Config.blocks_per_sm
+      /. (cfg.Config.ops_per_sm *. boost)
+    in
+    block_time *. Float.max 1.0 (float_of_int blocks /. float_of_int slots)
+  end
+
+(* Launch a kernel asynchronously on a device.  [run] performs the
+   functional element work and is invoked only in functional mode. *)
+(* Declare how many devices the workload will keep busy (drives the
+   autoboost derate deterministically from the first launch). *)
+let set_active_devices m n =
+  m.active_devices <- max 1 (min n (n_devices m))
+
+let launch m ~device:d ~blocks ~ops_per_block ~run =
+  let dev = device m d in
+  m.active_devices <- max m.active_devices (d + 1);
+  let issue =
+    snd
+      (Timeline.schedule m.host ~after:0.0
+         ~duration:m.cfg.Config.launch_latency ~category:"issue")
+  in
+  let after =
+    Float.max issue
+      (Float.max (Timeline.ready dev.copy_in) (Timeline.ready dev.copy_out))
+  in
+  let dur = kernel_duration m ~blocks ~ops_per_block in
+  let kstart, kfinish =
+    Timeline.schedule dev.compute ~after ~duration:dur ~category:"kernel"
+  in
+  record m
+    { ev_kind = `Kernel; ev_src = dev.dev_id; ev_dst = dev.dev_id;
+      ev_bytes = 0; ev_start = kstart; ev_finish = kfinish };
+  m.stats.n_launches <- m.stats.n_launches + 1;
+  m.stats.kernel_seconds <- m.stats.kernel_seconds +. dur;
+  if m.functional then run ()
+
+(* Timeline accessors for reporting and calibration. *)
+let host_timeline m = m.host
+let fabric_timeline m = m.fabric
+
+let device_timelines m d =
+  let dev = device m d in
+  (dev.compute, dev.copy_in, dev.copy_out)
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "h2d=%dB d2h=%dB p2p=%dB transfers=%d launches=%d kernel=%.6fs transfer=%.6fs pattern=%.6fs"
+    s.h2d_bytes s.d2h_bytes s.p2p_bytes s.n_transfers s.n_launches
+    s.kernel_seconds s.transfer_seconds s.pattern_seconds

@@ -1,0 +1,109 @@
+(** The multi-GPU machine simulator.
+
+    Every device has a compute stream and dual (in/out) copy engines;
+    all transfers contend for a shared PCIe fabric; kernels run at a
+    throughput derated by the number of active devices (K80 autoboost).
+    Transfers respect default-stream ordering against the compute work
+    of the devices they touch.
+
+    In functional mode buffers carry real data and kernels execute
+    their element code (bit-exact results); in performance mode only
+    clocks and statistics advance. *)
+
+type t
+
+(** One entry of the optional execution trace. *)
+type event = {
+  ev_kind : [ `Kernel | `H2d | `D2h | `P2p ];
+  ev_src : int;  (** device id, or -1 for the host *)
+  ev_dst : int;
+  ev_bytes : int;  (** 0 for kernels *)
+  ev_start : float;
+  ev_finish : float;
+}
+
+type stats = {
+  mutable h2d_bytes : int;
+  mutable d2h_bytes : int;
+  mutable p2p_bytes : int;
+  mutable n_transfers : int;
+  mutable n_launches : int;
+  mutable kernel_seconds : float;
+  mutable pattern_seconds : float;
+  mutable transfer_seconds : float;
+}
+
+val create : ?functional:bool -> Config.t -> t
+val config : t -> Config.t
+val is_functional : t -> bool
+val n_devices : t -> int
+val stats : t -> stats
+
+val alloc : t -> device:int -> len:int -> Buffer.t
+val free : t -> Buffer.t -> unit
+
+val host_time : t -> float
+(** Current host-thread time. *)
+
+val device_time : t -> int -> float
+(** Latest engine time of one device. *)
+
+val elapsed : t -> float
+(** Latest time across every engine and the host. *)
+
+val synchronize : t -> unit
+(** Host-side synchronization with every device (serial
+    cudaSetDevice/cudaDeviceSynchronize per context, then join). *)
+
+val host_work : t -> seconds:float -> category:string -> unit
+(** Charge host-side computation (e.g. dependency resolution). *)
+
+val h2d :
+  t -> src:float array -> src_off:int -> dst:Buffer.t -> dst_off:int ->
+  len:int -> unit
+(** Asynchronous host-to-device copy of [len] elements. *)
+
+val d2h :
+  t -> src:Buffer.t -> src_off:int -> dst:float array -> dst_off:int ->
+  len:int -> unit
+
+val p2p :
+  t -> src:Buffer.t -> src_off:int -> dst:Buffer.t -> dst_off:int ->
+  len:int -> unit
+(** Asynchronous device-to-device copy; stages through host memory, so
+    it crosses the shared fabric twice. *)
+
+val p2p_multi :
+  t -> src:Buffer.t -> dst:Buffer.t -> segments:(int * int * int) list -> unit
+(** Packed device-to-device copy of [(src_off, dst_off, len)] segments
+    (a pitched cudaMemcpy2D): the summed bytes move as one transfer,
+    paying the latency once. *)
+
+val kernel_duration : t -> blocks:int -> ops_per_block:float -> float
+(** Modelled duration of a kernel launch (wave model with autoboost
+    derating). *)
+
+val set_active_devices : t -> int -> unit
+(** Declare how many devices the workload keeps busy (drives the
+    autoboost derate deterministically). *)
+
+val launch :
+  t -> device:int -> blocks:int -> ops_per_block:float ->
+  run:(unit -> unit) -> unit
+(** Launch a kernel asynchronously; [run] performs the functional
+    element work and is invoked only in functional mode. *)
+
+val enable_trace : t -> unit
+(** Record every kernel and transfer event (tests/debugging; not for
+    paper-scale sweeps). *)
+
+val trace : t -> event list
+(** The recorded events in chronological order ([] when disabled). *)
+
+val host_timeline : t -> Timeline.t
+val fabric_timeline : t -> Timeline.t
+
+val device_timelines : t -> int -> Timeline.t * Timeline.t * Timeline.t
+(** (compute, copy-in, copy-out) engines of one device. *)
+
+val pp_stats : Format.formatter -> stats -> unit

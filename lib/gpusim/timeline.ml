@@ -1,0 +1,46 @@
+(* A timeline models one in-order execution engine (a device stream or
+   the host thread) in the discrete-event simulation.  Operations are
+   appended with an issue time; the engine starts each operation no
+   earlier than its previous completion and the issue time, and the
+   completion time is returned.  Busy time is accumulated per
+   user-supplied category for reporting. *)
+
+type t = {
+  name : string;
+  mutable ready : float; (* completion time of the last scheduled op *)
+  busy : (string, float) Hashtbl.t;
+}
+
+let create name = { name; ready = 0.0; busy = Hashtbl.create 8 }
+
+let name t = t.name
+let ready t = t.ready
+
+let reset t =
+  t.ready <- 0.0;
+  Hashtbl.reset t.busy
+
+(* Schedule an operation of the given duration that cannot start before
+   [after].  Returns (start, finish). *)
+let schedule t ~after ~duration ~category =
+  if duration < 0.0 then invalid_arg "Timeline.schedule: negative duration";
+  let start = Float.max t.ready after in
+  let finish = start +. duration in
+  t.ready <- finish;
+  let old = Option.value ~default:0.0 (Hashtbl.find_opt t.busy category) in
+  Hashtbl.replace t.busy category (old +. duration);
+  (start, finish)
+
+(* Force the engine to be idle until at least [time] (a synchronization
+   barrier). *)
+let wait_until t time = if time > t.ready then t.ready <- time
+
+let busy_in t category =
+  Option.value ~default:0.0 (Hashtbl.find_opt t.busy category)
+
+let total_busy t = Hashtbl.fold (fun _ v acc -> acc +. v) t.busy 0.0
+
+let categories t = Hashtbl.fold (fun k _ acc -> k :: acc) t.busy []
+
+let pp fmt t =
+  Format.fprintf fmt "%s: ready=%.6fs busy=%.6fs" t.name t.ready (total_busy t)

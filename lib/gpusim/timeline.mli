@@ -1,0 +1,29 @@
+(** One in-order execution engine (a device stream, a copy engine, the
+    host thread, or the shared fabric) in the discrete-event
+    simulation. *)
+
+type t
+
+val create : string -> t
+val name : t -> string
+
+val ready : t -> float
+(** Completion time of the last scheduled operation. *)
+
+val reset : t -> unit
+
+val schedule :
+  t -> after:float -> duration:float -> category:string -> float * float
+(** Append an operation that cannot start before [after]; returns
+    (start, finish).  Busy time is accumulated per [category]. *)
+
+val wait_until : t -> float -> unit
+(** Force the engine idle until at least the given time (a
+    synchronization barrier). *)
+
+val busy_in : t -> string -> float
+(** Accumulated busy seconds in one category. *)
+
+val total_busy : t -> float
+val categories : t -> string list
+val pp : Format.formatter -> t -> unit

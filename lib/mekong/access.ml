@@ -1,0 +1,682 @@
+(* Polyhedral access analysis of kernel IR (paper §4).
+
+   For every global-memory array a kernel touches, the analysis builds
+   read and write maps from the 6-dimensional grid space
+   (blockOff.{z,y,x}, blockIdx.{z,y,x}) to the array's index space:
+
+   - the global thread position threadIdx.w + blockIdx.w * blockDim.w
+     contains a non-affine product; the "block offset" dimension
+     blockOff.w = blockIdx.w * blockDim.w encapsulates it (Eq. 5-7);
+   - thread ids are constrained by 0 <= threadIdx.w < blockDim.w and
+     projected out, leaving maps over Z^6 (§4.1);
+   - affine guards become domain constraints; non-affine guards and
+     subscripts over-approximate reads to the whole array and make
+     writes unanalyzable;
+   - write maps must be exact and injective across thread blocks;
+     kernels violating this are rejected (write-after-write hazards
+     prohibit multi-GPU execution, §4.1). *)
+
+open Ppoly
+
+type error =
+  | Unsupported of string
+  | Non_injective_write of string (* array name *)
+  | Inexact_write of string
+
+let error_message = function
+  | Unsupported m -> "unsupported kernel construct: " ^ m
+  | Non_injective_write a ->
+    "write map of array " ^ a ^ " is not provably injective across blocks"
+  | Inexact_write a -> "write accesses to array " ^ a ^ " cannot be modeled exactly"
+
+exception Reject of error
+
+(* --- Names of the analysis space ---------------------------------------- *)
+
+let axis_name = Dim3.axis_name
+
+let bo_name a = "bo." ^ axis_name a (* blockOff *)
+let b_name a = "b." ^ axis_name a (* blockIdx *)
+let t_name a = "t." ^ axis_name a (* threadIdx *)
+let bdim_name a = "bdim." ^ axis_name a
+let gdim_name a = "gdim." ^ axis_name a
+
+(* Partition-box parameters (paper §6: the partition is a 6-dimensional
+   box spanned between two tuples of blockOff and blockIdx values).
+   They are unconstrained during analysis; the enumerator generator
+   intersects the domain with the box. *)
+let box_min_bo a = "pminbo." ^ axis_name a
+let box_max_bo a = "pmaxbo." ^ axis_name a
+let box_min_b a = "pminb." ^ axis_name a
+let box_max_b a = "pmaxb." ^ axis_name a
+
+let axes = Dim3.axes (* z, y, x *)
+
+let grid_dim_names = Array.of_list (List.map bo_name axes @ List.map b_name axes)
+
+let out_name arr i = arr ^ "#" ^ string_of_int i
+
+(* --- Result types -------------------------------------------------------- *)
+
+type array_access = {
+  arr : string;
+  dims : Kir.dim array;
+  read : Pmap.t option; (* None when the array is never read *)
+  write : Pmap.t option;
+  read_exact : bool; (* false when reads were over-approximated *)
+  write_instrumented : bool;
+      (* writes exist but are unanalyzable; collected at run time by the
+         instrumentation fallback (paper §11) *)
+}
+
+type t = {
+  kernel : Kir.t;
+  params : string array; (* parameter names of all spaces below *)
+  grid_space : Space.t; (* the Z^6 domain of all access maps *)
+  accesses : array_access list;
+  strategy : Dim3.axis; (* suggested partitioning axis (paper §4.1) *)
+}
+
+(* --- Space construction ---------------------------------------------------- *)
+
+let rec collect_loop_vars acc (s : Kir.stmt) =
+  match s with
+  | Kir.For { var; body; _ } ->
+    if List.mem var acc then
+      raise (Reject (Unsupported ("duplicate loop variable " ^ var)));
+    List.fold_left collect_loop_vars (var :: acc) body
+  | Kir.If (_, a, b) ->
+    let acc = List.fold_left collect_loop_vars acc a in
+    List.fold_left collect_loop_vars acc b
+  | Kir.Store _ | Kir.Local _ | Kir.Assign _ | Kir.Syncthreads -> acc
+
+let analysis_params kernel =
+  Array.of_list
+    (Kir.scalar_params kernel
+     @ List.map bdim_name axes
+     @ List.map gdim_name axes
+     @ List.map box_min_bo axes
+     @ List.map box_max_bo axes
+     @ List.map box_min_b axes
+     @ List.map box_max_b axes)
+
+(* The full analysis space: params; dims = bo3, b3, t3, loop vars. *)
+let full_space kernel =
+  let loops =
+    List.rev (List.fold_left collect_loop_vars [] kernel.Kir.body)
+  in
+  let dims =
+    Array.of_list
+      (List.map bo_name axes @ List.map b_name axes @ List.map t_name axes
+       @ loops)
+  in
+  (Space.make ~params:(analysis_params kernel) ~dims, List.length loops)
+
+let grid_space kernel =
+  Space.make ~params:(analysis_params kernel) ~dims:grid_dim_names
+
+let array_space kernel arr rank =
+  Space.make ~params:(analysis_params kernel)
+    ~dims:(Array.init rank (out_name arr))
+
+(* --- Affine extraction ------------------------------------------------------ *)
+
+(* Translate an integer-valued IR expression to an affine form over the
+   analysis space.  [locals] maps let-bound names to affine values.
+   Returns [None] for non-affine expressions. *)
+let rec to_aff sp locals (e : Kir.exp) : Aff.t option =
+  match e with
+  | Kir.Iconst n -> Some (Aff.const sp n)
+  | Kir.Fconst f ->
+    let n = int_of_float f in
+    if float_of_int n = f then Some (Aff.const sp n) else None
+  | Kir.Param n ->
+    (* only integer scalar params are in the space *)
+    (match Space.param_index sp n with
+     | Some _ -> Some (Aff.var sp n)
+     | None -> None)
+  | Kir.Var v -> (
+      match Hashtbl.find_opt locals v with
+      | Some (Some a) -> Some a
+      | Some None -> None
+      | None ->
+        (* loop variable *)
+        (match Space.dim_index sp v with
+         | Some _ -> Some (Aff.var sp v)
+         | None -> None))
+  | Kir.Special (Kir.Thread_idx a) -> Some (Aff.var sp (t_name a))
+  | Kir.Special (Kir.Block_idx a) -> Some (Aff.var sp (b_name a))
+  | Kir.Special (Kir.Block_dim a) -> Some (Aff.var sp (bdim_name a))
+  | Kir.Special (Kir.Grid_dim a) -> Some (Aff.var sp (gdim_name a))
+  | Kir.Load _ -> None (* data-dependent *)
+  | Kir.Unop (Kir.Neg, x) -> Option.map Aff.neg (to_aff sp locals x)
+  | Kir.Unop _ -> None
+  (* The blockOff rewrite (paper Eq. 6): blockIdx.w * blockDim.w is
+     non-affine but equals the dedicated blockOff.w dimension. *)
+  | Kir.Binop (Kir.Mul, Kir.Special (Kir.Block_idx a), Kir.Special (Kir.Block_dim a'))
+  | Kir.Binop (Kir.Mul, Kir.Special (Kir.Block_dim a'), Kir.Special (Kir.Block_idx a))
+    when a = a' ->
+    Some (Aff.var sp (bo_name a))
+  | Kir.Binop (op, x, y) -> (
+      match (op, to_aff sp locals x, to_aff sp locals y) with
+      | Kir.Add, Some a, Some b -> Some (Aff.add a b)
+      | Kir.Sub, Some a, Some b -> Some (Aff.sub a b)
+      | Kir.Mul, Some a, Some b ->
+        if Aff.is_constant a then Some (Aff.scale (Aff.constant a) b)
+        else if Aff.is_constant b then Some (Aff.scale (Aff.constant b) a)
+        else None
+      | Kir.Minb, Some a, Some b when Aff.equal a b -> Some a
+      | Kir.Maxb, Some a, Some b when Aff.equal a b -> Some a
+      | _ -> None)
+
+(* Conditions in disjunctive normal form: a list (OR) of constraint
+   conjunctions (AND).  [None] marks a non-affine condition. *)
+type dnf = Constr.t list list
+
+let dnf_true : dnf = [ [] ]
+
+let dnf_and (a : dnf) (b : dnf) : dnf =
+  List.concat_map (fun ca -> List.map (fun cb -> ca @ cb) b) a
+
+let dnf_or (a : dnf) (b : dnf) : dnf = a @ b
+
+(* Translate a boolean IR expression; [negated] selects the polarity
+   (negation is pushed down to the comparisons, De Morgan style). *)
+let rec cond_to_dnf sp locals ~negated (e : Kir.exp) : dnf option =
+  let aff x = to_aff sp locals x in
+  let cmp mk mk_neg x y =
+    match (aff x, aff y) with
+    | Some a, Some b -> Some [ [ (if negated then mk_neg a b else mk a b) ] ]
+    | _ -> None
+  in
+  match e with
+  | Kir.Binop (Kir.Lt, x, y) -> cmp Constr.lt2 Constr.ge2 x y
+  | Kir.Binop (Kir.Le, x, y) -> cmp Constr.le2 Constr.gt2 x y
+  | Kir.Binop (Kir.Gt, x, y) -> cmp Constr.gt2 Constr.le2 x y
+  | Kir.Binop (Kir.Ge, x, y) -> cmp Constr.ge2 Constr.lt2 x y
+  | Kir.Binop (Kir.Eq, x, y) -> (
+      match (aff x, aff y) with
+      | Some a, Some b ->
+        if negated then Some [ [ Constr.lt2 a b ]; [ Constr.gt2 a b ] ]
+        else Some [ [ Constr.eq2 a b ] ]
+      | _ -> None)
+  | Kir.Binop (Kir.Ne, x, y) -> (
+      match (aff x, aff y) with
+      | Some a, Some b ->
+        if negated then Some [ [ Constr.eq2 a b ] ]
+        else Some [ [ Constr.lt2 a b ]; [ Constr.gt2 a b ] ]
+      | _ -> None)
+  | Kir.Binop (Kir.And, x, y) ->
+    let cx = cond_to_dnf sp locals ~negated x in
+    let cy = cond_to_dnf sp locals ~negated y in
+    (match (cx, cy) with
+     | Some a, Some b -> Some (if negated then dnf_or a b else dnf_and a b)
+     | _ -> None)
+  | Kir.Binop (Kir.Or, x, y) ->
+    let cx = cond_to_dnf sp locals ~negated x in
+    let cy = cond_to_dnf sp locals ~negated y in
+    (match (cx, cy) with
+     | Some a, Some b -> Some (if negated then dnf_and a b else dnf_or a b)
+     | _ -> None)
+  | Kir.Unop (Kir.Not, x) -> cond_to_dnf sp locals ~negated:(not negated) x
+  | _ -> None
+
+(* --- Access collection ------------------------------------------------------- *)
+
+type raw_access = {
+  ra_arr : string;
+  ra_kind : [ `Read | `Write ];
+  (* One entry per DNF disjunct: the affine subscripts plus the guard
+     conjunction.  [None] marks an unanalyzable (over-approximated)
+     access. *)
+  ra_pieces : (Aff.t array * Constr.t list) list option;
+}
+
+type ctx = {
+  sp : Space.t;
+  kernel : Kir.t;
+  locals : (string, Aff.t option) Hashtbl.t;
+  mutable guards : dnf option; (* None after a non-affine guard *)
+  mutable raw : raw_access list;
+}
+
+let record ctx arr kind pieces =
+  ctx.raw <- { ra_arr = arr; ra_kind = kind; ra_pieces = pieces } :: ctx.raw
+
+(* Register one access with the current guard context. *)
+let access ctx arr kind idx =
+  let affs = List.map (to_aff ctx.sp ctx.locals) idx in
+  match (ctx.guards, List.for_all Option.is_some affs) with
+  | Some dnf, true ->
+    let affs = Array.of_list (List.map Option.get affs) in
+    record ctx arr kind (Some (List.map (fun conj -> (affs, conj)) dnf))
+  | _ -> record ctx arr kind None
+
+(* Register every Load inside an expression as a read access. *)
+let rec reads_of_exp ctx (e : Kir.exp) =
+  match e with
+  | Kir.Iconst _ | Kir.Fconst _ | Kir.Special _ | Kir.Param _ | Kir.Var _ -> ()
+  | Kir.Load (arr, idx) ->
+    List.iter (reads_of_exp ctx) idx;
+    access ctx arr `Read idx
+  | Kir.Unop (_, x) -> reads_of_exp ctx x
+  | Kir.Binop (_, x, y) ->
+    reads_of_exp ctx x;
+    reads_of_exp ctx y
+
+let rec walk_stmt ctx (s : Kir.stmt) =
+  match s with
+  | Kir.Store (arr, idx, e) ->
+    List.iter (reads_of_exp ctx) idx;
+    reads_of_exp ctx e;
+    access ctx arr `Write idx
+  | Kir.Local (n, e) ->
+    reads_of_exp ctx e;
+    Hashtbl.replace ctx.locals n (to_aff ctx.sp ctx.locals e)
+  | Kir.Assign (n, e) ->
+    reads_of_exp ctx e;
+    (* Reassignment (accumulators etc.) is not tracked affinely. *)
+    Hashtbl.replace ctx.locals n None
+  | Kir.If (c, then_b, else_b) ->
+    reads_of_exp ctx c;
+    let saved = ctx.guards in
+    let pos = cond_to_dnf ctx.sp ctx.locals ~negated:false c in
+    let neg = cond_to_dnf ctx.sp ctx.locals ~negated:true c in
+    (ctx.guards <-
+       (match (saved, pos) with
+        | Some g, Some p -> Some (dnf_and g p)
+        | _ -> None));
+    List.iter (walk_stmt ctx) then_b;
+    (ctx.guards <-
+       (match (saved, neg) with
+        | Some g, Some n -> Some (dnf_and g n)
+        | _ -> None));
+    List.iter (walk_stmt ctx) else_b;
+    ctx.guards <- saved
+  | Kir.For { var; from_; to_; body } ->
+    reads_of_exp ctx from_;
+    reads_of_exp ctx to_;
+    let saved = ctx.guards in
+    let lo = to_aff ctx.sp ctx.locals from_ in
+    let hi = to_aff ctx.sp ctx.locals to_ in
+    let v = Aff.var ctx.sp var in
+    (ctx.guards <-
+       (match (saved, lo, hi) with
+        | Some g, Some l, Some h ->
+          Some (dnf_and g [ [ Constr.ge2 v l; Constr.lt2 v h ] ])
+        | _ -> None));
+    List.iter (walk_stmt ctx) body;
+    ctx.guards <- saved
+  | Kir.Syncthreads -> ()
+
+(* --- Building maps from raw accesses ------------------------------------------ *)
+
+(* Constraints bounding the array subscripts to the array extents:
+   0 <= a_i < size_i. *)
+let extent_constrs space arr dims =
+  List.concat
+    (List.mapi
+       (fun i d ->
+          let v = Aff.var space (out_name arr i) in
+          let size =
+            match d with
+            | Kir.Dim_const n -> Aff.const space n
+            | Kir.Dim_param p -> Aff.var space p
+          in
+          [ Constr.ge2 v (Aff.zero space); Constr.lt2 v size ])
+       (Array.to_list dims))
+
+(* The combined space for one array's access map: params; dims = grid6
+   ++ outs ++ t3 ++ loop vars.  Returns the space plus the remap from
+   the full analysis space. *)
+let combined_space_for kernel full rank arr =
+  let n_loops = Space.n_dims full - 9 in
+  let loops = Array.sub (Space.dims full) 9 n_loops in
+  let dims =
+    Array.concat
+      [ grid_dim_names;
+        Array.init rank (out_name arr);
+        Array.of_list (List.map t_name axes);
+        loops ]
+  in
+  let comb = Space.make ~params:(analysis_params kernel) ~dims in
+  (* full-space variable i -> comb index *)
+  let remap =
+    Array.init (Space.n_total full) (fun i ->
+        let name = Space.var_name full i in
+        Space.var_index_exn comb name)
+  in
+  (comb, remap)
+
+(* Turn the pieces of one raw access into a Pmap over grid6 -> outs,
+   eliminating thread and loop dimensions. *)
+let map_of_pieces kernel full arr dims pieces =
+  let rank = Array.length dims in
+  let comb, remap = combined_space_for kernel full rank arr in
+  let thread_bounds =
+    List.concat_map
+      (fun a ->
+         let tv = Aff.var comb (t_name a) in
+         let bd = Aff.var comb (bdim_name a) in
+         [ Constr.ge2 tv (Aff.zero comb); Constr.lt2 tv bd ])
+      axes
+  in
+  let polys =
+    List.map
+      (fun (affs, conj) ->
+         let eqs =
+           Array.to_list
+             (Array.mapi
+                (fun i aff ->
+                   let out = Aff.var comb (out_name arr i) in
+                   Constr.eq2 out (Aff.rebase aff comb remap))
+                affs)
+         in
+         let guards = List.map (fun c -> Constr.rebase c comb remap) conj in
+         Poly.make comb (eqs @ guards @ thread_bounds))
+      pieces
+  in
+  (* Project out t dims and loop dims: keep grid6 + outs. *)
+  let keep = List.init (6 + rank) (fun i -> i) in
+  let projected = Pset.project_onto (Pset.of_polys comb polys) keep in
+  let dom = grid_space kernel in
+  let ran = array_space kernel arr rank in
+  Pmap.make ~dom ~ran projected
+
+(* The whole-array map used when a read is unanalyzable: every grid
+   point may read every element. *)
+let whole_array_map kernel arr dims =
+  let rank = Array.length dims in
+  let dom = grid_space kernel in
+  let ran = array_space kernel arr rank in
+  let comb = Pmap.combined_space dom ran in
+  Pmap.make ~dom ~ran
+    (Pset.of_poly (Poly.make comb (extent_constrs comb arr dims)))
+
+(* --- Write-map injectivity across thread blocks (paper §4.1) --------------------
+
+   Two *distinct blocks* must never write the same array element.  The
+   block-offset and block-index coordinates of the two blocks are
+   related by blockOff = blockIdx * blockDim, which is not affine; we
+   use the sound relaxation: along every axis,
+
+     b1 > b2   implies  bo1 >= bo2 + bdim,
+     b1 = b2   implies  bo1 = bo2,
+     b1 < b2   symmetric,
+
+   and enumerate the 3^3 - 1 sign patterns with "distinct" meaning at
+   least one axis differs.  If no pattern admits a common write target,
+   the map is injective across blocks; any real write-after-write
+   hazard satisfies one of the patterns, so acceptance is sound. *)
+
+let write_injective kernel (m : Pmap.t) ~assume =
+  let dom = Pmap.dom_space m in
+  let nd = Space.n_dims dom in
+  assert (nd = 6);
+  let ran = Pmap.ran_space m in
+  let nr = Space.n_dims ran in
+  let params = Space.params dom in
+  ignore kernel;
+  let dims2 =
+    Array.concat
+      [ Array.map (fun n -> n ^ "$1") (Space.dims dom);
+        Array.map (fun n -> n ^ "$2") (Space.dims dom);
+        Space.dims ran ]
+  in
+  let sp2 = Space.make ~params ~dims:dims2 in
+  let np = Array.length params in
+  let remap1 =
+    Array.init (np + nd + nr) (fun i -> if i < np + nd then i else i + nd)
+  in
+  let remap2 = Array.init (np + nd + nr) (fun i -> if i < np then i else i + nd) in
+  let copies1 = List.map (fun p -> Poly.rebase p sp2 remap1) (Pset.pieces (Pmap.rel m)) in
+  let copies2 = List.map (fun p -> Poly.rebase p sp2 remap2) (Pset.pieces (Pmap.rel m)) in
+  let v name = Aff.var sp2 name in
+  let context =
+    List.map (fun (terms, const) -> Constr.ge (Aff.of_terms sp2 terms ~const)) assume
+    @ List.map
+        (fun a -> Constr.ge2 (v (bdim_name a)) (Aff.const sp2 1))
+        axes
+  in
+  (* relation of one axis between the two copies *)
+  let axis_rel a rel =
+    let b1 = v (b_name a ^ "$1") and b2 = v (b_name a ^ "$2") in
+    let bo1 = v (bo_name a ^ "$1") and bo2 = v (bo_name a ^ "$2") in
+    let bd = v (bdim_name a) in
+    match rel with
+    | `Gt -> [ Constr.gt2 b1 b2; Constr.ge2 bo1 (Aff.add bo2 bd) ]
+    | `Eq -> [ Constr.eq2 b1 b2; Constr.eq2 bo1 bo2 ]
+    | `Lt -> [ Constr.lt2 b1 b2; Constr.le2 bo1 (Aff.sub bo2 bd) ]
+  in
+  (* Axes the map actually constrains.  Along an unused axis the kernel
+     writes the same cells from every block, so a grid extending there
+     would be a write-after-write hazard already on a single GPU; the
+     convention (as in the paper's analysis) is that such grids are
+     degenerate (extent 1) and blocks cannot differ there.  A write map
+     using no grid axis at all writes from every block and is never
+     injective. *)
+  let used_axes =
+    List.filter
+      (fun a ->
+         List.exists
+           (fun p ->
+              let comb = Pmap.combined m in
+              let bo = Space.var_index_exn comb (bo_name a) in
+              let bi = Space.var_index_exn comb (b_name a) in
+              List.exists
+                (fun c ->
+                   Aff.coeff (Constr.aff c) bo <> 0
+                   || Aff.coeff (Constr.aff c) bi <> 0)
+                (Poly.constraints p))
+           (Pset.pieces (Pmap.rel m)))
+      axes
+  in
+  let rels = [ `Gt; `Eq; `Lt ] in
+  let rec patterns_over = function
+    | [] -> [ [] ]
+    | a :: rest ->
+      let tails = patterns_over rest in
+      List.concat_map (fun r -> List.map (fun t -> (a, r) :: t) tails) rels
+  in
+  let patterns =
+    List.filter
+      (fun pat -> List.exists (fun (_, r) -> r <> `Eq) pat)
+      (patterns_over used_axes)
+  in
+  if used_axes = [] then Pset.is_empty (Pmap.rel m)
+  else
+  let violation =
+    List.exists
+      (fun p1 ->
+         List.exists
+           (fun p2 ->
+              let base = Poly.add_constrs (Poly.intersect p1 p2) context in
+              List.exists
+                (fun pattern ->
+                   let cs =
+                     List.concat_map (fun (a, r) -> axis_rel a r) pattern
+                   in
+                   not (Poly.is_empty (Poly.add_constrs base cs)))
+                patterns)
+           copies2)
+      copies1
+  in
+  not violation
+
+(* --- Partitioning strategy (paper §4.1: "suggested partitioning
+   strategy") ---------------------------------------------------------------
+
+   Prefer splitting the grid along the axis whose blockOff coordinate
+   drives the *outermost* array dimension of the write maps: contiguous
+   block ranges then write contiguous row bands, minimizing tracker
+   fragmentation (§8.1). *)
+
+let choose_strategy kernel accesses =
+  let score axis =
+    let bo_idx sp = Space.var_index_exn sp (bo_name axis) in
+    List.fold_left
+      (fun acc a ->
+         match a.write with
+         | None -> acc
+         | Some m ->
+           let comb = Pmap.combined m in
+           let bo = bo_idx comb in
+           (* Find the outermost output dim whose defining equality
+              involves blockOff.axis. *)
+           let rank = Space.n_dims (Pmap.ran_space m) in
+           (* Outermost output dim co-constrained with blockOff.axis.
+              (Projection of threadIdx turns the defining equalities
+              into inequality pairs, so all constraint kinds count.) *)
+           let piece_score p =
+             let best = ref None in
+             List.iter
+               (fun c ->
+                  let aff = Constr.aff c in
+                  if Aff.coeff aff bo <> 0 then
+                    for i = 0 to rank - 1 do
+                      let oi = Space.var_index_exn comb (out_name a.arr i) in
+                      if Aff.coeff aff oi <> 0 then
+                        best :=
+                          (match !best with
+                           | None -> Some i
+                           | Some b -> Some (min b i))
+                    done)
+               (Poly.constraints p);
+             !best
+           in
+           List.fold_left
+             (fun acc p ->
+                match piece_score p with
+                | Some i -> min acc i
+                | None -> acc)
+             acc
+             (Pset.pieces (Pmap.rel m)))
+      max_int accesses
+  in
+  ignore kernel;
+  let candidates =
+    List.filter_map
+      (fun axis ->
+         let s = score axis in
+         if s = max_int then None else Some (axis, s))
+      axes
+  in
+  match candidates with
+  | [] -> Dim3.X (* no analyzable writes: fall back to x *)
+  | _ ->
+    (* best (smallest) score wins; ties go to the earlier axis in
+       (z, y, x) order, matching row-major layouts. *)
+    let best =
+      List.fold_left
+        (fun (ba, bs) (a, s) -> if s < bs then (a, s) else (ba, bs))
+        (List.hd candidates) (List.tl candidates)
+    in
+    fst best
+
+(* --- Entry point ------------------------------------------------------------ *)
+
+let default_assume kernel =
+  (* Problem sizes that appear as array extents are at least 1. *)
+  List.filter_map
+    (function
+      | Kir.Array { dims; _ } ->
+        Some
+          (Array.to_list dims
+           |> List.filter_map (function
+             | Kir.Dim_param p -> Some ([ (1, p) ], -1) (* p - 1 >= 0 *)
+             | Kir.Dim_const _ -> None))
+      | _ -> None)
+    kernel.Kir.params
+  |> List.concat
+  |> List.sort_uniq compare
+
+let analyze ?(assume = []) ?(check_writes = true)
+    ?(on_inexact_write = `Reject) (kernel : Kir.t) : (t, error) result =
+  try
+    let full, _n_loops = full_space kernel in
+    let ctx =
+      {
+        sp = full;
+        kernel;
+        locals = Hashtbl.create 8;
+        guards = Some dnf_true;
+        raw = [];
+      }
+    in
+    List.iter (walk_stmt ctx) kernel.Kir.body;
+    let assume = assume @ default_assume kernel in
+    (* Group raw accesses per array. *)
+    let arrays = Kir.array_params kernel in
+    let accesses =
+      List.map
+        (fun (arr, dims) ->
+           let rank = Array.length dims in
+           let mine k =
+             List.filter
+               (fun ra -> ra.ra_arr = arr && ra.ra_kind = k)
+               ctx.raw
+           in
+           let build kind =
+             let raws = mine kind in
+             if raws = [] then (None, true)
+             else begin
+               let exact = List.for_all (fun ra -> ra.ra_pieces <> None) raws in
+               if not exact then
+                 if kind = `Write then
+                   match on_inexact_write with
+                   | `Reject -> raise (Reject (Inexact_write arr))
+                   | `Instrument -> (None, false)
+                 else (Some (whole_array_map kernel arr dims), false)
+               else begin
+                 let pieces =
+                   List.concat_map
+                     (fun ra -> Option.get ra.ra_pieces)
+                     raws
+                 in
+                 let m = map_of_pieces kernel full arr dims pieces in
+                 (Some m, true)
+               end
+             end
+           in
+           let read, read_exact = build `Read in
+           let write, write_exact = build `Write in
+           let has_writes = mine `Write <> [] in
+           (match write with
+            | Some w ->
+              if check_writes && not (write_injective kernel w ~assume) then
+                raise (Reject (Non_injective_write arr))
+            | None -> ());
+           ignore rank;
+           { arr; dims; read; write; read_exact;
+             write_instrumented = has_writes && not write_exact })
+        arrays
+    in
+    let strategy = choose_strategy kernel accesses in
+    Ok
+      {
+        kernel;
+        params = analysis_params kernel;
+        grid_space = grid_space kernel;
+        accesses;
+        strategy;
+      }
+  with Reject e -> Error e
+
+let find_access t arr = List.find_opt (fun a -> a.arr = arr) t.accesses
+
+let pp fmt (t : t) =
+  Format.fprintf fmt "kernel %s: split along %s@\n" t.kernel.Kir.name
+    (Dim3.axis_name t.strategy);
+  List.iter
+    (fun a ->
+       Format.fprintf fmt "  %s:@\n" a.arr;
+       (match a.read with
+        | Some m ->
+          Format.fprintf fmt "    read%s: %a@\n"
+            (if a.read_exact then "" else " (approx)")
+            Pset.pp (Pmap.rel m)
+        | None -> ());
+       match a.write with
+       | Some m -> Format.fprintf fmt "    write: %a@\n" Pset.pp (Pmap.rel m)
+       | None -> ())
+    t.accesses

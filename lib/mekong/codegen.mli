@@ -1,0 +1,45 @@
+(** Enumerator generation for access maps (paper §6): per (kernel,
+    array argument, read|write), a compiled function from the partition
+    box and scalar arguments to the linear element ranges the partition
+    accesses. *)
+
+open Ppoly
+
+val size_exprs : Kir.dim array -> Ast.expr array
+
+val box_constrs : Space.t -> Constr.t list
+(** The symbolic partition-box constraints over a map's combined
+    space. *)
+
+val enumerator_of_map :
+  ?rectangles:bool -> dims:Kir.dim array -> Pmap.t -> Enumerate.t
+(** Build the enumerator for one access map; [rectangles:false]
+    disables the rectangle-union optimization (ablation). *)
+
+val enumerator_name :
+  kernel:string -> arg_index:int -> kind:[ `Read | `Write ] -> string
+(** The generated-function naming scheme of paper §6.2. *)
+
+type entry = {
+  arr : string;
+  dims : Kir.dim array;
+  read : Enumerate.t option;
+  read_name : string;
+  write : Enumerate.t option;
+  write_name : string;
+}
+
+type t = { kernel : string; entries : entry list }
+
+val build : ?rectangles:bool -> Model.kernel_model -> t
+val entry : t -> string -> entry option
+
+val ranges : Enumerate.t -> bindings:(string * int) list -> (int * int) list
+(** Evaluate under parameter bindings to canonical half-open ranges. *)
+
+val ranges_counted :
+  Enumerate.t -> bindings:(string * int) list -> (int * int) list * int
+(** Like {!ranges}, plus the raw emission count (the cost driver). *)
+
+val render_entry : entry -> string
+(** C-like rendering of the generated scan loops (demonstration). *)

@@ -1,0 +1,311 @@
+(* The partitioned execution engine: runs a host program over all
+   devices of the simulated machine, orchestrated exactly as the code
+   the source-to-source rewriter inserts (paper §5, Fig. 4):
+
+     for each gpu:   synchronize the buffers its partition reads
+     all-devices synchronize
+     for each gpu:   launch its kernel partition asynchronously
+     for each gpu:   update the trackers with its partition's writes
+
+   plus the memcpy translations of §8.2 through {!Gpu_runtime.Vbuf}. *)
+
+type compiled_kernel = {
+  ck_model : Model.kernel_model;
+  ck_partitioned : Kir.t;
+  ck_enums : Codegen.t;
+  ck_shadow : Kir.t option;
+      (* partitioned minimal clone collecting write sets at run time
+         for arrays with unanalyzable writes (paper §11 fallback) *)
+}
+
+(* The "linked binary": the host program plus, per kernel, the
+   partitioned clone and the generated enumerators. *)
+type exe = {
+  prog : Host_ir.t;
+  compiled : (string * compiled_kernel) list;
+}
+
+let compile_kernel ?rectangles ?force_strategy (model : Model.t) (k : Kir.t) =
+  let km = Model.find_exn model k.Kir.name in
+  let km =
+    match force_strategy with
+    | Some axis -> { km with Model.strategy = axis }
+    | None -> km
+  in
+  {
+    ck_model = km;
+    (* The Eq. 8 substitution introduces foldable offsets; clean the
+       partitioned clone up like a compiler middle-end would.  (The
+       analysis already ran on the unoptimized kernel, so dropping a
+       dead padding load here only under-uses the modeled read set,
+       which is safe.) *)
+    ck_partitioned = Kopt.optimize (Partition.transform_kernel k);
+    ck_enums = Codegen.build ?rectangles km;
+    ck_shadow =
+      (if
+         List.exists
+           (fun (a : Model.array_model) -> a.Model.write_instrumented)
+           km.Model.arrays
+       then Some (Partition.transform_kernel (Instrument.shadow_kernel k))
+       else None);
+  }
+
+let link ?rectangles ?force_strategy ~(model : Model.t) (prog : Host_ir.t) :
+  exe =
+  Host_ir.validate prog;
+  {
+    prog;
+    compiled =
+      List.map
+        (fun k -> (k.Kir.name, compile_kernel ?rectangles ?force_strategy model k))
+        (Host_ir.kernels prog);
+  }
+
+type result = {
+  machine : Gpusim.Machine.t;
+  time : float;
+  transfers : int; (* inter-device synchronization transfers issued *)
+}
+
+(* Common parameter bindings of one launch: scalar arguments plus block
+   and grid dimensions. *)
+let launch_bindings kernel ~grid ~block ~args =
+  Host_ir.scalar_bindings kernel args
+  @ List.concat_map
+      (fun a ->
+         [ (Access.bdim_name a, Dim3.get block a);
+           (Access.gdim_name a, Dim3.get grid a) ])
+      Dim3.axes
+
+let run ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d)
+    ~(machine : Gpusim.Machine.t) (exe : exe) : result =
+  if not (Gpu_runtime.Rconfig.is_valid cfg) then invalid_arg "Multi_gpu.run: bad config";
+  let m = machine in
+  let host_costs = (Gpusim.Machine.config m).Gpusim.Config.host in
+  let n_devices = Gpusim.Machine.n_devices m in
+  Gpusim.Machine.set_active_devices m n_devices;
+  let vbufs : (string, Gpu_runtime.Vbuf.t) Hashtbl.t = Hashtbl.create 16 in
+  let total_transfers = ref 0 in
+  let find b =
+    match Hashtbl.find_opt vbufs b with
+    | Some vb -> vb
+    | None -> invalid_arg ("Multi_gpu: unallocated buffer " ^ b)
+  in
+  (* Charge host-side dependency-resolution work (the "patterns"
+     overhead of §9.2). *)
+  let charge ~tracker_ops ~ranges ~dispatches =
+    let seconds =
+      (float_of_int tracker_ops *. host_costs.Gpusim.Config.tracker_op_seconds)
+      +. (float_of_int ranges *. host_costs.Gpusim.Config.range_seconds)
+      +. (float_of_int dispatches *. host_costs.Gpusim.Config.dispatch_seconds)
+    in
+    if seconds > 0.0 then Gpusim.Machine.host_work m ~seconds ~category:"pattern"
+  in
+  let with_tracker_ops vb f =
+    let tr = Gpu_runtime.Vbuf.tracker vb in
+    let before = Gpu_runtime.Tracker.ops tr in
+    let res = f () in
+    (Gpu_runtime.Tracker.ops tr - before, res)
+  in
+  let exec_launch kernel grid block args =
+    let ck = List.assoc kernel.Kir.name exe.compiled in
+    let km = ck.ck_model in
+    let partitions =
+      let primary = km.Model.strategy in
+      let parts =
+        match tiling with
+        | `One_d -> Partition.make ~grid ~axis:primary ~n:n_devices
+        | `Two_d ->
+          (* secondary axis: another axis with more than one block,
+             preferring the row-major-adjacent one; fall back to 1-D
+             when the grid is flat *)
+          let secondary =
+            List.find_opt
+              (fun a -> a <> primary && Dim3.get grid a > 1)
+              [ Dim3.X; Dim3.Y; Dim3.Z ]
+          in
+          (match secondary with
+           | Some axis2 ->
+             Partition.make_2d ~grid ~axis1:primary ~axis2 ~n:n_devices
+           | None -> Partition.make ~grid ~axis:primary ~n:n_devices)
+      in
+      List.filter (fun p -> not (Partition.is_empty p)) parts
+    in
+    let common = launch_bindings kernel ~grid ~block ~args in
+    let arg_arrays = Host_ir.array_bindings kernel args in
+    (* (2) of §5: synchronize all buffers read by the kernel. *)
+    if cfg.Gpu_runtime.Rconfig.patterns then
+      List.iter
+        (fun p ->
+           let bindings = common @ Partition.box_bindings p ~block in
+           List.iter
+             (fun (arr, bufname) ->
+                match Codegen.entry ck.ck_enums arr with
+                | Some { read = Some enum; _ } ->
+                  let vb = find bufname in
+                  let ranges, raw = Codegen.ranges_counted enum ~bindings in
+                  let ops, transfers =
+                    with_tracker_ops vb (fun () ->
+                        Gpu_runtime.Vbuf.sync_for_read ~cfg
+                          ~batch:(tiling = `Two_d) vb
+                          ~dev:p.Partition.device ~ranges)
+                  in
+                  total_transfers := !total_transfers + transfers;
+                  charge ~tracker_ops:ops ~ranges:raw ~dispatches:0
+                | _ -> ())
+             arg_arrays)
+        partitions;
+    Gpusim.Machine.synchronize m;
+    (* (3): launch each partition on its device. *)
+    List.iter
+      (fun p ->
+         let new_grid = Partition.launch_grid p in
+         let part_args = args @ Partition.partition_args p in
+         let scalar_env =
+           Host_ir.scalar_bindings ck.ck_partitioned part_args
+         in
+         let ops_per_block =
+           Costmodel.ops_per_block ck.ck_partitioned ~scalar_env ~block
+         in
+         let buffer_of name =
+           Gpu_runtime.Vbuf.instance (find (List.assoc name arg_arrays))
+             p.Partition.device
+         in
+         charge ~tracker_ops:0 ~ranges:0 ~dispatches:1;
+         Gpusim.Machine.launch m ~device:p.Partition.device
+           ~blocks:(Partition.n_blocks p) ~ops_per_block ~run:(fun () ->
+             let load a off = (Gpusim.Buffer.data_exn (buffer_of a)).(off) in
+             let store a off v =
+               (Gpusim.Buffer.data_exn (buffer_of a)).(off) <- v
+             in
+             Keval.run ck.ck_partitioned ~grid:new_grid ~block
+               ~args:(Host_ir.scalar_args part_args)
+               ~load ~store))
+      partitions;
+    (* (4): update the trackers to account for the writes. *)
+    if cfg.Gpu_runtime.Rconfig.patterns then
+      List.iter
+        (fun p ->
+           let bindings = common @ Partition.box_bindings p ~block in
+           List.iter
+             (fun (arr, bufname) ->
+                match Codegen.entry ck.ck_enums arr with
+                | Some { write = Some enum; _ } ->
+                  let vb = find bufname in
+                  let ranges, raw = Codegen.ranges_counted enum ~bindings in
+                  let ops, () =
+                    with_tracker_ops vb (fun () ->
+                        Gpu_runtime.Vbuf.update_for_write ~cfg vb
+                          ~dev:p.Partition.device ~ranges)
+                  in
+                  charge ~tracker_ops:ops ~ranges:raw ~dispatches:0
+                | _ -> ())
+             arg_arrays)
+        partitions;
+    (* (4b): instrumented write-set collection (paper §11 fallback).
+       The shadow kernel runs once per partition, recording the exact
+       elements written; a dynamic check rejects cross-partition
+       write-after-write hazards, then the trackers are updated. *)
+    (match ck.ck_shadow with
+     | Some shadow when cfg.Gpu_runtime.Rconfig.patterns ->
+       if not (Gpusim.Machine.is_functional m) then
+         invalid_arg
+           "Multi_gpu: instrumented writes require a functional machine";
+       let instrumented =
+         List.filter_map
+           (fun (a : Model.array_model) ->
+              if a.Model.write_instrumented then Some a.Model.arr else None)
+           km.Model.arrays
+       in
+       let per_array : (string, (int * (int * int) list) list ref) Hashtbl.t =
+         Hashtbl.create 4
+       in
+       List.iter (fun a -> Hashtbl.replace per_array a (ref [])) instrumented;
+       List.iter
+         (fun p ->
+            let new_grid = Partition.launch_grid p in
+            let part_args = args @ Partition.partition_args p in
+            let scalar_env = Host_ir.scalar_bindings shadow part_args in
+            let buffer_of name =
+              Gpu_runtime.Vbuf.instance (find (List.assoc name arg_arrays))
+                p.Partition.device
+            in
+            let collected = ref [] in
+            charge ~tracker_ops:0 ~ranges:0 ~dispatches:1;
+            Gpusim.Machine.launch m ~device:p.Partition.device
+              ~blocks:(Partition.n_blocks p)
+              ~ops_per_block:(Instrument.shadow_cost shadow ~scalar_env ~block)
+              ~run:(fun () ->
+                collected :=
+                  Instrument.collect_writes ~shadow ~grid:new_grid ~block
+                    ~args:(Host_ir.scalar_args part_args)
+                    ~arrays:instrumented
+                    ~load:(fun a off ->
+                        (Gpusim.Buffer.data_exn (buffer_of a)).(off)));
+            List.iter
+              (fun (arr, ranges) ->
+                 let slot = Hashtbl.find per_array arr in
+                 slot := (p.Partition.device, ranges) :: !slot;
+                 charge ~tracker_ops:0 ~ranges:(List.length ranges)
+                   ~dispatches:0)
+              !collected)
+         partitions;
+       List.iter
+         (fun arr ->
+            let per_dev = !(Hashtbl.find per_array arr) in
+            Instrument.check_disjoint ~arr per_dev;
+            let bufname = List.assoc arr arg_arrays in
+            let vb = find bufname in
+            List.iter
+              (fun (dev, ranges) ->
+                 let ops, () =
+                   with_tracker_ops vb (fun () ->
+                       Gpu_runtime.Vbuf.update_for_write ~cfg vb ~dev ~ranges)
+                 in
+                 charge ~tracker_ops:ops ~ranges:0 ~dispatches:0)
+              per_dev)
+         instrumented
+     | _ -> ())
+  in
+  let rec exec (s : Host_ir.stmt) =
+    match s with
+    | Host_ir.Malloc (name, len) ->
+      Hashtbl.replace vbufs name (Gpu_runtime.Vbuf.create m ~name ~len)
+    | Host_ir.Memcpy_h2d { dst; src } ->
+      let vb = find dst in
+      let ops, () =
+        with_tracker_ops vb (fun () ->
+            Gpu_runtime.Vbuf.h2d ~cfg vb ~src:src.Host_ir.data)
+      in
+      charge ~tracker_ops:ops ~ranges:0 ~dispatches:0
+    | Host_ir.Memcpy_d2h { dst; src } ->
+      let vb = find src in
+      Gpusim.Machine.synchronize m;
+      let ops, () =
+        with_tracker_ops vb (fun () ->
+            Gpu_runtime.Vbuf.d2h ~cfg vb ~dst:dst.Host_ir.data)
+      in
+      charge ~tracker_ops:ops ~ranges:0 ~dispatches:0;
+      Gpusim.Machine.synchronize m
+    | Host_ir.Launch { kernel; grid; block; args } ->
+      exec_launch kernel grid block args
+    | Host_ir.Repeat (n, body) ->
+      for _ = 1 to n do
+        List.iter exec body
+      done
+    | Host_ir.Swap (a, b) ->
+      let va = find a and vb = find b in
+      Hashtbl.replace vbufs a vb;
+      Hashtbl.replace vbufs b va
+    | Host_ir.Free name ->
+      Gpu_runtime.Vbuf.free (find name);
+      Hashtbl.remove vbufs name
+    | Host_ir.Sync -> Gpusim.Machine.synchronize m
+  in
+  List.iter exec exe.prog.Host_ir.body;
+  Gpusim.Machine.synchronize m;
+  {
+    machine = m;
+    time = Gpusim.Machine.host_time m;
+    transfers = !total_transfers;
+  }

@@ -1,0 +1,55 @@
+(** The partitioned execution engine: runs a host program over all
+    devices of a simulated machine, orchestrated exactly as the code
+    the rewriter inserts (paper §5, Fig. 4): synchronize read sets,
+    barrier, launch the partitions, update the trackers. *)
+
+type compiled_kernel = {
+  ck_model : Model.kernel_model;
+  ck_partitioned : Kir.t;
+  ck_enums : Codegen.t;
+  ck_shadow : Kir.t option;
+      (** partitioned minimal clone collecting write sets at run time
+          for arrays with unanalyzable writes (paper §11 fallback) *)
+}
+
+type exe = {
+  prog : Host_ir.t;
+  compiled : (string * compiled_kernel) list;
+}
+(** The "linked binary": host program plus, per kernel, the partitioned
+    clone and the generated enumerators. *)
+
+val compile_kernel :
+  ?rectangles:bool -> ?force_strategy:Dim3.axis -> Model.t -> Kir.t ->
+  compiled_kernel
+
+val link :
+  ?rectangles:bool -> ?force_strategy:Dim3.axis -> model:Model.t ->
+  Host_ir.t -> exe
+(** [rectangles:false] disables the enumerator rectangle-union
+    optimization; [force_strategy] overrides the model's suggested
+    partitioning axis (both for ablations). *)
+
+type result = {
+  machine : Gpusim.Machine.t;
+  time : float;  (** simulated end-to-end seconds *)
+  transfers : int;  (** inter-device synchronization transfers issued *)
+}
+
+val launch_bindings :
+  Kir.t -> grid:Dim3.t -> block:Dim3.t -> args:Host_ir.harg list ->
+  (string * int) list
+
+val run :
+  ?cfg:Gpu_runtime.Rconfig.t ->
+  ?tiling:[ `One_d | `Two_d ] ->
+  machine:Gpusim.Machine.t ->
+  exe ->
+  result
+(** Execute.  In functional machines the buffers end up bit-identical
+    to a single-GPU run; in performance machines only simulated time
+    and statistics are produced.  [cfg] selects the alpha/beta/gamma
+    measurement configuration of §9.2; [tiling:`Two_d] splits grids
+    into rectangular tiles over two axes instead of the paper's
+    contiguous 1-D chunks (an extension: smaller stencil halos at the
+    price of fragmented tracker segments). *)

@@ -1,0 +1,16 @@
+(** The regex-based source-to-source host rewriter (paper §5): inserts
+    the runtime prologue, redirects CUDA API calls to their
+    virtual-buffer replacements (§8.4), and replaces kernel launches
+    with the runtime dispatch performing the Fig. 4 sequence. *)
+
+val api_replacements : (string * string) list
+
+val rewrite : string -> string
+(** All three substitution kinds, in order. *)
+
+val rewrite_launches : string -> string
+val rewrite_api : string -> string
+val insert_prologue : string -> string
+
+val count_launches : string -> int
+(** Number of [<<<...>>>] launch sites in a source. *)

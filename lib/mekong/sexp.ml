@@ -1,0 +1,175 @@
+(* Minimal s-expressions, used to persist application models to disk
+   between the two compiler passes (paper §4: "the application model is
+   saved to disk"). *)
+
+type t = Atom of string | List of t list
+
+let atom s = Atom s
+let int n = Atom (string_of_int n)
+let list l = List l
+
+(* --- Printing ------------------------------------------------------------ *)
+
+let must_quote s =
+  s = ""
+  || String.exists
+       (fun c -> c = ' ' || c = '(' || c = ')' || c = '"' || c = '\n' || c = '\t')
+       s
+
+let quote s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string b "\\\""
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '\n' -> Buffer.add_string b "\\n"
+       | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let rec to_buffer buf = function
+  | Atom s -> Buffer.add_string buf (if must_quote s then quote s else s)
+  | List l ->
+    Buffer.add_char buf '(';
+    List.iteri
+      (fun i x ->
+         if i > 0 then Buffer.add_char buf ' ';
+         to_buffer buf x)
+      l;
+    Buffer.add_char buf ')'
+
+let to_string x =
+  let buf = Buffer.create 256 in
+  to_buffer buf x;
+  Buffer.contents buf
+
+(* --- Parsing -------------------------------------------------------------- *)
+
+exception Parse_error of string
+
+let parse (s : string) : t =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\n' | '\t' | '\r') ->
+      advance ();
+      skip_ws ()
+    | Some ';' ->
+      (* comment to end of line *)
+      while !pos < n && s.[!pos] <> '\n' do
+        advance ()
+      done;
+      skip_ws ()
+    | _ -> ()
+  in
+  let parse_quoted () =
+    advance ();
+    (* opening quote *)
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> raise (Parse_error "unterminated string")
+      | Some '"' ->
+        advance ();
+        Buffer.contents b
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+         | Some 'n' -> Buffer.add_char b '\n'
+         | Some c -> Buffer.add_char b c
+         | None -> raise (Parse_error "unterminated escape"));
+        advance ();
+        go ()
+      | Some c ->
+        Buffer.add_char b c;
+        advance ();
+        go ()
+    in
+    go ()
+  in
+  let parse_atom () =
+    let start = !pos in
+    let rec go () =
+      match peek () with
+      | Some (' ' | '\n' | '\t' | '\r' | '(' | ')') | None -> ()
+      | Some _ ->
+        advance ();
+        go ()
+    in
+    go ();
+    String.sub s start (!pos - start)
+  in
+  let rec parse_one () =
+    skip_ws ();
+    match peek () with
+    | None -> raise (Parse_error "unexpected end of input")
+    | Some '(' ->
+      advance ();
+      let items = ref [] in
+      let rec go () =
+        skip_ws ();
+        match peek () with
+        | Some ')' ->
+          advance ();
+          List (List.rev !items)
+        | None -> raise (Parse_error "unterminated list")
+        | Some _ ->
+          items := parse_one () :: !items;
+          go ()
+      in
+      go ()
+    | Some ')' -> raise (Parse_error "unexpected )")
+    | Some '"' -> Atom (parse_quoted ())
+    | Some _ -> Atom (parse_atom ())
+  in
+  let result = parse_one () in
+  skip_ws ();
+  if !pos <> n then raise (Parse_error "trailing input");
+  result
+
+(* Parse a file containing several top-level forms. *)
+let parse_many (s : string) : t list =
+  match parse ("(" ^ s ^ ")") with
+  | List l -> l
+  | Atom _ -> raise (Parse_error "expected forms")
+
+(* --- Accessors ------------------------------------------------------------- *)
+
+let as_atom = function
+  | Atom s -> s
+  | List _ -> raise (Parse_error "expected atom")
+
+let as_int x =
+  match int_of_string_opt (as_atom x) with
+  | Some n -> n
+  | None -> raise (Parse_error "expected integer")
+
+let as_list = function
+  | List l -> l
+  | Atom _ -> raise (Parse_error "expected list")
+
+(* Find the sub-form (key ...) in an association-style list. *)
+let field name x =
+  let items = as_list x in
+  let found =
+    List.find_opt
+      (function List (Atom k :: _) -> k = name | _ -> false)
+      items
+  in
+  match found with
+  | Some (List (_ :: rest)) -> rest
+  | _ -> raise (Parse_error ("missing field " ^ name))
+
+let field_opt name x =
+  let items = as_list x in
+  match
+    List.find_opt (function List (Atom k :: _) -> k = name | _ -> false) items
+  with
+  | Some (List (_ :: rest)) -> Some rest
+  | _ -> None

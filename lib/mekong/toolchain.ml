@@ -1,0 +1,122 @@
+(* The two-pass compilation pipeline (paper §3, Fig. 2).
+
+   Pass 1 runs the compiler front-end and the polyhedral analysis; the
+   resulting application model is written to disk and every other
+   artifact is discarded.  The source-to-source rewriter then produces
+   the multi-GPU host source, and pass 2 compiles it again, generating
+   the partitioned kernels and the enumerator code and linking against
+   the runtime library.  The repeated front-end work is why the paper
+   reports a 1.9x-2.2x compile-time increase. *)
+
+type artifacts = {
+  model : Model.t;
+  exe : Multi_gpu.exe;
+  original_source : string;
+  rewritten_source : string;
+  model_file : string option;
+}
+
+type error = { kernel : string; reason : Access.error }
+
+let error_message e =
+  Printf.sprintf "kernel %s: %s" e.kernel (Access.error_message e.reason)
+
+(* The work shared by both passes: host-program validation, device-code
+   optimization to a fixpoint, cost estimation and rendering — the
+   stand-in for a gpucc invocation's front-end/middle-end/back-end. *)
+let frontend_pass (prog : Host_ir.t) =
+  Host_ir.validate prog;
+  List.iter
+    (fun k ->
+       let k' = Kopt.optimize k in
+       ignore (Kopt.size k');
+       ignore (Costmodel.ops_per_thread k' ~scalar_env:[]))
+    (Host_ir.kernels prog);
+  Cusrc.render prog
+
+(* Pass 1: analysis only; everything but the model is discarded.
+   [instrument_writes] enables the §11 fallback: kernels with
+   unanalyzable writes are accepted and their write sets collected at
+   run time instead of being rejected. *)
+let pass1 ?assume ?(instrument_writes = false) (prog : Host_ir.t) :
+  (Model.t * string, error) result =
+  let source = frontend_pass prog in
+  let on_inexact_write = if instrument_writes then `Instrument else `Reject in
+  let rec go acc = function
+    | [] -> Ok (Model.of_analyses (List.rev acc), source)
+    | k :: rest -> (
+        match Access.analyze ?assume ~on_inexact_write k with
+        | Ok a -> go (a :: acc) rest
+        | Error reason -> Error { kernel = k.Kir.name; reason })
+  in
+  go [] (Host_ir.kernels prog)
+
+(* Pass 2: compile the rewritten application against the model. *)
+let pass2 (model : Model.t) (prog : Host_ir.t) : Multi_gpu.exe =
+  ignore (frontend_pass prog);
+  Multi_gpu.link ~model prog
+
+let compile ?assume ?instrument_writes ?model_file (prog : Host_ir.t) :
+  (artifacts, error) result =
+  match pass1 ?assume ?instrument_writes prog with
+  | Error e -> Error e
+  | Ok (model, original_source) ->
+    (* Persist the model and reload it, exactly as the two separate
+       gpucc invocations communicate through the file system. *)
+    let model =
+      match model_file with
+      | Some file ->
+        Model.save model ~file;
+        Model.load ~file
+      | None -> Model.of_string (Model.to_string model)
+    in
+    let rewritten_source = Rewriter.rewrite original_source in
+    let exe = pass2 model prog in
+    Ok { model; exe; original_source; rewritten_source; model_file }
+
+(* Wall-clock compile times of the reference single pass and of the
+   full two-pass partitioning pipeline (experiment E6; the paper
+   reports 1.9x-2.2x). *)
+let compile_time_ratio ?(repeat = 5) (prog : Host_ir.t) =
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to repeat do
+      ignore (f ())
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int repeat
+  in
+  let t_ref = time (fun () -> frontend_pass prog) in
+  let t_mekong = time (fun () -> compile prog) in
+  (t_ref, t_mekong, t_mekong /. t_ref)
+
+type profile = {
+  p_frontend : float; (* one front-end invocation (runs twice) *)
+  p_analysis : float; (* polyhedral access analysis (pass 1 extra) *)
+  p_rewrite : float; (* source-to-source rewriter *)
+  p_link : float; (* partitioning + enumerator codegen + link (pass 2 extra) *)
+}
+
+(* Per-stage wall times of one pipeline execution, for the compile-time
+   report.  The paper's 1.9x-2.2x arises structurally because the
+   (dominant) front-end runs twice; here the front-end is a DSL and the
+   analysis dominates instead — the decomposition makes that visible. *)
+let compile_profile (prog : Host_ir.t) =
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let p_frontend, _ = time (fun () -> frontend_pass prog) in
+  let p_analysis, model =
+    time (fun () ->
+        Model.of_analyses
+          (List.map
+             (fun k ->
+                match Access.analyze k with
+                | Ok a -> a
+                | Error e -> failwith (Access.error_message e))
+             (Host_ir.kernels prog)))
+  in
+  let p_rewrite, _ = time (fun () -> Rewriter.rewrite (Cusrc.render prog)) in
+  let p_link, _ = time (fun () -> Multi_gpu.link ~model prog) in
+  { p_frontend; p_analysis; p_rewrite; p_link }

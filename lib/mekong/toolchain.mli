@@ -1,0 +1,56 @@
+(** The two-pass compilation pipeline (paper §3, Fig. 2): pass 1 runs
+    the front-end and the polyhedral analysis and persists the
+    application model; the rewriter retargets the host source; pass 2
+    compiles again, generating partitioned kernels and enumerators and
+    linking against the runtime. *)
+
+type artifacts = {
+  model : Model.t;
+  exe : Multi_gpu.exe;
+  original_source : string;
+  rewritten_source : string;
+  model_file : string option;
+}
+
+type error = { kernel : string; reason : Access.error }
+
+val error_message : error -> string
+
+val frontend_pass : Host_ir.t -> string
+(** The work shared by both passes: validation, device-code
+    optimization, cost estimation, rendering. *)
+
+val pass1 :
+  ?assume:((int * string) list * int) list ->
+  ?instrument_writes:bool ->
+  Host_ir.t ->
+  (Model.t * string, error) result
+(** Analysis pass; everything but the model (and the rendered source)
+    is discarded.  [instrument_writes] enables the §11 fallback:
+    kernels with unanalyzable writes are accepted and their write sets
+    collected at run time. *)
+
+val pass2 : Model.t -> Host_ir.t -> Multi_gpu.exe
+
+val compile :
+  ?assume:((int * string) list * int) list ->
+  ?instrument_writes:bool ->
+  ?model_file:string ->
+  Host_ir.t ->
+  (artifacts, error) result
+(** The full pipeline.  With [model_file] the model is persisted and
+    reloaded between the passes, as the two gpucc invocations
+    communicate through the file system. *)
+
+val compile_time_ratio : ?repeat:int -> Host_ir.t -> float * float * float
+(** (single-pass seconds, two-pass seconds, ratio) — experiment E6. *)
+
+type profile = {
+  p_frontend : float;
+  p_analysis : float;
+  p_rewrite : float;
+  p_link : float;
+}
+
+val compile_profile : Host_ir.t -> profile
+(** Per-stage wall times of one pipeline execution. *)

@@ -1,0 +1,73 @@
+(* Static cost estimation of kernels from their IR.
+
+   The simulator charges kernels by "simple operations"; this module
+   counts them per thread.  Memory accesses are weighted heavier than
+   ALU operations (the proxy apps are memory-bound on real hardware).
+   Loop trip counts are evaluated from the launch's scalar arguments;
+   data-dependent control flow falls back to counting both branches'
+   maximum. *)
+
+let memory_op_weight = 4.0
+let alu_op_weight = 1.0
+
+(* Best-effort integer evaluation of an expression under the scalar
+   environment; [None] for anything depending on runtime values. *)
+let rec try_eval_int env (e : Kir.exp) : int option =
+  match e with
+  | Kir.Iconst n -> Some n
+  | Kir.Fconst f ->
+    let n = int_of_float f in
+    if float_of_int n = f then Some n else None
+  | Kir.Param n -> List.assoc_opt n env
+  | Kir.Var _ | Kir.Special _ | Kir.Load _ -> None
+  | Kir.Unop (Kir.Neg, x) -> Option.map (fun v -> -v) (try_eval_int env x)
+  | Kir.Unop (_, _) -> None
+  | Kir.Binop (op, a, b) -> (
+      match (try_eval_int env a, try_eval_int env b) with
+      | Some x, Some y -> (
+          match op with
+          | Kir.Add -> Some (x + y)
+          | Kir.Sub -> Some (x - y)
+          | Kir.Mul -> Some (x * y)
+          | Kir.Idiv -> if y <> 0 then Some (x / y) else None
+          | Kir.Imod -> if y <> 0 then Some (x mod y) else None
+          | Kir.Minb -> Some (min x y)
+          | Kir.Maxb -> Some (max x y)
+          | _ -> None)
+      | _ -> None)
+
+let rec exp_ops (e : Kir.exp) : float =
+  match e with
+  | Kir.Iconst _ | Kir.Fconst _ | Kir.Special _ | Kir.Param _ | Kir.Var _ -> 0.0
+  | Kir.Load (_, idx) ->
+    memory_op_weight +. List.fold_left (fun a i -> a +. exp_ops i) 0.0 idx
+  | Kir.Unop (_, x) -> alu_op_weight +. exp_ops x
+  | Kir.Binop (_, x, y) -> alu_op_weight +. exp_ops x +. exp_ops y
+
+let rec stmt_ops env (s : Kir.stmt) : float =
+  match s with
+  | Kir.Store (_, idx, e) ->
+    memory_op_weight
+    +. List.fold_left (fun a i -> a +. exp_ops i) 0.0 idx
+    +. exp_ops e
+  | Kir.Local (_, e) | Kir.Assign (_, e) -> alu_op_weight +. exp_ops e
+  | Kir.If (c, t, e) ->
+    exp_ops c +. Float.max (stmts_ops env t) (stmts_ops env e)
+  | Kir.For { from_; to_; body; _ } ->
+    let trip =
+      match (try_eval_int env from_, try_eval_int env to_) with
+      | Some lo, Some hi -> float_of_int (max 0 (hi - lo))
+      | _ -> 1.0 (* unknown trip count: charge one iteration *)
+    in
+    (alu_op_weight +. exp_ops from_ +. exp_ops to_) +. (trip *. stmts_ops env body)
+  | Kir.Syncthreads -> 0.0
+
+and stmts_ops env l = List.fold_left (fun a s -> a +. stmt_ops env s) 0.0 l
+
+(* Estimated operations per thread for one launch, given the scalar
+   argument bindings. *)
+let ops_per_thread kernel ~scalar_env =
+  stmts_ops scalar_env kernel.Kir.body
+
+let ops_per_block kernel ~scalar_env ~block =
+  ops_per_thread kernel ~scalar_env *. float_of_int (Dim3.volume block)

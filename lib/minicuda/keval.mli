@@ -1,0 +1,28 @@
+(** Direct interpreter for the kernel IR: executes every thread of a
+    grid (or a sub-range of its blocks) sequentially.  Used for the
+    bit-exact functional runs that validate the partitioning
+    compiler. *)
+
+type value = VInt of int | VFloat of float | VBool of bool
+
+val as_int : value -> int
+val as_float : value -> float
+val as_bool : value -> bool
+
+type arg = AInt of int | AFloat of float
+(** Launch-time values for the scalar kernel parameters, in parameter
+    order (array parameters are bound through [load]/[store]). *)
+
+val run :
+  ?block_range:Dim3.t * Dim3.t ->
+  Kir.t ->
+  grid:Dim3.t ->
+  block:Dim3.t ->
+  args:arg list ->
+  load:(string -> int -> float) ->
+  store:(string -> int -> float -> unit) ->
+  unit
+(** Run a kernel over its grid.  [load]/[store] receive the array
+    parameter name and a linear element offset (row-major).
+    [block_range] restricts execution to the inclusive block-coordinate
+    range. *)

@@ -1,0 +1,178 @@
+(* Kernel IR optimization passes.
+
+   These mirror the middle-end work a real compiler performs on device
+   code: constant folding, algebraic simplification, and dead-local
+   elimination, iterated to a fixpoint.  The toolchain's front-end pass
+   runs them in both compiler invocations; the partitioning transform
+   benefits too (the Eq. 8 substitution introduces [x + 0] offsets for
+   the first partition, which fold away). *)
+
+(* --- Constant folding and algebraic simplification ----------------------- *)
+
+let is_zero = function
+  | Kir.Iconst 0 -> true
+  | Kir.Fconst f -> f = 0.0
+  | _ -> false
+
+let is_one = function
+  | Kir.Iconst 1 -> true
+  | Kir.Fconst f -> f = 1.0
+  | _ -> false
+
+(* Fold one node whose children are already folded.  Floating-point
+   arithmetic is NOT reassociated and [x * 0.0] is not folded (NaN
+   semantics); only exact identities are applied. *)
+let fold_node (e : Kir.exp) : Kir.exp =
+  match e with
+  | Kir.Unop (Kir.Neg, Kir.Iconst n) -> Kir.Iconst (-n)
+  | Kir.Unop (Kir.Neg, Kir.Fconst f) -> Kir.Fconst (-.f)
+  | Kir.Unop (Kir.Not, Kir.Unop (Kir.Not, x)) -> x
+  | Kir.Binop (op, Kir.Iconst a, Kir.Iconst b) -> (
+      match op with
+      | Kir.Add -> Kir.Iconst (a + b)
+      | Kir.Sub -> Kir.Iconst (a - b)
+      | Kir.Mul -> Kir.Iconst (a * b)
+      | Kir.Idiv when b <> 0 -> Kir.Iconst (a / b)
+      | Kir.Imod when b <> 0 -> Kir.Iconst (a mod b)
+      | Kir.Minb -> Kir.Iconst (min a b)
+      | Kir.Maxb -> Kir.Iconst (max a b)
+      | Kir.Lt -> Kir.Iconst (if a < b then 1 else 0)
+      | Kir.Le -> Kir.Iconst (if a <= b then 1 else 0)
+      | Kir.Gt -> Kir.Iconst (if a > b then 1 else 0)
+      | Kir.Ge -> Kir.Iconst (if a >= b then 1 else 0)
+      | Kir.Eq -> Kir.Iconst (if a = b then 1 else 0)
+      | Kir.Ne -> Kir.Iconst (if a <> b then 1 else 0)
+      | _ -> e)
+  | Kir.Binop (Kir.Add, x, z) when is_zero z -> x
+  | Kir.Binop (Kir.Add, z, x) when is_zero z -> x
+  | Kir.Binop (Kir.Sub, x, z) when is_zero z -> x
+  | Kir.Binop (Kir.Mul, x, o) when is_one o -> x
+  | Kir.Binop (Kir.Mul, o, x) when is_one o -> x
+  (* Integer-only zero annihilation: safe because integer arithmetic
+     has no NaN/Inf.  (Iconst*Iconst was already folded above.) *)
+  | Kir.Binop (Kir.Mul, Kir.Iconst 0, (Kir.Special _ | Kir.Param _))
+  | Kir.Binop (Kir.Mul, (Kir.Special _ | Kir.Param _), Kir.Iconst 0) ->
+    Kir.Iconst 0
+  | other -> other
+
+let fold_exp e = Kir.map_exp fold_node e
+
+let rec fold_stmt (s : Kir.stmt) : Kir.stmt list =
+  match s with
+  | Kir.Store (a, idx, e) -> [ Kir.Store (a, List.map fold_exp idx, fold_exp e) ]
+  | Kir.Local (n, e) -> [ Kir.Local (n, fold_exp e) ]
+  | Kir.Assign (n, e) -> [ Kir.Assign (n, fold_exp e) ]
+  | Kir.If (c, t, f) -> (
+      let c = fold_exp c in
+      let t = List.concat_map fold_stmt t in
+      let f = List.concat_map fold_stmt f in
+      match c with
+      | Kir.Iconst 0 -> f
+      | Kir.Iconst _ -> t
+      | _ -> if t = [] && f = [] then [] else [ Kir.If (c, t, f) ])
+  | Kir.For { var; from_; to_; body } -> (
+      let from_ = fold_exp from_ and to_ = fold_exp to_ in
+      let body = List.concat_map fold_stmt body in
+      match (from_, to_) with
+      | Kir.Iconst a, Kir.Iconst b when a >= b -> []
+      | _ -> if body = [] then [] else [ Kir.For { var; from_; to_; body } ])
+  | Kir.Syncthreads -> [ Kir.Syncthreads ]
+
+(* --- Dead-local elimination ------------------------------------------------ *)
+
+(* Names referenced by an expression. *)
+let rec exp_uses acc (e : Kir.exp) =
+  match e with
+  | Kir.Var n -> n :: acc
+  | Kir.Iconst _ | Kir.Fconst _ | Kir.Special _ | Kir.Param _ -> acc
+  | Kir.Load (_, idx) -> List.fold_left exp_uses acc idx
+  | Kir.Unop (_, x) -> exp_uses acc x
+  | Kir.Binop (_, x, y) -> exp_uses (exp_uses acc x) y
+
+(* Remove Local/Assign bindings whose variable does not (transitively)
+   feed a store, a branch condition or a loop bound.  Liveness is a
+   whole-body fixpoint, so self-referencing accumulators whose value is
+   never consumed ([acc = acc + ...] feeding nothing) die too — the
+   property the instrumentation shadow kernels rely on. *)
+let eliminate_dead (body : Kir.stmt list) : Kir.stmt list =
+  (* Roots: variables used outside Local/Assign right-hand sides. *)
+  let rec root_uses acc (s : Kir.stmt) =
+    match s with
+    | Kir.Store (_, idx, e) -> exp_uses (List.fold_left exp_uses acc idx) e
+    | Kir.Local _ | Kir.Assign _ -> acc
+    | Kir.If (c, t, f) ->
+      let acc = exp_uses acc c in
+      let acc = List.fold_left root_uses acc t in
+      List.fold_left root_uses acc f
+    | Kir.For { from_; to_; body; _ } ->
+      let acc = exp_uses (exp_uses acc from_) to_ in
+      List.fold_left root_uses acc body
+    | Kir.Syncthreads -> acc
+  in
+  (* Defs: (name, rhs) of every Local/Assign in the body. *)
+  let rec defs acc (s : Kir.stmt) =
+    match s with
+    | Kir.Local (n, e) | Kir.Assign (n, e) -> (n, e) :: acc
+    | Kir.If (_, t, f) ->
+      let acc = List.fold_left defs acc t in
+      List.fold_left defs acc f
+    | Kir.For { body; _ } -> List.fold_left defs acc body
+    | Kir.Store _ | Kir.Syncthreads -> acc
+  in
+  let all_defs = List.fold_left defs [] body in
+  let live = Hashtbl.create 16 in
+  List.iter (fun n -> Hashtbl.replace live n ()) (List.fold_left root_uses [] body);
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (n, e) ->
+         if Hashtbl.mem live n then
+           List.iter
+             (fun u ->
+                if not (Hashtbl.mem live u) then begin
+                  Hashtbl.replace live u ();
+                  changed := true
+                end)
+             (exp_uses [] e))
+      all_defs
+  done;
+  let rec clean s =
+    match s with
+    | Kir.Local (n, _) | Kir.Assign (n, _) ->
+      if Hashtbl.mem live n then [ s ] else []
+    | Kir.If (c, t, f) ->
+      let t = List.concat_map clean t and f = List.concat_map clean f in
+      if t = [] && f = [] then [] else [ Kir.If (c, t, f) ]
+    | Kir.For { var; from_; to_; body } ->
+      let body = List.concat_map clean body in
+      if body = [] then [] else [ Kir.For { var; from_; to_; body } ]
+    | Kir.Store _ | Kir.Syncthreads -> [ s ]
+  in
+  List.concat_map clean body
+
+(* --- Pass driver ----------------------------------------------------------- *)
+
+let optimize_body body =
+  let pass b = eliminate_dead (List.concat_map fold_stmt b) in
+  let rec fix b n =
+    if n = 0 then b
+    else
+      let b' = pass b in
+      if b' = b then b else fix b' (n - 1)
+  in
+  fix body 8
+
+let optimize (k : Kir.t) : Kir.t = { k with Kir.body = optimize_body k.Kir.body }
+
+(* Simple code metrics, as a compiler would report. *)
+let rec stmt_count (s : Kir.stmt) =
+  match s with
+  | Kir.Store _ | Kir.Local _ | Kir.Assign _ | Kir.Syncthreads -> 1
+  | Kir.If (_, t, f) ->
+    1
+    + List.fold_left (fun a s -> a + stmt_count s) 0 t
+    + List.fold_left (fun a s -> a + stmt_count s) 0 f
+  | Kir.For { body; _ } -> 1 + List.fold_left (fun a s -> a + stmt_count s) 0 body
+
+let size (k : Kir.t) = List.fold_left (fun a s -> a + stmt_count s) 0 k.Kir.body

@@ -1,0 +1,11 @@
+(** The single-GPU reference engine: runs a host program against device
+    0 of a simulated machine, as NVCC-compiled binaries do in the
+    paper's baseline measurements. *)
+
+type result = {
+  machine : Gpusim.Machine.t;
+  time : float;  (** simulated end-to-end seconds (after final sync) *)
+}
+
+val run : ?machine:Gpusim.Machine.t -> Host_ir.t -> result
+(** Defaults to a fresh functional single-device test machine. *)

@@ -1,0 +1,68 @@
+(** isl-style code generation: loop-nest ASTs scanning polyhedra.
+
+    The generator follows the classic "project and bound" scheme
+    (paper §6): for each dimension, project the polyhedron onto the
+    outer dimensions and compute closed-form loop bounds.  ASTs can be
+    pretty-printed as C-like text or executed directly against an
+    environment. *)
+
+type expr =
+  | Int of int
+  | Var of string
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Fdiv of expr * expr  (** floor division *)
+  | Cdiv of expr * expr  (** ceiling division *)
+  | Min of expr * expr
+  | Max of expr * expr
+
+type stmt =
+  | Seq of stmt list
+  | For of { var : string; lb : expr; ub : expr; body : stmt }
+      (** [ub] inclusive *)
+  | Guard of expr list * stmt  (** all exprs must be [>= 0] *)
+  | Emit of expr array  (** one point of the set *)
+  | Emit_range of expr array * expr * expr
+      (** row coordinates, then inclusive bounds of the innermost dim *)
+
+val simp : expr -> expr
+(** Constant folding and algebraic simplification. *)
+
+val expr_of_aff : Aff.t -> expr
+(** Expression for an affine form, variables named through its space. *)
+
+val lower_bound_expr : (int * Aff.t) list -> expr option
+(** Max over [ceil(rest/a)] bound expressions; [None] if unbounded. *)
+
+val upper_bound_expr : (int * Aff.t) list -> expr option
+
+exception Unbounded of string
+(** Raised by scanning when a dimension has no finite bound; carries the
+    dimension name. *)
+
+val scan_poly : ?emit_ranges:bool -> Poly.t -> stmt
+(** Loop nest scanning all integer points of a convex polyhedron, dims
+    outermost-first.  With [emit_ranges] the innermost loop becomes an
+    [Emit_range]. *)
+
+val scan_set : ?emit_ranges:bool -> Pset.t -> stmt
+(** One loop nest per convex piece, in sequence. *)
+
+type env = (string, int) Hashtbl.t
+
+val eval_expr : env -> expr -> int
+
+val exec :
+  env ->
+  on_point:(int array -> unit) ->
+  on_range:(int array -> int -> int -> unit) ->
+  stmt ->
+  unit
+(** Execute a statement; [on_range] receives (row coordinates,
+    inclusive lo, inclusive hi). *)
+
+val pp_expr : Format.formatter -> expr -> unit
+val pp_stmt : ?indent:int -> Format.formatter -> stmt -> unit
+val stmt_to_string : stmt -> string
+val expr_to_string : expr -> string

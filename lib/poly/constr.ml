@@ -1,0 +1,107 @@
+(* Affine constraints.
+
+   A constraint is either [aff = 0] or [aff >= 0].  Normalization divides
+   by the gcd of the variable coefficients and, for inequalities,
+   tightens the constant toward the integer hull:  g*x + c >= 0 with
+   g = gcd of coefficients is equivalent (over Z) to  x + floor(c/g) >= 0. *)
+
+type kind = Eq | Ge
+
+type t = { kind : kind; aff : Aff.t }
+
+let make kind aff = { kind; aff }
+let eq aff = { kind = Eq; aff }
+let ge aff = { kind = Ge; aff }
+
+(* a >= b  as  a - b >= 0 *)
+let ge2 a b = ge (Aff.sub a b)
+
+(* a <= b  as  b - a >= 0 *)
+let le2 a b = ge (Aff.sub b a)
+
+(* a = b *)
+let eq2 a b = eq (Aff.sub a b)
+
+(* a > b  over Z as  a - b - 1 >= 0 *)
+let gt2 a b = ge (Aff.add_const (Aff.sub a b) (-1))
+let lt2 a b = gt2 b a
+
+let kind c = c.kind
+let aff c = c.aff
+let space c = Aff.space c.aff
+
+(* The negation of an inequality over Z: not(aff >= 0)  is  -aff - 1 >= 0.
+   Equalities have no single-constraint negation (callers split into the
+   two strict sides). *)
+let negate_ge c =
+  assert (c.kind = Ge);
+  ge (Aff.add_const (Aff.neg c.aff) (-1))
+
+type triviality = Trivially_true | Trivially_false | Nontrivial
+
+let triviality c =
+  if Aff.is_constant c.aff then
+    let k = Aff.constant c.aff in
+    match c.kind with
+    | Eq -> if k = 0 then Trivially_true else Trivially_false
+    | Ge -> if k >= 0 then Trivially_true else Trivially_false
+  else Nontrivial
+
+(* Normalize: divide by gcd of variable coefficients; tighten the
+   constant of inequalities; canonicalize the sign of equalities so the
+   first nonzero coefficient is positive. *)
+let normalize c =
+  let g = Aff.gcd_coeffs c.aff in
+  if g = 0 then c
+  else
+    match c.kind with
+    | Ge ->
+      if g = 1 then c
+      else
+        let aff = Aff.divide_exact (Aff.add_const c.aff (- Aff.constant c.aff)) g in
+        ge (Aff.add_const aff (Ints.fdiv (Aff.constant c.aff) g))
+    | Eq ->
+      let aff = if g = 1 then c.aff else
+          (* An equality g*x + c = 0 with g not dividing c is infeasible;
+             represent that as the trivially-false constraint 0 = c'. *)
+          if Aff.constant c.aff mod g <> 0 then
+            Aff.const (Aff.space c.aff) 1
+          else Aff.divide_exact c.aff g
+      in
+      (* Canonical sign. *)
+      let n = Space.n_total (Aff.space aff) in
+      let rec first_nonzero i =
+        if i >= n then 0 else if Aff.coeff aff i <> 0 then Aff.coeff aff i else first_nonzero (i + 1)
+      in
+      if first_nonzero 0 < 0 then eq (Aff.neg aff) else eq aff
+
+let equal a b = a.kind = b.kind && Aff.equal a.aff b.aff
+
+let eval c env =
+  let v = Aff.eval c.aff env in
+  match c.kind with Eq -> v = 0 | Ge -> v >= 0
+
+let rebase c space remap = { c with aff = Aff.rebase c.aff space remap }
+
+let substitute c i e = { c with aff = Aff.substitute c.aff i e }
+
+let pp fmt c =
+  Format.fprintf fmt "%a %s 0" Aff.pp c.aff (match c.kind with Eq -> "=" | Ge -> ">=")
+
+let to_string c = Format.asprintf "%a" pp c
+
+(* Total order used for deduplication. *)
+let compare a b =
+  match (a.kind, b.kind) with
+  | Eq, Ge -> -1
+  | Ge, Eq -> 1
+  | _ ->
+    let ca = Aff.constant a.aff and cb = Aff.constant b.aff in
+    let n = Space.n_total (space a) in
+    let rec go i =
+      if i >= n then compare ca cb
+      else
+        let d = compare (Aff.coeff a.aff i) (Aff.coeff b.aff i) in
+        if d <> 0 then d else go (i + 1)
+    in
+    go 0

@@ -1,0 +1,410 @@
+(* Convex polyhedra: conjunctions of affine constraints over a space.
+
+   The central algorithm is Fourier-Motzkin variable elimination, used
+   for projection (computing images of access maps) and for emptiness
+   tests (feasibility over Q; exact enough for the unimodular access
+   functions produced by data-parallel kernels, and validated against
+   brute-force enumeration in the test suite).  Equalities are
+   eliminated by substitution, which is exact.
+
+   Parameters take part in elimination during emptiness tests (a
+   polyhedron is "empty" when no parameter valuation admits a point),
+   but are never projected away by [project_dims]. *)
+
+type t = {
+  space : Space.t;
+  constrs : Constr.t list;
+  (* A constraint reduced to a false constant was found at construction
+     time; [constrs] is then irrelevant. *)
+  trivially_empty : bool;
+}
+
+let space p = p.space
+let constraints p = if p.trivially_empty then [] else p.constrs
+
+(* Deduplicate and keep, for each coefficient vector, only the tightest
+   inequality (an inequality [v + k >= 0] with larger [k] is weaker). *)
+let simplify_list constrs =
+  let module M = Map.Make (struct
+    type t = Constr.kind * int array * int option
+    let compare = compare
+  end) in
+  let add acc c =
+    let coeffs =
+      Array.init (Space.n_total (Constr.space c)) (fun i -> Aff.coeff (Constr.aff c) i)
+    in
+    (* Inequalities with the same coefficient vector are merged (keep the
+       tightest, i.e. smallest constant).  Equalities are only deduped
+       when exactly identical; conflicting equalities are both kept and
+       left for elimination to expose. *)
+    let key =
+      match Constr.kind c with
+      | Constr.Ge -> (Constr.Ge, coeffs, None)
+      | Constr.Eq -> (Constr.Eq, coeffs, Some (Aff.constant (Constr.aff c)))
+    in
+    match M.find_opt key acc with
+    | None -> M.add key c acc
+    | Some c' ->
+      let k = Aff.constant (Constr.aff c) and k' = Aff.constant (Constr.aff c') in
+      if Constr.kind c = Constr.Ge && k < k' then M.add key c acc else acc
+  in
+  let m = List.fold_left add M.empty constrs in
+  M.fold (fun _ c l -> c :: l) m []
+
+let make space constrs =
+  let rec go acc = function
+    | [] -> { space; constrs = simplify_list acc; trivially_empty = false }
+    | c :: rest ->
+      if not (Space.equal (Constr.space c) space) then invalid_arg "Poly.make: space mismatch";
+      let c = Constr.normalize c in
+      (match Constr.triviality c with
+       | Constr.Trivially_true -> go acc rest
+       | Constr.Trivially_false -> { space; constrs = []; trivially_empty = true }
+       | Constr.Nontrivial -> go (c :: acc) rest)
+  in
+  go [] constrs
+
+let universe space = make space []
+let empty space = { space; constrs = []; trivially_empty = true }
+let is_trivially_empty p = p.trivially_empty
+
+let add_constrs p cs =
+  if p.trivially_empty then p else make p.space (cs @ p.constrs)
+
+let intersect a b =
+  if not (Space.equal a.space b.space) then invalid_arg "Poly.intersect: space mismatch";
+  if a.trivially_empty || b.trivially_empty then empty a.space
+  else make a.space (a.constrs @ b.constrs)
+
+let mem p env =
+  (not p.trivially_empty) && List.for_all (fun c -> Constr.eval c env) p.constrs
+
+(* --- Fourier-Motzkin elimination ------------------------------------ *)
+
+(* Split [constrs] into (equalities with nonzero coeff on i,
+   lower inequalities, upper inequalities, constraints without i). *)
+let split_on constrs i =
+  List.fold_left
+    (fun (eqs, lows, ups, rest) c ->
+       let a = Aff.coeff (Constr.aff c) i in
+       if a = 0 then (eqs, lows, ups, c :: rest)
+       else
+         match Constr.kind c with
+         | Constr.Eq -> (c :: eqs, lows, ups, rest)
+         | Constr.Ge ->
+           if a > 0 then (eqs, c :: lows, ups, rest) else (eqs, lows, c :: ups, rest))
+    ([], [], [], []) constrs
+
+(* Affine part of [c] with the coefficient on [i] zeroed. *)
+let rest_of c i = Aff.set_coeff (Constr.aff c) i 0
+
+(* Eliminate variable [i] from a constraint list.  The space is
+   unchanged; the result has no occurrence of variable [i].  Exact over
+   Q; exact over Z when an equality with unit coefficient is available. *)
+let eliminate_from_list constrs i =
+  let eqs, lows, ups, rest = split_on constrs i in
+  match eqs with
+  | e :: other_eqs ->
+    (* Substitute using the equality  a*x + R = 0. *)
+    let a = Aff.coeff (Constr.aff e) i in
+    let r = rest_of e i in
+    let subst c =
+      let b = Aff.coeff (Constr.aff c) i in
+      if b = 0 then c
+      else
+        (* |a| * c  with  b*x  replaced using  a*x = -R:
+           new_aff = |a| * rest(c) - sign(a)*b*R *)
+        let aff =
+          Aff.add
+            (Aff.scale (abs a) (rest_of c i))
+            (Aff.scale (- Ints.sign a * b) r)
+        in
+        Constr.make (Constr.kind c) aff
+    in
+    List.map subst (other_eqs @ lows @ ups) @ rest
+  | [] ->
+    let combos =
+      List.concat_map
+        (fun l ->
+           let al = Aff.coeff (Constr.aff l) i in
+           List.map
+             (fun u ->
+                let au = Aff.coeff (Constr.aff u) i in
+                (* al > 0, au < 0:  al*rest(u) + (-au)*rest(l) >= 0 *)
+                Constr.ge
+                  (Aff.add (Aff.scale al (rest_of u i)) (Aff.scale (- au) (rest_of l i))))
+             ups)
+        lows
+    in
+    combos @ rest
+
+(* Number of new constraints elimination of [i] would create; used to
+   pick a cheap elimination order. *)
+let elimination_cost constrs i =
+  let eqs, lows, ups, _ = split_on constrs i in
+  if eqs <> [] then List.length lows + List.length ups
+  else List.length lows * List.length ups
+
+exception Found_empty
+
+(* Normalize a raw constraint list, raising [Found_empty] on a trivially
+   false constraint. *)
+let renormalize constrs =
+  let step acc c =
+    let c = Constr.normalize c in
+    match Constr.triviality c with
+    | Constr.Trivially_true -> acc
+    | Constr.Trivially_false -> raise Found_empty
+    | Constr.Nontrivial -> c :: acc
+  in
+  simplify_list (List.fold_left step [] constrs)
+
+let eliminate_var p i =
+  if p.trivially_empty then p
+  else
+    try { p with constrs = renormalize (eliminate_from_list p.constrs i) }
+    with Found_empty -> empty p.space
+
+(* Q-feasibility: eliminate every variable (cheapest first); the system
+   is infeasible iff a false constant constraint appears. *)
+let is_empty p =
+  if p.trivially_empty then true
+  else
+    let n = Space.n_total p.space in
+    let rec go constrs remaining =
+      match constrs with
+      | [] -> false
+      | _ ->
+        (match remaining with
+         | [] -> false
+         | _ ->
+           let occurring =
+             List.filter
+               (fun i -> List.exists (fun c -> Aff.coeff (Constr.aff c) i <> 0) constrs)
+               remaining
+           in
+           (match occurring with
+            | [] ->
+              (* only constant constraints remain; renormalize already
+                 raised if any was false *)
+              false
+            | _ ->
+              let i =
+                List.fold_left
+                  (fun best j ->
+                     if elimination_cost constrs j < elimination_cost constrs best then j
+                     else best)
+                  (List.hd occurring) (List.tl occurring)
+              in
+              let constrs' = renormalize (eliminate_from_list constrs i) in
+              go constrs' (List.filter (fun j -> j <> i) occurring)))
+    in
+    (try go p.constrs (List.init n (fun i -> i)) with Found_empty -> true)
+
+(* --- Projection ------------------------------------------------------ *)
+
+(* Eliminate the dims at the given combined-vector indices and remove
+   them from the space.  The result is the rational shadow, an
+   over-approximation of the integer projection. *)
+let project_out p idxs =
+  let idxs = List.sort_uniq compare idxs in
+  List.iter
+    (fun i -> if i < Space.n_params p.space then invalid_arg "Poly.project_out: parameter")
+    idxs;
+  if p.trivially_empty then
+    let space =
+      List.fold_left (fun sp i -> Space.drop_dim sp i) p.space (List.rev idxs)
+    in
+    empty space
+  else begin
+    let constrs =
+      try
+        Some
+          (List.fold_left
+             (fun cs i -> renormalize (eliminate_from_list cs i))
+             p.constrs idxs)
+      with Found_empty -> None
+    in
+    (* Build the reduced space and the index remap. *)
+    let n = Space.n_total p.space in
+    let keep = Array.make n true in
+    List.iter (fun i -> keep.(i) <- false) idxs;
+    let space =
+      Space.filter_dims p.space (fun dim_local ->
+          keep.(Space.n_params p.space + dim_local))
+    in
+    let remap = Array.make n (-1) in
+    let next = ref 0 in
+    for i = 0 to n - 1 do
+      if keep.(i) then begin
+        remap.(i) <- !next;
+        incr next
+      end
+    done;
+    match constrs with
+    | None -> empty space
+    | Some cs ->
+      { space; constrs = List.map (fun c -> Constr.rebase c space remap) cs;
+        trivially_empty = false }
+  end
+
+(* Keep only the dims whose dim-local index is in [keep]; eliminate all
+   others. *)
+let project_onto p keep_local =
+  let np = Space.n_params p.space in
+  let nd = Space.n_dims p.space in
+  let drop = ref [] in
+  for d = nd - 1 downto 0 do
+    if not (List.mem d keep_local) then drop := (np + d) :: !drop
+  done;
+  project_out p !drop
+
+(* --- Bounds extraction (for code generation) ------------------------- *)
+
+(* Lower/upper bound pairs for variable [i]:  each lower is (a, rest)
+   meaning  x >= ceil(-rest / a)  with a > 0;  each upper is (a, rest)
+   meaning  x <= floor(rest / a)  with a > 0 (sign already folded). *)
+let bounds_of_var p i =
+  let lows = ref [] and ups = ref [] in
+  List.iter
+    (fun c ->
+       let a = Aff.coeff (Constr.aff c) i in
+       if a <> 0 then begin
+         let r = rest_of c i in
+         match Constr.kind c with
+         | Constr.Ge ->
+           if a > 0 then lows := (a, Aff.neg r) :: !lows
+           else ups := (-a, r) :: !ups
+         | Constr.Eq ->
+           if a > 0 then begin
+             lows := (a, Aff.neg r) :: !lows;
+             ups := (a, Aff.neg r) :: !ups
+           end
+           else begin
+             lows := (-a, r) :: !lows;
+             ups := (-a, r) :: !ups
+           end
+       end)
+    (constraints p);
+  (!lows, !ups)
+
+(* Constraints not involving variable [i]. *)
+let constrs_without p i =
+  List.filter (fun c -> Aff.coeff (Constr.aff c) i = 0) (constraints p)
+
+(* --- Integer sampling (bounded search; used by tests) ----------------- *)
+
+(* Numeric bounds of variable [i] given values for variables already
+   fixed in [env] (unfixed = None contributions must be zero). *)
+let numeric_bounds p i env =
+  let lows, ups = bounds_of_var p i in
+  let eval_rest aff =
+    let acc = ref (Aff.constant aff) in
+    let ok = ref true in
+    Array.iteri
+      (fun j v ->
+         let c = Aff.coeff aff j in
+         if c <> 0 then (match v with Some x -> acc := !acc + (c * x) | None -> ok := false))
+      env;
+    if !ok then Some !acc else None
+  in
+  let lo =
+    List.fold_left
+      (fun acc (a, r) ->
+         match eval_rest r with
+         | None -> acc
+         | Some v ->
+           let b = Ints.cdiv v a in
+           (match acc with None -> Some b | Some x -> Some (max x b)))
+      None lows
+  in
+  let hi =
+    List.fold_left
+      (fun acc (a, r) ->
+         match eval_rest r with
+         | None -> acc
+         | Some v ->
+           let b = Ints.fdiv v a in
+           (match acc with None -> Some b | Some x -> Some (min x b)))
+      None ups
+  in
+  (lo, hi)
+
+(* Search for an integer point; all variables (params included) must be
+   bounded, otherwise [default_radius] caps the search.  Returns the
+   full assignment. *)
+let sample ?(default_radius = 64) p =
+  if p.trivially_empty then None
+  else
+    let n = Space.n_total p.space in
+    let env = Array.make n None in
+    let rec go i =
+      if i >= n then
+        let point = Array.map (function Some v -> v | None -> 0) env in
+        if mem p point then Some point else None
+      else begin
+        let lo, hi = numeric_bounds p i env in
+        let lo = match lo with Some v -> v | None -> -default_radius in
+        let hi = match hi with Some v -> v | None -> default_radius in
+        let rec try_v v =
+          if v > hi then None
+          else begin
+            env.(i) <- Some v;
+            match go (i + 1) with
+            | Some pt -> Some pt
+            | None ->
+              env.(i) <- None;
+              try_v (v + 1)
+          end
+        in
+        try_v lo
+      end
+    in
+    go 0
+
+(* --- Containment ------------------------------------------------------ *)
+
+(* [subsumes a b]: does [a] contain [b]?  True when for every constraint
+   c of [a], b ∩ ¬c is empty.  Equalities are split into their two
+   strict negations.  Sound over Z (uses integer negation). *)
+let subsumes a b =
+  if b.trivially_empty then true
+  else if a.trivially_empty then is_empty b
+  else
+    List.for_all
+      (fun c ->
+         match Constr.kind c with
+         | Constr.Ge -> is_empty (add_constrs b [ Constr.negate_ge c ])
+         | Constr.Eq ->
+           let aff = Constr.aff c in
+           is_empty (add_constrs b [ Constr.ge (Aff.add_const aff (-1)) ])
+           && is_empty (add_constrs b [ Constr.ge (Aff.add_const (Aff.neg aff) (-1)) ])
+      )
+      a.constrs
+
+let equal_set a b = subsumes a b && subsumes b a
+
+(* --- Substitution / rebasing ----------------------------------------- *)
+
+let substitute p i e =
+  if p.trivially_empty then p
+  else
+    try { p with constrs = renormalize (List.map (fun c -> Constr.substitute c i e) p.constrs) }
+    with Found_empty -> empty p.space
+
+let rebase p space remap =
+  { space;
+    constrs = (if p.trivially_empty then [] else List.map (fun c -> Constr.rebase c space remap) p.constrs);
+    trivially_empty = p.trivially_empty }
+
+let pp fmt p =
+  if p.trivially_empty then Format.fprintf fmt "{ false }"
+  else if p.constrs = [] then Format.fprintf fmt "{ true }"
+  else
+    Format.fprintf fmt "{ %a }"
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.fprintf fmt " and ")
+         Constr.pp)
+      p.constrs
+
+let to_string p = Format.asprintf "%a" pp p

@@ -1,0 +1,71 @@
+(** Convex polyhedra: conjunctions of affine constraints.
+
+    Projection and emptiness are computed with Fourier-Motzkin
+    elimination; equalities are eliminated by substitution.  Projection
+    yields the rational shadow (an over-approximation of the integer
+    projection, exact for the unimodular access functions produced by
+    data-parallel kernels).  Emptiness is rational feasibility treating
+    parameters as ordinary variables: a polyhedron is empty when no
+    parameter valuation admits a point. *)
+
+type t
+
+val make : Space.t -> Constr.t list -> t
+(** Normalizes, deduplicates, and detects trivially false constraints. *)
+
+val universe : Space.t -> t
+val empty : Space.t -> t
+
+val space : t -> Space.t
+
+val constraints : t -> Constr.t list
+(** The normalized constraint list ([] for trivially-empty polyhedra). *)
+
+val is_trivially_empty : t -> bool
+(** Syntactic emptiness only; see {!is_empty} for the real test. *)
+
+val add_constrs : t -> Constr.t list -> t
+val intersect : t -> t -> t
+
+val mem : t -> int array -> bool
+(** Membership of a full assignment of the combined variable vector. *)
+
+val is_empty : t -> bool
+(** Feasibility over Q via full Fourier-Motzkin elimination. *)
+
+val eliminate_var : t -> int -> t
+(** Remove every occurrence of one variable (space unchanged). *)
+
+val project_out : t -> int list -> t
+(** Eliminate the dims at the given combined-vector indices and drop
+    them from the space. *)
+
+val project_onto : t -> int list -> t
+(** Keep only the dims whose dim-local indices are listed. *)
+
+val bounds_of_var : t -> int -> (int * Aff.t) list * (int * Aff.t) list
+(** [(lowers, uppers)] for a variable: a lower [(a, e)] means
+    [x >= ceil(e / a)], an upper [(a, e)] means [x <= floor(e / a)],
+    with [a > 0] in both. *)
+
+val constrs_without : t -> int -> Constr.t list
+(** Constraints not involving the given variable. *)
+
+val numeric_bounds : t -> int -> int option array -> int option * int option
+(** Numeric bounds of a variable given partial assignment [env]
+    (constraints mentioning unassigned variables are ignored). *)
+
+val sample : ?default_radius:int -> t -> int array option
+(** Search for an integer point by bounded backtracking; unbounded
+    directions are searched within [default_radius]. *)
+
+val subsumes : t -> t -> bool
+(** [subsumes a b]: does [a] contain [b] (over Z)? *)
+
+val equal_set : t -> t -> bool
+
+val substitute : t -> int -> Aff.t -> t
+val rebase : t -> Space.t -> int array -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

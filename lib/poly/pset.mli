@@ -1,0 +1,43 @@
+(** Unions of convex polyhedra over a common space. *)
+
+type t
+
+val of_polys : Space.t -> Poly.t list -> t
+val of_poly : Poly.t -> t
+val empty : Space.t -> t
+val universe : Space.t -> t
+
+val space : t -> Space.t
+val pieces : t -> Poly.t list
+val n_pieces : t -> int
+
+val is_empty : t -> bool
+val mem : t -> int array -> bool
+
+val coalesce : t -> t
+(** Drop pieces subsumed by other pieces. *)
+
+val union : t -> t -> t
+val union_all : Space.t -> t list -> t
+val intersect : t -> t -> t
+val intersect_poly : t -> Poly.t -> t
+val add_constrs : t -> Constr.t list -> t
+
+val subtract : t -> t -> t
+(** Integer set difference (exact). *)
+
+val subsumes : t -> t -> bool
+(** [subsumes a b]: [b ⊆ a]. *)
+
+val equal : t -> t -> bool
+
+val project_out : t -> int list -> t
+val project_onto : t -> int list -> t
+
+val sample : ?default_radius:int -> t -> int array option
+
+val enumerate : ?default_radius:int -> t -> int list list
+(** All integer points of a bounded set, sorted; test helper. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,45 @@
+(** The segment tracker (paper §8.1): which device owns the most
+    recently written copy of each element range of a virtual buffer.
+
+    Segments are non-overlapping half-open intervals covering the whole
+    index space, stored in a B-tree keyed by segment start.  One owner
+    per segment — shared copies are not representable, which is the
+    paper's stated limitation (redundant transfers for shared data). *)
+
+type segment = { start : int; stop : int; owner : int }
+
+type t
+
+val host : int
+(** Owner value meaning "freshest copy is in host memory". *)
+
+val create : len:int -> initial_owner:int -> t
+(** A tracker covering [0, len) with a single segment. *)
+
+val len : t -> int
+val segment_count : t -> int
+
+val ops : t -> int
+(** Number of B-tree operations performed so far (cost accounting). *)
+
+val reset_ops : t -> unit
+
+val query : t -> start:int -> stop:int -> segment list
+(** The segments overlapping [start, stop), clipped to it, in order.
+    The result covers every element of the range. *)
+
+val owner_at : t -> int -> int
+(** Owner of a single element. *)
+
+val write : t -> start:int -> stop:int -> owner:int -> unit
+(** Record that [owner] wrote [start, stop): existing segments are
+    split or absorbed and equal-owner neighbours are merged. *)
+
+val segments : t -> segment list
+(** All segments, in order. *)
+
+val check_invariants : t -> unit
+(** Verify full coverage, no overlap, sortedness and maximal merging;
+    raises [Failure] on violation.  Test support. *)
+
+val pp : Format.formatter -> t -> unit

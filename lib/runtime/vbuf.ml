@@ -1,0 +1,171 @@
+(* Virtual buffers (paper §8.1-8.3).
+
+   A cudaMalloc in the original program becomes, in the partitioned
+   program, one device-local instance per device plus a segment
+   tracker.  Memcopies and kernel launches keep the instances coherent:
+
+   - host-to-device becomes a 1:n scatter in a fixed linear
+     distribution (the "predefined pattern" of §8.2);
+   - device-to-host becomes an n:1 gather directed by the tracker;
+   - before a kernel partition runs, its read set is walked and stale
+     ranges are fetched from their owners (§8.3);
+   - after it is launched, its write set is recorded in the tracker.
+
+   The tracker does not represent shared copies, so repeatedly read
+   shared data is re-transferred — the redundancy the paper calls out. *)
+
+type t = {
+  name : string;
+  len : int; (* elements *)
+  machine : Gpusim.Machine.t;
+  instances : Gpusim.Buffer.t array; (* one full-size instance per device *)
+  tracker : Tracker.t;
+}
+
+let create machine ~name ~len =
+  let n = Gpusim.Machine.n_devices machine in
+  {
+    name;
+    len;
+    machine;
+    instances =
+      Array.init n (fun d -> Gpusim.Machine.alloc machine ~device:d ~len);
+    tracker = Tracker.create ~len ~initial_owner:0;
+  }
+
+let name t = t.name
+let len t = t.len
+let tracker t = t.tracker
+let instance t d = t.instances.(d)
+let n_devices t = Array.length t.instances
+
+let free t = Array.iter (fun b -> Gpusim.Machine.free t.machine b) t.instances
+
+(* The linear distribution: device d owns the d-th of n equal chunks
+   (the last chunk absorbs the remainder). *)
+let linear_chunk ~len ~n_devices d =
+  let chunk = (len + n_devices - 1) / n_devices in
+  let start = min len (d * chunk) in
+  let stop = min len ((d + 1) * chunk) in
+  (start, stop)
+
+(* Host-to-device memcpy: scatter [src] linearly over all devices and
+   record ownership.  [src = None] is a phantom host array (performance
+   runs at paper scale never materialize host data). *)
+let h2d ?(cfg = Rconfig.alpha) t ~src =
+  (match src with
+   | Some a when Array.length a <> t.len -> invalid_arg "Vbuf.h2d: size mismatch"
+   | Some _ -> ()
+   | None ->
+     if Gpusim.Machine.is_functional t.machine then
+       invalid_arg "Vbuf.h2d: phantom host array in a functional run");
+  let src = Option.value src ~default:[||] in
+  let n = n_devices t in
+  for d = 0 to n - 1 do
+    let start, stop = linear_chunk ~len:t.len ~n_devices:n d in
+    if stop > start then begin
+      if cfg.Rconfig.transfers || Gpusim.Machine.is_functional t.machine then
+        Gpusim.Machine.h2d t.machine ~src ~src_off:start ~dst:t.instances.(d)
+          ~dst_off:start ~len:(stop - start);
+      if cfg.Rconfig.patterns then
+        Tracker.write t.tracker ~start ~stop ~owner:d
+    end
+  done
+
+(* Device-to-host memcpy: gather every segment from its owner. *)
+let d2h ?(cfg = Rconfig.alpha) t ~dst =
+  (match dst with
+   | Some a when Array.length a <> t.len -> invalid_arg "Vbuf.d2h: size mismatch"
+   | Some _ -> ()
+   | None ->
+     if Gpusim.Machine.is_functional t.machine then
+       invalid_arg "Vbuf.d2h: phantom host array in a functional run");
+  let dst = Option.value dst ~default:[||] in
+  let segs =
+    if cfg.Rconfig.patterns then Tracker.query t.tracker ~start:0 ~stop:t.len
+    else [ { Tracker.start = 0; stop = t.len; owner = 0 } ]
+  in
+  List.iter
+    (fun { Tracker.start; stop; owner } ->
+       let owner = if owner = Tracker.host then 0 else owner in
+       if cfg.Rconfig.transfers || Gpusim.Machine.is_functional t.machine then
+         Gpusim.Machine.d2h t.machine ~src:t.instances.(owner) ~src_off:start
+           ~dst ~dst_off:start ~len:(stop - start))
+    segs
+
+(* Bring the given element ranges up to date on device [dev] by copying
+   stale segments from their owners (paper §8.3).  Returns the number
+   of transfers issued.
+
+   With [batch] the stale segments are grouped per owner and moved as
+   one packed transfer each (a pitched cudaMemcpy2D) — used by the 2-D
+   tiling extension, whose column halos fragment into thousands of
+   tiny row segments that would otherwise pay a latency each. *)
+let sync_for_read ?(cfg = Rconfig.alpha) ?(batch = false) t ~dev ~ranges =
+  if not cfg.Rconfig.patterns then 0
+  else begin
+    let transfers = ref 0 in
+    let do_data =
+      cfg.Rconfig.transfers || Gpusim.Machine.is_functional t.machine
+    in
+    if batch then begin
+      let per_owner : (int, (int * int * int) list ref) Hashtbl.t =
+        Hashtbl.create 8
+      in
+      List.iter
+        (fun (start, stop) ->
+           if stop > start then
+             List.iter
+               (fun { Tracker.start = s; stop = e; owner } ->
+                  if owner <> dev then begin
+                    let o = if owner = Tracker.host then 0 else owner in
+                    let slot =
+                      match Hashtbl.find_opt per_owner o with
+                      | Some l -> l
+                      | None ->
+                        let l = ref [] in
+                        Hashtbl.replace per_owner o l;
+                        l
+                    in
+                    slot := (s, s, e - s) :: !slot
+                  end)
+               (Tracker.query t.tracker ~start ~stop:(min stop t.len)))
+        ranges;
+      Hashtbl.iter
+        (fun owner segs ->
+           incr transfers;
+           if do_data then
+             Gpusim.Machine.p2p_multi t.machine ~src:t.instances.(owner)
+               ~dst:t.instances.(dev) ~segments:!segs)
+        per_owner
+    end
+    else
+      List.iter
+        (fun (start, stop) ->
+           if stop > start then
+             List.iter
+               (fun { Tracker.start = s; stop = e; owner } ->
+                  if owner <> dev then begin
+                    incr transfers;
+                    if do_data then
+                      Gpusim.Machine.p2p t.machine
+                        ~src:t.instances.(if owner = Tracker.host then 0 else owner)
+                        ~src_off:s ~dst:t.instances.(dev) ~dst_off:s ~len:(e - s)
+                  end)
+               (Tracker.query t.tracker ~start ~stop:(min stop t.len)))
+        ranges;
+    !transfers
+  end
+
+(* Record that device [dev] wrote the given element ranges. *)
+let update_for_write ?(cfg = Rconfig.alpha) t ~dev ~ranges =
+  if cfg.Rconfig.patterns then
+    List.iter
+      (fun (start, stop) ->
+         if stop > start then
+           Tracker.write t.tracker ~start ~stop:(min stop t.len) ~owner:dev)
+      ranges
+
+let pp fmt t =
+  Format.fprintf fmt "vbuf %s (%d elements, %d instances) %a" t.name t.len
+    (n_devices t) Tracker.pp t.tracker

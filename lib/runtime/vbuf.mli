@@ -1,0 +1,49 @@
+(** Virtual buffers (paper §8.1–8.3): one device-local instance per
+    device plus a segment tracker, kept coherent across kernel launches
+    and memcopies.
+
+    - host-to-device scatters linearly over all devices (§8.2);
+    - device-to-host gathers each segment from its owner;
+    - {!sync_for_read} fetches stale ranges before a kernel partition
+      runs; {!update_for_write} records its writes (§8.3). *)
+
+type t
+
+val create : Gpusim.Machine.t -> name:string -> len:int -> t
+(** Allocate one full-size instance on every device of the machine. *)
+
+val name : t -> string
+val len : t -> int
+val tracker : t -> Tracker.t
+
+val instance : t -> int -> Gpusim.Buffer.t
+(** The device-local instance for one device. *)
+
+val n_devices : t -> int
+val free : t -> unit
+
+val linear_chunk : len:int -> n_devices:int -> int -> (int * int)
+(** The half-open element range device [d] owns under the linear
+    distribution (the "predefined pattern" of §8.2). *)
+
+val h2d : ?cfg:Rconfig.t -> t -> src:float array option -> unit
+(** Host-to-device memcpy: linear scatter plus tracker update.
+    [src = None] is a phantom host array (performance runs only). *)
+
+val d2h : ?cfg:Rconfig.t -> t -> dst:float array option -> unit
+(** Device-to-host memcpy: gather every segment from its owner. *)
+
+val sync_for_read :
+  ?cfg:Rconfig.t -> ?batch:bool -> t -> dev:int -> ranges:(int * int) list ->
+  int
+(** Bring the element ranges up to date on device [dev], copying stale
+    segments from their owners; returns the number of transfers issued.
+    [batch] groups stale segments per owner into packed transfers
+    (pitched cudaMemcpy2D), which the 2-D tiling extension needs for
+    its fragmented column halos. *)
+
+val update_for_write :
+  ?cfg:Rconfig.t -> t -> dev:int -> ranges:(int * int) list -> unit
+(** Record that device [dev] wrote the ranges. *)
+
+val pp : Format.formatter -> t -> unit

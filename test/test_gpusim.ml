@@ -1,0 +1,227 @@
+(* Tests for the machine simulator: timelines, transfer/kernel timing
+   semantics, fabric contention, autoboost derating, and the
+   functional-mode data movement. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf msg a b = Alcotest.check (Alcotest.float 1e-12) msg a b
+
+open Gpusim
+
+(* ---------------- Timeline ---------------- *)
+
+let test_timeline_order () =
+  let t = Timeline.create "t" in
+  let s1, e1 = Timeline.schedule t ~after:0.0 ~duration:1.0 ~category:"a" in
+  checkf "starts at 0" 0.0 s1;
+  checkf "ends at 1" 1.0 e1;
+  (* next op cannot start before the previous completes *)
+  let s2, e2 = Timeline.schedule t ~after:0.5 ~duration:0.25 ~category:"a" in
+  checkf "serialized start" 1.0 s2;
+  checkf "serialized end" 1.25 e2;
+  (* an op issued after idle time starts at its issue time *)
+  let s3, _ = Timeline.schedule t ~after:5.0 ~duration:0.1 ~category:"b" in
+  checkf "idle gap respected" 5.0 s3;
+  checkf "busy a" 1.25 (Timeline.busy_in t "a");
+  checkf "busy b" 0.1 (Timeline.busy_in t "b");
+  checkf "total busy" 1.35 (Timeline.total_busy t)
+
+let test_timeline_wait () =
+  let t = Timeline.create "t" in
+  Timeline.wait_until t 3.0;
+  checkf "waited" 3.0 (Timeline.ready t);
+  Timeline.wait_until t 1.0;
+  checkf "no backwards wait" 3.0 (Timeline.ready t);
+  Timeline.reset t;
+  checkf "reset" 0.0 (Timeline.ready t)
+
+(* ---------------- Machine timing ---------------- *)
+
+let quiet_cfg n =
+  (* A machine with zeroed latencies for precise arithmetic checks. *)
+  {
+    (Config.k80_box ~n_devices:n ()) with
+    Config.transfer_latency = 0.0;
+    launch_latency = 0.0;
+    sync_device_seconds = 0.0;
+    pcie_bandwidth = 1e9;
+    p2p_bandwidth = 1e9;
+    fabric_bandwidth = 2e9;
+    autoboost_derate = 0.0;
+    elem_bytes = 4;
+  }
+
+let test_transfer_time () =
+  let m = Machine.create (quiet_cfg 2) in
+  let b = Machine.alloc m ~device:0 ~len:1_000_000 in
+  (* 4 MB at 1 GB/s = 4 ms on the copy engine. *)
+  Machine.h2d m ~src:[||] ~src_off:0 ~dst:b ~dst_off:0 ~len:1_000_000;
+  Machine.synchronize m;
+  let t = Machine.host_time m in
+  checkb "h2d takes ~4ms" true (t >= 0.004 && t < 0.0045);
+  checki "bytes counted" 4_000_000 (Machine.stats m).Machine.h2d_bytes
+
+let test_fabric_contention () =
+  (* Two h2d transfers to different devices share the fabric: with
+     fabric at 2 GB/s and links at 1 GB/s, each link alone would give
+     4ms, but fabric admission spaces the second transfer by 2ms. *)
+  let m = Machine.create (quiet_cfg 2) in
+  let b0 = Machine.alloc m ~device:0 ~len:1_000_000 in
+  let b1 = Machine.alloc m ~device:1 ~len:1_000_000 in
+  Machine.h2d m ~src:[||] ~src_off:0 ~dst:b0 ~dst_off:0 ~len:1_000_000;
+  Machine.h2d m ~src:[||] ~src_off:0 ~dst:b1 ~dst_off:0 ~len:1_000_000;
+  Machine.synchronize m;
+  let t = Machine.host_time m in
+  checkb "fabric spacing observed" true (t >= 0.006 && t < 0.0066)
+
+let test_p2p_double_fabric () =
+  (* p2p charges the fabric twice (through-host staging). *)
+  let m = Machine.create (quiet_cfg 2) in
+  let b0 = Machine.alloc m ~device:0 ~len:500_000 in
+  let b1 = Machine.alloc m ~device:1 ~len:500_000 in
+  Machine.p2p m ~src:b0 ~src_off:0 ~dst:b1 ~dst_off:0 ~len:500_000;
+  let fabric = Machine.fabric_timeline m in
+  (* 2 MB crossing twice at 2 GB/s = 2 ms of bus. *)
+  checkf "double bus time" 0.002 (Timeline.busy_in fabric "bus")
+
+let test_kernel_time_waves () =
+  let cfg = { (quiet_cfg 1) with Config.ops_per_sm = 1e9; sms_per_device = 10; blocks_per_sm = 2 } in
+  let m = Machine.create cfg in
+  (* 20 slots; 40 blocks of 1e6 ops: per-block time = 1e6*2/1e9 = 2ms;
+     40/20 = 2 "waves" -> 4ms. *)
+  Machine.launch m ~device:0 ~blocks:40 ~ops_per_block:1e6 ~run:(fun () -> ());
+  Machine.synchronize m;
+  checkf "two waves" 0.004 (Machine.device_time m 0);
+  (* below full occupancy: one block still takes one block-time *)
+  let m2 = Machine.create cfg in
+  Machine.launch m2 ~device:0 ~blocks:1 ~ops_per_block:1e6 ~run:(fun () -> ());
+  Machine.synchronize m2;
+  checkf "latency bound" 0.002 (Machine.device_time m2 0)
+
+let test_autoboost () =
+  let cfg =
+    { (quiet_cfg 16) with Config.ops_per_sm = 1e9; sms_per_device = 10;
+      blocks_per_sm = 2; autoboost_derate = 0.15; total_dies = 16 }
+  in
+  (* one active die: full speed *)
+  checkf "boost alone" 1.0 (Config.boost_factor cfg ~active:1);
+  checkf "boost all" 0.85 (Config.boost_factor cfg ~active:16);
+  let m = Machine.create cfg in
+  Machine.set_active_devices m 16;
+  Machine.launch m ~device:0 ~blocks:20 ~ops_per_block:1e6 ~run:(fun () -> ());
+  Machine.synchronize m;
+  (* 20 blocks = 1 wave at 2ms/0.85 *)
+  checkb "derated" true
+    (abs_float (Machine.device_time m 0 -. (0.002 /. 0.85)) < 1e-9)
+
+let test_default_stream_ordering () =
+  (* A kernel issued after an h2d to the same device must wait for it. *)
+  let m = Machine.create (quiet_cfg 1) in
+  let b = Machine.alloc m ~device:0 ~len:1_000_000 in
+  Machine.h2d m ~src:[||] ~src_off:0 ~dst:b ~dst_off:0 ~len:1_000_000;
+  Machine.launch m ~device:0 ~blocks:1 ~ops_per_block:0.0 ~run:(fun () -> ());
+  Machine.synchronize m;
+  checkb "kernel after transfer" true (Machine.device_time m 0 >= 0.004)
+
+let test_p2p_waits_src_compute () =
+  (* A p2p reading a buffer must wait for the source device's kernel. *)
+  let cfg = { (quiet_cfg 2) with Config.ops_per_sm = 1e9; sms_per_device = 10; blocks_per_sm = 2 } in
+  let m = Machine.create cfg in
+  let b0 = Machine.alloc m ~device:0 ~len:1000 in
+  let b1 = Machine.alloc m ~device:1 ~len:1000 in
+  Machine.launch m ~device:0 ~blocks:20 ~ops_per_block:1e6 ~run:(fun () -> ());
+  (* kernel: 2ms *)
+  Machine.p2p m ~src:b0 ~src_off:0 ~dst:b1 ~dst_off:0 ~len:1000;
+  Machine.synchronize m;
+  checkb "transfer after source kernel" true (Machine.host_time m >= 0.002)
+
+(* ---------------- Functional data movement ---------------- *)
+
+let test_functional_copies () =
+  let m = Machine.create ~functional:true (Config.test_box ~n_devices:2 ()) in
+  let b0 = Machine.alloc m ~device:0 ~len:10 in
+  let b1 = Machine.alloc m ~device:1 ~len:10 in
+  let src = Array.init 10 float_of_int in
+  Machine.h2d m ~src ~src_off:0 ~dst:b0 ~dst_off:0 ~len:10;
+  Machine.p2p m ~src:b0 ~src_off:2 ~dst:b1 ~dst_off:5 ~len:3;
+  let out = Array.make 3 nan in
+  Machine.d2h m ~src:b1 ~src_off:5 ~dst:out ~dst_off:0 ~len:3;
+  Alcotest.(check (array (float 0.0))) "p2p moved data" [| 2.; 3.; 4. |] out
+
+let test_range_checks () =
+  let m = Machine.create (quiet_cfg 1) in
+  let b = Machine.alloc m ~device:0 ~len:10 in
+  Alcotest.check_raises "h2d oob"
+    (Invalid_argument "h2d: range [5,15) outside buffer 0 of length 10")
+    (fun () -> Machine.h2d m ~src:[||] ~src_off:0 ~dst:b ~dst_off:5 ~len:10)
+
+let test_trace () =
+  let m = Machine.create (quiet_cfg 2) in
+  Machine.enable_trace m;
+  let b0 = Machine.alloc m ~device:0 ~len:100 in
+  let b1 = Machine.alloc m ~device:1 ~len:100 in
+  Machine.h2d m ~src:[||] ~src_off:0 ~dst:b0 ~dst_off:0 ~len:100;
+  Machine.p2p m ~src:b0 ~src_off:0 ~dst:b1 ~dst_off:0 ~len:50;
+  Machine.launch m ~device:1 ~blocks:1 ~ops_per_block:1e3 ~run:(fun () -> ());
+  let tr = Machine.trace m in
+  checki "three events" 3 (List.length tr);
+  (match tr with
+   | [ e1; e2; e3 ] ->
+     checkb "h2d first" true (e1.Machine.ev_kind = `H2d);
+     checki "h2d bytes" 400 e1.Machine.ev_bytes;
+     checkb "p2p second" true
+       (e2.Machine.ev_kind = `P2p && e2.Machine.ev_src = 0
+        && e2.Machine.ev_dst = 1);
+     checkb "kernel third" true
+       (e3.Machine.ev_kind = `Kernel && e3.Machine.ev_src = 1);
+     checkb "ordered" true
+       (e1.Machine.ev_start <= e2.Machine.ev_start
+        && e2.Machine.ev_finish <= e3.Machine.ev_start
+        +. 1e-9)
+   | _ -> Alcotest.fail "unexpected trace shape");
+  (* tracing off by default *)
+  let m2 = Machine.create (quiet_cfg 1) in
+  let b = Machine.alloc m2 ~device:0 ~len:10 in
+  Machine.h2d m2 ~src:[||] ~src_off:0 ~dst:b ~dst_off:0 ~len:10;
+  checki "no trace by default" 0 (List.length (Machine.trace m2))
+
+let test_buffer_basics () =
+  let b = Buffer.create ~id:7 ~device:3 ~len:5 ~functional:true in
+  checki "id" 7 (Buffer.id b);
+  checki "device" 3 (Buffer.device b);
+  checki "len" 5 (Buffer.len b);
+  checkb "has data" true (Buffer.has_data b);
+  let p = Buffer.create ~id:8 ~device:0 ~len:5 ~functional:false in
+  checkb "perf mode has no data" false (Buffer.has_data p);
+  (* perf-mode blits are no-ops *)
+  Buffer.blit_from_host ~src:[| 1.0 |] ~src_off:0 p ~dst_off:0 ~len:1;
+  Alcotest.check_raises "data_exn on perf buffer"
+    (Invalid_argument "Buffer.data_exn: performance-mode buffer has no data")
+    (fun () -> ignore (Buffer.data_exn p))
+
+let () =
+  Alcotest.run "gpusim"
+    [
+      ( "timeline",
+        [
+          Alcotest.test_case "ordering" `Quick test_timeline_order;
+          Alcotest.test_case "wait/reset" `Quick test_timeline_wait;
+        ] );
+      ( "timing",
+        [
+          Alcotest.test_case "transfer duration" `Quick test_transfer_time;
+          Alcotest.test_case "fabric contention" `Quick test_fabric_contention;
+          Alcotest.test_case "p2p double fabric" `Quick test_p2p_double_fabric;
+          Alcotest.test_case "kernel waves" `Quick test_kernel_time_waves;
+          Alcotest.test_case "autoboost derate" `Quick test_autoboost;
+          Alcotest.test_case "default-stream order" `Quick test_default_stream_ordering;
+          Alcotest.test_case "p2p waits source" `Quick test_p2p_waits_src_compute;
+        ] );
+      ( "data",
+        [
+          Alcotest.test_case "functional copies" `Quick test_functional_copies;
+          Alcotest.test_case "event trace" `Quick test_trace;
+          Alcotest.test_case "range checks" `Quick test_range_checks;
+          Alcotest.test_case "buffer basics" `Quick test_buffer_basics;
+        ] );
+    ]

@@ -1,0 +1,1174 @@
+(* Tests for the partitioning compiler: polyhedral access analysis,
+   write-injectivity checking, strategy selection, the kernel partition
+   transform, model (de)serialization, enumerator generation, the
+   source rewriter, and — most importantly — the end-to-end golden
+   property: the partitioned multi-GPU execution produces bit-identical
+   results to the single-GPU reference engine and the CPU reference,
+   for every benchmark and a range of device counts. *)
+
+open Ppoly
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+(* ---------------- Access analysis ---------------- *)
+
+let analyze_exn k =
+  match Mekong.Access.analyze k with
+  | Ok a -> a
+  | Error e -> Alcotest.failf "analysis rejected %s: %s" k.Kir.name
+                 (Mekong.Access.error_message e)
+
+let test_analyze_vecadd () =
+  let a = analyze_exn Apps.Vecadd.kernel in
+  checks "strategy" "x" (Dim3.axis_name a.Mekong.Access.strategy);
+  let acc name = Option.get (Mekong.Access.find_access a name) in
+  checkb "a read" true ((acc "a").Mekong.Access.read <> None);
+  checkb "a not written" true ((acc "a").Mekong.Access.write = None);
+  checkb "c written" true ((acc "c").Mekong.Access.write <> None);
+  checkb "c not read" true ((acc "c").Mekong.Access.read = None);
+  checkb "reads exact" true (acc "a").Mekong.Access.read_exact
+
+let test_analyze_hotspot () =
+  let a = analyze_exn Apps.Hotspot.kernel in
+  checks "strategy is y (row bands)" "y" (Dim3.axis_name a.Mekong.Access.strategy);
+  let inp = Option.get (Mekong.Access.find_access a "inp") in
+  let out = Option.get (Mekong.Access.find_access a "out") in
+  checkb "inp read only" true
+    (inp.Mekong.Access.read <> None && inp.Mekong.Access.write = None);
+  checkb "out write only" true
+    (out.Mekong.Access.write <> None && out.Mekong.Access.read = None);
+  (* The stencil read map has the centre plus four neighbour pieces. *)
+  checki "halo pieces" 5
+    (Pset.n_pieces (Pmap.rel (Option.get inp.Mekong.Access.read)))
+
+let test_analyze_nbody () =
+  let a = analyze_exn Apps.Nbody.kernel in
+  checks "strategy" "x" (Dim3.axis_name a.Mekong.Access.strategy);
+  let pos_in = Option.get (Mekong.Access.find_access a "pos_in") in
+  checkb "pos_in read" true (pos_in.Mekong.Access.read <> None);
+  checkb "pos_in never written" true (pos_in.Mekong.Access.write = None)
+
+let test_analyze_matmul () =
+  let a = analyze_exn Apps.Matmul.kernel in
+  checks "strategy is y" "y" (Dim3.axis_name a.Mekong.Access.strategy)
+
+(* A kernel where two blocks write the same cell must be rejected
+   (write-after-write hazard, paper §4.1). *)
+let test_reject_non_injective () =
+  let open Kir in
+  let k =
+    Kir.kernel ~name:"broken"
+      ~params:
+        [ Scalar "n"; Array { name = "o"; dims = [| Dim_param "n" |] } ]
+      [
+        Local ("gi", global_id Dim3.X);
+        If (v "gi" < p "n", [ store "o" [ i 0 ] (f 1.0) ], []);
+        (* every thread writes o[0] *)
+      ]
+  in
+  match Mekong.Access.analyze k with
+  | Error (Mekong.Access.Non_injective_write "o") -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Mekong.Access.error_message e)
+  | Ok _ -> Alcotest.fail "expected rejection"
+
+(* Data-dependent (indirect) writes cannot be modeled and must be
+   rejected; indirect reads over-approximate instead. *)
+let test_reject_indirect_write () =
+  let open Kir in
+  let k =
+    Kir.kernel ~name:"scatter"
+      ~params:
+        [
+          Scalar "n";
+          Array { name = "idx"; dims = [| Dim_param "n" |] };
+          Array { name = "o"; dims = [| Dim_param "n" |] };
+        ]
+      [
+        Local ("gi", global_id Dim3.X);
+        If
+          ( v "gi" < p "n",
+            [ store "o" [ load "idx" [ v "gi" ] ] (f 1.0) ],
+            [] );
+      ]
+  in
+  (match Mekong.Access.analyze k with
+   | Error (Mekong.Access.Inexact_write "o") -> ()
+   | Error e -> Alcotest.failf "wrong error: %s" (Mekong.Access.error_message e)
+   | Ok _ -> Alcotest.fail "expected rejection");
+  (* The same pattern as a read (gather) is accepted with an
+     over-approximated read map. *)
+  let gather =
+    Kir.kernel ~name:"gather"
+      ~params:
+        [
+          Scalar "n";
+          Array { name = "idx"; dims = [| Dim_param "n" |] };
+          Array { name = "src"; dims = [| Dim_param "n" |] };
+          Array { name = "o"; dims = [| Dim_param "n" |] };
+        ]
+      [
+        Local ("gi", global_id Dim3.X);
+        If
+          ( v "gi" < p "n",
+            [ store "o" [ v "gi" ] (load "src" [ load "idx" [ v "gi" ] ]) ],
+            [] );
+      ]
+  in
+  let a = analyze_exn gather in
+  let src = Option.get (Mekong.Access.find_access a "src") in
+  checkb "gather read approximated" false src.Mekong.Access.read_exact
+
+(* The hotspot read map must contain the halo: for a partition covering
+   block-row 1 (rows 16..31 with 16x16 blocks), the read rows are
+   15..32. *)
+let test_hotspot_read_halo () =
+  let a = analyze_exn Apps.Hotspot.kernel in
+  let inp = Option.get (Mekong.Access.find_access a "inp") in
+  let enum =
+    Mekong.Codegen.enumerator_of_map ~dims:[| Kir.Dim_param "n"; Kir.Dim_param "n" |]
+      (Option.get inp.Mekong.Access.read)
+  in
+  let n = 64 in
+  let p =
+    {
+      Mekong.Partition.device = 0;
+      min_blocks = { Dim3.x = 0; y = 1; z = 0 };
+      max_blocks = { Dim3.x = 4; y = 2; z = 1 };
+    }
+  in
+  let bindings =
+    [ ("n", n) ]
+    @ List.concat_map
+        (fun ax ->
+           [
+             (Mekong.Access.bdim_name ax, Dim3.get Apps.Hotspot.block ax);
+             (Mekong.Access.gdim_name ax, Dim3.get (Apps.Hotspot.grid_for n) ax);
+           ])
+        Dim3.axes
+    @ Mekong.Partition.box_bindings p ~block:Apps.Hotspot.block
+  in
+  let ranges = Mekong.Codegen.ranges enum ~bindings in
+  Alcotest.(check (list (pair int int)))
+    "halo band rows 15..32"
+    [ (15 * n, 33 * n) ]
+    ranges
+
+(* ---------------- Partition transform ---------------- *)
+
+let test_partition_make () =
+  let grid = Dim3.make 10 ~y:7 in
+  let parts = Mekong.Partition.make ~grid ~axis:Dim3.Y ~n:3 in
+  checki "three partitions" 3 (List.length parts);
+  let blocks = List.map Mekong.Partition.n_blocks parts in
+  Alcotest.(check (list int)) "balanced" [ 30; 20; 20 ] blocks;
+  (* partitions tile the grid *)
+  let total = List.fold_left ( + ) 0 blocks in
+  checki "covers grid" (Dim3.volume grid) total;
+  (* more devices than blocks along the axis: empty partitions allowed *)
+  let parts16 = Mekong.Partition.make ~grid:(Dim3.make 4) ~axis:Dim3.X ~n:16 in
+  checki "empty tail partitions" 12
+    (List.length (List.filter Mekong.Partition.is_empty parts16))
+
+let test_partition_transform () =
+  let k = Mekong.Partition.transform_kernel Apps.Vecadd.kernel in
+  checks "renamed" "vecadd__part" k.Kir.name;
+  checki "six extra params" (List.length Apps.Vecadd.kernel.Kir.params + 6)
+    (List.length k.Kir.params);
+  (* Execute the partitioned kernel over a sub-grid and check the Eq. 8
+     offset semantics: with min=(0,0,2) blocks and block 128 wide, the
+     first written element is 2*128. *)
+  let n = 1024 in
+  let a = Array.init n float_of_int and b = Array.make n 1.0 in
+  let c = Array.make n nan in
+  let args =
+    [
+      Host_ir.HInt n; Host_ir.HBuf "a"; Host_ir.HBuf "b"; Host_ir.HBuf "c";
+    ]
+  in
+  let p =
+    {
+      Mekong.Partition.device = 0;
+      min_blocks = { Dim3.x = 2; y = 0; z = 0 };
+      max_blocks = { Dim3.x = 5; y = 1; z = 1 };
+    }
+  in
+  let all_args = args @ Mekong.Partition.partition_args p in
+  let store_count = ref 0 in
+  Keval.run k ~grid:(Mekong.Partition.launch_grid p) ~block:Apps.Vecadd.block
+    ~args:(Host_ir.scalar_args all_args)
+    ~load:(fun arr off -> (if arr = "a" then a else b).(off))
+    ~store:(fun _ off v ->
+        incr store_count;
+        c.(off) <- v);
+  checki "stores only partition range" (3 * 128) !store_count;
+  checkb "first partition element written" true (not (Float.is_nan c.(2 * 128)));
+  checkb "last partition element written" true (not (Float.is_nan c.((5 * 128) - 1)));
+  checkb "below partition untouched" true (Float.is_nan c.((2 * 128) - 1));
+  checkb "above partition untouched" true (Float.is_nan c.(5 * 128));
+  checkb "value correct" true (c.(300) = 301.0)
+
+(* ---------------- Model serialization ---------------- *)
+
+let test_model_roundtrip () =
+  let analyses =
+    List.map analyze_exn
+      [ Apps.Vecadd.kernel; Apps.Hotspot.kernel; Apps.Nbody.kernel;
+        Apps.Matmul.kernel ]
+  in
+  let model = Mekong.Model.of_analyses analyses in
+  let text = Mekong.Model.to_string model in
+  let model' = Mekong.Model.of_string text in
+  checki "kernel count" 4 (List.length model'.Mekong.Model.kernels);
+  List.iter2
+    (fun (k : Mekong.Model.kernel_model) (k' : Mekong.Model.kernel_model) ->
+       checks "name" k.Mekong.Model.kname k'.Mekong.Model.kname;
+       checkb "strategy" true (k.Mekong.Model.strategy = k'.Mekong.Model.strategy);
+       List.iter2
+         (fun (a : Mekong.Model.array_model) (a' : Mekong.Model.array_model) ->
+            checks "arr" a.Mekong.Model.arr a'.Mekong.Model.arr;
+            checkb "dims" true (a.Mekong.Model.dims = a'.Mekong.Model.dims);
+            (* Serialization is exact (same normalized constraints), so
+               structural comparison suffices — and semantic equality on
+               8-piece unions would be exponential. *)
+            let poly_repr p =
+              List.sort compare
+                (List.map Constr.to_string (Poly.constraints p))
+            in
+            let map_repr m =
+              List.sort compare
+                (List.map poly_repr (Pset.pieces (Pmap.rel m)))
+            in
+            let same_map m m' =
+              match (m, m') with
+              | None, None -> true
+              | Some m, Some m' -> map_repr m = map_repr m'
+              | _ -> false
+            in
+            checkb "read map" true (same_map a.Mekong.Model.read a'.Mekong.Model.read);
+            checkb "write map" true
+              (same_map a.Mekong.Model.write a'.Mekong.Model.write))
+         k.Mekong.Model.arrays k'.Mekong.Model.arrays)
+    model.Mekong.Model.kernels model'.Mekong.Model.kernels
+
+let test_model_file_roundtrip () =
+  let model = Mekong.Model.of_analyses [ analyze_exn Apps.Vecadd.kernel ] in
+  let file = Filename.temp_file "mekong_model" ".sexp" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+       Mekong.Model.save model ~file;
+       let model' = Mekong.Model.load ~file in
+       checki "kernels" 1 (List.length model'.Mekong.Model.kernels))
+
+(* ---------------- Rewriter ---------------- *)
+
+let test_rewriter () =
+  let n = 256 in
+  let prog, _, _ = Apps.Workloads.functional_vecadd ~n in
+  let src = Cusrc.render prog in
+  checkb "source has launch" true (Mekong.Rewriter.count_launches src > 0);
+  let out = Mekong.Rewriter.rewrite src in
+  checkb "runtime header inserted" true
+    (Str.string_match (Str.regexp ".*mekong_runtime\\.h.*") out 0
+     || String.length out > 0
+        && String.length (Str.global_replace (Str.regexp_string "mekong_runtime.h") "" out)
+           < String.length out);
+  checkb "launches replaced" true (Mekong.Rewriter.count_launches out = 0);
+  checkb "malloc replaced" true
+    (not (String.length (Str.global_replace (Str.regexp_string "mekongMalloc") "" out)
+          = String.length out));
+  checkb "no cudaMalloc left" true
+    (String.length (Str.global_replace (Str.regexp_string "cudaMalloc") "" out)
+     = String.length out)
+
+(* ---------------- End-to-end golden property ---------------- *)
+
+let run_single prog =
+  let m = Gpusim.Machine.create ~functional:true (Gpusim.Config.test_box ~n_devices:1 ()) in
+  ignore (Single_gpu.run ~machine:m prog)
+
+let k80_perf g =
+  Gpusim.Machine.create ~functional:false (Gpusim.Config.k80_box ~n_devices:g ())
+
+let compile_exn prog =
+  match Mekong.Toolchain.compile prog with
+  | Ok a -> a
+  | Error e -> Alcotest.failf "toolchain: %s" (Mekong.Toolchain.error_message e)
+
+let run_multi ~devices prog =
+  let artifacts = compile_exn prog in
+  let m =
+    Gpusim.Machine.create ~functional:true
+      (Gpusim.Config.test_box ~n_devices:devices ())
+  in
+  ignore (Mekong.Multi_gpu.run ~machine:m artifacts.Mekong.Toolchain.exe)
+
+let check_golden name make_instance devices =
+  (* CPU reference *)
+  let prog_ref, out_ref, cpu = make_instance () in
+  run_single prog_ref;
+  let cpu_result = cpu () in
+  checkb (name ^ ": single-GPU = CPU reference") true (out_ref = cpu_result);
+  (* multi-GPU runs *)
+  List.iter
+    (fun g ->
+       let prog, out, _ = make_instance () in
+       run_multi ~devices:g prog;
+       checkb (Printf.sprintf "%s: %d-GPU = reference" name g) true
+         (out = cpu_result))
+    devices
+
+let test_golden_vecadd () =
+  check_golden "vecadd"
+    (fun () -> Apps.Workloads.functional_vecadd ~n:1000)
+    [ 1; 2; 3; 4; 7 ]
+
+let test_golden_hotspot () =
+  check_golden "hotspot"
+    (fun () -> Apps.Workloads.functional_hotspot ~n:64 ~iterations:5)
+    [ 1; 2; 3; 4 ]
+
+let test_golden_nbody () =
+  check_golden "nbody"
+    (fun () -> Apps.Workloads.functional_nbody ~n:192 ~iterations:3)
+    [ 1; 2; 4 ]
+
+let test_golden_matmul () =
+  check_golden "matmul"
+    (fun () -> Apps.Workloads.functional_matmul ~n:48)
+    [ 1; 2; 3; 4 ]
+
+(* Random problem sizes (including non-multiples of the block size and
+   sizes smaller than the device count). *)
+let prop_golden_vecadd_sizes =
+  QCheck.Test.make ~name:"vecadd golden across random sizes/devices" ~count:25
+    QCheck.(pair (int_range 1 600) (int_range 1 8))
+    (fun (n, g) ->
+      let prog, out, cpu = Apps.Workloads.functional_vecadd ~n in
+      run_multi ~devices:g prog;
+      out = cpu ())
+
+let prop_golden_hotspot_sizes =
+  QCheck.Test.make ~name:"hotspot golden across random sizes/devices" ~count:10
+    QCheck.(pair (int_range 3 48) (int_range 1 6))
+    (fun (n, g) ->
+      let prog, out, cpu =
+        Apps.Workloads.functional_hotspot ~n ~iterations:3
+      in
+      run_multi ~devices:g prog;
+      out = cpu ())
+
+(* ---------------- Toolchain ---------------- *)
+
+let test_toolchain_artifacts () =
+  let prog, _, _ = Apps.Workloads.functional_vecadd ~n:256 in
+  let a = compile_exn prog in
+  checkb "model has vecadd" true
+    (Mekong.Model.find a.Mekong.Toolchain.model "vecadd" <> None);
+  checkb "rewritten differs" true
+    (a.Mekong.Toolchain.rewritten_source <> a.Mekong.Toolchain.original_source);
+  checkb "original has cuda calls" true
+    (Mekong.Rewriter.count_launches a.Mekong.Toolchain.original_source = 1)
+
+let test_toolchain_rejects () =
+  let open Kir in
+  let bad =
+    Kir.kernel ~name:"bad"
+      ~params:[ Scalar "n"; Array { name = "o"; dims = [| Dim_param "n" |] } ]
+      [ store "o" [ i 0 ] (f 1.0) ]
+  in
+  let prog =
+    Host_ir.program ~name:"badprog"
+      [
+        Host_ir.Malloc ("o", 16);
+        Host_ir.Launch
+          {
+            kernel = bad;
+            grid = Dim3.make 2;
+            block = Dim3.make 8;
+            args = [ Host_ir.HInt 16; Host_ir.HBuf "o" ];
+          };
+        Host_ir.Free "o";
+      ]
+  in
+  match Mekong.Toolchain.compile prog with
+  | Error { kernel = "bad"; _ } -> ()
+  | Error e -> Alcotest.failf "wrong kernel: %s" (Mekong.Toolchain.error_message e)
+  | Ok _ -> Alcotest.fail "expected rejection"
+
+(* The single-segment property of 1:1 kernels (paper §8.1): after a
+   vecadd, each device owns exactly one contiguous segment of c. *)
+let test_tracker_fragmentation () =
+  let n = 1024 in
+  let prog, _, _ = Apps.Workloads.functional_vecadd ~n in
+  let artifacts = compile_exn prog in
+  (* re-link against a fresh machine but keep vbufs visible: rerun and
+     inspect stats instead *)
+  let m =
+    Gpusim.Machine.create ~functional:true (Gpusim.Config.test_box ~n_devices:4 ())
+  in
+  let res = Mekong.Multi_gpu.run ~machine:m artifacts.Mekong.Toolchain.exe in
+  (* vecadd reads match the linear distribution exactly: no
+     inter-device synchronization transfers at all. *)
+  checki "no stale-data transfers" 0 res.Mekong.Multi_gpu.transfers
+
+let qtest t = QCheck_alcotest.to_alcotest t
+
+let base_suites =
+    [
+      ( "access",
+        [
+          Alcotest.test_case "vecadd" `Quick test_analyze_vecadd;
+          Alcotest.test_case "hotspot" `Quick test_analyze_hotspot;
+          Alcotest.test_case "nbody" `Quick test_analyze_nbody;
+          Alcotest.test_case "matmul" `Quick test_analyze_matmul;
+          Alcotest.test_case "reject non-injective" `Quick test_reject_non_injective;
+          Alcotest.test_case "reject indirect write" `Quick test_reject_indirect_write;
+          Alcotest.test_case "hotspot halo" `Quick test_hotspot_read_halo;
+        ] );
+      ( "partition",
+        [
+          Alcotest.test_case "make" `Quick test_partition_make;
+          Alcotest.test_case "kernel transform" `Quick test_partition_transform;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_model_roundtrip;
+          Alcotest.test_case "file roundtrip" `Quick test_model_file_roundtrip;
+        ] );
+      ( "rewriter", [ Alcotest.test_case "substitutions" `Quick test_rewriter ] );
+      ( "golden",
+        [
+          Alcotest.test_case "vecadd" `Quick test_golden_vecadd;
+          Alcotest.test_case "hotspot" `Quick test_golden_hotspot;
+          Alcotest.test_case "nbody" `Slow test_golden_nbody;
+          Alcotest.test_case "matmul" `Quick test_golden_matmul;
+          qtest prop_golden_vecadd_sizes;
+          qtest prop_golden_hotspot_sizes;
+        ] );
+      ( "toolchain",
+        [
+          Alcotest.test_case "artifacts" `Quick test_toolchain_artifacts;
+          Alcotest.test_case "rejects bad kernels" `Quick test_toolchain_rejects;
+          Alcotest.test_case "tracker fragmentation" `Quick test_tracker_fragmentation;
+        ] );
+    ]
+
+(* ---------------- Random-kernel golden property ----------------
+
+   Generate random affine stencil-like kernels (identity writes, random
+   shifted/looped reads with bounds guards) and check that the
+   partitioned execution is bit-identical to the single-GPU engine for
+   random device counts and problem sizes.  This exercises the whole
+   pipeline: analysis, strategy choice, partition transform, enumerator
+   codegen and the runtime. *)
+
+type rand_spec = {
+  rs_two_d : bool;
+  rs_shifts : (int * int) list;
+  rs_row_loop : bool;
+  rs_n : int;
+  rs_gpus : int;
+}
+
+let gen_rand_spec =
+  QCheck.Gen.(
+    bool >>= fun rs_two_d ->
+    list_size (int_range 0 4)
+      (pair (int_range (-2) 2) (int_range (-2) 2))
+    >>= fun rs_shifts ->
+    bool >>= fun rs_row_loop ->
+    int_range 6 60 >>= fun rs_n ->
+    int_range 1 6 >>= fun rs_gpus ->
+    return { rs_two_d; rs_shifts; rs_row_loop; rs_n; rs_gpus })
+
+let print_rand_spec s =
+  Printf.sprintf "{2d=%b shifts=[%s] loop=%b n=%d gpus=%d}" s.rs_two_d
+    (String.concat ";"
+       (List.map (fun (a, b) -> Printf.sprintf "(%d,%d)" a b) s.rs_shifts))
+    s.rs_row_loop s.rs_n s.rs_gpus
+
+(* Build the kernel for a spec.  Reads are guarded so Keval never goes
+   out of bounds; writes are the identity map. *)
+let kernel_of_spec spec =
+  let open Kir in
+  let n = p "n" in
+  let gx = v "gx" and gy = v "gy" in
+  let dims =
+    if spec.rs_two_d then [| Dim_param "n"; Dim_param "n" |]
+    else [| Dim_param "n" |]
+  in
+  let idx row col = if spec.rs_two_d then [ row; col ] else [ col ] in
+  let shift_stmt k (dy, dx) =
+    let row = gy + i dy and col = gx + i dx in
+    let in_bounds =
+      if spec.rs_two_d then
+        row >= i 0 && row < n && col >= i 0 && col < n
+      else col >= i 0 && col < n
+    in
+    If
+      ( in_bounds,
+        [ Assign ("acc", v "acc" + load "a" (idx row col)) ],
+        [ Assign ("acc", v "acc" + f (float_of_int k)) ] )
+  in
+  let row_loop =
+    if spec.rs_row_loop then
+      [
+        For
+          {
+            var = "k";
+            from_ = i 0;
+            to_ = n;
+            body = [ Assign ("acc", v "acc" + load "a" (idx gy (v "k"))) ];
+          };
+      ]
+    else []
+  in
+  let guard = if spec.rs_two_d then gx < n && gy < n else gx < n in
+  Kir.kernel ~name:"randk"
+    ~params:
+      [
+        Scalar "n";
+        Array { name = "a"; dims };
+        Array { name = "out"; dims };
+      ]
+    [
+      Local ("gx", global_id Dim3.X);
+      Local ("gy", global_id Dim3.Y);
+      If
+        ( guard,
+          [ Local ("acc", load "a" (idx gy gx)) ]
+          @ List.mapi shift_stmt spec.rs_shifts
+          @ row_loop
+          @ [ store "out" (idx gy gx) (v "acc") ],
+          [] );
+    ]
+
+let program_of_spec spec ~(result : float array) =
+  let n = spec.rs_n in
+  let total = if spec.rs_two_d then n * n else n in
+  let a = Array.init total (fun i -> float_of_int ((i * 37 mod 101) - 50) /. 7.0) in
+  let block = if spec.rs_two_d then Dim3.make 4 ~y:4 else Dim3.make 8 in
+  let gdim ext bl = (ext + bl - 1) / bl in
+  let grid =
+    if spec.rs_two_d then Dim3.make (gdim n 4) ~y:(gdim n 4)
+    else Dim3.make (gdim n 8)
+  in
+  Host_ir.program ~name:"randprog"
+    [
+      Host_ir.Malloc ("a", total);
+      Host_ir.Malloc ("out", total);
+      Host_ir.Memcpy_h2d { dst = "a"; src = Host_ir.host_data a };
+      Host_ir.Launch
+        {
+          kernel = kernel_of_spec spec;
+          grid;
+          block;
+          args = [ Host_ir.HInt n; Host_ir.HBuf "a"; Host_ir.HBuf "out" ];
+        };
+      Host_ir.Memcpy_d2h { dst = Host_ir.host_data result; src = "out" };
+      Host_ir.Free "a";
+      Host_ir.Free "out";
+    ]
+
+let prop_random_kernels_golden =
+  QCheck.Test.make ~name:"random affine kernels: multi-GPU == single-GPU"
+    ~count:60
+    (QCheck.make ~print:print_rand_spec gen_rand_spec)
+    (fun spec ->
+      let total = if spec.rs_two_d then spec.rs_n * spec.rs_n else spec.rs_n in
+      let out_single = Array.make total nan in
+      let out_multi = Array.make total nan in
+      run_single (program_of_spec spec ~result:out_single);
+      run_multi ~devices:spec.rs_gpus (program_of_spec spec ~result:out_multi);
+      out_single = out_multi)
+
+(* A transposed write: out[gx][gy] = a[gy][gx].  Injective, but reads
+   cross the partition direction, forcing heavy synchronization. *)
+let test_golden_transpose () =
+  let n = 24 in
+  let k =
+    let open Kir in
+    let dims = [| Dim_param "n"; Dim_param "n" |] in
+    Kir.kernel ~name:"transpose"
+      ~params:[ Scalar "n"; Array { name = "a"; dims }; Array { name = "out"; dims } ]
+      [
+        Local ("gx", global_id Dim3.X);
+        Local ("gy", global_id Dim3.Y);
+        If
+          ( v "gx" < p "n" && v "gy" < p "n",
+            [ store "out" [ v "gx"; v "gy" ] (load "a" [ v "gy"; v "gx" ]) ],
+            [] );
+      ]
+  in
+  let a = Array.init (n * n) (fun i -> float_of_int i) in
+  let make result =
+    Host_ir.program ~name:"transpose"
+      [
+        Host_ir.Malloc ("a", n * n);
+        Host_ir.Malloc ("out", n * n);
+        Host_ir.Memcpy_h2d { dst = "a"; src = Host_ir.host_data a };
+        Host_ir.Launch
+          {
+            kernel = k;
+            grid = Dim3.make 6 ~y:6;
+            block = Dim3.make 4 ~y:4;
+            args = [ Host_ir.HInt n; Host_ir.HBuf "a"; Host_ir.HBuf "out" ];
+          };
+        Host_ir.Memcpy_d2h { dst = Host_ir.host_data result; src = "out" };
+        Host_ir.Free "a";
+        Host_ir.Free "out";
+      ]
+  in
+  let expected = Array.init (n * n) (fun i -> float_of_int ((i mod n * n) + (i / n))) in
+  let out1 = Array.make (n * n) nan in
+  run_single (make out1);
+  checkb "transpose single correct" true (out1 = expected);
+  List.iter
+    (fun g ->
+       let out = Array.make (n * n) nan in
+       run_multi ~devices:g (make out);
+       checkb (Printf.sprintf "transpose %d-GPU" g) true (out = expected))
+    [ 2; 3; 5 ]
+
+(* A two-kernel program with a dependency through a buffer: the second
+   kernel reads what the first wrote, across a different partitioning. *)
+let test_golden_two_kernels () =
+  let n = 500 in
+  let scale =
+    let open Kir in
+    let dims = [| Dim_param "n" |] in
+    Kir.kernel ~name:"scale"
+      ~params:[ Scalar "n"; Array { name = "x"; dims }; Array { name = "y"; dims } ]
+      [
+        Local ("gi", global_id Dim3.X);
+        If (v "gi" < p "n", [ store "y" [ v "gi" ] (load "x" [ v "gi" ] * f 3.0) ], []);
+      ]
+  in
+  let reverse_read =
+    (* y2[gi] = y[n-1-gi]: reads the opposite end of the array, so the
+       second launch must pull data written by other devices. *)
+    let open Kir in
+    let dims = [| Dim_param "n" |] in
+    Kir.kernel ~name:"revread"
+      ~params:[ Scalar "n"; Array { name = "y"; dims }; Array { name = "y2"; dims } ]
+      [
+        Local ("gi", global_id Dim3.X);
+        If
+          ( v "gi" < p "n",
+            [ store "y2" [ v "gi" ] (load "y" [ p "n" - i 1 - v "gi" ]) ],
+            [] );
+      ]
+  in
+  let a = Array.init n (fun i -> float_of_int i) in
+  let make result =
+    let grid = Dim3.make ((n + 63) / 64) and block = Dim3.make 64 in
+    Host_ir.program ~name:"two"
+      [
+        Host_ir.Malloc ("x", n);
+        Host_ir.Malloc ("y", n);
+        Host_ir.Malloc ("y2", n);
+        Host_ir.Memcpy_h2d { dst = "x"; src = Host_ir.host_data a };
+        Host_ir.Launch
+          { kernel = scale; grid; block;
+            args = [ Host_ir.HInt n; Host_ir.HBuf "x"; Host_ir.HBuf "y" ] };
+        Host_ir.Launch
+          { kernel = reverse_read; grid; block;
+            args = [ Host_ir.HInt n; Host_ir.HBuf "y"; Host_ir.HBuf "y2" ] };
+        Host_ir.Memcpy_d2h { dst = Host_ir.host_data result; src = "y2" };
+        Host_ir.Free "x";
+        Host_ir.Free "y";
+        Host_ir.Free "y2";
+      ]
+  in
+  let expected = Array.init n (fun i -> float_of_int (n - 1 - i) *. 3.0) in
+  List.iter
+    (fun g ->
+       let out = Array.make n nan in
+       run_multi ~devices:g (make out);
+       checkb (Printf.sprintf "two kernels %d-GPU" g) true (out = expected))
+    [ 1; 2; 4; 6 ]
+
+(* Kernels that read via blockIdx and gridDim directly (no blockOff):
+   per-block accesses are still affine in the blockIdx dimensions. *)
+let test_golden_blockwise_kernel () =
+  let n_blocks = 12 in
+  let k =
+    let open Kir in
+    Kir.kernel ~name:"blockwise"
+      ~params:
+        [ Scalar "nb"; Array { name = "o"; dims = [| Dim_param "nb" |] } ]
+      [
+        (* one thread per block writes o[blockIdx.x] = blockIdx.x *)
+        If
+          ( tid Dim3.X = i 0 && bid Dim3.X < p "nb",
+            [ store "o" [ bid Dim3.X ] (bid Dim3.X * f 1.0) ],
+            [] );
+      ]
+  in
+  let make result =
+    Host_ir.program ~name:"blockwise"
+      [
+        Host_ir.Malloc ("o", n_blocks);
+        Host_ir.Launch
+          {
+            kernel = k;
+            grid = Dim3.make n_blocks;
+            block = Dim3.make 4;
+            args = [ Host_ir.HInt n_blocks; Host_ir.HBuf "o" ];
+          };
+        Host_ir.Memcpy_d2h { dst = Host_ir.host_data result; src = "o" };
+        Host_ir.Free "o";
+      ]
+  in
+  let expected = Array.init n_blocks float_of_int in
+  List.iter
+    (fun g ->
+       let out = Array.make n_blocks nan in
+       run_multi ~devices:g (make out);
+       checkb (Printf.sprintf "blockwise %d-GPU" g) true (out = expected))
+    [ 1; 3; 4 ]
+
+
+(* ---------------- Instrumented writes (paper §11 fallback) ----------- *)
+
+(* A scatter kernel: o[idx[gi]] = x[gi] * 2.  The write subscript is
+   data-dependent, so the static analysis cannot model it; with
+   instrumentation enabled the write sets are collected at run time. *)
+let scatter_kernel =
+  let open Kir in
+  let dims = [| Dim_param "n" |] in
+  Kir.kernel ~name:"scatter"
+    ~params:
+      [
+        Scalar "n";
+        Array { name = "idx"; dims };
+        Array { name = "x"; dims };
+        Array { name = "o"; dims };
+      ]
+    [
+      Local ("gi", global_id Dim3.X);
+      If
+        ( v "gi" < p "n",
+          [
+            Local ("j", load "idx" [ v "gi" ]);
+            store "o" [ v "j" ] (load "x" [ v "gi" ] * f 2.0);
+          ],
+          [] );
+    ]
+
+let scatter_program ~n ~(idx : int array) ~(result : float array) =
+  let x = Array.init n (fun i -> float_of_int i +. 0.25) in
+  let idxf = Array.map float_of_int idx in
+  let grid = Dim3.make ((n + 31) / 32) and block = Dim3.make 32 in
+  Host_ir.program ~name:"scatterprog"
+    [
+      Host_ir.Malloc ("idx", n);
+      Host_ir.Malloc ("x", n);
+      Host_ir.Malloc ("o", n);
+      Host_ir.Memcpy_h2d { dst = "idx"; src = Host_ir.host_data idxf };
+      Host_ir.Memcpy_h2d { dst = "x"; src = Host_ir.host_data x };
+      Host_ir.Launch
+        {
+          kernel = scatter_kernel;
+          grid;
+          block;
+          args =
+            [ Host_ir.HInt n; Host_ir.HBuf "idx"; Host_ir.HBuf "x";
+              Host_ir.HBuf "o" ];
+        };
+      Host_ir.Memcpy_d2h { dst = Host_ir.host_data result; src = "o" };
+      Host_ir.Free "idx";
+      Host_ir.Free "x";
+      Host_ir.Free "o";
+    ]
+
+let test_shadow_kernel () =
+  let shadow = Mekong.Instrument.shadow_kernel Apps.Matmul.kernel in
+  checks "renamed" "matmul__shadow" shadow.Kir.name;
+  (* The k-loop only fed the stored value; the shadow must be smaller. *)
+  checkb "value computation stripped" true
+    (Kopt.size shadow < Kopt.size Apps.Matmul.kernel);
+  (* The scatter shadow must keep the idx load (it feeds the write
+     subscript). *)
+  let sshadow = Mekong.Instrument.shadow_kernel scatter_kernel in
+  let uses_idx =
+    List.exists
+      (fun st ->
+         Kir.fold_exp_in_stmt
+           (fun acc e -> acc || match e with Kir.Load ("idx", _) -> true | _ -> false)
+           false st)
+      sshadow.Kir.body
+  in
+  checkb "address loads kept" true uses_idx
+
+let test_instrumented_model () =
+  (* Without instrumentation: rejected.  With: accepted and flagged. *)
+  (match Mekong.Access.analyze scatter_kernel with
+   | Error (Mekong.Access.Inexact_write "o") -> ()
+   | _ -> Alcotest.fail "expected static rejection");
+  match Mekong.Access.analyze ~on_inexact_write:`Instrument scatter_kernel with
+  | Ok a ->
+    let o = Option.get (Mekong.Access.find_access a "o") in
+    checkb "flagged" true o.Mekong.Access.write_instrumented;
+    checkb "no static write map" true (o.Mekong.Access.write = None);
+    (* the flag survives model serialization *)
+    let m = Mekong.Model.of_analyses [ a ] in
+    let m' = Mekong.Model.of_string (Mekong.Model.to_string m) in
+    let km = Mekong.Model.find_exn m' "scatter" in
+    let am = List.find (fun (x : Mekong.Model.array_model) -> x.Mekong.Model.arr = "o") km.Mekong.Model.arrays in
+    checkb "flag roundtrips" true am.Mekong.Model.write_instrumented
+  | Error e -> Alcotest.failf "unexpected rejection: %s" (Mekong.Access.error_message e)
+
+(* 2-D tiling (extension): partitions tile the grid exactly and the
+   golden property holds — then the halo bytes must be smaller than
+   with 1-D chunks. *)
+let test_make_2d () =
+  let grid = Dim3.make 8 ~y:6 in
+  let parts = Mekong.Partition.make_2d ~grid ~axis1:Dim3.Y ~axis2:Dim3.X ~n:6 in
+  checki "six tiles" 6 (List.length parts);
+  checki "tiles cover grid" (Dim3.volume grid)
+    (List.fold_left (fun a p -> a + Mekong.Partition.n_blocks p) 0 parts);
+  (* tiles are pairwise disjoint: no block belongs to two tiles *)
+  let owner = Hashtbl.create 64 in
+  List.iter
+    (fun p ->
+       for y = (p.Mekong.Partition.min_blocks).Dim3.y
+         to (p.Mekong.Partition.max_blocks).Dim3.y - 1 do
+         for x = (p.Mekong.Partition.min_blocks).Dim3.x
+           to (p.Mekong.Partition.max_blocks).Dim3.x - 1 do
+           if Hashtbl.mem owner (x, y) then Alcotest.fail "overlapping tiles";
+           Hashtbl.replace owner (x, y) p.Mekong.Partition.device
+         done
+       done)
+    parts;
+  checki "every block owned" (Dim3.volume grid) (Hashtbl.length owner)
+
+let test_golden_2d_tiling () =
+  let cpu_expected = ref [||] in
+  (let prog, out, cpu = Apps.Workloads.functional_hotspot ~n:48 ~iterations:4 in
+   run_single prog;
+   ignore out;
+   cpu_expected := cpu ());
+  List.iter
+    (fun g ->
+       let prog, out, _ = Apps.Workloads.functional_hotspot ~n:48 ~iterations:4 in
+       let artifacts = compile_exn prog in
+       let m =
+         Gpusim.Machine.create ~functional:true
+           (Gpusim.Config.test_box ~n_devices:g ())
+       in
+       ignore
+         (Mekong.Multi_gpu.run ~tiling:`Two_d ~machine:m
+            artifacts.Mekong.Toolchain.exe);
+       checkb (Printf.sprintf "2-D tiling golden on %d GPUs" g) true
+         (out = !cpu_expected))
+    [ 1; 2; 4; 6 ]
+
+let test_2d_tiling_less_halo () =
+  (* 2-D tiles pay a one-time redistribution (the linear H2D layout
+     matches 1-D bands) but have ~4x smaller per-iteration halos, so
+     they win for long-running stencils: at the paper's 1500
+     iterations the total bytes must be lower, while at 20 iterations
+     the redistribution dominates and 1-D must win. *)
+  let bytes ~iterations tiling =
+    let n = 1024 in
+    let ph = Host_ir.host_phantom (n * n) in
+    let prog = Apps.Hotspot.program_h ~n ~iterations ~init:ph ~result:ph in
+    let artifacts = compile_exn prog in
+    let m = k80_perf 16 in
+    ignore
+      (Mekong.Multi_gpu.run ~tiling ~machine:m artifacts.Mekong.Toolchain.exe);
+    (Gpusim.Machine.stats m).Gpusim.Machine.p2p_bytes
+  in
+  let b1 = bytes ~iterations:600 `One_d in
+  let b2 = bytes ~iterations:600 `Two_d in
+  checkb
+    (Printf.sprintf "long run: 2-D bytes (%d) < 1-D bytes (%d)" b2 b1)
+    true (b2 < b1);
+  let s1 = bytes ~iterations:20 `One_d in
+  let s2 = bytes ~iterations:20 `Two_d in
+  checkb
+    (Printf.sprintf "short run: 1-D bytes (%d) < 2-D bytes (%d)" s1 s2)
+    true (s1 < s2)
+
+(* Enumerators vs. execution: for random partitions of the real
+   benchmark kernels, the offsets a partition actually loads must be
+   covered by the read enumerator (over-approximation allowed) and the
+   offsets it stores must match the write enumerator exactly. *)
+let check_enum_vs_execution kernel ~block ~grid ~args g =
+  let a = analyze_exn kernel in
+  let km = Mekong.Model.of_analysis a in
+  let enums = Mekong.Codegen.build km in
+  let parts =
+    List.filter
+      (fun p -> not (Mekong.Partition.is_empty p))
+      (Mekong.Partition.make ~grid ~axis:km.Mekong.Model.strategy ~n:g)
+  in
+  let part_kernel = Mekong.Partition.transform_kernel kernel in
+  let dims_env =
+    Host_ir.scalar_bindings kernel args
+    @ List.concat_map
+        (fun ax ->
+           [ (Mekong.Access.bdim_name ax, Dim3.get block ax);
+             (Mekong.Access.gdim_name ax, Dim3.get grid ax) ])
+        Dim3.axes
+  in
+  (* backing store: every array gets a deterministic data array *)
+  let arrays = Kir.array_params kernel in
+  let scalar_env = Host_ir.scalar_bindings kernel args in
+  let size_of dims =
+    Array.fold_left
+      (fun acc d ->
+         acc
+         * (match d with
+            | Kir.Dim_const c -> c
+            | Kir.Dim_param p -> List.assoc p scalar_env))
+      1 dims
+  in
+  let data =
+    List.map (fun (nm, dims) -> (nm, Array.init (size_of dims) (fun i -> float_of_int (i mod 97)))) arrays
+  in
+  List.iter
+    (fun p ->
+       let bindings = dims_env @ Mekong.Partition.box_bindings p ~block in
+       let loads : (string, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 4 in
+       let stores : (string, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 4 in
+       List.iter
+         (fun (nm, _) ->
+            Hashtbl.replace loads nm (Hashtbl.create 16);
+            Hashtbl.replace stores nm (Hashtbl.create 16))
+         arrays;
+       let part_args = args @ Mekong.Partition.partition_args p in
+       Keval.run part_kernel ~grid:(Mekong.Partition.launch_grid p) ~block
+         ~args:(Host_ir.scalar_args part_args)
+         ~load:(fun nm off ->
+             Hashtbl.replace (Hashtbl.find loads nm) off ();
+             (List.assoc nm data).(off))
+         ~store:(fun nm off _ ->
+             Hashtbl.replace (Hashtbl.find stores nm) off ());
+       List.iter
+         (fun (nm, _) ->
+            let in_ranges enum off =
+              match enum with
+              | None -> false
+              | Some e ->
+                List.exists
+                  (fun (a, b) -> a <= off && off < b)
+                  (Mekong.Codegen.ranges e ~bindings)
+            in
+            let entry = Option.get (Mekong.Codegen.entry enums nm) in
+            Hashtbl.iter
+              (fun off () ->
+                 checkb
+                   (Printf.sprintf "%s: load %s[%d] covered" kernel.Kir.name nm off)
+                   true
+                   (in_ranges entry.Mekong.Codegen.read off))
+              (Hashtbl.find loads nm);
+            Hashtbl.iter
+              (fun off () ->
+                 checkb
+                   (Printf.sprintf "%s: store %s[%d] covered" kernel.Kir.name nm off)
+                   true
+                   (in_ranges entry.Mekong.Codegen.write off))
+              (Hashtbl.find stores nm);
+            (* exactness of writes: every enumerated write offset was
+               actually stored *)
+            match entry.Mekong.Codegen.write with
+            | None -> ()
+            | Some e ->
+              List.iter
+                (fun (a, b) ->
+                   for off = a to b - 1 do
+                     checkb
+                       (Printf.sprintf "%s: enumerated write %s[%d] stored"
+                          kernel.Kir.name nm off)
+                       true
+                       (Hashtbl.mem (Hashtbl.find stores nm) off)
+                   done)
+                (Mekong.Codegen.ranges e ~bindings))
+         arrays)
+    parts
+
+let test_enum_vs_execution () =
+  check_enum_vs_execution Apps.Hotspot.kernel ~block:Apps.Hotspot.block
+    ~grid:(Apps.Hotspot.grid_for 48)
+    ~args:[ Host_ir.HInt 48; Host_ir.HBuf "inp"; Host_ir.HBuf "out" ]
+    3;
+  check_enum_vs_execution Apps.Matmul.kernel ~block:Apps.Matmul.block
+    ~grid:(Apps.Matmul.grid_for 32)
+    ~args:
+      [ Host_ir.HInt 32; Host_ir.HBuf "a"; Host_ir.HBuf "b"; Host_ir.HBuf "c" ]
+    2;
+  check_enum_vs_execution Apps.Vecadd.kernel ~block:Apps.Vecadd.block
+    ~grid:(Apps.Vecadd.grid_for 300)
+    ~args:
+      [ Host_ir.HInt 300; Host_ir.HBuf "a"; Host_ir.HBuf "b"; Host_ir.HBuf "c" ]
+    4
+
+(* Paper-scale workload programs must validate and analyze for every
+   benchmark and size (phantom host arrays, no allocation). *)
+let test_workloads_wellformed () =
+  List.iter
+    (fun b ->
+       List.iter
+         (fun sz ->
+            let prog = Apps.Workloads.program b sz in
+            Host_ir.validate prog;
+            match Mekong.Toolchain.pass1 prog with
+            | Ok (model, _) ->
+              List.iter
+                (fun k ->
+                   let km =
+                     Mekong.Model.find_exn model k.Kir.name
+                   in
+                   let expected_axis =
+                     match b with
+                     | Apps.Workloads.Hotspot_b | Apps.Workloads.Matmul_b -> Dim3.Y
+                     | Apps.Workloads.Nbody_b -> Dim3.X
+                   in
+                   checkb
+                     (Printf.sprintf "%s/%s strategy"
+                        (Apps.Workloads.benchmark_name b)
+                        (Apps.Workloads.size_name sz))
+                     true
+                     (km.Mekong.Model.strategy = expected_axis))
+                (Host_ir.kernels prog)
+            | Error e ->
+              Alcotest.failf "workload rejected: %s"
+                (Mekong.Toolchain.error_message e))
+         Apps.Workloads.sizes)
+    Apps.Workloads.benchmarks
+
+(* SpMV: data-dependent loop bounds force whole-array read
+   over-approximation while the affine injective write keeps the kernel
+   partitionable (the degradation path of §4). *)
+let test_spmv_analysis () =
+  let a = analyze_exn Apps.Spmv.kernel in
+  let acc name = Option.get (Mekong.Access.find_access a name) in
+  checkb "x over-approximated" false (acc "x").Mekong.Access.read_exact;
+  checkb "vals over-approximated" false (acc "vals").Mekong.Access.read_exact;
+  checkb "y write exact" true ((acc "y").Mekong.Access.write <> None);
+  checks "strategy" "x" (Dim3.axis_name a.Mekong.Access.strategy)
+
+let test_spmv_golden () =
+  let m = Apps.Spmv.banded ~n:300 ~band:6 in
+  let x = Array.init 300 (fun i -> 1.0 +. (0.01 *. float_of_int i)) in
+  let expected = Apps.Spmv.reference ~m x in
+  List.iter
+    (fun g ->
+       let out = Array.make 300 nan in
+       run_multi ~devices:g (Apps.Spmv.program ~m ~x ~result:out);
+       checkb (Printf.sprintf "spmv %d-GPU" g) true (out = expected))
+    [ 1; 2; 4; 5 ]
+
+(* Communication locality: with the y-split, hotspot's inter-device
+   traffic must flow only between adjacent devices (halo exchange). *)
+let test_halo_locality () =
+  let prog, _, _ = Apps.Workloads.functional_hotspot ~n:64 ~iterations:3 in
+  let artifacts = compile_exn prog in
+  let m =
+    Gpusim.Machine.create ~functional:true
+      (Gpusim.Config.test_box ~n_devices:4 ())
+  in
+  Gpusim.Machine.enable_trace m;
+  ignore (Mekong.Multi_gpu.run ~machine:m artifacts.Mekong.Toolchain.exe);
+  let p2ps =
+    List.filter
+      (fun e -> e.Gpusim.Machine.ev_kind = `P2p)
+      (Gpusim.Machine.trace m)
+  in
+  checkb "halo transfers exist" true (p2ps <> []);
+  checkb "only neighbour traffic" true
+    (List.for_all
+       (fun e ->
+          abs (e.Gpusim.Machine.ev_src - e.Gpusim.Machine.ev_dst) = 1)
+       p2ps);
+  (* each halo row is one contiguous row of 64 floats = 256 bytes *)
+  checkb "halo row sized" true
+    (List.for_all (fun e -> e.Gpusim.Machine.ev_bytes = 64 * 4) p2ps)
+
+let run_multi_instrumented ~devices prog =
+  match Mekong.Toolchain.compile ~instrument_writes:true prog with
+  | Error e -> Alcotest.failf "toolchain: %s" (Mekong.Toolchain.error_message e)
+  | Ok artifacts ->
+    let m =
+      Gpusim.Machine.create ~functional:true
+        (Gpusim.Config.test_box ~n_devices:devices ())
+    in
+    ignore (Mekong.Multi_gpu.run ~machine:m artifacts.Mekong.Toolchain.exe)
+
+let test_instrumented_scatter_golden () =
+  let n = 200 in
+  (* a permutation: reverse with a twist *)
+  let idx = Array.init n (fun i -> (i * 7 + 3) mod n) in
+  (* gcd(7, 200) = 1 so this is a permutation *)
+  let expected = Array.make n nan in
+  Array.iteri (fun i j -> expected.(j) <- (float_of_int i +. 0.25) *. 2.0) idx;
+  List.iter
+    (fun g ->
+       let out = Array.make n nan in
+       run_multi_instrumented ~devices:g (scatter_program ~n ~idx ~result:out);
+       checkb (Printf.sprintf "scatter %d-GPU" g) true (out = expected))
+    [ 1; 2; 3; 5 ]
+
+let test_instrumented_conflict_detected () =
+  let n = 96 in
+  (* All threads write o[0]: partitions collide and the runtime must
+     detect the hazard. *)
+  let idx = Array.make n 0 in
+  let out = Array.make n nan in
+  checkb "conflict raises" true
+    (try
+       run_multi_instrumented ~devices:3 (scatter_program ~n ~idx ~result:out);
+       false
+     with Mekong.Instrument.Write_conflict { arr = "o"; _ } -> true)
+
+let test_instrumented_needs_functional () =
+  let n = 64 in
+  let idx = Array.init n (fun i -> i) in
+  let out = Array.make n nan in
+  let prog = scatter_program ~n ~idx ~result:out in
+  match Mekong.Toolchain.compile ~instrument_writes:true prog with
+  | Error e -> Alcotest.failf "toolchain: %s" (Mekong.Toolchain.error_message e)
+  | Ok artifacts ->
+    let m =
+      Gpusim.Machine.create ~functional:false
+        (Gpusim.Config.test_box ~n_devices:2 ())
+    in
+    checkb "perf mode rejected" true
+      (try
+         ignore (Mekong.Multi_gpu.run ~machine:m artifacts.Mekong.Toolchain.exe);
+         false
+       with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "mekong"
+    (base_suites
+     @ [
+         ( "random-golden",
+           [
+             qtest prop_random_kernels_golden;
+             Alcotest.test_case "transpose" `Quick test_golden_transpose;
+             Alcotest.test_case "two kernels" `Quick test_golden_two_kernels;
+             Alcotest.test_case "blockwise" `Quick test_golden_blockwise_kernel;
+             Alcotest.test_case "halo locality (trace)" `Quick test_halo_locality;
+             Alcotest.test_case "workloads well-formed" `Quick test_workloads_wellformed;
+             Alcotest.test_case "enumerators vs execution" `Quick test_enum_vs_execution;
+             Alcotest.test_case "2-D tiles" `Quick test_make_2d;
+             Alcotest.test_case "2-D tiling golden" `Quick test_golden_2d_tiling;
+             Alcotest.test_case "2-D halo reduction" `Quick test_2d_tiling_less_halo;
+             Alcotest.test_case "spmv analysis" `Quick test_spmv_analysis;
+             Alcotest.test_case "spmv golden" `Quick test_spmv_golden;
+           ] );
+         ( "instrumentation",
+           [
+             Alcotest.test_case "shadow kernel" `Quick test_shadow_kernel;
+             Alcotest.test_case "model flag" `Quick test_instrumented_model;
+             Alcotest.test_case "scatter golden" `Quick test_instrumented_scatter_golden;
+             Alcotest.test_case "conflict detection" `Quick test_instrumented_conflict_detected;
+             Alcotest.test_case "functional-only" `Quick test_instrumented_needs_functional;
+           ] );
+       ])

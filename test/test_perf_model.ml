@@ -1,0 +1,151 @@
+(* Sanity net over the performance model: invariants the simulated
+   timings must satisfy regardless of calibration — determinism, the
+   alpha/beta/gamma ordering of §9.2, speedup bounds, and monotonicity
+   properties the figures rely on. *)
+
+let checkb = Alcotest.check Alcotest.bool
+
+let artifacts bench size iters =
+  let prog = Apps.Workloads.program ~iterations:iters bench size in
+  match Mekong.Toolchain.compile prog with
+  | Ok a -> a
+  | Error e -> failwith (Mekong.Toolchain.error_message e)
+
+let run ?cfg art g =
+  let m =
+    Gpusim.Machine.create ~functional:false
+      (Gpusim.Config.k80_box ~n_devices:g ())
+  in
+  (Mekong.Multi_gpu.run ?cfg ~machine:m art.Mekong.Toolchain.exe)
+    .Mekong.Multi_gpu.time
+
+let reference bench size iters =
+  let prog = Apps.Workloads.program ~iterations:iters bench size in
+  let m =
+    Gpusim.Machine.create ~functional:false
+      (Gpusim.Config.k80_box ~n_devices:1 ())
+  in
+  (Single_gpu.run ~machine:m prog).Single_gpu.time
+
+let benches =
+  [
+    (Apps.Workloads.Hotspot_b, 40, "hotspot");
+    (Apps.Workloads.Nbody_b, 4, "nbody");
+    (Apps.Workloads.Matmul_b, 1, "matmul");
+  ]
+
+let test_determinism () =
+  List.iter
+    (fun (b, iters, name) ->
+       let art = artifacts b Apps.Workloads.Small iters in
+       let t1 = run art 8 and t2 = run art 8 in
+       checkb (name ^ " deterministic") true (t1 = t2))
+    benches
+
+let test_alpha_beta_gamma_order () =
+  (* Disabling work can only shorten the simulated run:
+     gamma <= beta <= alpha. *)
+  List.iter
+    (fun (b, iters, name) ->
+       let art = artifacts b Apps.Workloads.Small iters in
+       List.iter
+         (fun g ->
+            let a = run ~cfg:Gpu_runtime.Rconfig.alpha art g in
+            let bt = run ~cfg:Gpu_runtime.Rconfig.beta art g in
+            let c = run ~cfg:Gpu_runtime.Rconfig.gamma art g in
+            checkb
+              (Printf.sprintf "%s g=%d: gamma<=beta<=alpha (%g %g %g)" name g
+                 c bt a)
+              true
+              (c <= bt +. 1e-12 && bt <= a +. 1e-12))
+         [ 2; 8; 16 ])
+    benches
+
+let test_speedup_bounds () =
+  (* Speedup on g devices can exceed neither g (no superlinearity in
+     this model modulo boost: 1-active-die boost makes the reference
+     FASTER, so the bound holds) nor fall below what a single device
+     would give (adding devices to an alpha run never helps the model
+     lie below 0). *)
+  List.iter
+    (fun (b, iters, name) ->
+       let art = artifacts b Apps.Workloads.Small iters in
+       let t_ref = reference b Apps.Workloads.Small iters in
+       List.iter
+         (fun g ->
+            let t = run art g in
+            let sp = t_ref /. t in
+            checkb
+              (Printf.sprintf "%s g=%d speedup %.2f within (0, %d]" name g sp g)
+              true
+              (sp > 0.0 && sp <= float_of_int g +. 1e-6))
+         [ 1; 2; 4; 8; 16 ])
+    benches
+
+let test_partitioned_not_faster_than_reference_on_one () =
+  (* On one device the partitioned binary can only add overhead. *)
+  List.iter
+    (fun (b, iters, name) ->
+       let art = artifacts b Apps.Workloads.Small iters in
+       let t_ref = reference b Apps.Workloads.Small iters in
+       let t1 = run art 1 in
+       checkb (name ^ " single-GPU overhead >= 0") true (t1 >= t_ref -. 1e-9))
+    benches
+
+let test_more_work_takes_longer () =
+  (* Monotonicity in problem size and iteration count. *)
+  let t_small = run (artifacts Apps.Workloads.Hotspot_b Apps.Workloads.Small 20) 8 in
+  let t_medium = run (artifacts Apps.Workloads.Hotspot_b Apps.Workloads.Medium 20) 8 in
+  checkb "medium > small" true (t_medium > t_small);
+  let t10 = run (artifacts Apps.Workloads.Hotspot_b Apps.Workloads.Small 10) 8 in
+  let t40 = run (artifacts Apps.Workloads.Hotspot_b Apps.Workloads.Small 40) 8 in
+  checkb "more iterations take longer" true (t40 > t10)
+
+let test_transfers_grow_with_devices () =
+  (* Figure 7's mechanism: the transfer fraction grows with the device
+     count. *)
+  let art = artifacts Apps.Workloads.Hotspot_b Apps.Workloads.Small 40 in
+  let frac g =
+    let a = run ~cfg:Gpu_runtime.Rconfig.alpha art g in
+    let b = run ~cfg:Gpu_runtime.Rconfig.beta art g in
+    (a -. b) /. a
+  in
+  checkb "transfer fraction grows 2 -> 16" true (frac 16 > frac 2)
+
+let test_stats_consistency () =
+  (* Byte counters match what the workloads move. *)
+  let n = Apps.Workloads.problem_size Apps.Workloads.Matmul_b Apps.Workloads.Small in
+  let art = artifacts Apps.Workloads.Matmul_b Apps.Workloads.Small 1 in
+  let m =
+    Gpusim.Machine.create ~functional:false
+      (Gpusim.Config.k80_box ~n_devices:4 ())
+  in
+  ignore (Mekong.Multi_gpu.run ~machine:m art.Mekong.Toolchain.exe);
+  let s = Gpusim.Machine.stats m in
+  (* h2d: A and B fully uploaded once *)
+  Alcotest.(check int) "h2d bytes" (2 * n * n * 4) s.Gpusim.Machine.h2d_bytes;
+  (* d2h: C fully downloaded once *)
+  Alcotest.(check int) "d2h bytes" (n * n * 4) s.Gpusim.Machine.d2h_bytes;
+  (* p2p: the B all-gather moves 3/4 of B (n*n*4 bytes) to each of the
+     4 devices = 12*n*n bytes; A rows match the linear distribution
+     exactly at this size, so nothing else moves. *)
+  Alcotest.(check int) "p2p = B all-gather" (3 * n * n * 4)
+    s.Gpusim.Machine.p2p_bytes
+
+let () =
+  Alcotest.run "perf-model"
+    [
+      ( "invariants",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "alpha/beta/gamma order" `Quick
+            test_alpha_beta_gamma_order;
+          Alcotest.test_case "speedup bounds" `Quick test_speedup_bounds;
+          Alcotest.test_case "single-GPU overhead sign" `Quick
+            test_partitioned_not_faster_than_reference_on_one;
+          Alcotest.test_case "work monotonicity" `Quick test_more_work_takes_longer;
+          Alcotest.test_case "transfer fraction growth" `Quick
+            test_transfers_grow_with_devices;
+          Alcotest.test_case "stats consistency" `Quick test_stats_consistency;
+        ] );
+    ]

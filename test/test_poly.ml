@@ -1,0 +1,825 @@
+(* Tests for the polyhedral library: exact integer helpers, affine
+   expressions, convex polyhedra (Fourier-Motzkin), unions, maps,
+   code generation and enumerators. *)
+
+open Ppoly
+
+let check = Alcotest.check
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* ---------------- Ints ---------------- *)
+
+let test_fdiv_cdiv () =
+  checki "fdiv 7 2" 3 (Ints.fdiv 7 2);
+  checki "fdiv -7 2" (-4) (Ints.fdiv (-7) 2);
+  checki "fdiv 7 -2" (-4) (Ints.fdiv 7 (-2));
+  checki "fdiv -7 -2" 3 (Ints.fdiv (-7) (-2));
+  checki "cdiv 7 2" 4 (Ints.cdiv 7 2);
+  checki "cdiv -7 2" (-3) (Ints.cdiv (-7) 2);
+  checki "cdiv 7 -2" (-3) (Ints.cdiv 7 (-2));
+  checki "cdiv -7 -2" 4 (Ints.cdiv (-7) (-2));
+  checki "emod -7 3" 2 (Ints.emod (-7) 3)
+
+let test_gcd () =
+  checki "gcd 12 18" 6 (Ints.gcd 12 18);
+  checki "gcd 0 5" 5 (Ints.gcd 0 5);
+  checki "gcd -12 18" 6 (Ints.gcd (-12) 18);
+  checki "lcm 4 6" 12 (Ints.lcm 4 6);
+  checki "gcd_array" 3 (Ints.gcd_array [| 6; 9; 0; 15 |])
+
+let test_overflow () =
+  Alcotest.check_raises "mul overflow" Ints.Overflow (fun () ->
+      ignore (Ints.mul max_int 2));
+  Alcotest.check_raises "add overflow" Ints.Overflow (fun () ->
+      ignore (Ints.add max_int 1));
+  checki "mul ok" 6 (Ints.mul 2 3);
+  checki "mul neg" (-6) (Ints.mul 2 (-3))
+
+let prop_fdiv_cdiv =
+  QCheck.Test.make ~name:"fdiv/cdiv consistency" ~count:500
+    QCheck.(pair (int_range (-1000) 1000) (int_range 1 50))
+    (fun (a, b) ->
+      let q = Ints.fdiv a b in
+      (q * b <= a && a < (q + 1) * b)
+      && Ints.cdiv a b = -Ints.fdiv (-a) b)
+
+(* ---------------- Spaces and affine expressions ---------------- *)
+
+let sp2 = Space.make ~params:[| "n" |] ~dims:[| "x"; "y" |]
+
+let test_space () =
+  checki "n_total" 3 (Space.n_total sp2);
+  checki "param idx" 0 (Space.var_index_exn sp2 "n");
+  checki "dim idx x" 1 (Space.var_index_exn sp2 "x");
+  checki "dim idx y" 2 (Space.var_index_exn sp2 "y");
+  check Alcotest.string "var_name" "y" (Space.var_name sp2 2);
+  let dropped = Space.drop_dim sp2 1 in
+  checki "after drop" 1 (Space.n_dims dropped);
+  check Alcotest.string "remaining dim" "y" (Space.dims dropped).(0)
+
+let test_aff () =
+  let a = Aff.of_terms sp2 [ (2, "x"); (-1, "y"); (3, "n") ] ~const:5 in
+  checki "eval" (2 * 7 - 4 + 3 * 10 + 5) (Aff.eval a [| 10; 7; 4 |]);
+  let b = Aff.add a (Aff.var sp2 "y") in
+  checki "coeff y after add" 0 (Aff.coeff_of b "y");
+  let c = Aff.substitute a (Space.var_index_exn sp2 "x") (Aff.var sp2 "y") in
+  checki "subst coeff x" 0 (Aff.coeff_of c "x");
+  checki "subst coeff y" 1 (Aff.coeff_of c "y");
+  checkb "is_param_only" true
+    (Aff.is_param_only (Aff.of_terms sp2 [ (4, "n") ] ~const:1));
+  checkb "not param only" false (Aff.is_param_only a)
+
+(* ---------------- Convex polyhedra ---------------- *)
+
+(* Helper: the box lo <= x <= hi (inclusive) for each listed dim. *)
+let box space bounds =
+  Poly.make space
+    (List.concat_map
+       (fun (name, lo, hi) ->
+         let v = Aff.var space name in
+         [ Constr.ge2 v (Aff.const space lo); Constr.le2 v (Aff.const space hi) ])
+       bounds)
+
+let spxy = Space.make ~params:[||] ~dims:[| "x"; "y" |]
+
+let test_poly_membership () =
+  let p = box spxy [ ("x", 0, 4); ("y", 1, 3) ] in
+  checkb "inside" true (Poly.mem p [| 2; 2 |]);
+  checkb "boundary" true (Poly.mem p [| 4; 1 |]);
+  checkb "outside" false (Poly.mem p [| 5; 2 |]);
+  checkb "outside y" false (Poly.mem p [| 0; 0 |])
+
+let test_poly_empty () =
+  let p = box spxy [ ("x", 3, 2) ] in
+  checkb "empty interval" true (Poly.is_empty p);
+  let q = box spxy [ ("x", 0, 10); ("y", 0, 10) ] in
+  checkb "box nonempty" false (Poly.is_empty q);
+  (* x = y, x >= 5, y <= 3 is infeasible *)
+  let vx = Aff.var spxy "x" and vy = Aff.var spxy "y" in
+  let r =
+    Poly.make spxy
+      [ Constr.eq2 vx vy;
+        Constr.ge2 vx (Aff.const spxy 5);
+        Constr.le2 vy (Aff.const spxy 3) ]
+  in
+  checkb "eq chain infeasible" true (Poly.is_empty r);
+  (* unbounded but satisfiable *)
+  let s = Poly.make spxy [ Constr.ge2 vx vy ] in
+  checkb "halfplane nonempty" false (Poly.is_empty s)
+
+let test_poly_param_empty () =
+  (* 0 <= x < n and n <= 0: no valuation admits a point. *)
+  let v n = Aff.var sp2 n in
+  let p =
+    Poly.make sp2
+      [ Constr.ge2 (v "x") (Aff.const sp2 0);
+        Constr.lt2 (v "x") (v "n");
+        Constr.le2 (v "n") (Aff.const sp2 0) ]
+  in
+  checkb "param-infeasible" true (Poly.is_empty p);
+  let q =
+    Poly.make sp2
+      [ Constr.ge2 (v "x") (Aff.const sp2 0); Constr.lt2 (v "x") (v "n") ]
+  in
+  checkb "param-feasible" false (Poly.is_empty q)
+
+let test_poly_project () =
+  (* Project the triangle 0 <= y <= x <= 4 onto x: 0 <= x <= 4. *)
+  let vx = Aff.var spxy "x" and vy = Aff.var spxy "y" in
+  let tri =
+    Poly.make spxy
+      [ Constr.ge2 vy (Aff.const spxy 0);
+        Constr.le2 vy vx;
+        Constr.le2 vx (Aff.const spxy 4) ]
+  in
+  let px = Poly.project_onto tri [ 0 ] in
+  checki "1 dim left" 1 (Space.n_dims (Poly.space px));
+  checkb "x=0 in" true (Poly.mem px [| 0 |]);
+  checkb "x=4 in" true (Poly.mem px [| 4 |]);
+  checkb "x=5 out" false (Poly.mem px [| 5 |]);
+  checkb "x=-1 out" false (Poly.mem px [| -1 |])
+
+let test_poly_sample () =
+  let p = box spxy [ ("x", 10, 12); ("y", -3, -3) ] in
+  (match Poly.sample p with
+  | Some pt ->
+      checkb "sample mem" true (Poly.mem p pt);
+      checki "y forced" (-3) pt.(1)
+  | None -> Alcotest.fail "expected a sample");
+  let e = box spxy [ ("x", 1, 0) ] in
+  checkb "no sample in empty" true (Poly.sample e = None)
+
+let test_poly_subsumes () =
+  let big = box spxy [ ("x", 0, 10); ("y", 0, 10) ] in
+  let small = box spxy [ ("x", 2, 5); ("y", 3, 4) ] in
+  checkb "big >= small" true (Poly.subsumes big small);
+  checkb "small !>= big" false (Poly.subsumes small big);
+  checkb "self" true (Poly.subsumes big big)
+
+(* Random conjunctions of constraints inside a bounded box: check that
+   FM-based emptiness agrees with brute force. *)
+let gen_constr =
+  QCheck.Gen.(
+    int_range (-3) 3 >>= fun cx ->
+    int_range (-3) 3 >>= fun cy ->
+    int_range (-8) 8 >>= fun c ->
+    frequency [ (4, return Constr.Ge); (1, return Constr.Eq) ] >>= fun kind ->
+    return (cx, cy, c, kind))
+
+let poly_of_spec specs =
+  let base = box spxy [ ("x", -4, 4); ("y", -4, 4) ] in
+  Poly.add_constrs base
+    (List.map
+       (fun (cx, cy, c, kind) ->
+         Constr.make kind (Aff.of_terms spxy [ (cx, "x"); (cy, "y") ] ~const:c))
+       specs)
+
+let brute_empty specs =
+  let p = poly_of_spec specs in
+  let found = ref false in
+  for x = -4 to 4 do
+    for y = -4 to 4 do
+      if Poly.mem p [| x; y |] then found := true
+    done
+  done;
+  not !found
+
+let prop_emptiness =
+  QCheck.Test.make ~name:"FM emptiness is sound (never claims empty wrongly)"
+    ~count:300
+    QCheck.(make Gen.(list_size (int_range 0 4) gen_constr))
+    (fun specs ->
+      let fm = Poly.is_empty (poly_of_spec specs) in
+      let bf = brute_empty specs in
+      (* FM emptiness over Q: if FM says empty, brute force must agree.
+         (The converse can fail only for Z-empty but Q-nonempty sets.) *)
+      if fm then bf else true)
+
+let prop_projection_sound =
+  QCheck.Test.make ~name:"projection contains the shadow of every point"
+    ~count:200
+    QCheck.(make Gen.(list_size (int_range 0 3) gen_constr))
+    (fun specs ->
+      let p = poly_of_spec specs in
+      let px = Poly.project_onto p [ 0 ] in
+      let ok = ref true in
+      for x = -4 to 4 do
+        for y = -4 to 4 do
+          if Poly.mem p [| x; y |] && not (Poly.mem px [| x |]) then ok := false
+        done
+      done;
+      !ok)
+
+(* ---------------- Pset ---------------- *)
+
+let pset_of_boxes boxes =
+  Pset.of_polys spxy (List.map (fun b -> box spxy b) boxes)
+
+let points s = Pset.enumerate ~default_radius:10 s
+
+let test_pset_union_subtract () =
+  let a = pset_of_boxes [ [ ("x", 0, 2); ("y", 0, 2) ] ] in
+  let b = pset_of_boxes [ [ ("x", 2, 4); ("y", 0, 2) ] ] in
+  let u = Pset.union a b in
+  checki "union size" (9 + 9 - 3) (List.length (points u));
+  let d = Pset.subtract u a in
+  checki "difference size" (15 - 9) (List.length (points d));
+  checkb "difference disjoint from a" true
+    (List.for_all (fun pt -> not (Pset.mem a (Array.of_list pt))) (points d));
+  checkb "subsumes" true (Pset.subsumes u a);
+  checkb "not subsumes" false (Pset.subsumes a u)
+
+let test_pset_equal_coalesce () =
+  let a = pset_of_boxes [ [ ("x", 0, 4) ]; [ ("x", 2, 4) ] ] in
+  let b = pset_of_boxes [ [ ("x", 0, 4) ] ] in
+  checkb "redundant piece equal" true (Pset.equal a b);
+  let c = Pset.coalesce a in
+  checki "coalesced to 1 piece" 1 (Pset.n_pieces c)
+
+let gen_boxes =
+  QCheck.Gen.(
+    list_size (int_range 1 3)
+      ( int_range (-4) 3 >>= fun x0 ->
+        int_range x0 4 >>= fun x1 ->
+        int_range (-4) 3 >>= fun y0 ->
+        int_range y0 4 >>= fun y1 ->
+        return [ ("x", x0, x1); ("y", y0, y1) ] ))
+
+let prop_set_algebra =
+  QCheck.Test.make ~name:"pset algebra matches brute force" ~count:100
+    QCheck.(make Gen.(pair gen_boxes gen_boxes))
+    (fun (ba, bb) ->
+      let a = pset_of_boxes ba and b = pset_of_boxes bb in
+      let inside s (x, y) = Pset.mem s [| x; y |] in
+      let all =
+        List.concat_map
+          (fun x -> List.map (fun y -> (x, y)) (List.init 11 (fun i -> i - 5)))
+          (List.init 11 (fun i -> i - 5))
+      in
+      List.for_all
+        (fun pt ->
+          let u = inside (Pset.union a b) pt = (inside a pt || inside b pt) in
+          let i =
+            inside (Pset.intersect a b) pt = (inside a pt && inside b pt)
+          in
+          let d =
+            inside (Pset.subtract a b) pt = (inside a pt && not (inside b pt))
+          in
+          u && i && d)
+        all)
+
+(* ---------------- Pmap ---------------- *)
+
+let test_pmap_image () =
+  (* The paper's Figure 1: S1 = { [y,x] | 0<=y<=x<=4 },
+     M = { [y,x] -> [y+1, x+3] }. *)
+  let dom = Space.make ~params:[||] ~dims:[| "y"; "x" |] in
+  let ran = Space.make ~params:[||] ~dims:[| "y'"; "x'" |] in
+  let vy = Aff.var dom "y" and vx = Aff.var dom "x" in
+  let s1 =
+    Pset.of_poly
+      (Poly.make dom
+         [ Constr.ge2 vy (Aff.const dom 0);
+           Constr.le2 vy vx;
+           Constr.le2 vx (Aff.const dom 4) ])
+  in
+  let m =
+    Pmap.of_affs ~dom ~ran
+      ~affs:[| Aff.add_const vy 1; Aff.add_const vx 3 |]
+      ~guards:[]
+  in
+  let s2 = Pmap.image m s1 in
+  (* Equation 3: S2 = { [y,x] | 1 <= y <= x-2 and 3 <= x <= 7 } *)
+  let expected =
+    List.concat_map
+      (fun x ->
+        List.filter_map
+          (fun y ->
+            if 1 <= y && y <= x - 2 && 3 <= x && x <= 7 then Some [ y; x ]
+            else None)
+          (List.init 20 (fun i -> i - 5)))
+      (List.init 20 (fun i -> i - 5))
+  in
+  check
+    Alcotest.(list (list int))
+    "figure 1 image" (List.sort compare expected)
+    (Pset.enumerate ~default_radius:10 s2)
+
+let test_pmap_injective () =
+  let dom = Space.make ~params:[| "n" |] ~dims:[| "x" |] in
+  let ran1 = Space.make ~params:[| "n" |] ~dims:[| "o" |] in
+  let vx = Aff.var dom "x" in
+  (* o = x  with 0 <= x < n : injective *)
+  let comb = Pmap.combined_space dom ran1 in
+  let dom_guards =
+    [ Constr.ge (Aff.var comb "x");
+      Constr.lt2 (Aff.var comb "x") (Aff.var comb "n") ]
+  in
+  let ident = Pmap.of_affs ~dom ~ran:ran1 ~affs:[| vx |] ~guards:dom_guards in
+  checkb "identity injective" true (Pmap.is_injective ident);
+  (* o = 0 for 0 <= x < n : not injective when n >= 2 *)
+  let const0 =
+    Pmap.of_affs ~dom ~ran:ran1 ~affs:[| Aff.zero dom |] ~guards:dom_guards
+  in
+  checkb "constant not injective" false (Pmap.is_injective const0);
+  (* 2-d -> 1-d sum is not injective *)
+  let dom2 = Space.make ~params:[||] ~dims:[| "x"; "y" |] in
+  let ran2 = Space.make ~params:[||] ~dims:[| "o" |] in
+  let sum =
+    Pmap.of_affs ~dom:dom2 ~ran:ran2
+      ~affs:[| Aff.add (Aff.var dom2 "x") (Aff.var dom2 "y") |]
+      ~guards:[]
+  in
+  checkb "sum not injective" false (Pmap.is_injective sum);
+  (* o = 2x is injective (gaps allowed) *)
+  let stride =
+    Pmap.of_affs ~dom ~ran:ran1 ~affs:[| Aff.scale 2 vx |] ~guards:[]
+  in
+  checkb "stride-2 injective" true (Pmap.is_injective stride)
+
+let test_pmap_domain_range () =
+  let dom = Space.make ~params:[||] ~dims:[| "x" |] in
+  let ran = Space.make ~params:[||] ~dims:[| "o" |] in
+  let comb = Pmap.combined_space dom ran in
+  let m =
+    Pmap.of_affs ~dom ~ran
+      ~affs:[| Aff.add_const (Aff.var dom "x") 10 |]
+      ~guards:
+        [ Constr.ge (Aff.var comb "x");
+          Constr.le2 (Aff.var comb "x") (Aff.const comb 3) ]
+  in
+  check
+    Alcotest.(list (list int))
+    "domain" [ [ 0 ]; [ 1 ]; [ 2 ]; [ 3 ] ]
+    (Pset.enumerate ~default_radius:10 (Pmap.domain m));
+  check
+    Alcotest.(list (list int))
+    "range"
+    [ [ 10 ]; [ 11 ]; [ 12 ]; [ 13 ] ]
+    (Pset.enumerate ~default_radius:20 (Pmap.range m));
+  (* preimage of {12} is {2} *)
+  let target =
+    Pset.of_poly
+      (Poly.make ran [ Constr.eq2 (Aff.var ran "o") (Aff.const ran 12) ])
+  in
+  check
+    Alcotest.(list (list int))
+    "preimage" [ [ 2 ] ]
+    (Pset.enumerate ~default_radius:20 (Pmap.preimage m target))
+
+(* ---------------- Ast / codegen ---------------- *)
+
+let collect_points stmt env =
+  let pts = ref [] in
+  Ast.exec env stmt
+    ~on_point:(fun p -> pts := Array.to_list p :: !pts)
+    ~on_range:(fun rows lo hi ->
+      for v = lo to hi do
+        pts := (Array.to_list rows @ [ v ]) :: !pts
+      done);
+  List.sort compare !pts
+
+let test_scan_triangle () =
+  let vx = Aff.var spxy "x" and vy = Aff.var spxy "y" in
+  let tri =
+    Poly.make spxy
+      [ Constr.ge2 vy (Aff.const spxy 0);
+        Constr.le2 vy vx;
+        Constr.le2 vx (Aff.const spxy 3) ]
+  in
+  let expected = points (Pset.of_poly tri) in
+  let got = collect_points (Ast.scan_poly tri) (Hashtbl.create 8) in
+  check Alcotest.(list (list int)) "scan = enumerate" expected got;
+  let got_ranges =
+    collect_points (Ast.scan_poly ~emit_ranges:true tri) (Hashtbl.create 8)
+  in
+  check Alcotest.(list (list int)) "range scan = enumerate" expected got_ranges
+
+let test_scan_parametric () =
+  (* 0 <= x < n scanned with n bound at execution time. *)
+  let sp = Space.make ~params:[| "n" |] ~dims:[| "x" |] in
+  let p =
+    Poly.make sp
+      [ Constr.ge (Aff.var sp "x"); Constr.lt2 (Aff.var sp "x") (Aff.var sp "n") ]
+  in
+  let env = Hashtbl.create 8 in
+  Hashtbl.replace env "n" 5;
+  let got = collect_points (Ast.scan_poly p) env in
+  check Alcotest.(list (list int)) "parametric scan"
+    [ [ 0 ]; [ 1 ]; [ 2 ]; [ 3 ]; [ 4 ] ]
+    got
+
+let prop_scan_matches_enumerate =
+  QCheck.Test.make ~name:"scan_set enumerates exactly the set" ~count:100
+    QCheck.(make gen_boxes)
+    (fun boxes ->
+      let s = pset_of_boxes boxes in
+      let expected = points s in
+      let got =
+        collect_points (Ast.scan_set s) (Hashtbl.create 8)
+        |> List.sort_uniq compare
+      in
+      got = expected)
+
+let test_unbounded_scan () =
+  let p = Poly.make spxy [ Constr.ge (Aff.var spxy "x") ] in
+  Alcotest.check_raises "unbounded raises" (Ast.Unbounded "x") (fun () ->
+      ignore (Ast.scan_poly p))
+
+(* ---------------- Enumerate ---------------- *)
+
+let test_enumerate_full_rows () =
+  (* rows 2..5 of an n x n array, full width: must collapse to a single
+     linear range [2n, 6n). *)
+  let sp = Space.make ~params:[| "n" |] ~dims:[| "y"; "x" |] in
+  let v nm = Aff.var sp nm in
+  let s =
+    Pset.of_poly
+      (Poly.make sp
+         [ Constr.ge2 (v "y") (Aff.const sp 2);
+           Constr.le2 (v "y") (Aff.const sp 5);
+           Constr.ge (v "x");
+           Constr.lt2 (v "x") (v "n") ])
+  in
+  let e = Enumerate.of_set ~sizes:[| Ast.Var "n"; Ast.Var "n" |] s in
+  let env = Enumerate.env_of_bindings [ ("n", 8) ] in
+  check
+    Alcotest.(list (pair int int))
+    "collapsed band"
+    [ (16, 48) ]
+    (Enumerate.eval e env);
+  (* The plan should contain a row-block node (collapse happened). *)
+  let rec has_block = function
+    | Enumerate.P_row_block _ -> true
+    | Enumerate.P_seq l -> List.exists has_block l
+    | Enumerate.P_for (_, _, _, b) | Enumerate.P_guard (_, b) -> has_block b
+    | Enumerate.P_point _ | Enumerate.P_ranges _ -> false
+  in
+  checkb "row-block collapse applied" true (has_block e.Enumerate.plan)
+
+let test_enumerate_partial_rows () =
+  (* columns 1..2 of rows 0..1 in a 4x4 array: two ranges. *)
+  let sp = Space.make ~params:[||] ~dims:[| "y"; "x" |] in
+  let s = Pset.of_poly (box sp [ ("y", 0, 1); ("x", 1, 2) ]) in
+  let e = Enumerate.of_set ~sizes:[| Ast.Int 4; Ast.Int 4 |] s in
+  check
+    Alcotest.(list (pair int int))
+    "two row fragments"
+    [ (1, 3); (5, 7) ]
+    (Enumerate.eval e (Hashtbl.create 4))
+
+let test_enumerate_merge () =
+  check
+    Alcotest.(list (pair int int))
+    "canonicalize merges"
+    [ (0, 10); (12, 15) ]
+    (Enumerate.canonicalize
+       [ (5, 10); (0, 5); (3, 7); (12, 14); (14, 15); (9, 9) ])
+
+let prop_enumerate_covers =
+  QCheck.Test.make ~name:"enumerator covers exactly the set points" ~count:100
+    QCheck.(make gen_boxes)
+    (fun boxes ->
+      (* Interpret the boxes as sets over a 12x12 array at offset +5. *)
+      let sp = Space.make ~params:[||] ~dims:[| "x"; "y" |] in
+      let shift (nm, a, b) = (nm, a + 5, b + 5) in
+      let s =
+        Pset.of_polys sp (List.map (fun b -> box sp (List.map shift b)) boxes)
+      in
+      let e = Enumerate.of_set ~sizes:[| Ast.Int 12; Ast.Int 12 |] s in
+      let ranges = Enumerate.eval e (Hashtbl.create 4) in
+      let in_ranges off =
+        List.exists (fun (a, b) -> a <= off && off < b) ranges
+      in
+      let ok = ref true in
+      for x = 0 to 11 do
+        for y = 0 to 11 do
+          let off = (x * 12) + y in
+          if Pset.mem s [| x; y |] <> in_ranges off then ok := false
+        done
+      done;
+      (* Canonical ranges are sorted, disjoint and nonempty. *)
+      let rec canon = function
+        | [] | [ _ ] -> true
+        | (a1, b1) :: ((a2, _) :: _ as rest) -> a1 < b1 && b1 < a2 && canon rest
+      in
+      !ok
+      && canon ranges
+      && match ranges with [] -> true | (a, b) :: _ -> a < b)
+
+let qtest t = QCheck_alcotest.to_alcotest t
+
+let base_suites =
+    [
+      ( "ints",
+        [
+          Alcotest.test_case "fdiv/cdiv" `Quick test_fdiv_cdiv;
+          Alcotest.test_case "gcd/lcm" `Quick test_gcd;
+          Alcotest.test_case "overflow" `Quick test_overflow;
+          qtest prop_fdiv_cdiv;
+        ] );
+      ( "space-aff",
+        [
+          Alcotest.test_case "space" `Quick test_space;
+          Alcotest.test_case "aff" `Quick test_aff;
+        ] );
+      ( "poly",
+        [
+          Alcotest.test_case "membership" `Quick test_poly_membership;
+          Alcotest.test_case "emptiness" `Quick test_poly_empty;
+          Alcotest.test_case "parametric emptiness" `Quick test_poly_param_empty;
+          Alcotest.test_case "projection" `Quick test_poly_project;
+          Alcotest.test_case "sampling" `Quick test_poly_sample;
+          Alcotest.test_case "subsumption" `Quick test_poly_subsumes;
+          qtest prop_emptiness;
+          qtest prop_projection_sound;
+        ] );
+      ( "pset",
+        [
+          Alcotest.test_case "union/subtract" `Quick test_pset_union_subtract;
+          Alcotest.test_case "equal/coalesce" `Quick test_pset_equal_coalesce;
+          qtest prop_set_algebra;
+        ] );
+      ( "pmap",
+        [
+          Alcotest.test_case "figure-1 image" `Quick test_pmap_image;
+          Alcotest.test_case "injectivity" `Quick test_pmap_injective;
+          Alcotest.test_case "domain/range/preimage" `Quick test_pmap_domain_range;
+        ] );
+      ( "ast",
+        [
+          Alcotest.test_case "scan triangle" `Quick test_scan_triangle;
+          Alcotest.test_case "scan parametric" `Quick test_scan_parametric;
+          Alcotest.test_case "unbounded" `Quick test_unbounded_scan;
+          qtest prop_scan_matches_enumerate;
+        ] );
+      ( "enumerate",
+        [
+          Alcotest.test_case "full-row collapse" `Quick test_enumerate_full_rows;
+          Alcotest.test_case "partial rows" `Quick test_enumerate_partial_rows;
+          Alcotest.test_case "merge" `Quick test_enumerate_merge;
+          qtest prop_enumerate_covers;
+        ] );
+    ]
+
+(* ---------------- Constraint normalization ---------------- *)
+
+let test_constr_normalize () =
+  (* 2x + 2y + 3 >= 0 tightens to x + y + 1 >= 0 over Z *)
+  let aff = Aff.of_terms spxy [ (2, "x"); (2, "y") ] ~const:3 in
+  let c = Constr.normalize (Constr.ge aff) in
+  checki "tightened coeff" 1 (Aff.coeff_of (Constr.aff c) "x");
+  checki "floored constant" 1 (Aff.constant (Constr.aff c));
+  (* equality with non-dividing constant is infeasible *)
+  let e = Constr.normalize (Constr.eq (Aff.of_terms spxy [ (2, "x") ] ~const:1)) in
+  checkb "infeasible eq detected" true
+    (Constr.triviality e = Constr.Trivially_false);
+  (* equality sign canonicalization *)
+  let e2 = Constr.normalize (Constr.eq (Aff.of_terms spxy [ (-1, "x") ] ~const:5)) in
+  checki "sign flipped" 1 (Aff.coeff_of (Constr.aff e2) "x")
+
+let prop_normalize_preserves_integers =
+  QCheck.Test.make ~name:"normalization preserves integer solutions" ~count:300
+    QCheck.(quad (int_range (-4) 4) (int_range (-4) 4) (int_range (-10) 10) bool)
+    (fun (cx, cy, c, is_eq) ->
+      let aff = Aff.of_terms spxy [ (cx, "x"); (cy, "y") ] ~const:c in
+      let k = if is_eq then Constr.eq aff else Constr.ge aff in
+      let k' = Constr.normalize k in
+      let ok = ref true in
+      for x = -6 to 6 do
+        for y = -6 to 6 do
+          let env = [| x; y |] in
+          let before = Constr.eval k env in
+          let after =
+            match Constr.triviality k' with
+            | Constr.Trivially_true -> true
+            | Constr.Trivially_false -> false
+            | Constr.Nontrivial -> Constr.eval k' env
+          in
+          if before <> after then ok := false
+        done
+      done;
+      !ok)
+
+(* ---------------- Map algebra ---------------- *)
+
+let prop_image_soundness =
+  (* Every point of a set maps into the image under a random affine
+     translation/scaling map. *)
+  QCheck.Test.make ~name:"image contains all mapped points" ~count:100
+    QCheck.(pair (make gen_boxes) (pair (int_range (-3) 3) (int_range (-3) 3)))
+    (fun (boxes, (dx, dy)) ->
+      let dom = Space.make ~params:[||] ~dims:[| "x"; "y" |] in
+      let ran = Space.make ~params:[||] ~dims:[| "u"; "v" |] in
+      let set =
+        Pset.of_polys dom (List.map (fun b -> box dom b) boxes)
+      in
+      let m =
+        Pmap.of_affs ~dom ~ran
+          ~affs:
+            [| Aff.add_const (Aff.var dom "x") dx;
+               Aff.add_const (Aff.scale 2 (Aff.var dom "y")) dy |]
+          ~guards:[]
+      in
+      let img = Pmap.image m set in
+      List.for_all
+        (fun pt ->
+           match pt with
+           | [ x; y ] -> Pset.mem img [| x + dx; (2 * y) + dy |]
+           | _ -> false)
+        (points set))
+
+let test_map_inverse_roundtrip () =
+  let dom = Space.make ~params:[||] ~dims:[| "x" |] in
+  let ran = Space.make ~params:[||] ~dims:[| "u" |] in
+  let m =
+    Pmap.of_affs ~dom ~ran
+      ~affs:[| Aff.add_const (Aff.var dom "x") 7 |]
+      ~guards:[]
+  in
+  let s =
+    Pset.of_poly
+      (Poly.make dom
+         [ Constr.ge (Aff.var dom "x");
+           Constr.le2 (Aff.var dom "x") (Aff.const dom 5) ])
+  in
+  let back = Pmap.preimage m (Pmap.image m s) in
+  (* for a bijective map, preimage(image(S)) = S *)
+  check Alcotest.(list (list int)) "roundtrip"
+    (Pset.enumerate ~default_radius:20 s)
+    (Pset.enumerate ~default_radius:20 back)
+
+(* ---------------- Parametric codegen ---------------- *)
+
+let prop_parametric_scan =
+  (* Scan a parametric trapezoid 0 <= y < h, 0 <= x < w - y for random
+     (w, h) and compare against direct enumeration. *)
+  QCheck.Test.make ~name:"parametric scan matches direct enumeration" ~count:60
+    QCheck.(pair (int_range 1 8) (int_range 1 8))
+    (fun (w, h) ->
+      let sp = Space.make ~params:[| "w"; "h" |] ~dims:[| "y"; "x" |] in
+      let vy = Aff.var sp "y" and vx = Aff.var sp "x" in
+      let poly =
+        Poly.make sp
+          [ Constr.ge2 vy (Aff.zero sp);
+            Constr.lt2 vy (Aff.var sp "h");
+            Constr.ge2 vx (Aff.zero sp);
+            Constr.lt2 vx (Aff.sub (Aff.var sp "w") vy) ]
+      in
+      let env = Hashtbl.create 4 in
+      Hashtbl.replace env "w" w;
+      Hashtbl.replace env "h" h;
+      let got = collect_points (Ast.scan_poly poly) env in
+      let expected =
+        List.concat_map
+          (fun y ->
+             List.filter_map
+               (fun x -> if x < w - y then Some [ y; x ] else None)
+               (List.init (max 0 (w - y)) (fun i -> i)))
+          (List.init h (fun i -> i))
+        |> List.sort compare
+      in
+      got = expected)
+
+(* ---------------- Rectangle merging ---------------- *)
+
+let prop_merge_rects =
+  QCheck.Test.make ~name:"merge_rects preserves coverage and shrinks" ~count:200
+    QCheck.(
+      make
+        Gen.(
+          list_size (int_range 1 6)
+            ( int_range 0 7 >>= fun r0 ->
+              int_range r0 7 >>= fun r1 ->
+              int_range 0 7 >>= fun c0 ->
+              int_range c0 7 >>= fun c1 -> return (r0, r1, c0, c1) )))
+    (fun rects ->
+      let merged = Enumerate.merge_rects rects in
+      let covered rs (r, c) =
+        List.exists (fun (r0, r1, c0, c1) -> r0 <= r && r <= r1 && c0 <= c && c <= c1) rs
+      in
+      let ok = ref (List.length merged <= List.length rects) in
+      for r = 0 to 7 do
+        for c = 0 to 7 do
+          if covered rects (r, c) <> covered merged (r, c) then ok := false
+        done
+      done;
+      !ok)
+
+let test_merge_rects_cases () =
+  let eq_rects msg expected got = checkb msg true (expected = got) in
+  (* column-adjacent same-rows rects merge *)
+  eq_rects "columns merge" [ (0, 3, 0, 3) ]
+    (Enumerate.merge_rects [ (0, 3, 0, 1); (0, 3, 2, 3) ]);
+  (* row-adjacent same-cols rects merge *)
+  eq_rects "rows merge" [ (0, 5, 1, 2) ]
+    (Enumerate.merge_rects [ (0, 2, 1, 2); (3, 5, 1, 2) ]);
+  (* subsumed rect dropped *)
+  eq_rects "subsumption" [ (0, 5, 0, 5) ]
+    (Enumerate.merge_rects [ (1, 2, 1, 2); (0, 5, 0, 5) ]);
+  (* disjoint rects stay *)
+  checki "disjoint stay" 2
+    (List.length (Enumerate.merge_rects [ (0, 1, 0, 1); (4, 5, 4, 5) ]))
+
+(* ---------------- Aff rebasing ---------------- *)
+
+let prop_coalesce_preserves =
+  QCheck.Test.make ~name:"coalesce preserves set membership" ~count:100
+    (QCheck.make gen_boxes)
+    (fun boxes ->
+      let s = pset_of_boxes boxes in
+      let c = Pset.coalesce s in
+      let ok = ref true in
+      for x = -5 to 5 do
+        for y = -5 to 5 do
+          if Pset.mem s [| x; y |] <> Pset.mem c [| x; y |] then ok := false
+        done
+      done;
+      !ok && Pset.n_pieces c <= Pset.n_pieces s)
+
+let prop_inverse_involution =
+  QCheck.Test.make ~name:"map inverse is an involution (semantically)"
+    ~count:60
+    QCheck.(pair (int_range (-3) 3) (int_range (-3) 3))
+    (fun (dx, dy) ->
+      let dom = Space.make ~params:[||] ~dims:[| "x"; "y" |] in
+      let ran = Space.make ~params:[||] ~dims:[| "u"; "v" |] in
+      let m =
+        Pmap.of_affs ~dom ~ran
+          ~affs:
+            [| Aff.add_const (Aff.var dom "x") dx;
+               Aff.add_const (Aff.var dom "y") dy |]
+          ~guards:[]
+      in
+      let mm = Pmap.inverse (Pmap.inverse m) in
+      let s = pset_of_boxes [ [ ("x", -2, 2); ("y", -1, 1) ] ] in
+      Pset.enumerate ~default_radius:10 (Pmap.image m s)
+      = Pset.enumerate ~default_radius:10 (Pmap.image mm s))
+
+let prop_substitute_semantics =
+  QCheck.Test.make ~name:"substitution preserves semantics" ~count:100
+    QCheck.(pair (int_range (-3) 3) (int_range (-5) 5))
+    (fun (k, c) ->
+      (* P: 0 <= x <= 8, x <= y; substitute x := k*y + c and compare
+         membership against manual evaluation. *)
+      let vx = Aff.var spxy "x" and vy = Aff.var spxy "y" in
+      let p =
+        Poly.make spxy
+          [ Constr.ge2 vx (Aff.const spxy 0);
+            Constr.le2 vx (Aff.const spxy 8);
+            Constr.le2 vx vy ]
+      in
+      let e = Aff.add_const (Aff.scale k vy) c in
+      let q = Poly.substitute p (Space.var_index_exn spxy "x") e in
+      let ok = ref true in
+      for y = -6 to 6 do
+        let x = (k * y) + c in
+        let expect = 0 <= x && x <= 8 && x <= y in
+        (* q no longer constrains x *)
+        if Poly.mem q [| 0; y |] <> expect then ok := false
+      done;
+      !ok)
+
+let test_aff_rebase () =
+  let small = Space.make ~params:[| "n" |] ~dims:[| "a" |] in
+  let big = Space.make ~params:[| "n" |] ~dims:[| "z"; "a"; "b" |] in
+  let aff = Aff.of_terms small [ (2, "a"); (3, "n") ] ~const:1 in
+  let remap =
+    Array.init (Space.n_total small) (fun i ->
+        Space.var_index_exn big (Space.var_name small i))
+  in
+  let aff' = Aff.rebase aff big remap in
+  checki "coeff a" 2 (Aff.coeff_of aff' "a");
+  checki "coeff n" 3 (Aff.coeff_of aff' "n");
+  checki "coeff z" 0 (Aff.coeff_of aff' "z");
+  checki "const" 1 (Aff.constant aff')
+
+let () =
+  Alcotest.run "poly"
+    (base_suites
+     @ [
+         ( "constr",
+           [
+             Alcotest.test_case "normalization" `Quick test_constr_normalize;
+             qtest prop_normalize_preserves_integers;
+           ] );
+         ( "map-algebra",
+           [
+             qtest prop_image_soundness;
+             Alcotest.test_case "inverse roundtrip" `Quick test_map_inverse_roundtrip;
+           ] );
+         ( "codegen-parametric", [ qtest prop_parametric_scan ] );
+         ( "rects",
+           [
+             qtest prop_merge_rects;
+             Alcotest.test_case "merge cases" `Quick test_merge_rects_cases;
+           ] );
+         ("aff-rebase", [ Alcotest.test_case "rebase" `Quick test_aff_rebase ]);
+         ( "more-properties",
+           [
+             qtest prop_coalesce_preserves;
+             qtest prop_inverse_involution;
+             qtest prop_substitute_semantics;
+           ] );
+       ])

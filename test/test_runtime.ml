@@ -1,0 +1,434 @@
+(* Tests for the runtime library: B-tree map (model-checked against
+   Stdlib.Map), segment tracker (model-checked against a flat owner
+   array) and virtual buffers on the simulated machine. *)
+
+open Gpu_runtime
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+module M = Btree.Int_map
+module IM = Map.Make (Int)
+
+(* ---------------- B-tree ---------------- *)
+
+let test_btree_basic () =
+  let t = M.create () in
+  checkb "empty" true (M.is_empty t);
+  M.add t 5 "five";
+  M.add t 1 "one";
+  M.add t 9 "nine";
+  checki "size" 3 (M.size t);
+  Alcotest.(check (option string)) "find 5" (Some "five") (M.find_opt t 5);
+  Alcotest.(check (option string)) "find 2" None (M.find_opt t 2);
+  M.add t 5 "FIVE";
+  checki "size after replace" 3 (M.size t);
+  Alcotest.(check (option string)) "replaced" (Some "FIVE") (M.find_opt t 5);
+  Alcotest.(check (option (pair int string)))
+    "floor 7" (Some (5, "FIVE")) (M.floor t 7);
+  Alcotest.(check (option (pair int string)))
+    "floor 5" (Some (5, "FIVE")) (M.floor t 5);
+  Alcotest.(check (option (pair int string))) "floor 0" None (M.floor t 0);
+  Alcotest.(check (option (pair int string)))
+    "min" (Some (1, "one")) (M.min_binding t);
+  Alcotest.(check (option (pair int string)))
+    "max" (Some (9, "nine")) (M.max_binding t);
+  M.remove t 5;
+  checki "size after remove" 2 (M.size t);
+  Alcotest.(check (option string)) "removed" None (M.find_opt t 5);
+  ignore (M.validate t)
+
+let test_btree_bulk () =
+  (* Enough keys to force several levels of splits. *)
+  let t = M.create () in
+  let n = 2000 in
+  for i = 0 to n - 1 do
+    M.add t ((i * 7919) mod n) ((i * 7919) mod n)
+  done;
+  ignore (M.validate t);
+  checki "all distinct" n (M.size t);
+  let sorted = M.to_list t in
+  checkb "sorted" true
+    (List.for_all2
+       (fun (k, _) i -> k = i)
+       sorted
+       (List.init n (fun i -> i)));
+  (* Delete every third key, validating along the way. *)
+  for i = 0 to n - 1 do
+    if i mod 3 = 0 then M.remove t i
+  done;
+  ignore (M.validate t);
+  checki "size after deletes" (n - ((n + 2) / 3)) (M.size t);
+  for i = 0 to n - 1 do
+    Alcotest.(check (option int))
+      (Printf.sprintf "key %d" i)
+      (if i mod 3 = 0 then None else Some i)
+      (M.find_opt t i)
+  done
+
+let test_btree_iter_from () =
+  let t = M.create () in
+  List.iter (fun k -> M.add t k (k * 10)) [ 2; 4; 6; 8; 10; 12 ];
+  let seen = ref [] in
+  M.iter_from t 5 (fun k _ ->
+      seen := k :: !seen;
+      k < 10);
+  Alcotest.(check (list int)) "iter_from 5 until >= 10" [ 6; 8; 10 ]
+    (List.rev !seen);
+  let all = ref [] in
+  M.iter_from t 0 (fun k _ ->
+      all := k :: !all;
+      true);
+  Alcotest.(check (list int)) "iter_from 0" [ 2; 4; 6; 8; 10; 12 ]
+    (List.rev !all)
+
+(* Model-based test: random interleavings of add/remove/find/floor
+   against Stdlib.Map. *)
+type op = Add of int * int | Remove of int | Find of int | Floor of int
+
+let gen_op =
+  QCheck.Gen.(
+    int_range 0 199 >>= fun k ->
+    int_range 0 999 >>= fun v ->
+    oneof
+      [ return (Add (k, v)); return (Remove k); return (Find k);
+        return (Floor k) ])
+
+let print_op = function
+  | Add (k, v) -> Printf.sprintf "Add(%d,%d)" k v
+  | Remove k -> Printf.sprintf "Remove %d" k
+  | Find k -> Printf.sprintf "Find %d" k
+  | Floor k -> Printf.sprintf "Floor %d" k
+
+let prop_btree_model =
+  QCheck.Test.make ~name:"btree matches Map model" ~count:200
+    (QCheck.make
+       ~print:(fun l -> String.concat "; " (List.map print_op l))
+       QCheck.Gen.(list_size (int_range 0 400) gen_op))
+    (fun ops ->
+      let t = M.create () in
+      let model = ref IM.empty in
+      List.for_all
+        (fun op ->
+          match op with
+          | Add (k, v) ->
+              M.add t k v;
+              model := IM.add k v !model;
+              true
+          | Remove k ->
+              M.remove t k;
+              model := IM.remove k !model;
+              true
+          | Find k -> M.find_opt t k = IM.find_opt k !model
+          | Floor k ->
+              let expected = IM.fold
+                  (fun k' v' acc -> if k' <= k then Some (k', v') else acc)
+                  !model None
+              in
+              M.floor t k = expected)
+        ops
+      && (ignore (M.validate t);
+          M.size t = IM.cardinal !model
+          && M.to_list t = IM.bindings !model))
+
+(* ---------------- Tracker ---------------- *)
+
+let test_tracker_basic () =
+  let t = Tracker.create ~len:100 ~initial_owner:0 in
+  Tracker.check_invariants t;
+  checki "one segment" 1 (Tracker.segment_count t);
+  Tracker.write t ~start:10 ~stop:20 ~owner:1;
+  Tracker.check_invariants t;
+  checki "three segments" 3 (Tracker.segment_count t);
+  checki "owner at 15" 1 (Tracker.owner_at t 15);
+  checki "owner at 5" 0 (Tracker.owner_at t 5);
+  checki "owner at 20" 0 (Tracker.owner_at t 20);
+  (* Overwrite with the same owner as neighbours: everything merges
+     back to one segment. *)
+  Tracker.write t ~start:10 ~stop:20 ~owner:0;
+  Tracker.check_invariants t;
+  checki "merged back" 1 (Tracker.segment_count t)
+
+let test_tracker_query_clip () =
+  let t = Tracker.create ~len:100 ~initial_owner:0 in
+  Tracker.write t ~start:30 ~stop:60 ~owner:2;
+  let segs = Tracker.query t ~start:40 ~stop:80 in
+  Alcotest.(check (list (triple int int int)))
+    "clipped query"
+    [ (40, 60, 2); (60, 80, 0) ]
+    (List.map (fun s -> Tracker.(s.start, s.stop, s.owner)) segs)
+
+let test_tracker_spanning_write () =
+  let t = Tracker.create ~len:100 ~initial_owner:0 in
+  Tracker.write t ~start:10 ~stop:20 ~owner:1;
+  Tracker.write t ~start:30 ~stop:40 ~owner:2;
+  Tracker.write t ~start:50 ~stop:60 ~owner:3;
+  Tracker.check_invariants t;
+  (* A write spanning several existing segments absorbs them all. *)
+  Tracker.write t ~start:5 ~stop:95 ~owner:4;
+  Tracker.check_invariants t;
+  checki "absorbed" 3 (Tracker.segment_count t);
+  checki "owner mid" 4 (Tracker.owner_at t 50);
+  checki "owner head" 0 (Tracker.owner_at t 2);
+  checki "owner tail" 0 (Tracker.owner_at t 97)
+
+(* Model-based: the tracker against a flat per-element owner array. *)
+let gen_tracker_op =
+  QCheck.Gen.(
+    int_range 0 99 >>= fun a ->
+    int_range 0 99 >>= fun b ->
+    int_range 0 3 >>= fun owner ->
+    bool >>= fun is_write ->
+    let lo = min a b and hi = max a b + 1 in
+    return (is_write, lo, hi, owner))
+
+let prop_tracker_model =
+  QCheck.Test.make ~name:"tracker matches flat-array model" ~count:300
+    (QCheck.make
+       ~print:(fun l ->
+         String.concat "; "
+           (List.map
+              (fun (w, lo, hi, o) ->
+                Printf.sprintf "%s[%d,%d)o%d" (if w then "W" else "Q") lo hi o)
+              l))
+       QCheck.Gen.(list_size (int_range 1 60) gen_tracker_op))
+    (fun ops ->
+      let t = Tracker.create ~len:100 ~initial_owner:0 in
+      let model = Array.make 100 0 in
+      List.for_all
+        (fun (is_write, lo, hi, owner) ->
+          if is_write then begin
+            Tracker.write t ~start:lo ~stop:hi ~owner;
+            Array.fill model lo (hi - lo) owner;
+            Tracker.check_invariants t;
+            true
+          end
+          else
+            let segs = Tracker.query t ~start:lo ~stop:hi in
+            (* coverage and agreement *)
+            let covered = Array.make (hi - lo) false in
+            List.for_all
+              (fun { Tracker.start; stop; owner } ->
+                let ok = ref true in
+                for i = start to stop - 1 do
+                  if model.(i) <> owner then ok := false;
+                  if covered.(i - lo) then ok := false;
+                  covered.(i - lo) <- true
+                done;
+                !ok)
+              segs
+            && Array.for_all (fun c -> c) covered)
+        ops)
+
+(* ---------------- Virtual buffers ---------------- *)
+
+let machine4 () =
+  Gpusim.Machine.create ~functional:true (Gpusim.Config.test_box ~n_devices:4 ())
+
+let test_vbuf_h2d_d2h_roundtrip () =
+  let m = machine4 () in
+  let vb = Vbuf.create m ~name:"a" ~len:103 in
+  let src = Array.init 103 (fun i -> float_of_int i *. 0.5) in
+  Vbuf.h2d vb ~src:(Some src);
+  Tracker.check_invariants (Vbuf.tracker vb);
+  (* Linear distribution: 4 devices get ceil(103/4)=26-element chunks. *)
+  checki "4 segments" 4 (Tracker.segment_count (Vbuf.tracker vb));
+  checki "owner of 0" 0 (Tracker.owner_at (Vbuf.tracker vb) 0);
+  checki "owner of 60" 2 (Tracker.owner_at (Vbuf.tracker vb) 60);
+  checki "owner of 102" 3 (Tracker.owner_at (Vbuf.tracker vb) 102);
+  let dst = Array.make 103 nan in
+  Vbuf.d2h vb ~dst:(Some dst);
+  checkb "roundtrip" true (src = dst)
+
+let test_vbuf_sync_for_read () =
+  let m = machine4 () in
+  let vb = Vbuf.create m ~name:"a" ~len:100 in
+  let src = Array.init 100 float_of_int in
+  Vbuf.h2d vb ~src:(Some src);
+  (* Device 1 wants to read [0, 50): elements [0,25) live on device 0,
+     [25,50) already on device 1. *)
+  let n = Vbuf.sync_for_read vb ~dev:1 ~ranges:[ (0, 50) ] in
+  checki "one transfer issued" 1 n;
+  let inst1 = Gpusim.Buffer.data_exn (Vbuf.instance vb 1) in
+  checkb "data arrived" true (inst1.(10) = 10.0);
+  (* Owners unchanged by reads. *)
+  checki "owner still 0" 0 (Tracker.owner_at (Vbuf.tracker vb) 10);
+  (* Writes change ownership. *)
+  Vbuf.update_for_write vb ~dev:1 ~ranges:[ (0, 50) ];
+  checki "owner now 1" 1 (Tracker.owner_at (Vbuf.tracker vb) 10);
+  Tracker.check_invariants (Vbuf.tracker vb)
+
+let test_vbuf_gather_after_writes () =
+  let m = machine4 () in
+  let vb = Vbuf.create m ~name:"a" ~len:40 in
+  let src = Array.init 40 float_of_int in
+  Vbuf.h2d vb ~src:(Some src);
+  (* Each device overwrites its chunk with dev-id marks. *)
+  for d = 0 to 3 do
+    let inst = Gpusim.Buffer.data_exn (Vbuf.instance vb d) in
+    for i = d * 10 to (d * 10) + 9 do
+      inst.(i) <- float_of_int (1000 + d)
+    done;
+    Vbuf.update_for_write vb ~dev:d ~ranges:[ (d * 10, (d * 10) + 10) ]
+  done;
+  let dst = Array.make 40 nan in
+  Vbuf.d2h vb ~dst:(Some dst);
+  checkb "gather picks owners" true
+    (Array.for_all (fun v -> v >= 1000.0) dst);
+  checkb "right owners" true
+    (dst.(5) = 1000.0 && dst.(15) = 1001.0 && dst.(25) = 1002.0
+     && dst.(35) = 1003.0)
+
+let test_vbuf_beta_gamma () =
+  (* beta: patterns on, transfers off -> tracker changes, no transfer
+     stats.  gamma: nothing. *)
+  let cfg_m = Gpusim.Config.test_box ~n_devices:2 () in
+  let m = Gpusim.Machine.create ~functional:false cfg_m in
+  let vb = Vbuf.create m ~name:"a" ~len:100 in
+  let src = Array.make 100 0.0 in
+  Vbuf.h2d ~cfg:Rconfig.beta vb ~src:(Some src);
+  checki "beta: no h2d bytes" 0 (Gpusim.Machine.stats m).Gpusim.Machine.h2d_bytes;
+  checki "beta: tracker updated" 2 (Tracker.segment_count (Vbuf.tracker vb));
+  let n = Vbuf.sync_for_read ~cfg:Rconfig.beta vb ~dev:1 ~ranges:[ (0, 100) ] in
+  checki "beta: stale segments counted" 1 n;
+  checki "beta: no p2p bytes" 0 (Gpusim.Machine.stats m).Gpusim.Machine.p2p_bytes;
+  let vb2 = Vbuf.create m ~name:"b" ~len:100 in
+  Vbuf.h2d ~cfg:Rconfig.gamma vb2 ~src:(Some src);
+  checki "gamma: tracker untouched" 1 (Tracker.segment_count (Vbuf.tracker vb2));
+  checki "gamma: no sync work" 0
+    (Vbuf.sync_for_read ~cfg:Rconfig.gamma vb2 ~dev:1 ~ranges:[ (0, 100) ])
+
+let test_linear_chunk () =
+  (* Chunks partition [0,len) and are balanced. *)
+  List.iter
+    (fun (len, n) ->
+      let stops = ref 0 in
+      for d = 0 to n - 1 do
+        let a, b = Vbuf.linear_chunk ~len ~n_devices:n d in
+        checkb "ordered" true (a <= b);
+        if d = 0 then checki "starts at 0" 0 a;
+        if d > 0 then begin
+          let _, prev_b = Vbuf.linear_chunk ~len ~n_devices:n (d - 1) in
+          checki "contiguous" prev_b a
+        end;
+        stops := b
+      done;
+      checki "covers len" len !stops)
+    [ (100, 4); (103, 4); (7, 16); (16, 16); (1, 3) ]
+
+(* Model-based virtual-buffer property: a random interleaving of
+   device writes (update_for_write + direct stores into the instance)
+   and reads (sync_for_read on a random device) must keep every synced
+   range equal to a flat reference array. *)
+type vop =
+  | VWrite of int * int * int (* device, lo, hi *)
+  | VRead of int * int * int (* device, lo, hi *)
+
+let gen_vop =
+  QCheck.Gen.(
+    int_range 0 3 >>= fun dev ->
+    int_range 0 79 >>= fun a ->
+    int_range 0 79 >>= fun b ->
+    bool >>= fun w ->
+    let lo = min a b and hi = max a b + 1 in
+    return (if w then VWrite (dev, lo, hi) else VRead (dev, lo, hi)))
+
+let print_vop = function
+  | VWrite (d, l, h) -> Printf.sprintf "W%d[%d,%d)" d l h
+  | VRead (d, l, h) -> Printf.sprintf "R%d[%d,%d)" d l h
+
+let prop_vbuf_model =
+  QCheck.Test.make ~name:"vbuf coherence matches flat model" ~count:150
+    (QCheck.make
+       ~print:(fun l -> String.concat "; " (List.map print_vop l))
+       QCheck.Gen.(list_size (int_range 1 40) gen_vop))
+    (fun ops ->
+      let len = 80 in
+      let m =
+        Gpusim.Machine.create ~functional:true
+          (Gpusim.Config.test_box ~n_devices:4 ())
+      in
+      let vb = Vbuf.create m ~name:"v" ~len in
+      let model = Array.make len 0.0 in
+      let init = Array.init len float_of_int in
+      Vbuf.h2d vb ~src:(Some init);
+      Array.blit init 0 model 0 len;
+      let stamp = ref 100.0 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+           match op with
+           | VWrite (dev, lo, hi) ->
+             (* the device produces new values for [lo,hi) *)
+             stamp := !stamp +. 1.0;
+             let inst = Gpusim.Buffer.data_exn (Vbuf.instance vb dev) in
+             for i = lo to hi - 1 do
+               inst.(i) <- !stamp +. float_of_int i;
+               model.(i) <- !stamp +. float_of_int i
+             done;
+             Vbuf.update_for_write vb ~dev ~ranges:[ (lo, hi) ];
+             Tracker.check_invariants (Vbuf.tracker vb)
+           | VRead (dev, lo, hi) ->
+             ignore (Vbuf.sync_for_read vb ~dev ~ranges:[ (lo, hi) ]);
+             let inst = Gpusim.Buffer.data_exn (Vbuf.instance vb dev) in
+             for i = lo to hi - 1 do
+               if inst.(i) <> model.(i) then ok := false
+             done)
+        ops;
+      (* final gather agrees with the model *)
+      let out = Array.make len nan in
+      Vbuf.d2h vb ~dst:(Some out);
+      !ok && out = model)
+
+(* Tracker op accounting increases monotonically and reset works. *)
+let test_tracker_ops_accounting () =
+  let t = Tracker.create ~len:100 ~initial_owner:0 in
+  let o0 = Tracker.ops t in
+  ignore (Tracker.query t ~start:0 ~stop:100);
+  checkb "query counted" true (Tracker.ops t > o0);
+  Tracker.reset_ops t;
+  checki "reset" 0 (Tracker.ops t);
+  Tracker.write t ~start:10 ~stop:20 ~owner:1;
+  checkb "write counted" true (Tracker.ops t > 0)
+
+let test_rconfig () =
+  checkb "alpha valid" true (Rconfig.is_valid Rconfig.alpha);
+  checkb "beta valid" true (Rconfig.is_valid Rconfig.beta);
+  checkb "gamma valid" true (Rconfig.is_valid Rconfig.gamma);
+  checkb "transfers without patterns invalid" false
+    (Rconfig.is_valid { Rconfig.transfers = true; patterns = false });
+  Alcotest.(check string) "names" "alpha,beta,gamma"
+    (String.concat ","
+       (List.map Rconfig.name [ Rconfig.alpha; Rconfig.beta; Rconfig.gamma ]))
+
+let qtest t = QCheck_alcotest.to_alcotest t
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ( "btree",
+        [
+          Alcotest.test_case "basic" `Quick test_btree_basic;
+          Alcotest.test_case "bulk insert/delete" `Quick test_btree_bulk;
+          Alcotest.test_case "iter_from" `Quick test_btree_iter_from;
+          qtest prop_btree_model;
+        ] );
+      ( "tracker",
+        [
+          Alcotest.test_case "basic" `Quick test_tracker_basic;
+          Alcotest.test_case "query clipping" `Quick test_tracker_query_clip;
+          Alcotest.test_case "spanning write" `Quick test_tracker_spanning_write;
+          qtest prop_tracker_model;
+        ] );
+      ( "vbuf",
+        [
+          Alcotest.test_case "h2d/d2h roundtrip" `Quick test_vbuf_h2d_d2h_roundtrip;
+          Alcotest.test_case "sync for read" `Quick test_vbuf_sync_for_read;
+          Alcotest.test_case "gather after writes" `Quick test_vbuf_gather_after_writes;
+          Alcotest.test_case "beta/gamma configs" `Quick test_vbuf_beta_gamma;
+          Alcotest.test_case "linear chunks" `Quick test_linear_chunk;
+          Alcotest.test_case "tracker ops accounting" `Quick test_tracker_ops_accounting;
+          Alcotest.test_case "rconfig" `Quick test_rconfig;
+          qtest prop_vbuf_model;
+        ] );
+    ]
