@@ -9,6 +9,7 @@
      dune exec bench/main.exe -- fig8     -- runtime-system overhead
      dune exec bench/main.exe -- overhead1-- single-GPU slowdown
      dune exec bench/main.exe -- compile  -- compile-time overhead
+     dune exec bench/main.exe -- cache    -- launch-plan cache wall-clock
      dune exec bench/main.exe -- micro    -- Bechamel micro-benchmarks
 
    All application measurements are simulated times from the calibrated
@@ -43,11 +44,18 @@ let artifacts bench size =
 let k80 g =
   Gpusim.Machine.create ~functional:false (Gpusim.Config.k80_box ~n_devices:g ())
 
+(* Cumulative launch-plan cache counters across an experiment. *)
+let cache_hits = ref 0
+let cache_misses = ref 0
+
 (* Simulated time of the partitioned application on [g] GPUs. *)
 let multi_time ?cfg bench size g =
   let a = artifacts bench size in
   let m = k80 g in
   let r = Mekong.Multi_gpu.run ?cfg ~machine:m a.Mekong.Toolchain.exe in
+  cache_hits := !cache_hits + r.Mekong.Multi_gpu.cache.Mekong.Launch_cache.hits;
+  cache_misses :=
+    !cache_misses + r.Mekong.Multi_gpu.cache.Mekong.Launch_cache.misses;
   (r.Mekong.Multi_gpu.time, m)
 
 (* Simulated time of the NVCC-style single-GPU reference binary. *)
@@ -121,6 +129,8 @@ let run_fig6 () =
   Printf.printf "Figure 6: Speedup of the benchmarks for up to 16 GPUs.\n";
   Printf.printf "(speedup vs the single-GPU reference binary; paper maxima:\n";
   Printf.printf " Hotspot 7.1x @ 14, N-Body 12.4x @ 16, Matmul 6.3x @ 14)\n\n";
+  cache_hits := 0;
+  cache_misses := 0;
   List.iter
     (fun b ->
        Printf.printf "%s\n" (Apps.Workloads.benchmark_name b);
@@ -154,7 +164,9 @@ let run_fig6 () =
             | None -> ())
          all_sizes;
        Printf.printf "\n%!")
-    all_benchmarks
+    all_benchmarks;
+  Printf.printf "launch-plan cache over the sweep: %d hits / %d misses\n\n"
+    !cache_hits !cache_misses
 
 (* ------------------------------------------------------------------ *)
 (* Figure 7: execution-time breakdown (alpha/beta/gamma, paper §9.2)    *)
@@ -387,6 +399,47 @@ let run_ablation () =
   Printf.printf "\n"
 
 (* ------------------------------------------------------------------ *)
+(* Launch-plan cache: host-engine wall-clock with and without           *)
+(* ------------------------------------------------------------------ *)
+
+(* A Repeat-heavy workload re-issues the same launch key hundreds of
+   times; this measures how much host-side engine work the launch-plan
+   cache amortizes.  Simulated results are bit-identical either way
+   (asserted below); only the harness wall-clock changes. *)
+let run_cachebench () =
+  Printf.printf "Launch-plan cache (Hotspot Small, 200 iterations, 8 GPUs)\n\n";
+  let prog =
+    Apps.Workloads.program ~iterations:200 Apps.Workloads.Hotspot_b
+      Apps.Workloads.Small
+  in
+  let model =
+    match Mekong.Toolchain.pass1 prog with
+    | Ok (model, _) -> model
+    | Error e -> failwith (Mekong.Toolchain.error_message e)
+  in
+  let exe = Mekong.Multi_gpu.link ~model prog in
+  Printf.printf "%-12s %14s %14s %8s %8s\n" "variant" "sim total(s)"
+    "wall time(s)" "hits" "misses";
+  Printf.printf "%s\n" (line 60);
+  let measure cache =
+    let m = k80 8 in
+    let w0 = Unix.gettimeofday () in
+    let r = Mekong.Multi_gpu.run ~cache ~machine:m exe in
+    let wall = Unix.gettimeofday () -. w0 in
+    Printf.printf "%-12s %14.4f %14.3f %8d %8d\n%!"
+      (if cache then "cache on" else "cache off")
+      r.Mekong.Multi_gpu.time wall
+      r.Mekong.Multi_gpu.cache.Mekong.Launch_cache.hits
+      r.Mekong.Multi_gpu.cache.Mekong.Launch_cache.misses;
+    (r.Mekong.Multi_gpu.time, wall)
+  in
+  let t_on, w_on = measure true in
+  let t_off, w_off = measure false in
+  assert (t_on = t_off);
+  Printf.printf "\nhost-engine speedup: %.1fx (identical simulated time)\n\n"
+    (w_off /. w_on)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the runtime primitives                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -504,6 +557,7 @@ let () =
    | "overhead1" -> run_overhead1 ()
    | "compile" -> run_compile ()
    | "ablation" -> run_ablation ()
+   | "cache" -> run_cachebench ()
    | "micro" -> run_micro ()
    | "all" ->
      run_table1 ();
@@ -513,10 +567,11 @@ let () =
      run_overhead1 ();
      run_compile ();
      run_ablation ();
+     run_cachebench ();
      run_micro ()
    | other ->
      Printf.eprintf
-       "unknown experiment %s (table1|fig6|fig7|fig8|overhead1|compile|ablation|micro|all)\n"
+       "unknown experiment %s (table1|fig6|fig7|fig8|overhead1|compile|ablation|cache|micro|all)\n"
        other;
      exit 2);
   Printf.printf "[bench completed in %.1fs wall time]\n"

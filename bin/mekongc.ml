@@ -102,7 +102,8 @@ let run_cmd =
     let stats = Gpusim.Machine.stats machine in
     Printf.printf "%s on %d GPUs: %.3f ms simulated\n" (fst app) gpus
       (res.Mekong.Multi_gpu.time *. 1e3);
-    Format.printf "%a@." Gpusim.Machine.pp_stats stats
+    Format.printf "%a@." Gpusim.Machine.pp_stats stats;
+    Format.printf "%a@." Mekong.Launch_cache.pp_stats res.Mekong.Multi_gpu.cache
   in
   Cmd.v (Cmd.info "run" ~doc:"compile and run on simulated GPUs")
     Term.(const run $ app_arg $ gpus_arg)
@@ -157,7 +158,9 @@ let compile_file_cmd =
       let stats = Gpusim.Machine.stats machine in
       Printf.printf "simulated on %d GPUs: %.3f ms\n" gpus
         (res.Mekong.Multi_gpu.time *. 1e3);
-      Format.printf "%a@." Gpusim.Machine.pp_stats stats
+      Format.printf "%a@." Gpusim.Machine.pp_stats stats;
+      Format.printf "%a@." Mekong.Launch_cache.pp_stats
+        res.Mekong.Multi_gpu.cache
   in
   Cmd.v
     (Cmd.info "compile-file" ~doc:"parse, compile and run a toy .cu file")

@@ -28,9 +28,16 @@ type t = {
   total_dies : int; (* dies physically present (thermal envelope) *)
   pcie_bandwidth : float; (* host<->device link bytes per second *)
   p2p_bandwidth : float; (* device<->device link bytes per second *)
+  dmem_bandwidth : float;
+      (* device-local memory copy bytes per second: a copy whose source
+         and destination live on the same die moves through device
+         memory only and never touches the PCIe fabric *)
   fabric_bandwidth : float;
       (* aggregate PCIe fabric bytes per second, shared by all
-         transfers in flight (root-complex bottleneck) *)
+         transfers in flight (root-complex bottleneck).  Only
+         cross-device and host<->device traffic occupies the fabric —
+         a cross-device copy stages through host memory and crosses it
+         twice (2x bytes), a device-local copy not at all. *)
   transfer_latency : float; (* fixed seconds per transfer *)
   launch_latency : float; (* fixed host seconds per kernel launch *)
   sync_device_seconds : float;
@@ -62,6 +69,9 @@ let k80_box ?(n_devices = 16) () =
     total_dies = 16;
     pcie_bandwidth = 10.0e9;
     p2p_bandwidth = 6.0e9;
+    (* K80 GDDR5 is ~240 GB/s peak per die; ~160 GB/s is the achievable
+       device-to-device-memory copy rate. *)
+    dmem_bandwidth = 160.0e9;
     fabric_bandwidth = 8.0e9;
     transfer_latency = 40.0e-6;
     launch_latency = 8.0e-6;

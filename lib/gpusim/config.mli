@@ -24,9 +24,12 @@ type t = {
   total_dies : int;  (** dies physically present (thermal envelope) *)
   pcie_bandwidth : float;  (** host<->device link bytes per second *)
   p2p_bandwidth : float;  (** device<->device link bytes per second *)
+  dmem_bandwidth : float;
+      (** device-local memory copy bytes per second (same-device copies
+          never cross the PCIe fabric) *)
   fabric_bandwidth : float;
       (** aggregate PCIe fabric bytes per second, shared by all
-          transfers in flight *)
+          transfers in flight; device-local copies occupy none of it *)
   transfer_latency : float;  (** fixed seconds per transfer *)
   launch_latency : float;  (** fixed host seconds per kernel launch *)
   sync_device_seconds : float;

@@ -198,7 +198,12 @@ let transfer m ~engines ~deps ~bytes ~fabric_bytes ~bandwidth =
   let ready =
     List.fold_left (fun acc t -> Float.max acc (Timeline.ready t)) ready engines
   in
-  let start = fabric_admit m ~start:ready ~bytes:fabric_bytes in
+  (* Device-local copies ([fabric_bytes = 0]) never touch the fabric:
+     admitting them would falsely serialize behind its backlog. *)
+  let start =
+    if fabric_bytes = 0 then ready
+    else fabric_admit m ~start:ready ~bytes:fabric_bytes
+  in
   let dur =
     m.cfg.Config.transfer_latency +. (float_of_int bytes /. bandwidth)
   in
@@ -247,15 +252,23 @@ let p2p m ~src ~src_off ~dst ~dst_off ~len =
   let bytes = len * m.cfg.Config.elem_bytes in
   let sdev = device m (Buffer.device src) in
   let ddev = device m (Buffer.device dst) in
+  let same_device = sdev.dev_id = ddev.dev_id in
   let engines =
-    if sdev.dev_id = ddev.dev_id then [ sdev.copy_out ]
+    if same_device then [ sdev.copy_out ]
     else [ sdev.copy_out; ddev.copy_in ]
   in
-  (* Staged through host memory across root complexes: the bytes cross
-     the shared fabric twice. *)
+  (* Cross-device copies stage through host memory across root
+     complexes: the bytes cross the shared fabric twice.  A copy within
+     one device moves through device memory only — no fabric traffic,
+     device-memory bandwidth. *)
+  let fabric_bytes = if same_device then 0 else 2 * bytes in
+  let bandwidth =
+    if same_device then m.cfg.Config.dmem_bandwidth
+    else m.cfg.Config.p2p_bandwidth
+  in
   let ev_start, ev_finish =
     transfer m ~engines ~deps:[ sdev.compute; ddev.compute ] ~bytes
-      ~fabric_bytes:(2 * bytes) ~bandwidth:m.cfg.Config.p2p_bandwidth
+      ~fabric_bytes ~bandwidth
   in
   record m
     { ev_kind = `P2p; ev_src = sdev.dev_id; ev_dst = ddev.dev_id;
@@ -279,13 +292,19 @@ let p2p_multi m ~src ~dst ~segments =
     let bytes = len * m.cfg.Config.elem_bytes in
     let sdev = device m (Buffer.device src) in
     let ddev = device m (Buffer.device dst) in
+    let same_device = sdev.dev_id = ddev.dev_id in
     let engines =
-      if sdev.dev_id = ddev.dev_id then [ sdev.copy_out ]
+      if same_device then [ sdev.copy_out ]
       else [ sdev.copy_out; ddev.copy_in ]
+    in
+    let fabric_bytes = if same_device then 0 else 2 * bytes in
+    let bandwidth =
+      if same_device then m.cfg.Config.dmem_bandwidth
+      else m.cfg.Config.p2p_bandwidth
     in
     let ev_start, ev_finish =
       transfer m ~engines ~deps:[ sdev.compute; ddev.compute ] ~bytes
-        ~fabric_bytes:(2 * bytes) ~bandwidth:m.cfg.Config.p2p_bandwidth
+        ~fabric_bytes ~bandwidth
     in
     record m
       { ev_kind = `P2p; ev_src = sdev.dev_id; ev_dst = ddev.dev_id;

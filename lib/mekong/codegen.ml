@@ -58,11 +58,19 @@ type entry = {
 type t = { kernel : string; entries : entry list }
 
 let build ?rectangles (km : Model.kernel_model) : t =
+  let precompile e =
+    (* Compile the enumerator expressions to closures at link time, so
+       the first launch does not pay the one-time cost. *)
+    Option.iter Enumerate.precompile e.read;
+    Option.iter Enumerate.precompile e.write;
+    e
+  in
   {
     kernel = km.Model.kname;
     entries =
       List.mapi
         (fun i (a : Model.array_model) ->
+           precompile
            {
              arr = a.Model.arr;
              dims = a.Model.dims;

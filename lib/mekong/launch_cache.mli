@@ -1,0 +1,56 @@
+(** Launch-plan cache for the partitioned engine.
+
+    Memoizes, per (kernel, grid, block, args) launch key, everything
+    {!Multi_gpu.run} derives from the launch parameters alone: the
+    non-empty partition list, the evaluated read/write range lists with
+    their raw emission counts, per-partition arguments and the cost
+    model's ops-per-block.  Tracker state, transfers and all simulated
+    charges stay per launch, so cached and uncached runs produce
+    bit-identical results; only redundant host computation is skipped. *)
+
+type key = {
+  kernel : string;
+  grid : Dim3.t;
+  block : Dim3.t;
+  args : Host_ir.harg list;
+}
+
+type ranges = {
+  rg_buf : string;  (** buffer name the array argument is bound to *)
+  rg_ranges : (int * int) list;  (** canonical half-open element ranges *)
+  rg_raw : int;  (** raw emission count (the host "patterns" cost driver) *)
+}
+
+type partition_plan = {
+  pp_part : Partition.t;
+  pp_reads : ranges list;
+  pp_writes : ranges list;
+  pp_launch_grid : Dim3.t;
+  pp_n_blocks : int;
+  pp_part_args : Host_ir.harg list;
+  pp_scalar_args : Keval.arg list;
+  pp_ops_per_block : float;
+  pp_shadow_cost : float;  (** 0 when the kernel has no shadow clone *)
+}
+
+type plan = {
+  pl_arg_arrays : (string * string) list;
+      (** array parameter -> buffer name *)
+  pl_partitions : partition_plan list;
+}
+
+type stats = { hits : int; misses : int }
+
+type t
+
+val create : unit -> t
+
+val find_or_build : t -> key -> build:(unit -> plan) -> plan
+(** Return the cached plan for [key], or build, record and return it. *)
+
+val stats : t -> stats
+
+val no_stats : stats
+(** All-zero counters (reported by cache-disabled runs). *)
+
+val pp_stats : Format.formatter -> stats -> unit

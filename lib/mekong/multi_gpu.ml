@@ -65,6 +65,8 @@ type result = {
   machine : Gpusim.Machine.t;
   time : float;
   transfers : int; (* inter-device synchronization transfers issued *)
+  cache : Launch_cache.stats;
+      (* launch-plan cache hit/miss counters (zero when disabled) *)
 }
 
 (* Common parameter bindings of one launch: scalar arguments plus block
@@ -77,7 +79,7 @@ let launch_bindings kernel ~grid ~block ~args =
            (Access.gdim_name a, Dim3.get grid a) ])
       Dim3.axes
 
-let run ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d)
+let run ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d) ?(cache = true)
     ~(machine : Gpusim.Machine.t) (exe : exe) : result =
   if not (Gpu_runtime.Rconfig.is_valid cfg) then invalid_arg "Multi_gpu.run: bad config";
   let m = machine in
@@ -86,6 +88,19 @@ let run ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d)
   Gpusim.Machine.set_active_devices m n_devices;
   let vbufs : (string, Gpu_runtime.Vbuf.t) Hashtbl.t = Hashtbl.create 16 in
   let total_transfers = ref 0 in
+  (* Per-launch compiled-kernel lookup must not be linear in the kernel
+     count. *)
+  let compiled_tbl : (string, compiled_kernel) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iter
+    (fun (name, ck) ->
+       if not (Hashtbl.mem compiled_tbl name) then
+         Hashtbl.add compiled_tbl name ck)
+    exe.compiled;
+  (* The cache lives for one run: device count, tiling and measurement
+     config are fixed here, so they need not be part of the key. *)
+  let plan_cache = Launch_cache.create () in
   let find b =
     match Hashtbl.find_opt vbufs b with
     | Some vb -> vb
@@ -107,8 +122,12 @@ let run ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d)
     let res = f () in
     (Gpu_runtime.Tracker.ops tr - before, res)
   in
-  let exec_launch kernel grid block args =
-    let ck = List.assoc kernel.Kir.name exe.compiled in
+  (* Derive everything a launch needs from its parameters alone (no
+     tracker or buffer state), in the exact shape the execution phases
+     below consume.  This is the launch-plan cache's payload; with the
+     cache disabled it is rebuilt for every launch, which makes the two
+     paths trivially bit-identical. *)
+  let build_plan ck kernel grid block args : Launch_cache.plan =
     let km = ck.ck_model in
     let partitions =
       let primary = km.Model.strategy in
@@ -133,74 +152,125 @@ let run ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d)
     in
     let common = launch_bindings kernel ~grid ~block ~args in
     let arg_arrays = Host_ir.array_bindings kernel args in
+    let eval_ranges p select =
+      (* Gamma runs never consume range lists; skip evaluating them. *)
+      if not cfg.Gpu_runtime.Rconfig.patterns then []
+      else
+        let bindings = common @ Partition.box_bindings p ~block in
+        List.filter_map
+          (fun (arr, bufname) ->
+             match Option.bind (Codegen.entry ck.ck_enums arr) select with
+             | Some enum ->
+               let ranges, raw = Codegen.ranges_counted enum ~bindings in
+               Some
+                 {
+                   Launch_cache.rg_buf = bufname;
+                   rg_ranges = ranges;
+                   rg_raw = raw;
+                 }
+             | None -> None)
+          arg_arrays
+    in
+    let pl_partitions =
+      List.map
+        (fun p ->
+           let part_args = args @ Partition.partition_args p in
+           let scalar_env =
+             Host_ir.scalar_bindings ck.ck_partitioned part_args
+           in
+           {
+             Launch_cache.pp_part = p;
+             pp_reads = eval_ranges p (fun e -> e.Codegen.read);
+             pp_writes = eval_ranges p (fun e -> e.Codegen.write);
+             pp_launch_grid = Partition.launch_grid p;
+             pp_n_blocks = Partition.n_blocks p;
+             pp_part_args = part_args;
+             pp_scalar_args = Host_ir.scalar_args part_args;
+             pp_ops_per_block =
+               Costmodel.ops_per_block ck.ck_partitioned ~scalar_env ~block;
+             pp_shadow_cost =
+               (match ck.ck_shadow with
+                | Some shadow ->
+                  Instrument.shadow_cost shadow
+                    ~scalar_env:(Host_ir.scalar_bindings shadow part_args)
+                    ~block
+                | None -> 0.0);
+           })
+        partitions
+    in
+    { Launch_cache.pl_arg_arrays = arg_arrays; pl_partitions }
+  in
+  let exec_launch kernel grid block args =
+    let ck =
+      match Hashtbl.find_opt compiled_tbl kernel.Kir.name with
+      | Some ck -> ck
+      | None ->
+        invalid_arg ("Multi_gpu: unlinked kernel " ^ kernel.Kir.name)
+    in
+    let km = ck.ck_model in
+    let plan =
+      if cache then
+        Launch_cache.find_or_build plan_cache
+          { Launch_cache.kernel = kernel.Kir.name; grid; block; args }
+          ~build:(fun () -> build_plan ck kernel grid block args)
+      else build_plan ck kernel grid block args
+    in
+    let arg_arrays = plan.Launch_cache.pl_arg_arrays in
+    let partitions = plan.Launch_cache.pl_partitions in
     (* (2) of §5: synchronize all buffers read by the kernel. *)
     if cfg.Gpu_runtime.Rconfig.patterns then
       List.iter
-        (fun p ->
-           let bindings = common @ Partition.box_bindings p ~block in
+        (fun (pp : Launch_cache.partition_plan) ->
            List.iter
-             (fun (arr, bufname) ->
-                match Codegen.entry ck.ck_enums arr with
-                | Some { read = Some enum; _ } ->
-                  let vb = find bufname in
-                  let ranges, raw = Codegen.ranges_counted enum ~bindings in
-                  let ops, transfers =
-                    with_tracker_ops vb (fun () ->
-                        Gpu_runtime.Vbuf.sync_for_read ~cfg
-                          ~batch:(tiling = `Two_d) vb
-                          ~dev:p.Partition.device ~ranges)
-                  in
-                  total_transfers := !total_transfers + transfers;
-                  charge ~tracker_ops:ops ~ranges:raw ~dispatches:0
-                | _ -> ())
-             arg_arrays)
+             (fun { Launch_cache.rg_buf; rg_ranges; rg_raw } ->
+                let vb = find rg_buf in
+                let ops, transfers =
+                  with_tracker_ops vb (fun () ->
+                      Gpu_runtime.Vbuf.sync_for_read ~cfg
+                        ~batch:(tiling = `Two_d) vb
+                        ~dev:pp.Launch_cache.pp_part.Partition.device
+                        ~ranges:rg_ranges)
+                in
+                total_transfers := !total_transfers + transfers;
+                charge ~tracker_ops:ops ~ranges:rg_raw ~dispatches:0)
+             pp.Launch_cache.pp_reads)
         partitions;
     Gpusim.Machine.synchronize m;
     (* (3): launch each partition on its device. *)
     List.iter
-      (fun p ->
-         let new_grid = Partition.launch_grid p in
-         let part_args = args @ Partition.partition_args p in
-         let scalar_env =
-           Host_ir.scalar_bindings ck.ck_partitioned part_args
-         in
-         let ops_per_block =
-           Costmodel.ops_per_block ck.ck_partitioned ~scalar_env ~block
-         in
+      (fun (pp : Launch_cache.partition_plan) ->
          let buffer_of name =
            Gpu_runtime.Vbuf.instance (find (List.assoc name arg_arrays))
-             p.Partition.device
+             pp.Launch_cache.pp_part.Partition.device
          in
          charge ~tracker_ops:0 ~ranges:0 ~dispatches:1;
-         Gpusim.Machine.launch m ~device:p.Partition.device
-           ~blocks:(Partition.n_blocks p) ~ops_per_block ~run:(fun () ->
+         Gpusim.Machine.launch m
+           ~device:pp.Launch_cache.pp_part.Partition.device
+           ~blocks:pp.Launch_cache.pp_n_blocks
+           ~ops_per_block:pp.Launch_cache.pp_ops_per_block ~run:(fun () ->
              let load a off = (Gpusim.Buffer.data_exn (buffer_of a)).(off) in
              let store a off v =
                (Gpusim.Buffer.data_exn (buffer_of a)).(off) <- v
              in
-             Keval.run ck.ck_partitioned ~grid:new_grid ~block
-               ~args:(Host_ir.scalar_args part_args)
-               ~load ~store))
+             Keval.run ck.ck_partitioned
+               ~grid:pp.Launch_cache.pp_launch_grid ~block
+               ~args:pp.Launch_cache.pp_scalar_args ~load ~store))
       partitions;
     (* (4): update the trackers to account for the writes. *)
     if cfg.Gpu_runtime.Rconfig.patterns then
       List.iter
-        (fun p ->
-           let bindings = common @ Partition.box_bindings p ~block in
+        (fun (pp : Launch_cache.partition_plan) ->
            List.iter
-             (fun (arr, bufname) ->
-                match Codegen.entry ck.ck_enums arr with
-                | Some { write = Some enum; _ } ->
-                  let vb = find bufname in
-                  let ranges, raw = Codegen.ranges_counted enum ~bindings in
-                  let ops, () =
-                    with_tracker_ops vb (fun () ->
-                        Gpu_runtime.Vbuf.update_for_write ~cfg vb
-                          ~dev:p.Partition.device ~ranges)
-                  in
-                  charge ~tracker_ops:ops ~ranges:raw ~dispatches:0
-                | _ -> ())
-             arg_arrays)
+             (fun { Launch_cache.rg_buf; rg_ranges; rg_raw } ->
+                let vb = find rg_buf in
+                let ops, () =
+                  with_tracker_ops vb (fun () ->
+                      Gpu_runtime.Vbuf.update_for_write ~cfg vb
+                        ~dev:pp.Launch_cache.pp_part.Partition.device
+                        ~ranges:rg_ranges)
+                in
+                charge ~tracker_ops:ops ~ranges:rg_raw ~dispatches:0)
+             pp.Launch_cache.pp_writes)
         partitions;
     (* (4b): instrumented write-set collection (paper §11 fallback).
        The shadow kernel runs once per partition, recording the exact
@@ -222,30 +292,32 @@ let run ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d)
        in
        List.iter (fun a -> Hashtbl.replace per_array a (ref [])) instrumented;
        List.iter
-         (fun p ->
-            let new_grid = Partition.launch_grid p in
-            let part_args = args @ Partition.partition_args p in
-            let scalar_env = Host_ir.scalar_bindings shadow part_args in
+         (fun (pp : Launch_cache.partition_plan) ->
+            let dev = pp.Launch_cache.pp_part.Partition.device in
             let buffer_of name =
               Gpu_runtime.Vbuf.instance (find (List.assoc name arg_arrays))
-                p.Partition.device
+                dev
             in
+            (* The collected write sets are data-dependent (that is why
+               the array needed instrumentation): they are never
+               cached, only the shadow launch's static parameters are. *)
             let collected = ref [] in
             charge ~tracker_ops:0 ~ranges:0 ~dispatches:1;
-            Gpusim.Machine.launch m ~device:p.Partition.device
-              ~blocks:(Partition.n_blocks p)
-              ~ops_per_block:(Instrument.shadow_cost shadow ~scalar_env ~block)
+            Gpusim.Machine.launch m ~device:dev
+              ~blocks:pp.Launch_cache.pp_n_blocks
+              ~ops_per_block:pp.Launch_cache.pp_shadow_cost
               ~run:(fun () ->
                 collected :=
-                  Instrument.collect_writes ~shadow ~grid:new_grid ~block
-                    ~args:(Host_ir.scalar_args part_args)
+                  Instrument.collect_writes ~shadow
+                    ~grid:pp.Launch_cache.pp_launch_grid ~block
+                    ~args:pp.Launch_cache.pp_scalar_args
                     ~arrays:instrumented
                     ~load:(fun a off ->
                         (Gpusim.Buffer.data_exn (buffer_of a)).(off)));
             List.iter
               (fun (arr, ranges) ->
                  let slot = Hashtbl.find per_array arr in
-                 slot := (p.Partition.device, ranges) :: !slot;
+                 slot := (dev, ranges) :: !slot;
                  charge ~tracker_ops:0 ~ranges:(List.length ranges)
                    ~dispatches:0)
               !collected)
@@ -308,4 +380,7 @@ let run ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d)
     machine = m;
     time = Gpusim.Machine.host_time m;
     transfers = !total_transfers;
+    cache =
+      (if cache then Launch_cache.stats plan_cache
+       else Launch_cache.no_stats);
   }

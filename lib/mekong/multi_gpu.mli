@@ -34,6 +34,8 @@ type result = {
   machine : Gpusim.Machine.t;
   time : float;  (** simulated end-to-end seconds *)
   transfers : int;  (** inter-device synchronization transfers issued *)
+  cache : Launch_cache.stats;
+      (** launch-plan cache hit/miss counters (zero when disabled) *)
 }
 
 val launch_bindings :
@@ -43,6 +45,7 @@ val launch_bindings :
 val run :
   ?cfg:Gpu_runtime.Rconfig.t ->
   ?tiling:[ `One_d | `Two_d ] ->
+  ?cache:bool ->
   machine:Gpusim.Machine.t ->
   exe ->
   result
@@ -52,4 +55,8 @@ val run :
     measurement configuration of §9.2; [tiling:`Two_d] splits grids
     into rectangular tiles over two axes instead of the paper's
     contiguous 1-D chunks (an extension: smaller stencil halos at the
-    price of fragmented tracker segments). *)
+    price of fragmented tracker segments).  [cache] (default true)
+    memoizes per-launch plans — partitions, evaluated range lists,
+    cost-model results — per (kernel, grid, block, args) key; results
+    are bit-identical either way, only redundant host computation is
+    skipped (see {!Launch_cache}). *)

@@ -18,6 +18,10 @@ let run ?(machine : Gpusim.Machine.t option) (prog : Host_ir.t) : result =
     | None -> Gpusim.Machine.create ~functional:true (Gpusim.Config.test_box ~n_devices:1 ())
   in
   Host_ir.validate prog;
+  (* A reused machine may carry the previous run's active-device
+     high-water mark; a single-GPU run keeps exactly one die busy and
+     must not inherit the derate. *)
+  Gpusim.Machine.set_active_devices m 1;
   let bufs : (string, Gpusim.Buffer.t) Hashtbl.t = Hashtbl.create 16 in
   let find b =
     match Hashtbl.find_opt bufs b with

@@ -188,6 +188,40 @@ let rec eval_expr env e =
   | Min (a, b) -> min (eval_expr env a) (eval_expr env b)
   | Max (a, b) -> max (eval_expr env a) (eval_expr env b)
 
+(* --- Compiled closures -------------------------------------------------- *)
+
+(* Compile an expression into a closure over a slot-indexed environment.
+   [slot] maps a variable name to its index in the int-array environment
+   (allocating a fresh slot on first sight); the compiled closure never
+   touches the name again, so repeated evaluation pays no hashing. *)
+let rec compile_expr ~slot e =
+  match e with
+  | Int n -> fun (_ : int array) -> n
+  | Var v ->
+    let i = slot v in
+    fun env -> Array.unsafe_get env i
+  | Add (a, b) ->
+    let ca = compile_expr ~slot a and cb = compile_expr ~slot b in
+    fun env -> ca env + cb env
+  | Sub (a, b) ->
+    let ca = compile_expr ~slot a and cb = compile_expr ~slot b in
+    fun env -> ca env - cb env
+  | Mul (a, b) ->
+    let ca = compile_expr ~slot a and cb = compile_expr ~slot b in
+    fun env -> ca env * cb env
+  | Fdiv (a, b) ->
+    let ca = compile_expr ~slot a and cb = compile_expr ~slot b in
+    fun env -> Ints.fdiv (ca env) (cb env)
+  | Cdiv (a, b) ->
+    let ca = compile_expr ~slot a and cb = compile_expr ~slot b in
+    fun env -> Ints.cdiv (ca env) (cb env)
+  | Min (a, b) ->
+    let ca = compile_expr ~slot a and cb = compile_expr ~slot b in
+    fun env -> min (ca env) (cb env)
+  | Max (a, b) ->
+    let ca = compile_expr ~slot a and cb = compile_expr ~slot b in
+    fun env -> max (ca env) (cb env)
+
 (* Execute a statement.  [on_point] receives every emitted point;
    [on_range] receives (row coordinates, inclusive lo, inclusive hi) for
    every emitted range. *)

@@ -53,6 +53,11 @@ type env = (string, int) Hashtbl.t
 
 val eval_expr : env -> expr -> int
 
+val compile_expr : slot:(string -> int) -> expr -> int array -> int
+(** Compile an expression into a closure over a slot-indexed int-array
+    environment.  [slot] maps each variable name to its array index
+    (allocating on first sight); repeated evaluation pays no hashing. *)
+
 val exec :
   env ->
   on_point:(int array -> unit) ->

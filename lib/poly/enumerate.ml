@@ -37,11 +37,33 @@ type rect = {
 
 type piece = Rect of rect | General of plan
 
+(* Compiled form: every expression is a closure over a slot-indexed
+   int-array environment (see Ast.compile_expr), so repeated evaluation
+   of the same enumerator pays no AST walking or name hashing. *)
+type cpiece =
+  | C_rect of
+      (int array -> int)
+      * (int array -> int)
+      * (int array -> int)
+      * (int array -> int)
+  | C_gen of (int array -> int array -> (int -> int -> unit) -> unit)
+    (* slot env, evaluated sizes, raw-range sink *)
+
+type compiled = {
+  c_params : (string * int * bool) list;
+      (* variable name, slot index, and whether the name is bound by an
+         enclosing loop (loop-bound slots need no external binding) *)
+  c_n_slots : int;
+  c_sizes : (int array -> int) array;
+  c_pieces : cpiece list;
+}
+
 type t = {
   pieces : piece list;
   plan : plan; (* the general plan, used by [pp] and as documentation *)
   sizes : Ast.expr array; (* array dimension sizes, outermost first *)
   rank : int;
+  mutable compiled : compiled option; (* memoized by the first evaluation *)
 }
 
 (* Does the expression mention variable [v]? *)
@@ -113,21 +135,10 @@ let of_set ?(rectangles = true) ~sizes set =
     plan = plan_of_stmt ~sizes ast;
     sizes;
     rank;
+    compiled = None;
   }
 
 (* --- Evaluation -------------------------------------------------------- *)
-
-(* Linear offset of a row prefix: given coordinates of the first k dims
-   and the dim sizes, the offset of the slab start in row-major
-   order. *)
-let flatten_rows sizes_v rows =
-  let acc = ref 0 in
-  Array.iteri (fun i r -> acc := (!acc * sizes_v.(i)) + r) rows;
-  (* Multiply through the remaining dims. *)
-  for i = Array.length rows to Array.length sizes_v - 1 do
-    acc := !acc * sizes_v.(i)
-  done;
-  !acc
 
 (* Merge a list of evaluated rectangles (r0, r1, c0, c1), all bounds
    inclusive: drop subsumed rectangles and coalesce along rows and
@@ -174,57 +185,149 @@ let merge_rects rects =
   in
   fix rects
 
+(* Compile every expression of the enumerator into slot-indexed
+   closures.  The compiled pieces replicate the interpreter exactly —
+   same emission order, same emission count — so swapping the backends
+   is invisible to callers (including the raw count of eval_counted). *)
+let compile t =
+  let slots = Hashtbl.create 16 in
+  let n_slots = ref 0 in
+  let slot v =
+    match Hashtbl.find_opt slots v with
+    | Some i -> i
+    | None ->
+      let i = !n_slots in
+      incr n_slots;
+      Hashtbl.replace slots v i;
+      i
+  in
+  let loop_bound = Hashtbl.create 8 in
+  let rank = t.rank in
+  let flatten_c sizes_len cexprs =
+    (* Linear offset of a row prefix: evaluate the row coordinates and
+       multiply through the remaining dims (row-major layout). *)
+    fun env sizes_v ->
+      let acc = ref 0 in
+      Array.iteri (fun i c -> acc := (!acc * sizes_v.(i)) + c env) cexprs;
+      for i = Array.length cexprs to sizes_len - 1 do
+        acc := !acc * sizes_v.(i)
+      done;
+      !acc
+  in
+  let rec comp plan =
+    match plan with
+    | P_seq l ->
+      let cs = List.map comp l in
+      fun env sizes_v f -> List.iter (fun c -> c env sizes_v f) cs
+    | P_guard (conds, body) ->
+      let cc = List.map (Ast.compile_expr ~slot) conds in
+      let cb = comp body in
+      fun env sizes_v f ->
+        if List.for_all (fun c -> c env >= 0) cc then cb env sizes_v f
+    | P_for (var, lb, ub, body) ->
+      let i = slot var in
+      Hashtbl.replace loop_bound var ();
+      let clb = Ast.compile_expr ~slot lb
+      and cub = Ast.compile_expr ~slot ub in
+      let cb = comp body in
+      fun env sizes_v f ->
+        let lo = clb env and hi = cub env in
+        let saved = env.(i) in
+        for v = lo to hi do
+          env.(i) <- v;
+          cb env sizes_v f
+        done;
+        env.(i) <- saved
+    | P_point exprs ->
+      let ce = Array.map (Ast.compile_expr ~slot) exprs in
+      let flat = flatten_c rank ce in
+      fun env sizes_v f ->
+        let off = flat env sizes_v in
+        f off (off + 1)
+    | P_ranges (rows, lb, ub) ->
+      let crows = Array.map (Ast.compile_expr ~slot) rows in
+      let flat = flatten_c rank crows in
+      let clb = Ast.compile_expr ~slot lb
+      and cub = Ast.compile_expr ~slot ub in
+      fun env sizes_v f ->
+        let lo = clb env and hi = cub env in
+        if lo <= hi then begin
+          let base = flat env sizes_v in
+          f (base + lo) (base + hi + 1)
+        end
+    | P_row_block (outer, rlb, rub) ->
+      let couter = Array.map (Ast.compile_expr ~slot) outer in
+      let clb = Ast.compile_expr ~slot rlb
+      and cub = Ast.compile_expr ~slot rub in
+      fun env sizes_v f ->
+        let lo = clb env and hi = cub env in
+        if lo <= hi then begin
+          let prefix = ref 0 in
+          Array.iteri
+            (fun i c -> prefix := (!prefix * sizes_v.(i)) + c env)
+            couter;
+          let slab = !prefix * sizes_v.(rank - 2) in
+          let last = sizes_v.(rank - 1) in
+          f ((slab + lo) * last) ((slab + hi + 1) * last)
+        end
+  in
+  let c_pieces =
+    List.map
+      (function
+        | General p -> C_gen (comp p)
+        | Rect { row_lb; row_ub; col_lb; col_ub } ->
+          C_rect
+            ( Ast.compile_expr ~slot row_lb,
+              Ast.compile_expr ~slot row_ub,
+              Ast.compile_expr ~slot col_lb,
+              Ast.compile_expr ~slot col_ub ))
+      t.pieces
+  in
+  let c_sizes = Array.map (Ast.compile_expr ~slot) t.sizes in
+  let c_params =
+    Hashtbl.fold
+      (fun v i acc -> (v, i, Hashtbl.mem loop_bound v) :: acc)
+      slots []
+  in
+  { c_params; c_n_slots = !n_slots; c_sizes; c_pieces }
+
+let compiled t =
+  match t.compiled with
+  | Some c -> c
+  | None ->
+    let c = compile t in
+    t.compiled <- Some c;
+    c
+
+let precompile t = ignore (compiled t)
+
 (* Emit raw (start, stop) half-open linear ranges through [f]. *)
 let eval_raw t env ~f =
-  let sizes_v = Array.map (Ast.eval_expr env) t.sizes in
+  let c = compiled t in
+  let slots_v = Array.make (max 1 c.c_n_slots) 0 in
+  List.iter
+    (fun (v, i, loop) ->
+       match Hashtbl.find_opt env v with
+       | Some x -> slots_v.(i) <- x
+       | None ->
+         if not loop then
+           invalid_arg ("Ast.eval_expr: unbound variable " ^ v))
+    c.c_params;
+  let sizes_v = Array.map (fun g -> g slots_v) c.c_sizes in
   let last = sizes_v.(t.rank - 1) in
-  let rec go = function
-    | P_seq l -> List.iter go l
-    | P_guard (conds, body) ->
-      if List.for_all (fun e -> Ast.eval_expr env e >= 0) conds then go body
-    | P_for (var, lb, ub, body) ->
-      let lo = Ast.eval_expr env lb and hi = Ast.eval_expr env ub in
-      let saved = Hashtbl.find_opt env var in
-      for v = lo to hi do
-        Hashtbl.replace env var v;
-        go body
-      done;
-      (match saved with
-       | Some v -> Hashtbl.replace env var v
-       | None -> Hashtbl.remove env var)
-    | P_point exprs ->
-      let coords = Array.map (Ast.eval_expr env) exprs in
-      let off = flatten_rows sizes_v coords in
-      f off (off + 1)
-    | P_ranges (rows, lb, ub) ->
-      let lo = Ast.eval_expr env lb and hi = Ast.eval_expr env ub in
-      if lo <= hi then begin
-        let base = flatten_rows sizes_v (Array.map (Ast.eval_expr env) rows) in
-        f (base + lo) (base + hi + 1)
-      end
-    | P_row_block (outer, rlb, rub) ->
-      let lo = Ast.eval_expr env rlb and hi = Ast.eval_expr env rub in
-      if lo <= hi then begin
-        let outer_v = Array.map (Ast.eval_expr env) outer in
-        let prefix = ref 0 in
-        Array.iteri (fun i r -> prefix := (!prefix * sizes_v.(i)) + r) outer_v;
-        let slab = !prefix * sizes_v.(t.rank - 2) in
-        f ((slab + lo) * last) ((slab + hi + 1) * last)
-      end
-  in
   (* Rectangle pieces are evaluated to corners and merged before
      emission; full-width rectangles become single block ranges. *)
   let rects = ref [] in
   List.iter
     (fun piece ->
        match piece with
-       | General p -> go p
-       | Rect { row_lb; row_ub; col_lb; col_ub } ->
-         let r0 = Ast.eval_expr env row_lb and r1 = Ast.eval_expr env row_ub in
-         let c0 = max 0 (Ast.eval_expr env col_lb) in
-         let c1 = min (last - 1) (Ast.eval_expr env col_ub) in
+       | C_gen go -> go slots_v sizes_v f
+       | C_rect (row_lb, row_ub, col_lb, col_ub) ->
+         let r0 = row_lb slots_v and r1 = row_ub slots_v in
+         let c0 = max 0 (col_lb slots_v) in
+         let c1 = min (last - 1) (col_ub slots_v) in
          if r0 <= r1 && c0 <= c1 then rects := (r0, r1, c0, c1) :: !rects)
-    t.pieces;
+    c.c_pieces;
   List.iter
     (fun (r0, r1, c0, c1) ->
        if c0 = 0 && c1 = last - 1 then f (r0 * last) ((r1 + 1) * last)

@@ -31,11 +31,16 @@ type rect = {
 
 type piece = Rect of rect | General of plan
 
+type compiled
+(** Slot-indexed closure form of an enumerator (see {!precompile}). *)
+
 type t = {
   pieces : piece list;
   plan : plan;  (** the unoptimized general plan (documentation, [pp]) *)
   sizes : Ast.expr array;
   rank : int;
+  mutable compiled : compiled option;
+      (** closure form, memoized by the first evaluation *)
 }
 
 val merge_rects :
@@ -48,9 +53,17 @@ val of_set : ?rectangles:bool -> sizes:Ast.expr array -> Pset.t -> t
     array dimension sizes (outermost first) as expressions over the
     parameters. *)
 
+val precompile : t -> unit
+(** Compile the enumerator's expressions into slot-indexed closures and
+    memoize them on [t].  Evaluation compiles lazily anyway; calling
+    this eagerly (e.g. at kernel link time) moves the one-time cost out
+    of the first launch. *)
+
 val eval_raw : t -> Ast.env -> f:(int -> int -> unit) -> unit
 (** Emit raw (start, stop) half-open linear ranges through [f] — the
-    callback interface of paper §6.2 (no allocation per range). *)
+    callback interface of paper §6.2.  Evaluation runs through the
+    memoized compiled closures; emission order and count are identical
+    to the reference interpretation of [plan]'s pieces. *)
 
 val canonicalize : (int * int) list -> (int * int) list
 (** Sort and merge overlapping/adjacent ranges; drop empty ones. *)

@@ -27,11 +27,21 @@ let mul a b =
 
 let neg a = if a = min_int then raise Overflow else -a
 
-let rec gcd a b =
-  let a = abs a and b = abs b in
-  if b = 0 then a else gcd b (a mod b)
+let gcd a b =
+  (* [abs min_int] is negative, which would make the "gcd" negative (and
+     [gcd min_int min_int] loop); treat it like the other checked ops. *)
+  if a = min_int || b = min_int then raise Overflow;
+  let rec go a b = if b = 0 then a else go b (a mod b) in
+  go (abs a) (abs b)
 
-let lcm a b = if a = 0 || b = 0 then 0 else abs (mul (a / gcd a b) b)
+let lcm a b =
+  if a = 0 || b = 0 then 0
+  else
+    let p = mul (a / gcd a b) b in
+    (* [mul] permits an exact [min_int] product (e.g. [2^61 * -2]), but
+       its absolute value is not representable. *)
+    if p = min_int then raise Overflow;
+    abs p
 
 (* Floor division: rounds toward negative infinity. *)
 let fdiv a b =

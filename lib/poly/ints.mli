@@ -17,10 +17,13 @@ val neg : int -> int
 (** Checked negation; raises {!Overflow} on [min_int]. *)
 
 val gcd : int -> int -> int
-(** Greatest common divisor of absolute values; [gcd 0 0 = 0]. *)
+(** Greatest common divisor of absolute values; [gcd 0 0 = 0].  Raises
+    {!Overflow} if either argument is [min_int] (whose absolute value is
+    not representable). *)
 
 val lcm : int -> int -> int
-(** Least common multiple; [lcm a 0 = 0]. *)
+(** Least common multiple; [lcm a 0 = 0].  Raises {!Overflow} when the
+    result is not representable (including [min_int] arguments). *)
 
 val fdiv : int -> int -> int
 (** Floor division, rounding toward negative infinity. *)

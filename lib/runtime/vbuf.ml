@@ -20,6 +20,10 @@ type t = {
   machine : Gpusim.Machine.t;
   instances : Gpusim.Buffer.t array; (* one full-size instance per device *)
   tracker : Tracker.t;
+  mutable host_copy : float array option;
+      (* functional mirror of the last h2d source: segments owned by
+         [Tracker.host] are served from here, never from a device
+         instance (whose copy may be stale) *)
 }
 
 let create machine ~name ~len =
@@ -31,6 +35,7 @@ let create machine ~name ~len =
     instances =
       Array.init n (fun d -> Gpusim.Machine.alloc machine ~device:d ~len);
     tracker = Tracker.create ~len ~initial_owner:0;
+    host_copy = None;
   }
 
 let name t = t.name
@@ -59,6 +64,9 @@ let h2d ?(cfg = Rconfig.alpha) t ~src =
    | None ->
      if Gpusim.Machine.is_functional t.machine then
        invalid_arg "Vbuf.h2d: phantom host array in a functional run");
+  (match src with
+   | Some a -> t.host_copy <- Some (Array.copy a)
+   | None -> ());
   let src = Option.value src ~default:[||] in
   let n = n_devices t in
   for d = 0 to n - 1 do
@@ -87,8 +95,20 @@ let d2h ?(cfg = Rconfig.alpha) t ~dst =
   in
   List.iter
     (fun { Tracker.start; stop; owner } ->
-       let owner = if owner = Tracker.host then 0 else owner in
-       if cfg.Rconfig.transfers || Gpusim.Machine.is_functional t.machine then
+       if owner = Tracker.host then begin
+         (* The host copy is already fresh: no device gather, no
+            simulated transfer.  Functional runs still materialize the
+            segment in [dst]. *)
+         if Gpusim.Machine.is_functional t.machine then
+           match t.host_copy with
+           | Some h -> Array.blit h start dst start (stop - start)
+           | None ->
+             invalid_arg
+               ("Vbuf.d2h: host-owned segment of " ^ t.name
+                ^ " has no host data")
+       end
+       else if cfg.Rconfig.transfers || Gpusim.Machine.is_functional t.machine
+       then
          Gpusim.Machine.d2h t.machine ~src:t.instances.(owner) ~src_off:start
            ~dst ~dst_off:start ~len:(stop - start))
     segs
@@ -101,6 +121,34 @@ let d2h ?(cfg = Rconfig.alpha) t ~dst =
    one packed transfer each (a pitched cudaMemcpy2D) — used by the 2-D
    tiling extension, whose column halos fragment into thousands of
    tiny row segments that would otherwise pay a latency each. *)
+(* Clamp a range list to the buffer: enumerators over-approximate, so a
+   range may start below 0 or reach past [len]; empty and fully
+   out-of-bounds ranges are dropped (the tracker rejects them). *)
+let clamp_ranges t ranges =
+  List.filter_map
+    (fun (start, stop) ->
+       let start = max 0 start and stop = min stop t.len in
+       if stop > start then Some (start, stop) else None)
+    ranges
+
+(* Upload one host-owned segment onto device [dev]: host data never
+   lives in a device instance, so it moves over PCIe, not peer-to-peer. *)
+let fetch_from_host t ~dev ~start ~len ~do_data =
+  if do_data then begin
+    let src =
+      match t.host_copy with
+      | Some h -> h
+      | None ->
+        if Gpusim.Machine.is_functional t.machine then
+          invalid_arg
+            ("Vbuf.sync_for_read: host-owned segment of " ^ t.name
+             ^ " has no host data")
+        else [||]
+    in
+    Gpusim.Machine.h2d t.machine ~src ~src_off:start ~dst:t.instances.(dev)
+      ~dst_off:start ~len
+  end
+
 let sync_for_read ?(cfg = Rconfig.alpha) ?(batch = false) t ~dev ~ranges =
   if not cfg.Rconfig.patterns then 0
   else begin
@@ -108,28 +156,33 @@ let sync_for_read ?(cfg = Rconfig.alpha) ?(batch = false) t ~dev ~ranges =
     let do_data =
       cfg.Rconfig.transfers || Gpusim.Machine.is_functional t.machine
     in
+    let ranges = clamp_ranges t ranges in
     if batch then begin
       let per_owner : (int, (int * int * int) list ref) Hashtbl.t =
         Hashtbl.create 8
       in
       List.iter
         (fun (start, stop) ->
-           if stop > start then
-             List.iter
-               (fun { Tracker.start = s; stop = e; owner } ->
-                  if owner <> dev then begin
-                    let o = if owner = Tracker.host then 0 else owner in
-                    let slot =
-                      match Hashtbl.find_opt per_owner o with
-                      | Some l -> l
-                      | None ->
-                        let l = ref [] in
-                        Hashtbl.replace per_owner o l;
-                        l
-                    in
-                    slot := (s, s, e - s) :: !slot
-                  end)
-               (Tracker.query t.tracker ~start ~stop:(min stop t.len)))
+           List.iter
+             (fun { Tracker.start = s; stop = e; owner } ->
+                if owner = Tracker.host then begin
+                  (* Host-owned segments cannot join a packed
+                     device-to-device transfer; upload each directly. *)
+                  incr transfers;
+                  fetch_from_host t ~dev ~start:s ~len:(e - s) ~do_data
+                end
+                else if owner <> dev then begin
+                  let slot =
+                    match Hashtbl.find_opt per_owner owner with
+                    | Some l -> l
+                    | None ->
+                      let l = ref [] in
+                      Hashtbl.replace per_owner owner l;
+                      l
+                  in
+                  slot := (s, s, e - s) :: !slot
+                end)
+             (Tracker.query t.tracker ~start ~stop))
         ranges;
       Hashtbl.iter
         (fun owner segs ->
@@ -142,17 +195,20 @@ let sync_for_read ?(cfg = Rconfig.alpha) ?(batch = false) t ~dev ~ranges =
     else
       List.iter
         (fun (start, stop) ->
-           if stop > start then
-             List.iter
-               (fun { Tracker.start = s; stop = e; owner } ->
-                  if owner <> dev then begin
-                    incr transfers;
-                    if do_data then
-                      Gpusim.Machine.p2p t.machine
-                        ~src:t.instances.(if owner = Tracker.host then 0 else owner)
-                        ~src_off:s ~dst:t.instances.(dev) ~dst_off:s ~len:(e - s)
-                  end)
-               (Tracker.query t.tracker ~start ~stop:(min stop t.len)))
+           List.iter
+             (fun { Tracker.start = s; stop = e; owner } ->
+                if owner = Tracker.host then begin
+                  incr transfers;
+                  fetch_from_host t ~dev ~start:s ~len:(e - s) ~do_data
+                end
+                else if owner <> dev then begin
+                  incr transfers;
+                  if do_data then
+                    Gpusim.Machine.p2p t.machine ~src:t.instances.(owner)
+                      ~src_off:s ~dst:t.instances.(dev) ~dst_off:s
+                      ~len:(e - s)
+                end)
+             (Tracker.query t.tracker ~start ~stop))
         ranges;
     !transfers
   end
@@ -161,10 +217,8 @@ let sync_for_read ?(cfg = Rconfig.alpha) ?(batch = false) t ~dev ~ranges =
 let update_for_write ?(cfg = Rconfig.alpha) t ~dev ~ranges =
   if cfg.Rconfig.patterns then
     List.iter
-      (fun (start, stop) ->
-         if stop > start then
-           Tracker.write t.tracker ~start ~stop:(min stop t.len) ~owner:dev)
-      ranges
+      (fun (start, stop) -> Tracker.write t.tracker ~start ~stop ~owner:dev)
+      (clamp_ranges t ranges)
 
 let pp fmt t =
   Format.fprintf fmt "vbuf %s (%d elements, %d instances) %a" t.name t.len

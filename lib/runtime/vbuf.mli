@@ -31,19 +31,23 @@ val h2d : ?cfg:Rconfig.t -> t -> src:float array option -> unit
     [src = None] is a phantom host array (performance runs only). *)
 
 val d2h : ?cfg:Rconfig.t -> t -> dst:float array option -> unit
-(** Device-to-host memcpy: gather every segment from its owner. *)
+(** Device-to-host memcpy: gather every segment from its owner.
+    Segments owned by [Tracker.host] are served from the buffer's host
+    copy (already fresh — no device transfer). *)
 
 val sync_for_read :
   ?cfg:Rconfig.t -> ?batch:bool -> t -> dev:int -> ranges:(int * int) list ->
   int
 (** Bring the element ranges up to date on device [dev], copying stale
     segments from their owners; returns the number of transfers issued.
-    [batch] groups stale segments per owner into packed transfers
-    (pitched cudaMemcpy2D), which the 2-D tiling extension needs for
-    its fragmented column halos. *)
+    Ranges are clamped to the buffer (enumerators over-approximate);
+    segments owned by [Tracker.host] are uploaded over PCIe from the
+    host copy.  [batch] groups stale segments per owner into packed
+    transfers (pitched cudaMemcpy2D), which the 2-D tiling extension
+    needs for its fragmented column halos. *)
 
 val update_for_write :
   ?cfg:Rconfig.t -> t -> dev:int -> ranges:(int * int) list -> unit
-(** Record that device [dev] wrote the ranges. *)
+(** Record that device [dev] wrote the ranges (clamped to the buffer). *)
 
 val pp : Format.formatter -> t -> unit

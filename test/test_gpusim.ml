@@ -84,6 +84,28 @@ let test_p2p_double_fabric () =
   (* 2 MB crossing twice at 2 GB/s = 2 ms of bus. *)
   checkf "double bus time" 0.002 (Timeline.busy_in fabric "bus")
 
+let test_p2p_same_device () =
+  (* Regression: a copy between two buffers on the same device never
+     crosses the fabric — it moves at device-memory bandwidth with zero
+     bus occupancy (a cudaMemcpyDeviceToDevice within one GPU). *)
+  let cfg = { (quiet_cfg 2) with Config.dmem_bandwidth = 4e9 } in
+  let m = Machine.create cfg in
+  let a = Machine.alloc m ~device:0 ~len:1_000_000 in
+  let b = Machine.alloc m ~device:0 ~len:1_000_000 in
+  Machine.p2p m ~src:a ~src_off:0 ~dst:b ~dst_off:0 ~len:1_000_000;
+  Machine.synchronize m;
+  let fabric = Machine.fabric_timeline m in
+  checkf "no bus time" 0.0 (Timeline.busy_in fabric "bus");
+  (* 4 MB at 4 GB/s = 1 ms, not the 4 ms the 1 GB/s peer path charges. *)
+  let t = Machine.host_time m in
+  checkb "device-memory bandwidth" true (t >= 0.001 && t < 0.0015);
+  checki "bytes still counted" 4_000_000 (Machine.stats m).Machine.p2p_bytes;
+  (* the packed variant takes the same shortcut *)
+  Machine.p2p_multi m ~src:a ~dst:b
+    ~segments:[ (0, 0, 1000); (5000, 5000, 1000) ];
+  Machine.synchronize m;
+  checkf "multi: still no bus time" 0.0 (Timeline.busy_in fabric "bus")
+
 let test_kernel_time_waves () =
   let cfg = { (quiet_cfg 1) with Config.ops_per_sm = 1e9; sms_per_device = 10; blocks_per_sm = 2 } in
   let m = Machine.create cfg in
@@ -212,6 +234,7 @@ let () =
           Alcotest.test_case "transfer duration" `Quick test_transfer_time;
           Alcotest.test_case "fabric contention" `Quick test_fabric_contention;
           Alcotest.test_case "p2p double fabric" `Quick test_p2p_double_fabric;
+          Alcotest.test_case "p2p same device" `Quick test_p2p_same_device;
           Alcotest.test_case "kernel waves" `Quick test_kernel_time_waves;
           Alcotest.test_case "autoboost derate" `Quick test_autoboost;
           Alcotest.test_case "default-stream order" `Quick test_default_stream_ordering;

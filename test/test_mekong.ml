@@ -546,7 +546,7 @@ let kernel_of_spec spec =
           [] );
     ]
 
-let program_of_spec spec ~(result : float array) =
+let program_of_spec ?(repeat = 1) spec ~(result : float array) =
   let n = spec.rs_n in
   let total = if spec.rs_two_d then n * n else n in
   let a = Array.init total (fun i -> float_of_int ((i * 37 mod 101) - 50) /. 7.0) in
@@ -556,22 +556,82 @@ let program_of_spec spec ~(result : float array) =
     if spec.rs_two_d then Dim3.make (gdim n 4) ~y:(gdim n 4)
     else Dim3.make (gdim n 8)
   in
+  let launch =
+    Host_ir.Launch
+      {
+        kernel = kernel_of_spec spec;
+        grid;
+        block;
+        args = [ Host_ir.HInt n; Host_ir.HBuf "a"; Host_ir.HBuf "out" ];
+      }
+  in
   Host_ir.program ~name:"randprog"
     [
       Host_ir.Malloc ("a", total);
       Host_ir.Malloc ("out", total);
       Host_ir.Memcpy_h2d { dst = "a"; src = Host_ir.host_data a };
-      Host_ir.Launch
-        {
-          kernel = kernel_of_spec spec;
-          grid;
-          block;
-          args = [ Host_ir.HInt n; Host_ir.HBuf "a"; Host_ir.HBuf "out" ];
-        };
+      (if repeat = 1 then launch else Host_ir.Repeat (repeat, [ launch ]));
       Host_ir.Memcpy_d2h { dst = Host_ir.host_data result; src = "out" };
       Host_ir.Free "a";
       Host_ir.Free "out";
     ]
+
+(* ---------------- Launch-plan cache ---------------- *)
+
+(* The cache must be observationally invisible: simulated time, every
+   machine statistic and the functional output must be bit-identical
+   with the cache on and off; only the hit/miss counters differ. *)
+let run_spec_cached spec ~cache ~out =
+  let artifacts = compile_exn (program_of_spec ~repeat:3 spec ~result:out) in
+  let m =
+    Gpusim.Machine.create ~functional:true
+      (Gpusim.Config.test_box ~n_devices:spec.rs_gpus ())
+  in
+  let res = Mekong.Multi_gpu.run ~cache ~machine:m artifacts.Mekong.Toolchain.exe in
+  let s = Gpusim.Machine.stats m in
+  ( res.Mekong.Multi_gpu.time,
+    res.Mekong.Multi_gpu.transfers,
+    ( s.Gpusim.Machine.h2d_bytes,
+      s.Gpusim.Machine.d2h_bytes,
+      s.Gpusim.Machine.p2p_bytes,
+      s.Gpusim.Machine.n_transfers,
+      s.Gpusim.Machine.n_launches,
+      s.Gpusim.Machine.kernel_seconds,
+      s.Gpusim.Machine.pattern_seconds,
+      s.Gpusim.Machine.transfer_seconds ),
+    res.Mekong.Multi_gpu.cache )
+
+let prop_cache_equivalence =
+  QCheck.Test.make ~name:"plan cache: cached == uncached, bit for bit"
+    ~count:40
+    (QCheck.make ~print:print_rand_spec gen_rand_spec)
+    (fun spec ->
+      let total = if spec.rs_two_d then spec.rs_n * spec.rs_n else spec.rs_n in
+      let out_on = Array.make total nan in
+      let out_off = Array.make total nan in
+      let t1, tr1, s1, c_on = run_spec_cached spec ~cache:true ~out:out_on in
+      let t2, tr2, s2, c_off = run_spec_cached spec ~cache:false ~out:out_off in
+      t1 = t2 && tr1 = tr2 && s1 = s2
+      && out_on = out_off
+      (* three identical launches: one miss, two hits *)
+      && c_on.Mekong.Launch_cache.misses = 1
+      && c_on.Mekong.Launch_cache.hits = 2
+      && c_off = Mekong.Launch_cache.no_stats)
+
+let test_cache_stats () =
+  (* Hotspot swaps its buffers every iteration; the plan is keyed by
+     buffer *name*, which Swap leaves stable, so all iterations after
+     the first hit the cache — and the result stays golden. *)
+  let prog, out, cpu = Apps.Workloads.functional_hotspot ~n:32 ~iterations:6 in
+  let artifacts = compile_exn prog in
+  let m =
+    Gpusim.Machine.create ~functional:true
+      (Gpusim.Config.test_box ~n_devices:4 ())
+  in
+  let res = Mekong.Multi_gpu.run ~machine:m artifacts.Mekong.Toolchain.exe in
+  checki "one miss" 1 res.Mekong.Multi_gpu.cache.Mekong.Launch_cache.misses;
+  checki "five hits" 5 res.Mekong.Multi_gpu.cache.Mekong.Launch_cache.hits;
+  checkb "still golden" true (out = cpu ())
 
 let prop_random_kernels_golden =
   QCheck.Test.make ~name:"random affine kernels: multi-GPU == single-GPU"
@@ -1162,6 +1222,11 @@ let () =
              Alcotest.test_case "2-D halo reduction" `Quick test_2d_tiling_less_halo;
              Alcotest.test_case "spmv analysis" `Quick test_spmv_analysis;
              Alcotest.test_case "spmv golden" `Quick test_spmv_golden;
+           ] );
+         ( "plan-cache",
+           [
+             qtest prop_cache_equivalence;
+             Alcotest.test_case "hit/miss stats" `Quick test_cache_stats;
            ] );
          ( "instrumentation",
            [

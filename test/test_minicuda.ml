@@ -319,6 +319,29 @@ let test_single_gpu_swap_semantics () =
   ignore (Single_gpu.run prog);
   checkb "one-iteration swap" true (result = cpu ())
 
+let test_single_gpu_machine_reuse () =
+  (* Regression: a machine reused after a multi-GPU run carries the
+     active-device high-water mark, and the single-GPU baseline must
+     not inherit its autoboost derate.  The kernel time shows on the
+     device compute timeline (host-side sync charges can swallow it in
+     the end-to-end figure). *)
+  let prog, result, cpu = Apps.Workloads.functional_vecadd ~n:65536 in
+  let mk () =
+    Gpusim.Machine.create ~functional:true
+      (Gpusim.Config.test_box ~n_devices:8 ())
+  in
+  let fresh = Single_gpu.run ~machine:(mk ()) prog in
+  let reused_m = mk () in
+  (* as if a multi-GPU run had kept all 8 dies busy before *)
+  Gpusim.Machine.set_active_devices reused_m 8;
+  let reused = Single_gpu.run ~machine:reused_m prog in
+  let exact = Alcotest.check (Alcotest.float 1e-12) in
+  exact "same kernel time"
+    (Gpusim.Machine.device_time fresh.Single_gpu.machine 0)
+    (Gpusim.Machine.device_time reused_m 0);
+  exact "same baseline time" fresh.Single_gpu.time reused.Single_gpu.time;
+  checkb "functional result intact" true (result = cpu ())
+
 let () =
   Alcotest.run "minicuda"
     [
@@ -354,5 +377,6 @@ let () =
         [
           Alcotest.test_case "vecadd" `Quick test_single_gpu_vecadd;
           Alcotest.test_case "swap semantics" `Quick test_single_gpu_swap_semantics;
+          Alcotest.test_case "machine reuse" `Quick test_single_gpu_machine_reuse;
         ] );
     ]

@@ -44,6 +44,42 @@ let prop_fdiv_cdiv =
       (q * b <= a && a < (q + 1) * b)
       && Ints.cdiv a b = -Ints.fdiv (-a) b)
 
+let prop_gcd_lcm_extremes =
+  (* gcd/lcm must never return a negative value: [abs min_int] is
+     min_int again, so those inputs must raise Overflow instead. *)
+  let edgy =
+    QCheck.Gen.(
+      oneof
+        [
+          oneofl [ min_int; min_int + 1; max_int; 0; 1; -1; 2; -2 ];
+          int;
+        ])
+  in
+  QCheck.Test.make ~name:"gcd/lcm never negative, Overflow on min_int"
+    ~count:1000
+    (QCheck.make
+       ~print:(fun (a, b) -> Printf.sprintf "(%d, %d)" a b)
+       QCheck.Gen.(pair edgy edgy))
+    (fun (a, b) ->
+      let gcd_ok =
+        match Ints.gcd a b with
+        | g ->
+          a <> min_int && b <> min_int && g >= 0
+          && (if g = 0 then a = 0 && b = 0 else a mod g = 0 && b mod g = 0)
+        | exception Ints.Overflow -> a = min_int || b = min_int
+      in
+      let lcm_ok =
+        match Ints.lcm a b with
+        | l ->
+          l >= 0
+          && (if l = 0 then a = 0 || b = 0 else l mod a = 0 && l mod b = 0)
+        | exception Ints.Overflow ->
+          (* legitimate when |lcm| exceeds the word, and mandatory on
+             min_int arguments *)
+          true
+      in
+      gcd_ok && lcm_ok)
+
 (* ---------------- Spaces and affine expressions ---------------- *)
 
 let sp2 = Space.make ~params:[| "n" |] ~dims:[| "x"; "y" |]
@@ -518,6 +554,7 @@ let base_suites =
           Alcotest.test_case "gcd/lcm" `Quick test_gcd;
           Alcotest.test_case "overflow" `Quick test_overflow;
           qtest prop_fdiv_cdiv;
+          qtest prop_gcd_lcm_extremes;
         ] );
       ( "space-aff",
         [

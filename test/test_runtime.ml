@@ -380,6 +380,63 @@ let prop_vbuf_model =
       Vbuf.d2h vb ~dst:(Some out);
       !ok && out = model)
 
+(* Regression: segments owned by the host must be served from the host
+   copy (d2h) or uploaded over PCIe (sync_for_read) — never gathered
+   from a device instance, whose copy may be stale. *)
+let test_vbuf_host_owned_segments () =
+  let m = machine4 () in
+  let vb = Vbuf.create m ~name:"h" ~len:40 in
+  let src = Array.init 40 float_of_int in
+  Vbuf.h2d vb ~src:(Some src);
+  (* Pretend the host re-produced [10,20) (e.g. a host-side loop
+     between launches): mark it host-owned and corrupt every device
+     instance there, so any device gather returns garbage. *)
+  Tracker.write (Vbuf.tracker vb) ~start:10 ~stop:20 ~owner:Tracker.host;
+  for d = 0 to 3 do
+    let inst = Gpusim.Buffer.data_exn (Vbuf.instance vb d) in
+    for i = 10 to 19 do
+      inst.(i) <- -1.0
+    done
+  done;
+  let dst = Array.make 40 nan in
+  Vbuf.d2h vb ~dst:(Some dst);
+  checkb "d2h serves host-owned from host copy" true (dst = src);
+  let p2p_before = (Gpusim.Machine.stats m).Gpusim.Machine.p2p_bytes in
+  let h2d_before = (Gpusim.Machine.stats m).Gpusim.Machine.h2d_bytes in
+  let n = Vbuf.sync_for_read vb ~dev:2 ~ranges:[ (10, 20) ] in
+  checki "one upload" 1 n;
+  let inst2 = Gpusim.Buffer.data_exn (Vbuf.instance vb 2) in
+  checkb "sync uploads host data" true
+    (Array.for_all (fun i -> inst2.(i) = src.(i)) (Array.init 10 (fun i -> i + 10)));
+  let stats = Gpusim.Machine.stats m in
+  checki "no peer traffic" p2p_before stats.Gpusim.Machine.p2p_bytes;
+  checkb "went over PCIe" true (stats.Gpusim.Machine.h2d_bytes > h2d_before);
+  (* Batch mode cannot pack host-owned segments into a peer copy. *)
+  let n = Vbuf.sync_for_read ~batch:true vb ~dev:3 ~ranges:[ (10, 20) ] in
+  checki "batch uploads individually" 1 n;
+  let inst3 = Gpusim.Buffer.data_exn (Vbuf.instance vb 3) in
+  checkb "batch data correct" true (inst3.(15) = 15.0)
+
+(* Regression: enumerator ranges over-approximate, so both ends must be
+   clamped to the buffer and empty/out-of-bounds ranges dropped (the
+   tracker rejects them with Invalid_argument). *)
+let test_vbuf_range_clamping () =
+  let m = machine4 () in
+  let vb = Vbuf.create m ~name:"c" ~len:100 in
+  let src = Array.init 100 float_of_int in
+  Vbuf.h2d vb ~src:(Some src);
+  let wild = [ (-5, 3); (95, 200); (150, 160); (4, 4) ] in
+  let n = Vbuf.sync_for_read vb ~dev:1 ~ranges:wild in
+  checkb "some transfers" true (n > 0);
+  let inst1 = Gpusim.Buffer.data_exn (Vbuf.instance vb 1) in
+  checkb "head synced" true (inst1.(0) = 0.0 && inst1.(2) = 2.0);
+  checkb "tail synced" true (inst1.(95) = 95.0 && inst1.(99) = 99.0);
+  Vbuf.update_for_write vb ~dev:1 ~ranges:wild;
+  Tracker.check_invariants (Vbuf.tracker vb);
+  checki "head owned" 1 (Tracker.owner_at (Vbuf.tracker vb) 0);
+  checki "tail owned" 1 (Tracker.owner_at (Vbuf.tracker vb) 99);
+  checki "middle untouched" 2 (Tracker.owner_at (Vbuf.tracker vb) 60)
+
 (* Tracker op accounting increases monotonically and reset works. *)
 let test_tracker_ops_accounting () =
   let t = Tracker.create ~len:100 ~initial_owner:0 in
@@ -427,6 +484,8 @@ let () =
           Alcotest.test_case "gather after writes" `Quick test_vbuf_gather_after_writes;
           Alcotest.test_case "beta/gamma configs" `Quick test_vbuf_beta_gamma;
           Alcotest.test_case "linear chunks" `Quick test_linear_chunk;
+          Alcotest.test_case "host-owned segments" `Quick test_vbuf_host_owned_segments;
+          Alcotest.test_case "range clamping" `Quick test_vbuf_range_clamping;
           Alcotest.test_case "tracker ops accounting" `Quick test_tracker_ops_accounting;
           Alcotest.test_case "rconfig" `Quick test_rconfig;
           qtest prop_vbuf_model;
