@@ -10,7 +10,13 @@
      dune exec bench/main.exe -- overhead1-- single-GPU slowdown
      dune exec bench/main.exe -- compile  -- compile-time overhead
      dune exec bench/main.exe -- cache    -- launch-plan cache wall-clock
+     dune exec bench/main.exe -- faults   -- fault-injection campaign
      dune exec bench/main.exe -- micro    -- Bechamel micro-benchmarks
+
+   Any experiment accepts --faults SEED,RATE[,DEV@TIME...] to inject
+   faults into the partitioned-application runs (the single-GPU
+   reference machines stay ideal); the self-healing counters are then
+   reported alongside the launch-plan cache statistics.
 
    All application measurements are simulated times from the calibrated
    machine model (see DESIGN.md §4); the micro-benchmarks measure real
@@ -44,18 +50,43 @@ let artifacts bench size =
 let k80 g =
   Gpusim.Machine.create ~functional:false (Gpusim.Config.k80_box ~n_devices:g ())
 
+(* Fault spec from --faults SEED,RATE[,DEV@TIME...]; injected into the
+   partitioned-run machines only (the single-GPU reference stays the
+   ideal baseline).  A null spec is ignored, so "--faults 0,0" leaves
+   every experiment byte-identical to a run without the flag. *)
+let fault_spec : Gpusim.Faults.spec option ref = ref None
+
 (* Cumulative launch-plan cache counters across an experiment. *)
 let cache_hits = ref 0
 let cache_misses = ref 0
+
+(* Cumulative self-healing counters (all zero without --faults). *)
+let fault_totals = ref Mekong.Multi_gpu.no_faults
+
+let add_fault_report r =
+  let open Mekong.Multi_gpu in
+  let t = !fault_totals and f = r.faults in
+  fault_totals :=
+    {
+      fr_faults = t.fr_faults + f.fr_faults;
+      fr_retries = t.fr_retries + f.fr_retries;
+      fr_replays = t.fr_replays + f.fr_replays;
+      fr_devices_lost = t.fr_devices_lost + f.fr_devices_lost;
+    }
 
 (* Simulated time of the partitioned application on [g] GPUs. *)
 let multi_time ?cfg bench size g =
   let a = artifacts bench size in
   let m = k80 g in
+  (match !fault_spec with
+   | Some spec when not (Gpusim.Faults.is_null spec) ->
+     Gpusim.Machine.inject_faults m (Gpusim.Faults.create spec)
+   | _ -> ());
   let r = Mekong.Multi_gpu.run ?cfg ~machine:m a.Mekong.Toolchain.exe in
   cache_hits := !cache_hits + r.Mekong.Multi_gpu.cache.Mekong.Launch_cache.hits;
   cache_misses :=
     !cache_misses + r.Mekong.Multi_gpu.cache.Mekong.Launch_cache.misses;
+  add_fault_report r;
   (r.Mekong.Multi_gpu.time, m)
 
 (* Simulated time of the NVCC-style single-GPU reference binary. *)
@@ -131,6 +162,7 @@ let run_fig6 () =
   Printf.printf " Hotspot 7.1x @ 14, N-Body 12.4x @ 16, Matmul 6.3x @ 14)\n\n";
   cache_hits := 0;
   cache_misses := 0;
+  fault_totals := Mekong.Multi_gpu.no_faults;
   List.iter
     (fun b ->
        Printf.printf "%s\n" (Apps.Workloads.benchmark_name b);
@@ -165,8 +197,14 @@ let run_fig6 () =
          all_sizes;
        Printf.printf "\n%!")
     all_benchmarks;
-  Printf.printf "launch-plan cache over the sweep: %d hits / %d misses\n\n"
-    !cache_hits !cache_misses
+  Printf.printf "launch-plan cache over the sweep: %d hits / %d misses\n"
+    !cache_hits !cache_misses;
+  (match !fault_spec with
+   | Some spec when not (Gpusim.Faults.is_null spec) ->
+     Format.printf "self-healing over the sweep: %a@."
+       Mekong.Multi_gpu.pp_fault_report !fault_totals
+   | _ -> ());
+  Printf.printf "\n"
 
 (* ------------------------------------------------------------------ *)
 (* Figure 7: execution-time breakdown (alpha/beta/gamma, paper §9.2)    *)
@@ -543,11 +581,149 @@ let run_micro () =
   Printf.printf "\n"
 
 (* ------------------------------------------------------------------ *)
+(* Fault campaign: self-healing under injected faults                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Three fixed seeds, each adding transient kernel/transfer faults plus
+   one permanent device loss scheduled mid-run.  Every functional run
+   must finish bit-identical to its fault-free baseline; any mismatch
+   (or a loss schedule that never fires) fails the campaign with exit
+   code 1 — this is the headline robustness guarantee, enforced in CI. *)
+let campaign_seeds = [ 11; 42; 1337 ]
+
+let run_faultcampaign () =
+  Printf.printf "Fault campaign: self-healing engine under injected faults\n";
+  Printf.printf
+    "(functional runs on the K80 box; each seed adds 2%% transient\n";
+  Printf.printf
+    " kernel/transfer faults and one permanent device loss mid-run;\n";
+  Printf.printf
+    " outputs must stay bit-identical to the fault-free baseline)\n\n";
+  let devices = 4 in
+  let workloads =
+    [
+      ( "hotspot",
+        (* 64x64 cells = a 4x4 block grid, one row band per device
+           (48x48 would leave the fourth device without compute). *)
+        fun () ->
+          let p, out, _ =
+            Apps.Workloads.functional_hotspot ~n:64 ~iterations:6
+          in
+          (p, out) );
+      ( "nbody",
+        (* 1024 bodies = 4 blocks of 256, so the grid actually spans
+           all four devices (smaller instances collapse onto one). *)
+        fun () ->
+          let p, out, _ =
+            Apps.Workloads.functional_nbody ~n:1024 ~iterations:3
+          in
+          (p, out) );
+      ( "matmul",
+        fun () ->
+          let p, out, _ = Apps.Workloads.functional_matmul ~n:24 in
+          (p, out) );
+    ]
+  in
+  let compile prog =
+    match Mekong.Toolchain.compile prog with
+    | Ok a -> a.Mekong.Toolchain.exe
+    | Error e -> failwith (Mekong.Toolchain.error_message e)
+  in
+  let machine () =
+    Gpusim.Machine.create ~functional:true
+      (Gpusim.Config.k80_box ~n_devices:devices ())
+  in
+  let violations = ref 0 in
+  Printf.printf "%-8s %6s %11s %11s %7s %8s %8s %5s  %s\n" "App" "seed"
+    "clean(s)" "faulty(s)" "faults" "retries" "replays" "lost" "verdict";
+  Printf.printf "%s\n" (line 86);
+  List.iter
+    (fun (name, mk) ->
+       (* Fault-free baseline: reference output bytes and runtime. *)
+       let prog, out = mk () in
+       let m = machine () in
+       let r0 = Mekong.Multi_gpu.run ~machine:m (compile prog) in
+       assert (r0.Mekong.Multi_gpu.faults = Mekong.Multi_gpu.no_faults);
+       let baseline = Array.copy out in
+       let t0 = r0.Mekong.Multi_gpu.time in
+       List.iteri
+         (fun i seed ->
+            let prog, out = mk () in
+            let m = machine () in
+            let dead = 1 + (i mod (devices - 1)) in
+            let spec =
+              {
+                Gpusim.Faults.null_spec with
+                seed;
+                kernel_fault_rate = 0.02;
+                transfer_fault_rate = 0.02;
+                scheduled_losses =
+                  [ (dead, (0.15 +. (0.15 *. float_of_int i)) *. t0) ];
+              }
+            in
+            Gpusim.Machine.inject_faults m (Gpusim.Faults.create spec);
+            let r =
+              Mekong.Multi_gpu.run ~checkpoint_every:3 ~machine:m (compile prog)
+            in
+            let ok = out = baseline in
+            if not ok then incr violations;
+            let f = r.Mekong.Multi_gpu.faults in
+            Printf.printf "%-8s %6d %11.5f %11.5f %7d %8d %8d %5d  %s\n%!" name
+              seed t0 r.Mekong.Multi_gpu.time f.Mekong.Multi_gpu.fr_faults
+              f.Mekong.Multi_gpu.fr_retries f.Mekong.Multi_gpu.fr_replays
+              f.Mekong.Multi_gpu.fr_devices_lost
+              (if ok then "OK" else "FAIL: output diverged");
+            if f.Mekong.Multi_gpu.fr_devices_lost = 0 then begin
+              incr violations;
+              Printf.printf
+                "  ^ FAIL: scheduled loss of device %d never triggered\n" dead
+            end)
+         campaign_seeds)
+    workloads;
+  Printf.printf "%s\n" (line 86);
+  if !violations > 0 then begin
+    Printf.printf
+      "FAULT CAMPAIGN FAILED: %d bit-identity/coverage violation(s)\n\n"
+      !violations;
+    exit 1
+  end
+  else
+    Printf.printf
+      "fault campaign passed: all runs bit-identical to the fault-free \
+       baseline\n\n"
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                               *)
 (* ------------------------------------------------------------------ *)
 
+let usage =
+  "table1|fig6|fig7|fig8|overhead1|compile|ablation|cache|faults|micro|all \
+   [--faults SEED,RATE[,DEV@TIME...]]"
+
 let () =
-  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let rec parse acc = function
+    | "--faults" :: spec :: rest ->
+      (match Gpusim.Faults.spec_of_string spec with
+       | Ok s ->
+         fault_spec := Some s;
+         parse acc rest
+       | Error e ->
+         Printf.eprintf "bad --faults spec %S: %s\n" spec e;
+         exit 2)
+    | [ "--faults" ] ->
+      Printf.eprintf "--faults needs SEED,RATE[,DEV@TIME...]\n";
+      exit 2
+    | a :: rest -> parse (a :: acc) rest
+    | [] -> List.rev acc
+  in
+  let which =
+    match parse [] (List.tl (Array.to_list Sys.argv)) with
+    | [] -> "all"
+    | [ w ] -> w
+    | _ ->
+      Printf.eprintf "usage: %s\n" usage;
+      exit 2
+  in
   let t0 = Unix.gettimeofday () in
   (match which with
    | "table1" -> run_table1 ()
@@ -558,6 +734,7 @@ let () =
    | "compile" -> run_compile ()
    | "ablation" -> run_ablation ()
    | "cache" -> run_cachebench ()
+   | "faults" -> run_faultcampaign ()
    | "micro" -> run_micro ()
    | "all" ->
      run_table1 ();
@@ -568,11 +745,10 @@ let () =
      run_compile ();
      run_ablation ();
      run_cachebench ();
+     run_faultcampaign ();
      run_micro ()
    | other ->
-     Printf.eprintf
-       "unknown experiment %s (table1|fig6|fig7|fig8|overhead1|compile|ablation|cache|micro|all)\n"
-       other;
+     Printf.eprintf "unknown experiment %s (%s)\n" other usage;
      exit 2);
   Printf.printf "[bench completed in %.1fs wall time]\n"
     (Unix.gettimeofday () -. t0)

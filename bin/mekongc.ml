@@ -35,12 +35,21 @@ let app_arg =
   in
   Arg.(required & pos 0 (some conv_app) None & info [] ~docv:"APP")
 
+(* All user-facing failures (parse, compile/link, IO) leave through
+   here: one-line diagnostic on stderr, exit code 2.  Exit 2 is
+   reserved for "the input was bad", distinct from cmdliner's own CLI
+   errors (124/125). *)
+let die fmt =
+  Printf.ksprintf
+    (fun msg ->
+       Printf.eprintf "mekongc: %s\n" msg;
+       exit 2)
+    fmt
+
 let compile_app (name, mk) =
   match Mekong.Toolchain.compile (mk ()) with
   | Ok a -> a
-  | Error e ->
-    Printf.eprintf "mekongc: %s: %s\n" name (Mekong.Toolchain.error_message e);
-    exit 1
+  | Error e -> die "%s: %s" name (Mekong.Toolchain.error_message e)
 
 let analyze_cmd =
   let run app =
@@ -91,22 +100,50 @@ let kernels_cmd =
 let gpus_arg =
   Arg.(value & opt int 4 & info [ "gpus"; "g" ] ~docv:"N" ~doc:"simulated GPUs")
 
+let faults_arg =
+  let conv_spec =
+    let parse s =
+      match Gpusim.Faults.spec_of_string s with
+      | Ok spec -> Ok spec
+      | Error e -> Error (`Msg e)
+    in
+    let print fmt (s : Gpusim.Faults.spec) =
+      Format.fprintf fmt "%d,%g" s.Gpusim.Faults.seed
+        s.Gpusim.Faults.kernel_fault_rate
+    in
+    Arg.conv (parse, print)
+  in
+  Arg.(
+    value
+    & opt (some conv_spec) None
+    & info [ "faults" ] ~docv:"SEED,RATE[,DEV@TIME...]"
+        ~doc:
+          "inject seeded faults into the simulated machine; the engine \
+           self-heals (retry, re-partition, replay) and reports what it did")
+
 let run_cmd =
-  let run app gpus =
+  let run app gpus faults =
     let artifacts = compile_app app in
     let machine =
       Gpusim.Machine.create ~functional:true
         (Gpusim.Config.k80_box ~n_devices:gpus ())
     in
+    (match faults with
+     | Some spec when not (Gpusim.Faults.is_null spec) ->
+       Gpusim.Machine.inject_faults machine (Gpusim.Faults.create spec)
+     | _ -> ());
     let res = Mekong.Multi_gpu.run ~machine artifacts.Mekong.Toolchain.exe in
     let stats = Gpusim.Machine.stats machine in
     Printf.printf "%s on %d GPUs: %.3f ms simulated\n" (fst app) gpus
       (res.Mekong.Multi_gpu.time *. 1e3);
     Format.printf "%a@." Gpusim.Machine.pp_stats stats;
-    Format.printf "%a@." Mekong.Launch_cache.pp_stats res.Mekong.Multi_gpu.cache
+    Format.printf "%a@." Mekong.Launch_cache.pp_stats res.Mekong.Multi_gpu.cache;
+    if Gpusim.Machine.fault_state machine <> None then
+      Format.printf "%a@." Mekong.Multi_gpu.pp_fault_report
+        res.Mekong.Multi_gpu.faults
   in
   Cmd.v (Cmd.info "run" ~doc:"compile and run on simulated GPUs")
-    Term.(const run $ app_arg $ gpus_arg)
+    Term.(const run $ app_arg $ gpus_arg $ faults_arg)
 
 let out_arg =
   Arg.(value & opt string "model.sexp" & info [ "o" ] ~docv:"FILE" ~doc:"output file")
@@ -133,15 +170,11 @@ let compile_file_cmd =
     in
     let kernels, prog =
       try Cuparse.parse_cu ~name:(Filename.remove_extension (Filename.basename file)) src
-      with Cuparse.Error m ->
-        Printf.eprintf "mekongc: parse error in %s: %s\n" file m;
-        exit 1
+      with Cuparse.Error m -> die "parse error in %s: %s" file m
     in
     Printf.printf "parsed %d kernel(s) from %s\n" (List.length kernels) file;
     match Mekong.Toolchain.compile prog with
-    | Error e ->
-      Printf.eprintf "mekongc: %s\n" (Mekong.Toolchain.error_message e);
-      exit 1
+    | Error e -> die "%s" (Mekong.Toolchain.error_message e)
     | Ok artifacts ->
       List.iter
         (fun (km : Mekong.Model.kernel_model) ->
@@ -168,8 +201,18 @@ let compile_file_cmd =
 
 let () =
   let info = Cmd.info "mekongc" ~doc:"automatic multi-GPU partitioning toolchain" in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [ analyze_cmd; rewrite_cmd; kernels_cmd; run_cmd; model_cmd;
-            compile_file_cmd ]))
+  (* catch:false so failures reach our handlers instead of cmdliner's
+     backtrace printer; anything not already routed through [die] (IO
+     errors, internal invariant failures) gets the same one-line
+     treatment here. *)
+  try
+    exit
+      (Cmd.eval ~catch:false
+         (Cmd.group info
+            [ analyze_cmd; rewrite_cmd; kernels_cmd; run_cmd; model_cmd;
+              compile_file_cmd ]))
+  with
+  | Sys_error m -> die "%s" m
+  | Cuparse.Error m -> die "parse error: %s" m
+  | Failure m -> die "%s" m
+  | Invalid_argument m -> die "internal error: %s" m

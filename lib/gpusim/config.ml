@@ -45,6 +45,9 @@ type t = {
          cudaDeviceSynchronize per context) *)
   elem_bytes : int; (* bytes per array element *)
   host : host_costs;
+  faults : Faults.spec option;
+      (* fault-injection spec applied to machines built over this
+         config; None = ideal hardware (the default everywhere) *)
 }
 
 let k80_host_costs =
@@ -78,6 +81,7 @@ let k80_box ?(n_devices = 16) () =
     sync_device_seconds = 10.0e-6;
     elem_bytes = 4;
     host = k80_host_costs;
+    faults = None;
   }
 
 (* A tiny machine for functional tests: timing constants are irrelevant

@@ -36,6 +36,9 @@ type t = {
       (** host cost of synchronizing with one device context *)
   elem_bytes : int;  (** bytes per array element *)
   host : host_costs;
+  faults : Faults.spec option;
+      (** fault-injection spec applied to machines built over this
+          config; [None] = ideal hardware (the default) *)
 }
 
 val k80_host_costs : host_costs

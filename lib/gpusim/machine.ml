@@ -34,6 +34,7 @@ type stats = {
   mutable p2p_bytes : int;
   mutable n_transfers : int;
   mutable n_launches : int;
+  mutable n_faults : int; (* transient faults and device losses observed *)
   mutable kernel_seconds : float;
   mutable pattern_seconds : float;
   mutable transfer_seconds : float;
@@ -41,13 +42,20 @@ type stats = {
 
 (* One entry of the optional execution trace. *)
 type event = {
-  ev_kind : [ `Kernel | `H2d | `D2h | `P2p ];
+  ev_kind : [ `Kernel | `H2d | `D2h | `P2p | `Fault ];
   ev_src : int; (* device id, or -1 for host *)
   ev_dst : int;
   ev_bytes : int; (* 0 for kernels *)
   ev_start : float;
   ev_finish : float;
 }
+
+(* Typed fault surface: operations never corrupt silently.  A transient
+   fault consumed its simulated time but produced nothing (retryable);
+   a lost device is gone for good, with everything it exclusively
+   owned. *)
+exception Transient_fault of { op : string; device : int }
+exception Device_lost of int
 
 type t = {
   cfg : Config.t;
@@ -63,6 +71,8 @@ type t = {
          round, so we track the high-water mark of launch targets. *)
   mutable trace : event list option;
       (* reverse-chronological event log when tracing is enabled *)
+  mutable faults : Faults.t option;
+      (* fault-injection state; None = ideal hardware *)
 }
 
 let issue_overhead = 1.5e-6 (* host-side cost of issuing one async op *)
@@ -89,6 +99,7 @@ let create ?(functional = false) cfg =
         p2p_bytes = 0;
         n_transfers = 0;
         n_launches = 0;
+        n_faults = 0;
         kernel_seconds = 0.0;
         pattern_seconds = 0.0;
         transfer_seconds = 0.0;
@@ -96,6 +107,10 @@ let create ?(functional = false) cfg =
     next_buffer_id = 0;
     active_devices = 1;
     trace = None;
+    faults =
+      (match cfg.Config.faults with
+       | Some spec when not (Faults.is_null spec) -> Some (Faults.create spec)
+       | _ -> None);
   }
 
 (* Enable event tracing (keeps every kernel and transfer event;
@@ -117,6 +132,59 @@ let device m i =
   if i < 0 || i >= Array.length m.devices then
     invalid_arg (Printf.sprintf "Machine.device: no device %d" i);
   m.devices.(i)
+
+(* --- Fault injection --------------------------------------------------- *)
+
+let inject_faults m f = m.faults <- Some f
+let fault_state m = m.faults
+
+let device_lost m d =
+  match m.faults with None -> false | Some f -> Faults.device_lost f d
+
+(* Devices still on the bus, in id order (all of them on ideal
+   hardware). *)
+let live_devices m =
+  List.filter
+    (fun d -> not (device_lost m d))
+    (List.init (Array.length m.devices) Fun.id)
+
+let record_fault m ~src ~dst =
+  m.stats.n_faults <- m.stats.n_faults + 1;
+  let now = Timeline.ready m.host in
+  record m
+    { ev_kind = `Fault; ev_src = src; ev_dst = dst; ev_bytes = 0;
+      ev_start = now; ev_finish = now }
+
+(* The clock a scheduled loss is checked against: the later of the
+   host's issue time and the touched engines' queued work.  The host
+   runs far ahead of the devices (it issues asynchronously), so an op
+   *executing* at or after the death time must observe the loss even
+   though it was issued earlier. *)
+let fault_clock m ~devices =
+  List.fold_left
+    (fun acc d ->
+       if d < 0 then acc
+       else begin
+         let dev = m.devices.(d) in
+         Float.max acc
+           (Float.max (Timeline.ready dev.compute)
+              (Float.max (Timeline.ready dev.copy_in)
+                 (Timeline.ready dev.copy_out)))
+       end)
+    (Timeline.ready m.host) devices
+
+(* Fate of a transfer touching [devices], drawn at issue time.  A lost
+   device fails the operation before any time is charged (the driver
+   call errors immediately); a transient fault is resolved after the
+   transfer's timing has been paid. *)
+let transfer_fate m ~devices =
+  match m.faults with
+  | None -> `Ok
+  | Some f -> Faults.transfer_outcome f ~devices ~now:(fault_clock m ~devices)
+
+let fail_lost m ~op:_ d =
+  record_fault m ~src:d ~dst:d;
+  raise (Device_lost d)
 
 (* --- Memory management ------------------------------------------------ *)
 
@@ -220,10 +288,16 @@ let h2d m ~src ~src_off ~dst ~dst_off ~len =
   Buffer.check_range dst ~off:dst_off ~len ~what:"h2d";
   let bytes = len * m.cfg.Config.elem_bytes in
   let dev = device m (Buffer.device dst) in
+  let fate = transfer_fate m ~devices:[ dev.dev_id ] in
+  (match fate with `Lost d -> fail_lost m ~op:"h2d" d | `Ok | `Transient -> ());
   let ev_start, ev_finish =
     transfer m ~engines:[ dev.copy_in ] ~deps:[ dev.compute ] ~bytes
       ~fabric_bytes:bytes ~bandwidth:m.cfg.Config.pcie_bandwidth
   in
+  if fate = `Transient then begin
+    record_fault m ~src:(-1) ~dst:dev.dev_id;
+    raise (Transient_fault { op = "h2d"; device = dev.dev_id })
+  end;
   record m
     { ev_kind = `H2d; ev_src = -1; ev_dst = dev.dev_id; ev_bytes = bytes;
       ev_start; ev_finish };
@@ -235,10 +309,16 @@ let d2h m ~src ~src_off ~dst ~dst_off ~len =
   Buffer.check_range src ~off:src_off ~len ~what:"d2h";
   let bytes = len * m.cfg.Config.elem_bytes in
   let dev = device m (Buffer.device src) in
+  let fate = transfer_fate m ~devices:[ dev.dev_id ] in
+  (match fate with `Lost d -> fail_lost m ~op:"d2h" d | `Ok | `Transient -> ());
   let ev_start, ev_finish =
     transfer m ~engines:[ dev.copy_out ] ~deps:[ dev.compute ] ~bytes
       ~fabric_bytes:bytes ~bandwidth:m.cfg.Config.pcie_bandwidth
   in
+  if fate = `Transient then begin
+    record_fault m ~src:dev.dev_id ~dst:(-1);
+    raise (Transient_fault { op = "d2h"; device = dev.dev_id })
+  end;
   record m
     { ev_kind = `D2h; ev_src = dev.dev_id; ev_dst = -1; ev_bytes = bytes;
       ev_start; ev_finish };
@@ -252,6 +332,8 @@ let p2p m ~src ~src_off ~dst ~dst_off ~len =
   let bytes = len * m.cfg.Config.elem_bytes in
   let sdev = device m (Buffer.device src) in
   let ddev = device m (Buffer.device dst) in
+  let fate = transfer_fate m ~devices:[ sdev.dev_id; ddev.dev_id ] in
+  (match fate with `Lost d -> fail_lost m ~op:"p2p" d | `Ok | `Transient -> ());
   let same_device = sdev.dev_id = ddev.dev_id in
   let engines =
     if same_device then [ sdev.copy_out ]
@@ -270,6 +352,10 @@ let p2p m ~src ~src_off ~dst ~dst_off ~len =
     transfer m ~engines ~deps:[ sdev.compute; ddev.compute ] ~bytes
       ~fabric_bytes ~bandwidth
   in
+  if fate = `Transient then begin
+    record_fault m ~src:sdev.dev_id ~dst:ddev.dev_id;
+    raise (Transient_fault { op = "p2p"; device = ddev.dev_id })
+  end;
   record m
     { ev_kind = `P2p; ev_src = sdev.dev_id; ev_dst = ddev.dev_id;
       ev_bytes = bytes; ev_start; ev_finish };
@@ -292,6 +378,10 @@ let p2p_multi m ~src ~dst ~segments =
     let bytes = len * m.cfg.Config.elem_bytes in
     let sdev = device m (Buffer.device src) in
     let ddev = device m (Buffer.device dst) in
+    let fate = transfer_fate m ~devices:[ sdev.dev_id; ddev.dev_id ] in
+    (match fate with
+     | `Lost d -> fail_lost m ~op:"p2p_multi" d
+     | `Ok | `Transient -> ());
     let same_device = sdev.dev_id = ddev.dev_id in
     let engines =
       if same_device then [ sdev.copy_out ]
@@ -306,6 +396,10 @@ let p2p_multi m ~src ~dst ~segments =
       transfer m ~engines ~deps:[ sdev.compute; ddev.compute ] ~bytes
         ~fabric_bytes ~bandwidth
     in
+    if fate = `Transient then begin
+      record_fault m ~src:sdev.dev_id ~dst:ddev.dev_id;
+      raise (Transient_fault { op = "p2p"; device = ddev.dev_id })
+    end;
     record m
       { ev_kind = `P2p; ev_src = sdev.dev_id; ev_dst = ddev.dev_id;
         ev_bytes = bytes; ev_start; ev_finish };
@@ -347,6 +441,12 @@ let set_active_devices m n =
 
 let launch m ~device:d ~blocks ~ops_per_block ~run =
   let dev = device m d in
+  let fate =
+    match m.faults with
+    | None -> `Ok
+    | Some f -> Faults.kernel_outcome f ~device:d ~now:(fault_clock m ~devices:[ d ])
+  in
+  (match fate with `Lost -> fail_lost m ~op:"kernel" d | `Ok | `Transient -> ());
   m.active_devices <- max m.active_devices (d + 1);
   let issue =
     snd
@@ -361,11 +461,17 @@ let launch m ~device:d ~blocks ~ops_per_block ~run =
   let kstart, kfinish =
     Timeline.schedule dev.compute ~after ~duration:dur ~category:"kernel"
   in
+  m.stats.n_launches <- m.stats.n_launches + 1;
+  m.stats.kernel_seconds <- m.stats.kernel_seconds +. dur;
+  (* A transient fault consumes the launch's time but produces no
+     writes: raise before the functional element work runs. *)
+  if fate = `Transient then begin
+    record_fault m ~src:d ~dst:d;
+    raise (Transient_fault { op = "kernel"; device = d })
+  end;
   record m
     { ev_kind = `Kernel; ev_src = dev.dev_id; ev_dst = dev.dev_id;
       ev_bytes = 0; ev_start = kstart; ev_finish = kfinish };
-  m.stats.n_launches <- m.stats.n_launches + 1;
-  m.stats.kernel_seconds <- m.stats.kernel_seconds +. dur;
   if m.functional then run ()
 
 (* Timeline accessors for reporting and calibration. *)
@@ -378,6 +484,6 @@ let device_timelines m d =
 
 let pp_stats fmt s =
   Format.fprintf fmt
-    "h2d=%dB d2h=%dB p2p=%dB transfers=%d launches=%d kernel=%.6fs transfer=%.6fs pattern=%.6fs"
-    s.h2d_bytes s.d2h_bytes s.p2p_bytes s.n_transfers s.n_launches
+    "h2d=%dB d2h=%dB p2p=%dB transfers=%d launches=%d faults=%d kernel=%.6fs transfer=%.6fs pattern=%.6fs"
+    s.h2d_bytes s.d2h_bytes s.p2p_bytes s.n_transfers s.n_launches s.n_faults
     s.kernel_seconds s.transfer_seconds s.pattern_seconds

@@ -14,7 +14,7 @@ type t
 
 (** One entry of the optional execution trace. *)
 type event = {
-  ev_kind : [ `Kernel | `H2d | `D2h | `P2p ];
+  ev_kind : [ `Kernel | `H2d | `D2h | `P2p | `Fault ];
   ev_src : int;  (** device id, or -1 for the host *)
   ev_dst : int;
   ev_bytes : int;  (** 0 for kernels *)
@@ -28,16 +28,36 @@ type stats = {
   mutable p2p_bytes : int;
   mutable n_transfers : int;
   mutable n_launches : int;
+  mutable n_faults : int;  (** transient faults and device losses observed *)
   mutable kernel_seconds : float;
   mutable pattern_seconds : float;
   mutable transfer_seconds : float;
 }
+
+exception Transient_fault of { op : string; device : int }
+(** The operation consumed its simulated time but produced nothing;
+    retrying is safe and the fault layer bounds consecutive failures. *)
+
+exception Device_lost of int
+(** The device fell off the bus; it stays lost, and every subsequent
+    operation touching it raises again. *)
 
 val create : ?functional:bool -> Config.t -> t
 val config : t -> Config.t
 val is_functional : t -> bool
 val n_devices : t -> int
 val stats : t -> stats
+
+val inject_faults : t -> Faults.t -> unit
+(** Attach fault-injection state; without it the hardware is ideal. *)
+
+val fault_state : t -> Faults.t option
+
+val device_lost : t -> int -> bool
+(** Has this device been permanently lost? *)
+
+val live_devices : t -> int list
+(** Devices still on the bus, in id order. *)
 
 val alloc : t -> device:int -> len:int -> Buffer.t
 val free : t -> Buffer.t -> unit

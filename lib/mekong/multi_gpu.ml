@@ -61,12 +61,29 @@ let link ?rectangles ?force_strategy ~(model : Model.t) (prog : Host_ir.t) :
         (Host_ir.kernels prog);
   }
 
+type fault_report = {
+  fr_faults : int; (* transient faults and losses observed by the machine *)
+  fr_retries : int; (* statement retries after transient faults *)
+  fr_replays : int; (* checkpoint replays after unrecoverable data loss *)
+  fr_devices_lost : int; (* permanent device losses survived *)
+}
+
+let no_faults =
+  { fr_faults = 0; fr_retries = 0; fr_replays = 0; fr_devices_lost = 0 }
+
+let pp_fault_report fmt r =
+  Format.fprintf fmt "faults=%d retries=%d replays=%d devices_lost=%d"
+    r.fr_faults r.fr_retries r.fr_replays r.fr_devices_lost
+
 type result = {
   machine : Gpusim.Machine.t;
   time : float;
   transfers : int; (* inter-device synchronization transfers issued *)
   cache : Launch_cache.stats;
       (* launch-plan cache hit/miss counters (zero when disabled) *)
+  faults : fault_report;
+      (* what the self-healing loop saw and did (all zero on ideal
+         hardware) *)
 }
 
 (* Common parameter bindings of one launch: scalar arguments plus block
@@ -79,13 +96,33 @@ let launch_bindings kernel ~grid ~block ~args =
            (Access.gdim_name a, Dim3.get grid a) ])
       Dim3.axes
 
+(* Backoff constants for transient-fault retries, all in *simulated*
+   seconds: the retried operation itself advances the simulated clock,
+   so the penalty a real driver would impose must live on the same
+   clock (wall-clock sleeps would be invisible to the reported times).
+   The budget bounds total backoff per statement; the fault layer's
+   consecutive cap means it is never reached under any rate < 1. *)
+let backoff_base = 100e-6
+let backoff_cap = 10e-3
+let backoff_budget = 1.0
+
 let run ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d) ?(cache = true)
-    ~(machine : Gpusim.Machine.t) (exe : exe) : result =
+    ?(checkpoint_every = 8) ~(machine : Gpusim.Machine.t) (exe : exe) : result =
   if not (Gpu_runtime.Rconfig.is_valid cfg) then invalid_arg "Multi_gpu.run: bad config";
+  if checkpoint_every <= 0 then
+    invalid_arg "Multi_gpu.run: checkpoint_every must be positive";
   let m = machine in
   let host_costs = (Gpusim.Machine.config m).Gpusim.Config.host in
   let n_devices = Gpusim.Machine.n_devices m in
   Gpusim.Machine.set_active_devices m n_devices;
+  (* Self-healing is armed only when the machine injects faults, so
+     ideal-hardware runs take the exact pre-existing path: no replica
+     tracking, no checkpoints, no extra simulated work. *)
+  let healing = Gpusim.Machine.fault_state m <> None in
+  let live = ref (Gpusim.Machine.live_devices m) in
+  let n_live () = List.length !live in
+  let faults_at_entry = (Gpusim.Machine.stats m).Gpusim.Machine.n_faults in
+  let retries = ref 0 and replays = ref 0 and devices_lost = ref 0 in
   let vbufs : (string, Gpu_runtime.Vbuf.t) Hashtbl.t = Hashtbl.create 16 in
   let total_transfers = ref 0 in
   (* Per-launch compiled-kernel lookup must not be linear in the kernel
@@ -98,9 +135,12 @@ let run ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d) ?(cache = true)
        if not (Hashtbl.mem compiled_tbl name) then
          Hashtbl.add compiled_tbl name ck)
     exe.compiled;
-  (* The cache lives for one run: device count, tiling and measurement
-     config are fixed here, so they need not be part of the key. *)
-  let plan_cache = Launch_cache.create () in
+  (* The cache lives for one cache generation: device count, tiling and
+     measurement config are fixed within it, so they need not be part
+     of the key.  A permanent device loss changes the partitioning and
+     starts a fresh generation (every cached plan names the dead
+     device). *)
+  let plan_cache = ref (Launch_cache.create ()) in
   let find b =
     match Hashtbl.find_opt vbufs b with
     | Some vb -> vb
@@ -131,9 +171,12 @@ let run ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d) ?(cache = true)
     let km = ck.ck_model in
     let partitions =
       let primary = km.Model.strategy in
+      (* Partition over the surviving devices (all of them on ideal
+         hardware), then map partition slots onto actual device ids. *)
+      let n = n_live () in
       let parts =
         match tiling with
-        | `One_d -> Partition.make ~grid ~axis:primary ~n:n_devices
+        | `One_d -> Partition.make ~grid ~axis:primary ~n
         | `Two_d ->
           (* secondary axis: another axis with more than one block,
              preferring the row-major-adjacent one; fall back to 1-D
@@ -145,8 +188,15 @@ let run ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d) ?(cache = true)
           in
           (match secondary with
            | Some axis2 ->
-             Partition.make_2d ~grid ~axis1:primary ~axis2 ~n:n_devices
-           | None -> Partition.make ~grid ~axis:primary ~n:n_devices)
+             Partition.make_2d ~grid ~axis1:primary ~axis2 ~n
+           | None -> Partition.make ~grid ~axis:primary ~n)
+      in
+      let live_arr = Array.of_list !live in
+      let parts =
+        List.map
+          (fun (p : Partition.t) ->
+             { p with Partition.device = live_arr.(p.Partition.device) })
+          parts
       in
       List.filter (fun p -> not (Partition.is_empty p)) parts
     in
@@ -210,7 +260,7 @@ let run ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d) ?(cache = true)
     let km = ck.ck_model in
     let plan =
       if cache then
-        Launch_cache.find_or_build plan_cache
+        Launch_cache.find_or_build !plan_cache
           { Launch_cache.kernel = kernel.Kir.name; grid; block; args }
           ~build:(fun () -> build_plan ck kernel grid block args)
       else build_plan ck kernel grid block args
@@ -374,13 +424,139 @@ let run ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d) ?(cache = true)
       Hashtbl.remove vbufs name
     | Host_ir.Sync -> Gpusim.Machine.synchronize m
   in
-  List.iter exec exe.prog.Host_ir.body;
+  (* Flatten the statement stream (Repeat bodies expanded) so execution
+     has a program counter: checkpoints record an index to replay from.
+     Re-executing any statement is idempotent — h2d re-scatters the
+     same source, launches recompute the same values from the same
+     synchronized inputs, tracker updates converge — which is what
+     makes both retry and replay safe. *)
+  let stmts =
+    let acc = ref [] in
+    let rec go (s : Host_ir.stmt) =
+      match s with
+      | Host_ir.Repeat (n, body) ->
+        for _ = 1 to n do List.iter go body done
+      | s -> acc := s :: !acc
+    in
+    List.iter go exe.prog.Host_ir.body;
+    Array.of_list (List.rev !acc)
+  in
+  (* An engine checkpoint: the statement index to resume from plus a
+     snapshot of every buffer binding.  [None] means "replay from the
+     beginning with no buffers" — statement 0 re-mallocs everything. *)
+  let ckpt : (int * (string * Gpu_runtime.Vbuf.t * Gpu_runtime.Vbuf.snapshot) list) option ref =
+    ref None
+  in
+  let take_checkpoint index =
+    let bufs =
+      Hashtbl.fold
+        (fun name vb acc -> (name, vb, Gpu_runtime.Vbuf.checkpoint ~cfg vb) :: acc)
+        vbufs []
+    in
+    (* Deterministic snapshot order: the gathers charge simulated
+       transfer time and consume the fault stream. *)
+    let bufs = List.sort (fun (a, _, _) (b, _, _) -> compare a b) bufs in
+    ckpt := Some (index, bufs)
+  in
+  let restore_checkpoint () =
+    match !ckpt with
+    | Some (index, bufs) ->
+      let kept = List.map (fun (_, vb, _) -> vb) bufs in
+      Hashtbl.iter
+        (fun _ vb ->
+           if not (List.memq vb kept) then Gpu_runtime.Vbuf.free vb)
+        vbufs;
+      Hashtbl.reset vbufs;
+      List.iter
+        (fun (name, vb, snap) ->
+           Gpu_runtime.Vbuf.restore vb snap;
+           Hashtbl.replace vbufs name vb)
+        bufs;
+      index
+    | None ->
+      Hashtbl.iter (fun _ vb -> Gpu_runtime.Vbuf.free vb) vbufs;
+      Hashtbl.reset vbufs;
+      0
+  in
+  (* Permanent loss: shrink the live set, drop every cached plan (they
+     all name the dead device), re-home what the dead device owned onto
+     replicas that are still fresh.  Only if some range has no fresh
+     copy anywhere do we pay a replay from the last checkpoint. *)
+  let handle_loss dead =
+    incr devices_lost;
+    live := List.filter (fun d -> d <> dead) !live;
+    if !live = [] then
+      failwith "Multi_gpu: every device lost; nothing left to run on";
+    Gpusim.Machine.set_active_devices m (n_live ());
+    plan_cache := Launch_cache.create ();
+    let data_lost = ref false in
+    Hashtbl.iter
+      (fun _ vb ->
+         match Gpu_runtime.Vbuf.recover vb ~dev:dead ~live:!live with
+         | [] -> ()
+         | _ :: _ -> data_lost := true)
+      vbufs;
+    if !data_lost then begin
+      incr replays;
+      `Replay (restore_checkpoint ())
+    end
+    else `Retry
+  in
+  let n_stmts = Array.length stmts in
+  let launches_since_ckpt = ref 0 in
+  let i = ref 0 in
+  while !i < n_stmts do
+    let stmt = stmts.(!i) in
+    let rec attempt ~tries ~spent =
+      try
+        exec stmt;
+        if healing then begin
+          (match stmt with
+           | Host_ir.Launch _ -> incr launches_since_ckpt
+           | _ -> ());
+          if !launches_since_ckpt >= checkpoint_every then begin
+            take_checkpoint (!i + 1);
+            launches_since_ckpt := 0
+          end
+        end;
+        `Next
+      with
+      | Gpusim.Machine.Transient_fault _ when healing ->
+        incr retries;
+        let delay =
+          Float.min backoff_cap (backoff_base *. (2.0 ** float_of_int tries))
+        in
+        if spent +. delay > backoff_budget then
+          failwith "Multi_gpu: transient-fault backoff budget exhausted";
+        Gpusim.Machine.host_work m ~seconds:delay ~category:"backoff";
+        attempt ~tries:(tries + 1) ~spent:(spent +. delay)
+      | Gpusim.Machine.Device_lost dead when healing -> (
+          match handle_loss dead with
+          | `Retry -> attempt ~tries:0 ~spent
+          | `Replay index -> `Goto index)
+    in
+    match attempt ~tries:0 ~spent:0.0 with
+    | `Next -> incr i
+    | `Goto j ->
+      i := j;
+      launches_since_ckpt := 0
+  done;
   Gpusim.Machine.synchronize m;
   {
     machine = m;
     time = Gpusim.Machine.host_time m;
     transfers = !total_transfers;
     cache =
-      (if cache then Launch_cache.stats plan_cache
+      (if cache then Launch_cache.stats !plan_cache
        else Launch_cache.no_stats);
+    faults =
+      (if healing then
+         {
+           fr_faults =
+             (Gpusim.Machine.stats m).Gpusim.Machine.n_faults - faults_at_entry;
+           fr_retries = !retries;
+           fr_replays = !replays;
+           fr_devices_lost = !devices_lost;
+         }
+       else no_faults);
   }

@@ -30,12 +30,27 @@ val link :
     optimization; [force_strategy] overrides the model's suggested
     partitioning axis (both for ablations). *)
 
+type fault_report = {
+  fr_faults : int;
+      (** transient faults and losses observed by the machine *)
+  fr_retries : int;  (** statement retries after transient faults *)
+  fr_replays : int;
+      (** checkpoint replays after unrecoverable data loss *)
+  fr_devices_lost : int;  (** permanent device losses survived *)
+}
+
+val no_faults : fault_report
+val pp_fault_report : Format.formatter -> fault_report -> unit
+
 type result = {
   machine : Gpusim.Machine.t;
   time : float;  (** simulated end-to-end seconds *)
   transfers : int;  (** inter-device synchronization transfers issued *)
   cache : Launch_cache.stats;
       (** launch-plan cache hit/miss counters (zero when disabled) *)
+  faults : fault_report;
+      (** what the self-healing loop saw and did (all zero on ideal
+          hardware) *)
 }
 
 val launch_bindings :
@@ -46,6 +61,7 @@ val run :
   ?cfg:Gpu_runtime.Rconfig.t ->
   ?tiling:[ `One_d | `Two_d ] ->
   ?cache:bool ->
+  ?checkpoint_every:int ->
   machine:Gpusim.Machine.t ->
   exe ->
   result
@@ -59,4 +75,16 @@ val run :
     memoizes per-launch plans — partitions, evaluated range lists,
     cost-model results — per (kernel, grid, block, args) key; results
     are bit-identical either way, only redundant host computation is
-    skipped (see {!Launch_cache}). *)
+    skipped (see {!Launch_cache}).
+
+    When the machine injects faults the engine self-heals: transient
+    kernel and transfer faults are retried with capped exponential
+    backoff charged in simulated time; a permanent device loss
+    re-partitions the remaining work over the survivors (N down to 1),
+    re-homes the lost device's segments onto still-fresh replicas, and
+    replays from the last host-side checkpoint (taken every
+    [checkpoint_every] launches, default 8) only when some range had no
+    fresh copy anywhere.  Under any fault schedule that leaves at least
+    one device alive, functional results are bit-identical to the
+    fault-free run; on ideal hardware none of this machinery runs and
+    [faults] is {!no_faults}. *)

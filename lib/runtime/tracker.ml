@@ -116,6 +116,22 @@ let write t ~start ~stop ~owner =
   bump t 1;
   M.add t.map !seg_start (!seg_stop, owner)
 
+(* The segments a given owner holds, in order — for owner = a device
+   id, exactly the ranges whose only fresh copy that device has (one
+   owner per segment, so ownership here means exclusive ownership).
+   This is the recovery metadata: everything device [d] owns when it
+   dies must be re-synced from elsewhere or recomputed. *)
+let owned_by t ~owner =
+  let out = ref [] in
+  M.iter t.map (fun s (e, o) ->
+      bump t 1;
+      if o = owner then out := { start = s; stop = e; owner = o } :: !out);
+  List.rev !out
+
+(* Elements a given owner holds (sum of its segment lengths). *)
+let owned_count t ~owner =
+  List.fold_left (fun acc s -> acc + (s.stop - s.start)) 0 (owned_by t ~owner)
+
 (* All segments, in order. *)
 let segments t =
   let out = ref [] in

@@ -35,6 +35,14 @@ val write : t -> start:int -> stop:int -> owner:int -> unit
 (** Record that [owner] wrote [start, stop): existing segments are
     split or absorbed and equal-owner neighbours are merged. *)
 
+val owned_by : t -> owner:int -> segment list
+(** The segments [owner] holds, in order.  One owner per segment, so
+    for a device id this is exactly what that device *exclusively*
+    owns — the recovery metadata consulted when it is lost. *)
+
+val owned_count : t -> owner:int -> int
+(** Number of elements [owner] holds. *)
+
 val segments : t -> segment list
 (** All segments, in order. *)
 

@@ -24,6 +24,13 @@ type t = {
       (* functional mirror of the last h2d source: segments owned by
          [Tracker.host] are served from here, never from a device
          instance (whose copy may be stale) *)
+  mutable validity : Tracker.t array option;
+      (* replica-freshness metadata, allocated only under fault
+         injection: one tracker per device plus one for the host (last
+         slot), owner 1 = that replica matches the buffer's current
+         logical content over the segment, 0 = stale.  The ownership
+         tracker has one owner per segment; this is what lets recovery
+         find *other* fresh copies of what a lost device owned. *)
 }
 
 let create machine ~name ~len =
@@ -36,6 +43,7 @@ let create machine ~name ~len =
       Array.init n (fun d -> Gpusim.Machine.alloc machine ~device:d ~len);
     tracker = Tracker.create ~len ~initial_owner:0;
     host_copy = None;
+    validity = None;
   }
 
 let name t = t.name
@@ -46,6 +54,46 @@ let n_devices t = Array.length t.instances
 
 let free t = Array.iter (fun b -> Gpusim.Machine.free t.machine b) t.instances
 
+(* --- Replica-freshness tracking (fault tolerance only) ----------------- *)
+
+(* Lazily allocated so fault-free runs pay nothing: the trackers exist
+   only when the machine has fault injection attached.  Device
+   instances start zero-filled and identical, so every device replica
+   is born fresh; the host has no copy yet. *)
+let validity t =
+  match t.validity with
+  | Some v -> Some v
+  | None ->
+    if Gpusim.Machine.fault_state t.machine = None then None
+    else begin
+      let n = n_devices t in
+      let v =
+        Array.init (n + 1) (fun i ->
+            Tracker.create ~len:t.len ~initial_owner:(if i < n then 1 else 0))
+      in
+      t.validity <- Some v;
+      Some v
+    end
+
+let host_slot t = n_devices t
+
+(* [who] is a device id or [host_slot]: its replica of [start, stop) now
+   matches the buffer's logical content. *)
+let mark_fresh t ~who ~start ~stop =
+  match validity t with
+  | None -> ()
+  | Some v -> Tracker.write v.(who) ~start ~stop ~owner:1
+
+(* Every replica except [who]'s (a device id or [host_slot]) goes stale
+   over [start, stop). *)
+let mark_stale_others t ~who ~start ~stop =
+  match validity t with
+  | None -> ()
+  | Some v ->
+    Array.iteri
+      (fun i tr -> if i <> who then Tracker.write tr ~start ~stop ~owner:0)
+      v
+
 (* The linear distribution: device d owns the d-th of n equal chunks
    (the last chunk absorbs the remainder). *)
 let linear_chunk ~len ~n_devices d =
@@ -54,40 +102,64 @@ let linear_chunk ~len ~n_devices d =
   let stop = min len ((d + 1) * chunk) in
   (start, stop)
 
-(* Host-to-device memcpy: scatter [src] linearly over all devices and
-   record ownership.  [src = None] is a phantom host array (performance
-   runs at paper scale never materialize host data). *)
+(* Host-array length check: a mismatch would otherwise surface as an
+   off-by-some blit failure deep inside the scatter/gather loop; fail
+   up front, naming the buffer. *)
+let check_host_array t ~what a =
+  if Array.length a <> t.len then
+    invalid_arg
+      (Printf.sprintf "Vbuf.%s(%s): host array has %d elements, buffer has %d"
+         what t.name (Array.length a) t.len)
+
+(* The devices a scatter targets: all of them on ideal hardware, the
+   survivors under fault injection (a lost device can accept no data). *)
+let scatter_targets t =
+  match Gpusim.Machine.fault_state t.machine with
+  | None -> List.init (n_devices t) Fun.id
+  | Some _ -> (
+      match Gpusim.Machine.live_devices t.machine with
+      | [] -> invalid_arg ("Vbuf.h2d(" ^ t.name ^ "): all devices lost")
+      | live -> live)
+
+(* Host-to-device memcpy: scatter [src] linearly over the (live)
+   devices and record ownership.  [src = None] is a phantom host array
+   (performance runs at paper scale never materialize host data). *)
 let h2d ?(cfg = Rconfig.alpha) t ~src =
   (match src with
-   | Some a when Array.length a <> t.len -> invalid_arg "Vbuf.h2d: size mismatch"
-   | Some _ -> ()
+   | Some a -> check_host_array t ~what:"h2d" a
    | None ->
      if Gpusim.Machine.is_functional t.machine then
-       invalid_arg "Vbuf.h2d: phantom host array in a functional run");
+       invalid_arg ("Vbuf.h2d(" ^ t.name ^ "): phantom host array in a functional run"));
   (match src with
    | Some a -> t.host_copy <- Some (Array.copy a)
    | None -> ());
   let src = Option.value src ~default:[||] in
-  let n = n_devices t in
-  for d = 0 to n - 1 do
-    let start, stop = linear_chunk ~len:t.len ~n_devices:n d in
-    if stop > start then begin
-      if cfg.Rconfig.transfers || Gpusim.Machine.is_functional t.machine then
-        Gpusim.Machine.h2d t.machine ~src ~src_off:start ~dst:t.instances.(d)
-          ~dst_off:start ~len:(stop - start);
-      if cfg.Rconfig.patterns then
-        Tracker.write t.tracker ~start ~stop ~owner:d
-    end
-  done
+  let live = scatter_targets t in
+  let n = List.length live in
+  List.iteri
+    (fun i d ->
+       let start, stop = linear_chunk ~len:t.len ~n_devices:n i in
+       if stop > start then begin
+         if cfg.Rconfig.transfers || Gpusim.Machine.is_functional t.machine then
+           Gpusim.Machine.h2d t.machine ~src ~src_off:start ~dst:t.instances.(d)
+             ~dst_off:start ~len:(stop - start);
+         if cfg.Rconfig.patterns then
+           Tracker.write t.tracker ~start ~stop ~owner:d;
+         (* The chunk's new logical content lives on its target device
+            and in host memory; every other replica is now stale. *)
+         mark_stale_others t ~who:d ~start ~stop;
+         mark_fresh t ~who:d ~start ~stop;
+         mark_fresh t ~who:(host_slot t) ~start ~stop
+       end)
+    live
 
 (* Device-to-host memcpy: gather every segment from its owner. *)
 let d2h ?(cfg = Rconfig.alpha) t ~dst =
   (match dst with
-   | Some a when Array.length a <> t.len -> invalid_arg "Vbuf.d2h: size mismatch"
-   | Some _ -> ()
+   | Some a -> check_host_array t ~what:"d2h" a
    | None ->
      if Gpusim.Machine.is_functional t.machine then
-       invalid_arg "Vbuf.d2h: phantom host array in a functional run");
+       invalid_arg ("Vbuf.d2h(" ^ t.name ^ "): phantom host array in a functional run"));
   let dst = Option.value dst ~default:[||] in
   let segs =
     if cfg.Rconfig.patterns then Tracker.query t.tracker ~start:0 ~stop:t.len
@@ -169,7 +241,8 @@ let sync_for_read ?(cfg = Rconfig.alpha) ?(batch = false) t ~dev ~ranges =
                   (* Host-owned segments cannot join a packed
                      device-to-device transfer; upload each directly. *)
                   incr transfers;
-                  fetch_from_host t ~dev ~start:s ~len:(e - s) ~do_data
+                  fetch_from_host t ~dev ~start:s ~len:(e - s) ~do_data;
+                  mark_fresh t ~who:dev ~start:s ~stop:e
                 end
                 else if owner <> dev then begin
                   let slot =
@@ -189,7 +262,10 @@ let sync_for_read ?(cfg = Rconfig.alpha) ?(batch = false) t ~dev ~ranges =
            incr transfers;
            if do_data then
              Gpusim.Machine.p2p_multi t.machine ~src:t.instances.(owner)
-               ~dst:t.instances.(dev) ~segments:!segs)
+               ~dst:t.instances.(dev) ~segments:!segs;
+           List.iter
+             (fun (s, _, l) -> mark_fresh t ~who:dev ~start:s ~stop:(s + l))
+             !segs)
         per_owner
     end
     else
@@ -199,14 +275,16 @@ let sync_for_read ?(cfg = Rconfig.alpha) ?(batch = false) t ~dev ~ranges =
              (fun { Tracker.start = s; stop = e; owner } ->
                 if owner = Tracker.host then begin
                   incr transfers;
-                  fetch_from_host t ~dev ~start:s ~len:(e - s) ~do_data
+                  fetch_from_host t ~dev ~start:s ~len:(e - s) ~do_data;
+                  mark_fresh t ~who:dev ~start:s ~stop:e
                 end
                 else if owner <> dev then begin
                   incr transfers;
                   if do_data then
                     Gpusim.Machine.p2p t.machine ~src:t.instances.(owner)
                       ~src_off:s ~dst:t.instances.(dev) ~dst_off:s
-                      ~len:(e - s)
+                      ~len:(e - s);
+                  mark_fresh t ~who:dev ~start:s ~stop:e
                 end)
              (Tracker.query t.tracker ~start ~stop))
         ranges;
@@ -217,8 +295,115 @@ let sync_for_read ?(cfg = Rconfig.alpha) ?(batch = false) t ~dev ~ranges =
 let update_for_write ?(cfg = Rconfig.alpha) t ~dev ~ranges =
   if cfg.Rconfig.patterns then
     List.iter
-      (fun (start, stop) -> Tracker.write t.tracker ~start ~stop ~owner:dev)
+      (fun (start, stop) ->
+         Tracker.write t.tracker ~start ~stop ~owner:dev;
+         (* The write invalidates every other replica. *)
+         mark_stale_others t ~who:dev ~start ~stop;
+         mark_fresh t ~who:dev ~start ~stop)
       (clamp_ranges t ranges)
+
+(* --- Checkpoint / restore / recovery (fault tolerance) ----------------- *)
+
+(* A host-side snapshot of the buffer's logical content.  Taking one is
+   a tracker-directed d2h gather, so it charges the simulated transfer
+   time it would really cost; in performance mode only the clocks
+   move. *)
+type snapshot = { ck_name : string; ck_len : int; ck_data : float array option }
+
+let checkpoint ?(cfg = Rconfig.alpha) t =
+  let data =
+    if Gpusim.Machine.is_functional t.machine then begin
+      let a = Array.make t.len 0.0 in
+      d2h ~cfg t ~dst:(Some a);
+      Some a
+    end
+    else begin
+      d2h ~cfg t ~dst:None;
+      None
+    end
+  in
+  { ck_name = t.name; ck_len = t.len; ck_data = data }
+
+(* Roll the buffer back to a snapshot: the host copy becomes the
+   freshest (and only fresh) replica, so subsequent reads re-upload
+   over PCIe — replay pays the realistic re-distribution cost. *)
+let restore t ck =
+  if ck.ck_len <> t.len || ck.ck_name <> t.name then
+    invalid_arg
+      (Printf.sprintf "Vbuf.restore(%s): snapshot is of %s (%d elements)"
+         t.name ck.ck_name ck.ck_len);
+  (match ck.ck_data with
+   | Some a -> t.host_copy <- Some (Array.copy a)
+   | None -> ());
+  Tracker.write t.tracker ~start:0 ~stop:t.len ~owner:Tracker.host;
+  match validity t with
+  | None -> ()
+  | Some v ->
+    let host = host_slot t in
+    Array.iteri
+      (fun i tr ->
+         Tracker.write tr ~start:0 ~stop:t.len
+           ~owner:(if i = host then 1 else 0))
+      v
+
+(* Device [dev] is gone.  Re-home every segment it owned onto a live
+   replica that is still fresh there (no data moves — the bytes are
+   already in place); return the ranges for which no fresh replica
+   exists anywhere.  Those are truly lost and force a replay. *)
+let recover t ~dev ~live =
+  let owned = Tracker.owned_by t.tracker ~owner:dev in
+  match validity t with
+  | None ->
+    (* No replica metadata: everything the device owned is lost. *)
+    List.map (fun s -> (s.Tracker.start, s.Tracker.stop)) owned
+  | Some v ->
+    let host = host_slot t in
+    let candidates =
+      List.filter (fun d -> d <> dev) live @ [ host ]
+    in
+    let lost = ref [] in
+    List.iter
+      (fun { Tracker.start; stop; _ } ->
+         let pos = ref start in
+         while !pos < stop do
+           (* First candidate fresh at [pos] wins, for as far as its
+              freshness extends. *)
+           let found =
+             List.find_map
+               (fun c ->
+                  match Tracker.query v.(c) ~start:!pos ~stop with
+                  | { Tracker.owner = 1; stop = e; _ } :: _ ->
+                    Some ((if c = host then Tracker.host else c), min e stop)
+                  | _ -> None)
+               candidates
+           in
+           match found with
+           | Some (owner, upto) ->
+             Tracker.write t.tracker ~start:!pos ~stop:upto ~owner;
+             pos := upto
+           | None ->
+             (* Hole: extend to the next point where any candidate
+                turns fresh again. *)
+             let next =
+               List.fold_left
+                 (fun acc c ->
+                    let fresh_start =
+                      List.find_map
+                        (fun s ->
+                           if s.Tracker.owner = 1 then Some s.Tracker.start
+                           else None)
+                        (Tracker.query v.(c) ~start:!pos ~stop)
+                    in
+                    match fresh_start with
+                    | Some s -> min acc s
+                    | None -> acc)
+                 stop candidates
+             in
+             lost := (!pos, next) :: !lost;
+             pos := next
+         done)
+      owned;
+    List.rev !lost
 
 let pp fmt t =
   Format.fprintf fmt "vbuf %s (%d elements, %d instances) %a" t.name t.len

@@ -27,13 +27,18 @@ val linear_chunk : len:int -> n_devices:int -> int -> (int * int)
     distribution (the "predefined pattern" of §8.2). *)
 
 val h2d : ?cfg:Rconfig.t -> t -> src:float array option -> unit
-(** Host-to-device memcpy: linear scatter plus tracker update.
-    [src = None] is a phantom host array (performance runs only). *)
+(** Host-to-device memcpy: linear scatter plus tracker update.  Under
+    fault injection the scatter targets only the surviving devices.
+    [src = None] is a phantom host array (performance runs only).
+    Raises [Invalid_argument] naming the buffer if the host array's
+    length differs from [len t]. *)
 
 val d2h : ?cfg:Rconfig.t -> t -> dst:float array option -> unit
 (** Device-to-host memcpy: gather every segment from its owner.
     Segments owned by [Tracker.host] are served from the buffer's host
-    copy (already fresh — no device transfer). *)
+    copy (already fresh — no device transfer).  Raises
+    [Invalid_argument] naming the buffer if the host array's length
+    differs from [len t]. *)
 
 val sync_for_read :
   ?cfg:Rconfig.t -> ?batch:bool -> t -> dev:int -> ranges:(int * int) list ->
@@ -49,5 +54,28 @@ val sync_for_read :
 val update_for_write :
   ?cfg:Rconfig.t -> t -> dev:int -> ranges:(int * int) list -> unit
 (** Record that device [dev] wrote the ranges (clamped to the buffer). *)
+
+(** {2 Checkpoint / restore / recovery (fault tolerance)}
+
+    Replica-freshness metadata is maintained only when the machine has
+    fault injection attached, so fault-free runs pay nothing. *)
+
+type snapshot
+(** A host-side snapshot of the buffer's logical content. *)
+
+val checkpoint : ?cfg:Rconfig.t -> t -> snapshot
+(** Snapshot the buffer: a tracker-directed d2h gather that charges its
+    simulated transfer time (data only in functional mode). *)
+
+val restore : t -> snapshot -> unit
+(** Roll back to a snapshot: the host copy becomes the only fresh
+    replica, so replayed reads re-upload over PCIe. *)
+
+val recover : t -> dev:int -> live:int list -> (int * int) list
+(** Device [dev] was permanently lost.  Re-home every segment it owned
+    onto a live device (or the host) whose replica is still fresh there
+    — no data moves — and return the ranges with no fresh copy
+    anywhere: those are lost and the engine must replay their
+    producers. *)
 
 val pp : Format.formatter -> t -> unit

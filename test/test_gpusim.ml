@@ -207,6 +207,139 @@ let test_trace () =
   Machine.h2d m2 ~src:[||] ~src_off:0 ~dst:b ~dst_off:0 ~len:10;
   checki "no trace by default" 0 (List.length (Machine.trace m2))
 
+(* ---------------- Fault injection ---------------- *)
+
+let test_faults_deterministic () =
+  let spec = { Faults.null_spec with seed = 42; kernel_fault_rate = 0.3 } in
+  let a = Faults.create spec and b = Faults.create spec in
+  for _ = 1 to 100 do
+    checkb "same stream" true (Faults.uniform a = Faults.uniform b)
+  done;
+  (* a different seed gives a different stream *)
+  let c = Faults.create { spec with seed = 43 } in
+  let differs = ref false in
+  let a' = Faults.create spec in
+  for _ = 1 to 100 do
+    if Faults.uniform a' <> Faults.uniform c then differs := true
+  done;
+  checkb "seed changes stream" true !differs
+
+let test_faults_spec_parse () =
+  (match Faults.spec_of_string "42,0.01,2@0.5" with
+   | Ok s ->
+     checki "seed" 42 s.Faults.seed;
+     checkf "kernel rate" 0.01 s.Faults.kernel_fault_rate;
+     checkf "transfer rate" 0.01 s.Faults.transfer_fault_rate;
+     checkb "scheduled loss" true (s.Faults.scheduled_losses = [ (2, 0.5) ])
+   | Error e -> Alcotest.failf "parse failed: %s" e);
+  checkb "bad spec rejected" true
+    (match Faults.spec_of_string "nope" with Error _ -> true | Ok _ -> false);
+  checkb "rate >= 1 rejected" true
+    (match Faults.spec_of_string "1,1.5" with Error _ -> true | Ok _ -> false);
+  checkb "null is null" true (Faults.is_null Faults.null_spec);
+  checkb "rate makes non-null" false
+    (Faults.is_null { Faults.null_spec with kernel_fault_rate = 0.1 })
+
+let test_faults_consecutive_cap () =
+  (* Rate ~1 would starve a retry loop forever without the cap. *)
+  let spec =
+    { Faults.null_spec with seed = 1; kernel_fault_rate = 0.999;
+      max_consecutive = 5 }
+  in
+  let f = Faults.create spec in
+  let worst = ref 0 and streak = ref 0 in
+  for _ = 1 to 1000 do
+    match Faults.kernel_outcome f ~device:0 ~now:0.0 with
+    | `Transient ->
+      incr streak;
+      worst := max !worst !streak
+    | `Ok -> streak := 0
+    | `Lost -> Alcotest.fail "no loss configured"
+  done;
+  checkb "cap enforced" true (!worst <= 5);
+  checkb "faults do occur" true ((Faults.counters f).Faults.kernel_faults > 0)
+
+let test_machine_transient_fault () =
+  let m = Machine.create (quiet_cfg 2) in
+  Machine.enable_trace m;
+  Machine.inject_faults m
+    (Faults.create
+       { Faults.null_spec with seed = 3; kernel_fault_rate = 0.999;
+         max_consecutive = 2 });
+  let saw_fault = ref false in
+  (try Machine.launch m ~device:0 ~blocks:1 ~ops_per_block:1e3 ~run:(fun () -> ())
+   with Machine.Transient_fault { op = "kernel"; device = 0 } ->
+     saw_fault := true);
+  checkb "launch raised" true !saw_fault;
+  checki "fault counted" 1 (Machine.stats m).Machine.n_faults;
+  checkb "fault event on trace" true
+    (List.exists (fun e -> e.Machine.ev_kind = `Fault) (Machine.trace m));
+  (* the faulted launch still consumed kernel time *)
+  checkb "time charged" true ((Machine.stats m).Machine.kernel_seconds > 0.0);
+  (* the consecutive cap guarantees a retry loop terminates *)
+  let ok = ref false in
+  let attempts = ref 0 in
+  while not !ok do
+    incr attempts;
+    if !attempts > 10 then Alcotest.fail "retry loop did not terminate";
+    try
+      Machine.launch m ~device:0 ~blocks:1 ~ops_per_block:1e3 ~run:(fun () -> ());
+      ok := true
+    with Machine.Transient_fault _ -> ()
+  done;
+  checkb "eventually succeeds" true !ok
+
+let test_machine_device_loss () =
+  let m = Machine.create ~functional:true (Config.test_box ~n_devices:3 ()) in
+  Machine.inject_faults m
+    (Faults.create
+       { Faults.null_spec with seed = 1; scheduled_losses = [ (1, 0.0) ] });
+  checkb "all live initially" true (Machine.live_devices m = [ 0; 1; 2 ]);
+  let b = Machine.alloc m ~device:1 ~len:8 in
+  let raised =
+    try
+      Machine.h2d m ~src:(Array.make 8 1.0) ~src_off:0 ~dst:b ~dst_off:0 ~len:8;
+      false
+    with Machine.Device_lost 1 -> true
+  in
+  checkb "h2d raised Device_lost" true raised;
+  checkb "device marked lost" true (Machine.device_lost m 1);
+  checkb "survivors" true (Machine.live_devices m = [ 0; 2 ]);
+  (* every later operation touching the device raises too *)
+  let again =
+    try
+      Machine.launch m ~device:1 ~blocks:1 ~ops_per_block:1e3 ~run:(fun () -> ());
+      false
+    with Machine.Device_lost 1 -> true
+  in
+  checkb "launch on lost device raises" true again;
+  (* other devices unaffected *)
+  let b0 = Machine.alloc m ~device:0 ~len:8 in
+  Machine.h2d m ~src:(Array.make 8 2.0) ~src_off:0 ~dst:b0 ~dst_off:0 ~len:8;
+  checkb "device 0 still works" true true
+
+let test_machine_faults_off_by_default () =
+  let m = Machine.create (quiet_cfg 2) in
+  checkb "no fault state" true (Machine.fault_state m = None);
+  checkb "all live" true (Machine.live_devices m = [ 0; 1 ]);
+  let b = Machine.alloc m ~device:0 ~len:10 in
+  Machine.h2d m ~src:[||] ~src_off:0 ~dst:b ~dst_off:0 ~len:10;
+  checki "no faults" 0 (Machine.stats m).Machine.n_faults;
+  (* a null spec in the config arms nothing *)
+  let m2 =
+    Machine.create { (quiet_cfg 2) with Config.faults = Some Faults.null_spec }
+  in
+  checkb "null spec ignored" true (Machine.fault_state m2 = None);
+  let m3 =
+    Machine.create
+      {
+        (quiet_cfg 2) with
+        Config.faults =
+          Some { Faults.null_spec with seed = 5; kernel_fault_rate = 0.5 };
+      }
+  in
+  checkb "real spec armed" true (Machine.fault_state m3 <> None)
+
 let test_buffer_basics () =
   let b = Buffer.create ~id:7 ~device:3 ~len:5 ~functional:true in
   checki "id" 7 (Buffer.id b);
@@ -246,5 +379,18 @@ let () =
           Alcotest.test_case "event trace" `Quick test_trace;
           Alcotest.test_case "range checks" `Quick test_range_checks;
           Alcotest.test_case "buffer basics" `Quick test_buffer_basics;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "deterministic stream" `Quick
+            test_faults_deterministic;
+          Alcotest.test_case "spec parsing" `Quick test_faults_spec_parse;
+          Alcotest.test_case "consecutive cap" `Quick
+            test_faults_consecutive_cap;
+          Alcotest.test_case "transient fault" `Quick
+            test_machine_transient_fault;
+          Alcotest.test_case "device loss" `Quick test_machine_device_loss;
+          Alcotest.test_case "off by default" `Quick
+            test_machine_faults_off_by_default;
         ] );
     ]

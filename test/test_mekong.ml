@@ -360,6 +360,133 @@ let prop_golden_hotspot_sizes =
       run_multi ~devices:g prog;
       out = cpu ())
 
+(* ---------------- Fault tolerance (headline guarantee) ----------------
+
+   Under any injected fault schedule that leaves at least one device
+   alive, the self-healing engine's functional results are bit-identical
+   to the fault-free run. *)
+
+let run_multi_faulty ~devices ~spec prog =
+  let artifacts = compile_exn prog in
+  let m =
+    Gpusim.Machine.create ~functional:true
+      (Gpusim.Config.test_box ~n_devices:devices ())
+  in
+  Gpusim.Machine.inject_faults m (Gpusim.Faults.create spec);
+  Mekong.Multi_gpu.run ~checkpoint_every:3 ~machine:m
+    artifacts.Mekong.Toolchain.exe
+
+(* Deterministic mid-run permanent loss: measure the fault-free runtime
+   first, then schedule device 1 to die halfway through, with transient
+   kernel/transfer faults injected throughout. *)
+let test_fault_midrun_device_loss () =
+  let mk () = Apps.Workloads.functional_hotspot ~n:48 ~iterations:6 in
+  let prog0, _, _ = mk () in
+  let a0 = compile_exn prog0 in
+  let m0 =
+    Gpusim.Machine.create ~functional:true (Gpusim.Config.test_box ~n_devices:3 ())
+  in
+  let r0 = Mekong.Multi_gpu.run ~machine:m0 a0.Mekong.Toolchain.exe in
+  checkb "fault-free run reports no faults" true
+    (r0.Mekong.Multi_gpu.faults = Mekong.Multi_gpu.no_faults);
+  let prog, out, cpu = mk () in
+  let spec =
+    {
+      Gpusim.Faults.null_spec with
+      seed = 11;
+      kernel_fault_rate = 0.05;
+      transfer_fault_rate = 0.05;
+      scheduled_losses = [ (1, r0.Mekong.Multi_gpu.time /. 2.0) ];
+    }
+  in
+  let r = run_multi_faulty ~devices:3 ~spec prog in
+  checkb "bit-identical under mid-run device loss" true (out = cpu ());
+  let f = r.Mekong.Multi_gpu.faults in
+  checki "one device lost" 1 f.Mekong.Multi_gpu.fr_devices_lost;
+  checkb "nonzero retries" true (f.Mekong.Multi_gpu.fr_retries > 0);
+  checkb "nonzero replays" true (f.Mekong.Multi_gpu.fr_replays > 0);
+  checkb "faults observed" true (f.Mekong.Multi_gpu.fr_faults > 0);
+  checkb "healing costs time" true
+    (r.Mekong.Multi_gpu.time > r0.Mekong.Multi_gpu.time)
+
+(* Graceful degradation all the way down to one survivor. *)
+let test_fault_degrade_to_one () =
+  let mk () = Apps.Workloads.functional_hotspot ~n:32 ~iterations:4 in
+  let prog0, _, _ = mk () in
+  let a0 = compile_exn prog0 in
+  let m0 =
+    Gpusim.Machine.create ~functional:true (Gpusim.Config.test_box ~n_devices:4 ())
+  in
+  let t0 = (Mekong.Multi_gpu.run ~machine:m0 a0.Mekong.Toolchain.exe).Mekong.Multi_gpu.time in
+  let prog, out, cpu = mk () in
+  let spec =
+    {
+      Gpusim.Faults.null_spec with
+      seed = 5;
+      (* devices 1..3 all die at distinct mid-run times; device 0
+         survives and finishes the job alone *)
+      scheduled_losses =
+        [ (1, 0.2 *. t0); (2, 0.4 *. t0); (3, 0.6 *. t0) ];
+    }
+  in
+  let r = run_multi_faulty ~devices:4 ~spec prog in
+  checkb "bit-identical with one survivor" true (out = cpu ());
+  checki "three devices lost" 3
+    r.Mekong.Multi_gpu.faults.Mekong.Multi_gpu.fr_devices_lost
+
+(* The fault schedule is deterministic: same seed, same program, same
+   report, same simulated time. *)
+let test_fault_determinism () =
+  let spec =
+    {
+      Gpusim.Faults.null_spec with
+      seed = 21;
+      kernel_fault_rate = 0.04;
+      transfer_fault_rate = 0.04;
+      scheduled_losses = [ (2, 0.001) ];
+    }
+  in
+  let go () =
+    let prog, out, _ = Apps.Workloads.functional_hotspot ~n:32 ~iterations:4 in
+    let r = run_multi_faulty ~devices:3 ~spec prog in
+    (r.Mekong.Multi_gpu.faults, r.Mekong.Multi_gpu.time, Array.copy out)
+  in
+  let f1, t1, o1 = go () in
+  let f2, t2, o2 = go () in
+  checkb "same fault report" true (f1 = f2);
+  checkb "same simulated time" true (t1 = t2);
+  checkb "same output" true (o1 = o2)
+
+(* Randomized fault schedules: random transient rates and random subsets
+   of devices 1..g-1 scheduled to die at pseudo-random times (device 0
+   always survives).  Bit-identity must hold for every schedule. *)
+let prop_fault_bit_identity =
+  QCheck.Test.make ~name:"hotspot bit-identical under random fault schedules"
+    ~count:12
+    QCheck.(triple (int_range 4 32) (int_range 2 4) (int_range 0 1_000_000))
+    (fun (n, g, seed) ->
+      let prog, out, cpu = Apps.Workloads.functional_hotspot ~n ~iterations:4 in
+      let rate = float_of_int (seed mod 8) /. 100.0 in
+      let losses =
+        List.filter_map
+          (fun d ->
+            if (seed lsr d) land 1 = 1 then
+              Some (d, float_of_int ((seed lsr (2 * d)) land 0xff) *. 2e-5)
+            else None)
+          (List.init (g - 1) (fun d -> d + 1))
+      in
+      let spec =
+        {
+          Gpusim.Faults.null_spec with
+          seed;
+          kernel_fault_rate = rate;
+          transfer_fault_rate = rate;
+          scheduled_losses = losses;
+        }
+      in
+      ignore (run_multi_faulty ~devices:g ~spec prog);
+      out = cpu ())
+
 (* ---------------- Toolchain ---------------- *)
 
 let test_toolchain_artifacts () =
@@ -453,6 +580,16 @@ let base_suites =
           Alcotest.test_case "artifacts" `Quick test_toolchain_artifacts;
           Alcotest.test_case "rejects bad kernels" `Quick test_toolchain_rejects;
           Alcotest.test_case "tracker fragmentation" `Quick test_tracker_fragmentation;
+        ] );
+      ( "fault-tolerance",
+        [
+          Alcotest.test_case "mid-run device loss" `Quick
+            test_fault_midrun_device_loss;
+          Alcotest.test_case "degrade to one device" `Quick
+            test_fault_degrade_to_one;
+          Alcotest.test_case "deterministic schedules" `Quick
+            test_fault_determinism;
+          qtest prop_fault_bit_identity;
         ] );
     ]
 

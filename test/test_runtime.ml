@@ -220,6 +220,58 @@ let prop_tracker_model =
             && Array.for_all (fun c -> c) covered)
         ops)
 
+(* Ownership queries never lose or double-count an element: after any
+   sequence of random owned-range writes, the per-owner segment lists
+   partition the index space exactly like the flat model, stay
+   coalesced, and their lengths sum to the full extent. *)
+let prop_tracker_ownership =
+  QCheck.Test.make ~name:"tracker ownership partitions the space" ~count:300
+    (QCheck.make
+       ~print:(fun l ->
+         String.concat "; "
+           (List.map
+              (fun (_, lo, hi, o) -> Printf.sprintf "W[%d,%d)o%d" lo hi o)
+              l))
+       QCheck.Gen.(list_size (int_range 1 60) gen_tracker_op))
+    (fun ops ->
+      let t = Tracker.create ~len:100 ~initial_owner:0 in
+      let model = Array.make 100 0 in
+      List.iter
+        (fun (_, lo, hi, owner) ->
+          Tracker.write t ~start:lo ~stop:hi ~owner;
+          Array.fill model lo (hi - lo) owner)
+        ops;
+      Tracker.check_invariants t;
+      let owners = [ 0; 1; 2; 3 ] in
+      (* every element accounted for exactly once across owners *)
+      List.fold_left (fun acc o -> acc + Tracker.owned_count t ~owner:o) 0 owners
+      = 100
+      && List.for_all
+           (fun o ->
+             let segs = Tracker.owned_by t ~owner:o in
+             (* segments agree with the model and are coalesced *)
+             List.for_all
+               (fun { Tracker.start; stop; owner } ->
+                 owner = o
+                 && (let ok = ref true in
+                     for i = start to stop - 1 do
+                       if model.(i) <> o then ok := false
+                     done;
+                     !ok))
+               segs
+             && (let rec no_adjacent = function
+                   | a :: (b :: _ as rest) ->
+                     a.Tracker.stop < b.Tracker.start && no_adjacent rest
+                   | _ -> true
+                 in
+                 no_adjacent segs)
+             (* and no model element of this owner is missed *)
+             && Tracker.owned_count t ~owner:o
+                = Array.fold_left
+                    (fun acc x -> if x = o then acc + 1 else acc)
+                    0 model)
+           owners)
+
 (* ---------------- Virtual buffers ---------------- *)
 
 let machine4 () =
@@ -315,6 +367,91 @@ let test_linear_chunk () =
       done;
       checki "covers len" len !stops)
     [ (100, 4); (103, 4); (7, 16); (16, 16); (1, 3) ]
+
+let test_vbuf_host_array_validation () =
+  let m = machine4 () in
+  let vb = Vbuf.create m ~name:"temps" ~len:10 in
+  Alcotest.check_raises "h2d length mismatch"
+    (Invalid_argument
+       "Vbuf.h2d(temps): host array has 7 elements, buffer has 10")
+    (fun () -> Vbuf.h2d vb ~src:(Some (Array.make 7 0.0)));
+  Vbuf.h2d vb ~src:(Some (Array.make 10 1.0));
+  Alcotest.check_raises "d2h length mismatch"
+    (Invalid_argument
+       "Vbuf.d2h(temps): host array has 11 elements, buffer has 10")
+    (fun () -> Vbuf.d2h vb ~dst:(Some (Array.make 11 0.0)))
+
+(* ---------------- Checkpoint / restore / recovery ---------------- *)
+
+(* A functional machine with fault state attached (rates all zero:
+   deterministic, but validity tracking is armed) so Vbuf maintains
+   replica-freshness metadata. *)
+let faulty_machine4 () =
+  let m = machine4 () in
+  Gpusim.Machine.inject_faults m
+    (Gpusim.Faults.create { Gpusim.Faults.null_spec with seed = 1 });
+  m
+
+let test_vbuf_checkpoint_restore () =
+  let m = faulty_machine4 () in
+  let vb = Vbuf.create m ~name:"a" ~len:50 in
+  let v1 = Array.init 50 float_of_int in
+  Vbuf.h2d vb ~src:(Some v1);
+  let snap = Vbuf.checkpoint vb in
+  (* Overwrite with different content... *)
+  Vbuf.h2d vb ~src:(Some (Array.make 50 (-1.0)));
+  let mid = Array.make 50 nan in
+  Vbuf.d2h vb ~dst:(Some mid);
+  checkb "overwritten" true (Array.for_all (fun x -> x = -1.0) mid);
+  (* ...and roll back: the snapshot content returns bit-identically. *)
+  Vbuf.restore vb snap;
+  let out = Array.make 50 nan in
+  Vbuf.d2h vb ~dst:(Some out);
+  checkb "restored" true (out = v1);
+  Tracker.check_invariants (Vbuf.tracker vb);
+  (* a snapshot of one buffer cannot restore another *)
+  let other = Vbuf.create m ~name:"b" ~len:50 in
+  checkb "wrong-buffer restore rejected" true
+    (try
+       Vbuf.restore other snap;
+       false
+     with Invalid_argument _ -> true)
+
+let test_vbuf_recover_fresh_replica () =
+  let m = faulty_machine4 () in
+  let vb = Vbuf.create m ~name:"a" ~len:40 in
+  let src = Array.init 40 float_of_int in
+  Vbuf.h2d vb ~src:(Some src);
+  (* Device 1 owns [10,20); the host holds a fresh copy of everything
+     (the h2d source), so losing device 1 loses no data. *)
+  Gpusim.Faults.mark_lost (Option.get (Gpusim.Machine.fault_state m)) 1;
+  let lost = Vbuf.recover vb ~dev:1 ~live:[ 0; 2; 3 ] in
+  checkb "nothing lost" true (lost = []);
+  checkb "dead device owns nothing" true
+    (Tracker.owned_by (Vbuf.tracker vb) ~owner:1 = []);
+  Tracker.check_invariants (Vbuf.tracker vb);
+  (* the gather still produces the full content, without device 1 *)
+  let out = Array.make 40 nan in
+  Vbuf.d2h vb ~dst:(Some out);
+  checkb "content intact" true (out = src)
+
+let test_vbuf_recover_lost_data () =
+  let m = faulty_machine4 () in
+  let vb = Vbuf.create m ~name:"a" ~len:40 in
+  Vbuf.h2d vb ~src:(Some (Array.init 40 float_of_int));
+  (* Device 1 writes [12,18): that range now exists nowhere else. *)
+  Vbuf.update_for_write vb ~dev:1 ~ranges:[ (12, 18) ];
+  Gpusim.Faults.mark_lost (Option.get (Gpusim.Machine.fault_state m)) 1;
+  let lost = Vbuf.recover vb ~dev:1 ~live:[ 0; 2; 3 ] in
+  checkb "exactly the written range is lost" true (lost = [ (12, 18) ]);
+  (* The unrecoverable hole stays owned by the dead device: reading it
+     before the replay raises instead of serving wrong data silently. *)
+  checkb "only the hole remains on the dead device" true
+    (List.map
+       (fun s -> Tracker.(s.start, s.stop))
+       (Tracker.owned_by (Vbuf.tracker vb) ~owner:1)
+    = [ (12, 18) ]);
+  Tracker.check_invariants (Vbuf.tracker vb)
 
 (* Model-based virtual-buffer property: a random interleaving of
    device writes (update_for_write + direct stores into the instance)
@@ -476,6 +613,7 @@ let () =
           Alcotest.test_case "query clipping" `Quick test_tracker_query_clip;
           Alcotest.test_case "spanning write" `Quick test_tracker_spanning_write;
           qtest prop_tracker_model;
+          qtest prop_tracker_ownership;
         ] );
       ( "vbuf",
         [
@@ -489,5 +627,16 @@ let () =
           Alcotest.test_case "tracker ops accounting" `Quick test_tracker_ops_accounting;
           Alcotest.test_case "rconfig" `Quick test_rconfig;
           qtest prop_vbuf_model;
+        ] );
+      ( "fault-recovery",
+        [
+          Alcotest.test_case "host-array validation" `Quick
+            test_vbuf_host_array_validation;
+          Alcotest.test_case "checkpoint/restore" `Quick
+            test_vbuf_checkpoint_restore;
+          Alcotest.test_case "recover via fresh replicas" `Quick
+            test_vbuf_recover_fresh_replica;
+          Alcotest.test_case "recover reports lost data" `Quick
+            test_vbuf_recover_lost_data;
         ] );
     ]
