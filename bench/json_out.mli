@@ -1,0 +1,15 @@
+(** Minimal JSON construction + serialization for the bench harness's
+    [BENCH_<campaign>.json] reports (no external dependency; no
+    parsing).  Non-finite floats serialize as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+val write : file:string -> t -> unit

@@ -11,6 +11,7 @@
      dune exec bench/main.exe -- compile  -- compile-time overhead
      dune exec bench/main.exe -- cache    -- launch-plan cache wall-clock
      dune exec bench/main.exe -- faults   -- fault-injection campaign
+     dune exec bench/main.exe -- exec     -- interpreter vs compiled executor
      dune exec bench/main.exe -- micro    -- Bechamel micro-benchmarks
 
    Any experiment accepts --faults SEED,RATE[,DEV@TIME...] to inject
@@ -18,9 +19,24 @@
    reference machines stay ideal); the self-healing counters are then
    reported alongside the launch-plan cache statistics.
 
+   Common flags:
+     --repeat N     warmup + median-of-N for the wall-clock campaigns
+                    (exec, cache); simulated times are deterministic
+                    and never repeated
+     --domains N    size of the domain pool for parallel kernel
+                    execution (default $MEKONG_DOMAINS, else the
+                    machine's recommended domain count)
+     --json PATH    override the report path (default
+                    BENCH_<campaign>.json per campaign, in the cwd)
+
+   Every campaign additionally writes a machine-readable
+   BENCH_<campaign>.json recording its wall-clock, per-app timings,
+   executor/plan-cache/fault counters and host info; CI archives these
+   as artifacts.
+
    All application measurements are simulated times from the calibrated
-   machine model (see DESIGN.md §4); the micro-benchmarks measure real
-   wall time of the runtime data structures. *)
+   machine model (see DESIGN.md §4); the micro-benchmarks and the exec
+   campaign measure real wall time. *)
 
 let gpu_counts = [ 1; 2; 4; 6; 8; 10; 12; 14; 16 ]
 
@@ -63,6 +79,37 @@ let cache_misses = ref 0
 (* Cumulative self-healing counters (all zero without --faults). *)
 let fault_totals = ref Mekong.Multi_gpu.no_faults
 
+(* Cumulative executor counters (compiled vs interpreted launches). *)
+let exec_totals = Kcompile.new_stats ()
+
+let reset_exec () =
+  let open Kcompile in
+  exec_totals.st_compiles <- 0;
+  exec_totals.st_cache_hits <- 0;
+  exec_totals.st_interpreted <- 0;
+  exec_totals.st_seq <- 0;
+  exec_totals.st_par <- 0;
+  exec_totals.st_domains <- 0
+
+(* --repeat N / --json PATH (see the header comment). *)
+let repeat = ref 1
+let json_path : string option ref = ref None
+
+(* Per-campaign timing entries for the BENCH_<campaign>.json report;
+   [multi_time] and [reference_time] record automatically, campaigns
+   with bespoke measurements (exec, cache, faults, micro) add their
+   own. *)
+let timings : Json_out.t list ref = ref []
+let add_timing fields = timings := Json_out.Obj fields :: !timings
+
+let jstr s = Json_out.Str s
+let jint i = Json_out.Int i
+let jflt x = Json_out.Float x
+
+(* Campaigns that gate CI (faults, exec) record failure here; the
+   driver exits 1 only after every JSON report is written. *)
+let campaign_failed = ref false
+
 let add_fault_report r =
   let open Mekong.Multi_gpu in
   let t = !fault_totals and f = r.faults in
@@ -87,13 +134,32 @@ let multi_time ?cfg bench size g =
   cache_misses :=
     !cache_misses + r.Mekong.Multi_gpu.cache.Mekong.Launch_cache.misses;
   add_fault_report r;
+  Kcompile.add_stats ~into:exec_totals r.Mekong.Multi_gpu.exec;
+  add_timing
+    [
+      ("kind", jstr "partitioned");
+      ("app", jstr (Apps.Workloads.benchmark_name bench));
+      ("size", jstr (Apps.Workloads.size_name size));
+      ("gpus", jint g);
+      ("sim_seconds", jflt r.Mekong.Multi_gpu.time);
+    ];
   (r.Mekong.Multi_gpu.time, m)
 
 (* Simulated time of the NVCC-style single-GPU reference binary. *)
 let reference_time bench size =
   let prog = Apps.Workloads.program bench size in
   let m = k80 1 in
-  (Single_gpu.run ~machine:m prog).Single_gpu.time
+  let r = Single_gpu.run ~machine:m prog in
+  Kcompile.add_stats ~into:exec_totals r.Single_gpu.exec;
+  add_timing
+    [
+      ("kind", jstr "reference");
+      ("app", jstr (Apps.Workloads.benchmark_name bench));
+      ("size", jstr (Apps.Workloads.size_name size));
+      ("gpus", jint 1);
+      ("sim_seconds", jflt r.Single_gpu.time);
+    ];
+  r.Single_gpu.time
 
 let ref_cache = Hashtbl.create 16
 
@@ -128,6 +194,25 @@ let stats_of values =
     percentile a 50.0,
     percentile a 75.0,
     percentile a 100.0 )
+
+(* --repeat support for the wall-clock measurements: one warmup run
+   (when N > 1), then the median over N timed runs.  [f] performs the
+   complete setup and execution and returns its own result, so repeated
+   runs never share mutated state; the result of the last run is
+   returned alongside the median. *)
+let median_wall f =
+  let n = max 1 !repeat in
+  if n > 1 then ignore (f ());
+  let walls = Array.make n 0.0 in
+  let last = ref None in
+  for i = 0 to n - 1 do
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    walls.(i) <- Unix.gettimeofday () -. t0;
+    last := Some r
+  done;
+  Array.sort compare walls;
+  (percentile walls 50.0, Option.get !last)
 
 (* ------------------------------------------------------------------ *)
 (* Table 1: benchmark configurations                                    *)
@@ -295,6 +380,13 @@ let run_overhead1 () =
             let tp, _ = multi_time b s 1 in
             let slow = (tp -. tr) /. tr *. 100.0 in
             values := slow :: !values;
+            add_timing
+              [
+                ("kind", jstr "slowdown");
+                ("app", jstr (Apps.Workloads.benchmark_name b));
+                ("size", jstr (Apps.Workloads.size_name s));
+                ("slowdown_percent", jflt slow);
+              ];
             Printf.printf "%-10s %-8s %14.3f %15.3f %9.2f%%\n%!"
               (Apps.Workloads.benchmark_name b) (Apps.Workloads.size_name s)
               tr tp slow)
@@ -321,6 +413,14 @@ let run_compile () =
        in
        let t_ref, t_mek, ratio = Mekong.Toolchain.compile_time_ratio prog in
        let p = Mekong.Toolchain.compile_profile prog in
+       add_timing
+        [
+          ("kind", jstr "compile");
+          ("app", jstr name);
+          ("one_pass_seconds", jflt t_ref);
+          ("two_pass_seconds", jflt t_mek);
+          ("ratio", jflt ratio);
+        ];
        Printf.printf "%-10s %12.6f %12.6f %7.2fx | %10.6f %10.6f %10.6f\n%!"
          name t_ref t_mek ratio p.Mekong.Toolchain.p_analysis
          p.Mekong.Toolchain.p_rewrite p.Mekong.Toolchain.p_link)
@@ -460,15 +560,26 @@ let run_cachebench () =
     "wall time(s)" "hits" "misses";
   Printf.printf "%s\n" (line 60);
   let measure cache =
-    let m = k80 8 in
-    let w0 = Unix.gettimeofday () in
-    let r = Mekong.Multi_gpu.run ~cache ~machine:m exe in
-    let wall = Unix.gettimeofday () -. w0 in
+    let wall, r =
+      median_wall (fun () ->
+          let m = k80 8 in
+          Mekong.Multi_gpu.run ~cache ~machine:m exe)
+    in
+    Kcompile.add_stats ~into:exec_totals r.Mekong.Multi_gpu.exec;
     Printf.printf "%-12s %14.4f %14.3f %8d %8d\n%!"
       (if cache then "cache on" else "cache off")
       r.Mekong.Multi_gpu.time wall
       r.Mekong.Multi_gpu.cache.Mekong.Launch_cache.hits
       r.Mekong.Multi_gpu.cache.Mekong.Launch_cache.misses;
+    add_timing
+      [
+        ("kind", jstr "cache");
+        ("variant", jstr (if cache then "cache_on" else "cache_off"));
+        ("sim_seconds", jflt r.Mekong.Multi_gpu.time);
+        ("wall_seconds", jflt wall);
+        ("hits", jint r.Mekong.Multi_gpu.cache.Mekong.Launch_cache.hits);
+        ("misses", jint r.Mekong.Multi_gpu.cache.Mekong.Launch_cache.misses);
+      ];
     (r.Mekong.Multi_gpu.time, wall)
   in
   let t_on, w_on = measure true in
@@ -574,7 +685,11 @@ let run_micro () =
        Hashtbl.iter
          (fun name result ->
             match Analyze.OLS.estimates result with
-            | Some [ est ] -> Printf.printf "  %-34s %12.1f ns/run\n%!" name est
+            | Some [ est ] ->
+              add_timing
+                [ ("kind", jstr "micro"); ("name", jstr name);
+                  ("ns_per_run", jflt est) ];
+              Printf.printf "  %-34s %12.1f ns/run\n%!" name est
             | _ -> Printf.printf "  %-34s (no estimate)\n%!" name)
          results)
     (micro_tests ());
@@ -644,6 +759,7 @@ let run_faultcampaign () =
        let m = machine () in
        let r0 = Mekong.Multi_gpu.run ~machine:m (compile prog) in
        assert (r0.Mekong.Multi_gpu.faults = Mekong.Multi_gpu.no_faults);
+       Kcompile.add_stats ~into:exec_totals r0.Mekong.Multi_gpu.exec;
        let baseline = Array.copy out in
        let t0 = r0.Mekong.Multi_gpu.time in
        List.iteri
@@ -667,7 +783,22 @@ let run_faultcampaign () =
             in
             let ok = out = baseline in
             if not ok then incr violations;
+            add_fault_report r;
+            Kcompile.add_stats ~into:exec_totals r.Mekong.Multi_gpu.exec;
             let f = r.Mekong.Multi_gpu.faults in
+            add_timing
+              [
+                ("kind", jstr "fault_run");
+                ("app", jstr name);
+                ("seed", jint seed);
+                ("clean_seconds", jflt t0);
+                ("faulty_seconds", jflt r.Mekong.Multi_gpu.time);
+                ("faults", jint f.Mekong.Multi_gpu.fr_faults);
+                ("retries", jint f.Mekong.Multi_gpu.fr_retries);
+                ("replays", jint f.Mekong.Multi_gpu.fr_replays);
+                ("devices_lost", jint f.Mekong.Multi_gpu.fr_devices_lost);
+                ("bit_identical", Json_out.Bool ok);
+              ];
             Printf.printf "%-8s %6d %11.5f %11.5f %7d %8d %8d %5d  %s\n%!" name
               seed t0 r.Mekong.Multi_gpu.time f.Mekong.Multi_gpu.fr_faults
               f.Mekong.Multi_gpu.fr_retries f.Mekong.Multi_gpu.fr_replays
@@ -685,7 +816,7 @@ let run_faultcampaign () =
     Printf.printf
       "FAULT CAMPAIGN FAILED: %d bit-identity/coverage violation(s)\n\n"
       !violations;
-    exit 1
+    campaign_failed := true
   end
   else
     Printf.printf
@@ -693,14 +824,230 @@ let run_faultcampaign () =
        baseline\n\n"
 
 (* ------------------------------------------------------------------ *)
+(* Executor: interpreter vs compiled closures vs domain-parallel        *)
+(* ------------------------------------------------------------------ *)
+
+(* Real wall time of the functional execution engines (the simulated
+   times are identical by construction).  Three variants per app:
+
+     interpreter   Single_gpu with the Keval tree-walker
+     compiled      Single_gpu with the Kcompile closure executor
+     parallel      the partitioned engine on ONE device, so the same
+                   total work, with the compiled executor splitting
+                   each race-free launch over >= 2 domains
+
+   All three must produce bit-identical output arrays, and compiled
+   must not be slower than the interpreter on matmul — the CI gate
+   (exit 1).  Honors --repeat (warmup + median-of-N). *)
+let run_exec () =
+  let domains = max 2 (Gpu_runtime.Dpool.default_domains ()) in
+  Printf.printf "Executor: Keval interpreter vs Kcompile closures\n";
+  Printf.printf
+    "(functional runs, real wall time; 'parallel' is the partitioned\n";
+  Printf.printf
+    " engine on 1 device with up to %d domains; outputs must be\n"
+    domains;
+  Printf.printf " bit-identical across all variants)\n\n";
+  let workloads =
+    [
+      ( "matmul",
+        fun () ->
+          let p, out, _ = Apps.Workloads.functional_matmul ~n:64 in
+          (p, out) );
+      ( "hotspot",
+        fun () ->
+          let p, out, _ =
+            Apps.Workloads.functional_hotspot ~n:64 ~iterations:4
+          in
+          (p, out) );
+      ( "nbody",
+        fun () ->
+          let p, out, _ =
+            Apps.Workloads.functional_nbody ~n:512 ~iterations:2
+          in
+          (p, out) );
+    ]
+  in
+  Printf.printf "%-8s %11s %11s %11s %9s %9s  %s\n" "App" "interp(s)"
+    "compiled(s)" "parallel(s)" "comp-spd" "par-spd" "verdict";
+  Printf.printf "%s\n" (line 78);
+  let matmul_speedup = ref nan in
+  List.iter
+    (fun (name, mk) ->
+       let single executor () =
+         let prog, out = mk () in
+         let m =
+           Gpusim.Machine.create ~functional:true
+             (Gpusim.Config.k80_box ~n_devices:1 ())
+         in
+         let r = Single_gpu.run ~machine:m ~executor prog in
+         Kcompile.add_stats ~into:exec_totals r.Single_gpu.exec;
+         out
+       in
+       let w_int, out_int = median_wall (single `Interpreter) in
+       let w_cmp, out_cmp = median_wall (single `Compiled) in
+       let w_par, (out_par, r_par) =
+         median_wall (fun () ->
+             let prog, out = mk () in
+             let a =
+               match Mekong.Toolchain.compile prog with
+               | Ok a -> a
+               | Error e -> failwith (Mekong.Toolchain.error_message e)
+             in
+             let m =
+               Gpusim.Machine.create ~functional:true
+                 (Gpusim.Config.k80_box ~n_devices:1 ())
+             in
+             let r =
+               Mekong.Multi_gpu.run ~domains ~machine:m a.Mekong.Toolchain.exe
+             in
+             Kcompile.add_stats ~into:exec_totals r.Mekong.Multi_gpu.exec;
+             (out, r))
+       in
+       let identical = out_cmp = out_int && out_par = out_int in
+       if not identical then campaign_failed := true;
+       let spd = w_int /. w_cmp and pspd = w_int /. w_par in
+       if name = "matmul" then begin
+         matmul_speedup := spd;
+         if Float.compare spd 1.0 < 0 then campaign_failed := true
+       end;
+       let engaged = r_par.Mekong.Multi_gpu.exec.Kcompile.st_domains in
+       List.iter
+         (fun (variant, wall, extra) ->
+            add_timing
+              ((("kind", jstr "exec") :: ("app", jstr name)
+                :: ("variant", jstr variant)
+                :: ("wall_seconds", jflt wall) :: extra)
+               @ [ ("bit_identical", Json_out.Bool identical) ]))
+         [
+           ("interpreter", w_int, []);
+           ("compiled", w_cmp, [ ("speedup", jflt spd) ]);
+           ( "parallel", w_par,
+             [ ("speedup", jflt pspd); ("domains_engaged", jint engaged) ] );
+         ];
+       Printf.printf "%-8s %11.4f %11.4f %11.4f %8.2fx %8.2fx  %s\n%!" name
+         w_int w_cmp w_par spd pspd
+         (if identical then
+            if engaged > 1 then "OK (parallel)" else "OK (sequential)"
+          else "FAIL: output diverged"))
+    workloads;
+  Printf.printf "%s\n" (line 78);
+  Printf.printf
+    "matmul compiled-executor speedup: %.2fx over the interpreter\n"
+    !matmul_speedup;
+  if !campaign_failed then
+    Printf.printf
+      "EXEC CAMPAIGN FAILED: output divergence or compiled slower than \
+       the interpreter on matmul\n\n"
+  else Printf.printf "exec campaign passed\n\n"
+
+(* ------------------------------------------------------------------ *)
+(* Per-campaign BENCH_<campaign>.json reports                           *)
+(* ------------------------------------------------------------------ *)
+
+let host_json () =
+  Json_out.Obj
+    [
+      ("hostname", jstr (Unix.gethostname ()));
+      ("os_type", jstr Sys.os_type);
+      ("ocaml_version", jstr Sys.ocaml_version);
+      ("word_size_bits", jint Sys.word_size);
+      ("recommended_domains", jint (Domain.recommended_domain_count ()));
+      ("pool_domains", jint (Gpu_runtime.Dpool.default_domains ()));
+    ]
+
+let json_file name =
+  match !json_path with Some p -> p | None -> "BENCH_" ^ name ^ ".json"
+
+(* Run one campaign and write its report: wall-clock, the timing
+   entries it recorded, the counters it accumulated, host info.  The
+   global counters are reset per campaign so an `all` run yields
+   per-campaign numbers. *)
+let run_campaign name f =
+  timings := [];
+  cache_hits := 0;
+  cache_misses := 0;
+  fault_totals := Mekong.Multi_gpu.no_faults;
+  reset_exec ();
+  let w0 = Unix.gettimeofday () in
+  f ();
+  let wall = Unix.gettimeofday () -. w0 in
+  let ft = !fault_totals in
+  let j =
+    Json_out.Obj
+      [
+        ("campaign", jstr name);
+        ("wall_seconds", jflt wall);
+        ("repeat", jint !repeat);
+        ("timings", Json_out.List (List.rev !timings));
+        ( "counters",
+          Json_out.Obj
+            [
+              ( "plan_cache",
+                Json_out.Obj
+                  [
+                    ("hits", jint !cache_hits);
+                    ("misses", jint !cache_misses);
+                  ] );
+              ( "executor",
+                Json_out.Obj
+                  [
+                    ("compiles", jint exec_totals.Kcompile.st_compiles);
+                    ("cache_hits", jint exec_totals.Kcompile.st_cache_hits);
+                    ("seq_launches", jint exec_totals.Kcompile.st_seq);
+                    ("par_launches", jint exec_totals.Kcompile.st_par);
+                    ("max_domains", jint exec_totals.Kcompile.st_domains);
+                    ("interpreted", jint exec_totals.Kcompile.st_interpreted);
+                  ] );
+              ( "faults",
+                Json_out.Obj
+                  [
+                    ("faults", jint ft.Mekong.Multi_gpu.fr_faults);
+                    ("retries", jint ft.Mekong.Multi_gpu.fr_retries);
+                    ("replays", jint ft.Mekong.Multi_gpu.fr_replays);
+                    ( "devices_lost",
+                      jint ft.Mekong.Multi_gpu.fr_devices_lost );
+                  ] );
+            ] );
+        ("host", host_json ());
+      ]
+  in
+  let file = json_file name in
+  Json_out.write ~file j;
+  Printf.printf "[%s report written to %s]\n%!" name file
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                               *)
 (* ------------------------------------------------------------------ *)
 
+let campaigns =
+  [
+    ("table1", run_table1);
+    ("fig6", run_fig6);
+    ("fig7", run_fig7);
+    ("fig8", run_fig8);
+    ("overhead1", run_overhead1);
+    ("compile", run_compile);
+    ("ablation", run_ablation);
+    ("cache", run_cachebench);
+    ("faults", run_faultcampaign);
+    ("exec", run_exec);
+    ("micro", run_micro);
+  ]
+
 let usage =
-  "table1|fig6|fig7|fig8|overhead1|compile|ablation|cache|faults|micro|all \
-   [--faults SEED,RATE[,DEV@TIME...]]"
+  String.concat "|" (List.map fst campaigns)
+  ^ "|all [--faults SEED,RATE[,DEV@TIME...]] [--repeat N] [--domains N] \
+     [--json PATH]"
 
 let () =
+  let int_flag flag v rest k =
+    match int_of_string_opt v with
+    | Some n when n >= 1 -> k n rest
+    | _ ->
+      Printf.eprintf "%s needs a positive integer, got %S\n" flag v;
+      exit 2
+  in
   let rec parse acc = function
     | "--faults" :: spec :: rest ->
       (match Gpusim.Faults.spec_of_string spec with
@@ -710,8 +1057,19 @@ let () =
        | Error e ->
          Printf.eprintf "bad --faults spec %S: %s\n" spec e;
          exit 2)
-    | [ "--faults" ] ->
-      Printf.eprintf "--faults needs SEED,RATE[,DEV@TIME...]\n";
+    | "--repeat" :: v :: rest ->
+      int_flag "--repeat" v rest (fun n rest ->
+          repeat := n;
+          parse acc rest)
+    | "--domains" :: v :: rest ->
+      int_flag "--domains" v rest (fun n rest ->
+          Gpu_runtime.Dpool.set_default_domains n;
+          parse acc rest)
+    | "--json" :: path :: rest ->
+      json_path := Some path;
+      parse acc rest
+    | [ ("--faults" | "--repeat" | "--domains" | "--json") as flag ] ->
+      Printf.eprintf "%s needs an argument\n" flag;
       exit 2
     | a :: rest -> parse (a :: acc) rest
     | [] -> List.rev acc
@@ -726,29 +1084,13 @@ let () =
   in
   let t0 = Unix.gettimeofday () in
   (match which with
-   | "table1" -> run_table1 ()
-   | "fig6" -> run_fig6 ()
-   | "fig7" -> run_fig7 ()
-   | "fig8" -> run_fig8 ()
-   | "overhead1" -> run_overhead1 ()
-   | "compile" -> run_compile ()
-   | "ablation" -> run_ablation ()
-   | "cache" -> run_cachebench ()
-   | "faults" -> run_faultcampaign ()
-   | "micro" -> run_micro ()
-   | "all" ->
-     run_table1 ();
-     run_fig6 ();
-     run_fig7 ();
-     run_fig8 ();
-     run_overhead1 ();
-     run_compile ();
-     run_ablation ();
-     run_cachebench ();
-     run_faultcampaign ();
-     run_micro ()
-   | other ->
-     Printf.eprintf "unknown experiment %s (%s)\n" other usage;
-     exit 2);
+   | "all" -> List.iter (fun (name, f) -> run_campaign name f) campaigns
+   | name ->
+     (match List.assoc_opt name campaigns with
+      | Some f -> run_campaign name f
+      | None ->
+        Printf.eprintf "unknown experiment %s (%s)\n" name usage;
+        exit 2));
   Printf.printf "[bench completed in %.1fs wall time]\n"
-    (Unix.gettimeofday () -. t0)
+    (Unix.gettimeofday () -. t0);
+  if !campaign_failed then exit 1

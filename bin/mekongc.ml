@@ -121,8 +121,22 @@ let faults_arg =
           "inject seeded faults into the simulated machine; the engine \
            self-heals (retry, re-partition, replay) and reports what it did")
 
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "host domains (OS threads) for domain-parallel kernel execution of \
+           race-free kernels; 1 forces sequential execution (default: \
+           \\$MEKONG_DOMAINS, else the machine's recommended domain count)")
+
 let run_cmd =
-  let run app gpus faults =
+  let run app gpus faults domains =
+    (* The shared pool is sized from the default at first use; a
+       --domains larger than the machine's recommended count would
+       otherwise be silently capped by a smaller pool. *)
+    Option.iter Gpu_runtime.Dpool.set_default_domains domains;
     let artifacts = compile_app app in
     let machine =
       Gpusim.Machine.create ~functional:true
@@ -132,18 +146,21 @@ let run_cmd =
      | Some spec when not (Gpusim.Faults.is_null spec) ->
        Gpusim.Machine.inject_faults machine (Gpusim.Faults.create spec)
      | _ -> ());
-    let res = Mekong.Multi_gpu.run ~machine artifacts.Mekong.Toolchain.exe in
+    let res =
+      Mekong.Multi_gpu.run ?domains ~machine artifacts.Mekong.Toolchain.exe
+    in
     let stats = Gpusim.Machine.stats machine in
     Printf.printf "%s on %d GPUs: %.3f ms simulated\n" (fst app) gpus
       (res.Mekong.Multi_gpu.time *. 1e3);
     Format.printf "%a@." Gpusim.Machine.pp_stats stats;
     Format.printf "%a@." Mekong.Launch_cache.pp_stats res.Mekong.Multi_gpu.cache;
+    Format.printf "%a@." Kcompile.pp_stats res.Mekong.Multi_gpu.exec;
     if Gpusim.Machine.fault_state machine <> None then
       Format.printf "%a@." Mekong.Multi_gpu.pp_fault_report
         res.Mekong.Multi_gpu.faults
   in
   Cmd.v (Cmd.info "run" ~doc:"compile and run on simulated GPUs")
-    Term.(const run $ app_arg $ gpus_arg $ faults_arg)
+    Term.(const run $ app_arg $ gpus_arg $ faults_arg $ domains_arg)
 
 let out_arg =
   Arg.(value & opt string "model.sexp" & info [ "o" ] ~docv:"FILE" ~doc:"output file")

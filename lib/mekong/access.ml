@@ -407,16 +407,22 @@ let whole_array_map kernel arr dims =
    and enumerate the 3^3 - 1 sign patterns with "distinct" meaning at
    least one axis differs.  If no pattern admits a common write target,
    the map is injective across blocks; any real write-after-write
-   hazard satisfies one of the patterns, so acceptance is sound. *)
+   hazard satisfies one of the patterns, so acceptance is sound.
 
-let write_injective kernel (m : Pmap.t) ~assume =
-  let dom = Pmap.dom_space m in
+   The same doubled-space construction generalizes to *two* maps over
+   the same kernel and array: [cross_block_disjoint m1 m2] asks
+   whether distinct blocks b1, b2 can have m1(b1) ∩ m2(b2) ≠ ∅.  With
+   m1 = m2 = write map this is exactly injectivity; with m1 = write
+   and m2 = read it is the cross-block read-after-write hazard check
+   that gates domain-parallel execution (DESIGN.md §13). *)
+
+let cross_block_disjoint ?(assume = []) (m1 : Pmap.t) (m2 : Pmap.t) =
+  let dom = Pmap.dom_space m1 in
   let nd = Space.n_dims dom in
   assert (nd = 6);
-  let ran = Pmap.ran_space m in
+  let ran = Pmap.ran_space m1 in
   let nr = Space.n_dims ran in
   let params = Space.params dom in
-  ignore kernel;
   let dims2 =
     Array.concat
       [ Array.map (fun n -> n ^ "$1") (Space.dims dom);
@@ -429,8 +435,8 @@ let write_injective kernel (m : Pmap.t) ~assume =
     Array.init (np + nd + nr) (fun i -> if i < np + nd then i else i + nd)
   in
   let remap2 = Array.init (np + nd + nr) (fun i -> if i < np then i else i + nd) in
-  let copies1 = List.map (fun p -> Poly.rebase p sp2 remap1) (Pset.pieces (Pmap.rel m)) in
-  let copies2 = List.map (fun p -> Poly.rebase p sp2 remap2) (Pset.pieces (Pmap.rel m)) in
+  let copies1 = List.map (fun p -> Poly.rebase p sp2 remap1) (Pset.pieces (Pmap.rel m1)) in
+  let copies2 = List.map (fun p -> Poly.rebase p sp2 remap2) (Pset.pieces (Pmap.rel m2)) in
   let v name = Aff.var sp2 name in
   let context =
     List.map (fun (terms, const) -> Constr.ge (Aff.of_terms sp2 terms ~const)) assume
@@ -448,19 +454,19 @@ let write_injective kernel (m : Pmap.t) ~assume =
     | `Eq -> [ Constr.eq2 b1 b2; Constr.eq2 bo1 bo2 ]
     | `Lt -> [ Constr.lt2 b1 b2; Constr.le2 bo1 (Aff.sub bo2 bd) ]
   in
-  (* Axes the map actually constrains.  Along an unused axis the kernel
-     writes the same cells from every block, so a grid extending there
-     would be a write-after-write hazard already on a single GPU; the
-     convention (as in the paper's analysis) is that such grids are
-     degenerate (extent 1) and blocks cannot differ there.  A write map
-     using no grid axis at all writes from every block and is never
-     injective. *)
+  (* Axes the first (write) map actually constrains.  Along an unused
+     axis the kernel writes the same cells from every block, so a grid
+     extending there would be a write-after-write hazard already on a
+     single GPU; the convention (as in the paper's analysis) is that
+     such grids are degenerate (extent 1) and blocks cannot differ
+     there.  A write map using no grid axis at all writes from every
+     block and is never injective. *)
   let used_axes =
     List.filter
       (fun a ->
          List.exists
            (fun p ->
-              let comb = Pmap.combined m in
+              let comb = Pmap.combined m1 in
               let bo = Space.var_index_exn comb (bo_name a) in
               let bi = Space.var_index_exn comb (b_name a) in
               List.exists
@@ -468,7 +474,7 @@ let write_injective kernel (m : Pmap.t) ~assume =
                    Aff.coeff (Constr.aff c) bo <> 0
                    || Aff.coeff (Constr.aff c) bi <> 0)
                 (Poly.constraints p))
-           (Pset.pieces (Pmap.rel m)))
+           (Pset.pieces (Pmap.rel m1)))
       axes
   in
   let rels = [ `Gt; `Eq; `Lt ] in
@@ -483,7 +489,7 @@ let write_injective kernel (m : Pmap.t) ~assume =
       (fun pat -> List.exists (fun (_, r) -> r <> `Eq) pat)
       (patterns_over used_axes)
   in
-  if used_axes = [] then Pset.is_empty (Pmap.rel m)
+  if used_axes = [] then Pset.is_empty (Pmap.rel m1)
   else
   let violation =
     List.exists
@@ -502,6 +508,10 @@ let write_injective kernel (m : Pmap.t) ~assume =
       copies1
   in
   not violation
+
+let write_injective kernel (m : Pmap.t) ~assume =
+  ignore kernel;
+  cross_block_disjoint ~assume m m
 
 (* --- Partitioning strategy (paper §4.1: "suggested partitioning
    strategy") ---------------------------------------------------------------

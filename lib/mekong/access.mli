@@ -72,6 +72,21 @@ val write_injective :
     blockIdx consistency relaxation described in the implementation.
     [assume] lists parameter constraints [sum terms + const >= 0]. *)
 
+val cross_block_disjoint :
+  ?assume:((int * string) list * int) list -> Pmap.t -> Pmap.t -> bool
+(** [cross_block_disjoint m1 m2]: can no two {e distinct} blocks b1,
+    b2 of the same launch have [m1(b1)] and [m2(b2)] overlap?  Both
+    maps must range over the same array of the same kernel.  With
+    [m1 = m2] = a write map this is {!write_injective}; with
+    [m1] = write and [m2] = read it is the cross-block
+    read-after-write hazard check gating domain-parallel execution.
+    Axes unused by [m1] follow the degenerate-grid convention of
+    {!write_injective}. *)
+
+val default_assume : Kir.t -> ((int * string) list * int) list
+(** The context constraints {!analyze} adds automatically: every
+    array-extent parameter is at least 1. *)
+
 val analyze :
   ?assume:((int * string) list * int) list ->
   ?check_writes:bool ->

@@ -45,13 +45,22 @@ let shadow_cost shadow ~scalar_env ~block =
    read sets were synchronized before instrumentation).  [arrays] names
    the arrays whose writes are collected; writes to other arrays are
    ignored. *)
-let collect_writes ~shadow ~grid ~block ~args ~arrays ~load =
+let collect_writes ~compiled ~shadow ~grid ~block ~args ~arrays ~load =
   let hits : (string, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 4 in
   List.iter (fun a -> Hashtbl.replace hits a (Hashtbl.create 64)) arrays;
-  Keval.run shadow ~grid ~block ~args ~load ~store:(fun arr off _ ->
-      match Hashtbl.find_opt hits arr with
-      | Some tbl -> Hashtbl.replace tbl off ()
-      | None -> ());
+  let record arr off _ =
+    match Hashtbl.find_opt hits arr with
+    | Some tbl -> Hashtbl.replace tbl off ()
+    | None -> ()
+  in
+  (* The recording store only marks offsets, so execution order cannot
+     matter — but shadows instrument *unanalyzable* writes, for which
+     no race-freedom proof exists, so they run sequentially. *)
+  (match compiled with
+   | Some (Ok ck : (Kcompile.t, string) result) ->
+     ignore (Kcompile.run ck ~load ~store:record : [ `Seq | `Par of int ])
+   | Some (Error _) | None ->
+     Keval.run shadow ~grid ~block ~args ~load ~store:record);
   List.map
     (fun arr ->
        let tbl = Hashtbl.find hits arr in

@@ -19,6 +19,7 @@ val shadow_cost :
 (** Simulated cost of one instrumentation launch. *)
 
 val collect_writes :
+  compiled:(Kcompile.t, string) result option ->
   shadow:Kir.t ->
   grid:Dim3.t ->
   block:Dim3.t ->
@@ -27,7 +28,10 @@ val collect_writes :
   load:(string -> int -> float) ->
   (string * (int * int) list) list
 (** Run the (partition-transformed) shadow over one partition's grid
-    and return, per instrumented array, the canonical written ranges. *)
+    and return, per instrumented array, the canonical written ranges.
+    [compiled], when [Some (Ok _)], must be [shadow] compiled by
+    {!Kcompile} for the same launch shape and is executed
+    (sequentially) instead of the interpreter. *)
 
 val check_disjoint : arr:string -> (int * (int * int) list) list -> unit
 (** Dynamic write-after-write check across partitions; raises

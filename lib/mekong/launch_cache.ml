@@ -51,13 +51,38 @@ type plan = {
 
 type stats = { hits : int; misses : int }
 
+(* Compiled kernels (Kcompile closures) are memoized here too: a
+   partition launch is keyed by the partitioned kernel's name plus the
+   exact launch shape Kcompile specialized against.  Sound for the
+   same reason plans are — a compiled kernel is a pure function of
+   (kernel body, grid, block, scalar args); buffers are resolved per
+   run through the load/store callbacks. *)
+type ckey = {
+  ck_kernel : string;
+  ck_grid : Dim3.t;
+  ck_block : Dim3.t;
+  ck_args : Keval.arg list;
+}
+
 type t = {
   table : (key, plan) Hashtbl.t;
   mutable hits : int;
   mutable misses : int;
+  compiled : (ckey, (Kcompile.t, string) result) Hashtbl.t;
+  mutable chits : int;
+  mutable cmisses : int;
 }
 
-let create () = { table = Hashtbl.create 64; hits = 0; misses = 0 }
+let create () =
+  {
+    table = Hashtbl.create 64;
+    hits = 0;
+    misses = 0;
+    compiled = Hashtbl.create 64;
+    chits = 0;
+    cmisses = 0;
+  }
+
 let stats t = { hits = t.hits; misses = t.misses }
 let no_stats = { hits = 0; misses = 0 }
 
@@ -71,6 +96,19 @@ let find_or_build t key ~build =
     t.misses <- t.misses + 1;
     Hashtbl.replace t.table key plan;
     plan
+
+let find_or_compile t ckey ~compile =
+  match Hashtbl.find_opt t.compiled ckey with
+  | Some ck ->
+    t.chits <- t.chits + 1;
+    (ck, `Hit)
+  | None ->
+    let ck = compile () in
+    t.cmisses <- t.cmisses + 1;
+    Hashtbl.replace t.compiled ckey ck;
+    (ck, `Miss)
+
+let compile_stats t = { hits = t.chits; misses = t.cmisses }
 
 let pp_stats fmt (s : stats) =
   Format.fprintf fmt "plan cache: %d hits / %d misses" s.hits s.misses

@@ -41,6 +41,15 @@ type plan = {
 
 type stats = { hits : int; misses : int }
 
+type ckey = {
+  ck_kernel : string;
+  ck_grid : Dim3.t;
+  ck_block : Dim3.t;
+  ck_args : Keval.arg list;
+}
+(** Key of a compiled-kernel entry: the partitioned kernel's name plus
+    the launch shape {!Kcompile.compile} specialized against. *)
+
 type t
 
 val create : unit -> t
@@ -48,7 +57,19 @@ val create : unit -> t
 val find_or_build : t -> key -> build:(unit -> plan) -> plan
 (** Return the cached plan for [key], or build, record and return it. *)
 
+val find_or_compile :
+  t ->
+  ckey ->
+  compile:(unit -> (Kcompile.t, string) result) ->
+  (Kcompile.t, string) result * [ `Hit | `Miss ]
+(** Same, for {!Kcompile} closures (compiled kernels are cached even
+    when plan caching is disabled: compilation never affects simulated
+    time, so the plan-cache A/B stays meaningful). *)
+
 val stats : t -> stats
+
+val compile_stats : t -> stats
+(** Hit/miss counters of the compiled-kernel table. *)
 
 val no_stats : stats
 (** All-zero counters (reported by cache-disabled runs). *)

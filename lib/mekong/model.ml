@@ -59,6 +59,34 @@ let of_analysis (a : Access.t) : kernel_model =
 
 let of_analyses l = { kernels = List.map of_analysis l }
 
+(* Race-freedom gate for domain-parallel block execution (DESIGN.md
+   §13).  Blocks of one launch may run concurrently iff the model
+   proves no cross-block hazard:
+
+   - every written array has an exact polyhedral write map (the
+     instrumentation fallback knows nothing about ordering), injective
+     across blocks — re-checked here rather than trusting the §4.1
+     acceptance pass, so the gate is sound for models built with
+     [check_writes:false] too — killing write-after-write hazards;
+   - for every array both read and written, no distinct blocks b1, b2
+     have write(b1) overlap read(b2) — reads over-approximated to the
+     whole array make this conservatively false, so inexact reads of
+     written arrays fall back to sequential execution. *)
+let parallel_safe ~kernel (km : kernel_model) =
+  let assume = Access.default_assume kernel in
+  List.for_all
+    (fun am ->
+       if am.write_instrumented then false
+       else
+         match am.write with
+         | None -> true
+         | Some w ->
+           Access.cross_block_disjoint ~assume w w
+           && (match am.read with
+             | None -> true
+             | Some r -> Access.cross_block_disjoint ~assume w r))
+    km.arrays
+
 (* --- Serialization ----------------------------------------------------------- *)
 
 let axis_to_sexp a = Sexp.atom (Dim3.axis_name a)

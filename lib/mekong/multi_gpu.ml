@@ -16,6 +16,9 @@ type compiled_kernel = {
   ck_shadow : Kir.t option;
       (* partitioned minimal clone collecting write sets at run time
          for arrays with unanalyzable writes (paper §11 fallback) *)
+  ck_parallel_safe : bool;
+      (* the model proves distinct blocks touch disjoint data, so one
+         partition's blocks may run domain-parallel (DESIGN.md §13) *)
 }
 
 (* The "linked binary": the host program plus, per kernel, the
@@ -48,6 +51,10 @@ let compile_kernel ?rectangles ?force_strategy (model : Model.t) (k : Kir.t) =
            km.Model.arrays
        then Some (Partition.transform_kernel (Instrument.shadow_kernel k))
        else None);
+    (* The gate works on the original kernel's maps: a partition's
+       blocks are a subset of the full grid's blocks, so full-grid
+       disjointness covers every partition launch. *)
+    ck_parallel_safe = Model.parallel_safe ~kernel:k km;
   }
 
 let link ?rectangles ?force_strategy ~(model : Model.t) (prog : Host_ir.t) :
@@ -84,6 +91,9 @@ type result = {
   faults : fault_report;
       (* what the self-healing loop saw and did (all zero on ideal
          hardware) *)
+  exec : Kcompile.stats;
+      (* executor counters: compilations, parallel vs. sequential
+         launches, interpreter fallbacks *)
 }
 
 (* Common parameter bindings of one launch: scalar arguments plus block
@@ -107,10 +117,19 @@ let backoff_cap = 10e-3
 let backoff_budget = 1.0
 
 let run ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d) ?(cache = true)
-    ?(checkpoint_every = 8) ~(machine : Gpusim.Machine.t) (exe : exe) : result =
+    ?(checkpoint_every = 8) ?domains ~(machine : Gpusim.Machine.t) (exe : exe) :
+  result =
   if not (Gpu_runtime.Rconfig.is_valid cfg) then invalid_arg "Multi_gpu.run: bad config";
   if checkpoint_every <= 0 then
     invalid_arg "Multi_gpu.run: checkpoint_every must be positive";
+  let domains =
+    match domains with
+    | Some d ->
+      if d < 1 then invalid_arg "Multi_gpu.run: domains must be positive";
+      d
+    | None -> Gpu_runtime.Dpool.default_domains ()
+  in
+  let exec_stats = Kcompile.new_stats () in
   let m = machine in
   let host_costs = (Gpusim.Machine.config m).Gpusim.Config.host in
   let n_devices = Gpusim.Machine.n_devices m in
@@ -298,13 +317,59 @@ let run ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d) ?(cache = true)
            ~device:pp.Launch_cache.pp_part.Partition.device
            ~blocks:pp.Launch_cache.pp_n_blocks
            ~ops_per_block:pp.Launch_cache.pp_ops_per_block ~run:(fun () ->
-             let load a off = (Gpusim.Buffer.data_exn (buffer_of a)).(off) in
-             let store a off v =
-               (Gpusim.Buffer.data_exn (buffer_of a)).(off) <- v
+             let launch_grid = pp.Launch_cache.pp_launch_grid in
+             let scalar_args = pp.Launch_cache.pp_scalar_args in
+             let compiled, freshness =
+               (* Compiled closures are cached even with [cache:false]:
+                  they never affect simulated results, and re-deriving
+                  them per launch would bury the plan-cache A/B signal
+                  under compilation noise. *)
+               Launch_cache.find_or_compile !plan_cache
+                 {
+                   Launch_cache.ck_kernel = ck.ck_partitioned.Kir.name;
+                   ck_grid = launch_grid;
+                   ck_block = block;
+                   ck_args = scalar_args;
+                 }
+                 ~compile:(fun () ->
+                   Kcompile.compile ck.ck_partitioned ~grid:launch_grid
+                     ~block ~args:scalar_args)
              in
-             Keval.run ck.ck_partitioned
-               ~grid:pp.Launch_cache.pp_launch_grid ~block
-               ~args:pp.Launch_cache.pp_scalar_args ~load ~store))
+             (match freshness with
+              | `Hit ->
+                exec_stats.Kcompile.st_cache_hits <-
+                  exec_stats.Kcompile.st_cache_hits + 1
+              | `Miss ->
+                exec_stats.Kcompile.st_compiles <-
+                  exec_stats.Kcompile.st_compiles + 1);
+             match compiled with
+             | Ok cck ->
+               (* Resolve each array argument to its device-local
+                  backing data once per launch, not per access. *)
+               let load a =
+                 let data = Gpusim.Buffer.data_exn (buffer_of a) in
+                 fun off -> data.(off)
+               in
+               let store a =
+                 let data = Gpusim.Buffer.data_exn (buffer_of a) in
+                 fun off v -> data.(off) <- v
+               in
+               let pool =
+                 if ck.ck_parallel_safe && domains > 1 then
+                   Some (Gpu_runtime.Dpool.get ())
+                 else None
+               in
+               Kcompile.record_path exec_stats
+                 (Kcompile.run ?pool ~max_domains:domains cck ~load ~store)
+             | Error _ ->
+               let load a off = (Gpusim.Buffer.data_exn (buffer_of a)).(off) in
+               let store a off v =
+                 (Gpusim.Buffer.data_exn (buffer_of a)).(off) <- v
+               in
+               exec_stats.Kcompile.st_interpreted <-
+                 exec_stats.Kcompile.st_interpreted + 1;
+               Keval.run ck.ck_partitioned ~grid:launch_grid ~block
+                 ~args:scalar_args ~load ~store))
       partitions;
     (* (4): update the trackers to account for the writes. *)
     if cfg.Gpu_runtime.Rconfig.patterns then
@@ -357,10 +422,36 @@ let run ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d) ?(cache = true)
               ~blocks:pp.Launch_cache.pp_n_blocks
               ~ops_per_block:pp.Launch_cache.pp_shadow_cost
               ~run:(fun () ->
+                let launch_grid = pp.Launch_cache.pp_launch_grid in
+                let scalar_args = pp.Launch_cache.pp_scalar_args in
+                let compiled, freshness =
+                  Launch_cache.find_or_compile !plan_cache
+                    {
+                      Launch_cache.ck_kernel = shadow.Kir.name;
+                      ck_grid = launch_grid;
+                      ck_block = block;
+                      ck_args = scalar_args;
+                    }
+                    ~compile:(fun () ->
+                      Kcompile.compile shadow ~grid:launch_grid ~block
+                        ~args:scalar_args)
+                in
+                (match freshness with
+                 | `Hit ->
+                   exec_stats.Kcompile.st_cache_hits <-
+                     exec_stats.Kcompile.st_cache_hits + 1
+                 | `Miss ->
+                   exec_stats.Kcompile.st_compiles <-
+                     exec_stats.Kcompile.st_compiles + 1);
+                (match compiled with
+                 | Ok _ ->
+                   exec_stats.Kcompile.st_seq <- exec_stats.Kcompile.st_seq + 1
+                 | Error _ ->
+                   exec_stats.Kcompile.st_interpreted <-
+                     exec_stats.Kcompile.st_interpreted + 1);
                 collected :=
-                  Instrument.collect_writes ~shadow
-                    ~grid:pp.Launch_cache.pp_launch_grid ~block
-                    ~args:pp.Launch_cache.pp_scalar_args
+                  Instrument.collect_writes ~compiled:(Some compiled) ~shadow
+                    ~grid:launch_grid ~block ~args:scalar_args
                     ~arrays:instrumented
                     ~load:(fun a off ->
                         (Gpusim.Buffer.data_exn (buffer_of a)).(off)));
@@ -549,6 +640,7 @@ let run ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d) ?(cache = true)
     cache =
       (if cache then Launch_cache.stats !plan_cache
        else Launch_cache.no_stats);
+    exec = exec_stats;
     faults =
       (if healing then
          {

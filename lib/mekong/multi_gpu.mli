@@ -10,6 +10,10 @@ type compiled_kernel = {
   ck_shadow : Kir.t option;
       (** partitioned minimal clone collecting write sets at run time
           for arrays with unanalyzable writes (paper §11 fallback) *)
+  ck_parallel_safe : bool;
+      (** {!Model.parallel_safe} on the kernel's model: when true, one
+          partition's blocks may execute domain-parallel with
+          bit-identical results (DESIGN.md §13) *)
 }
 
 type exe = {
@@ -51,6 +55,10 @@ type result = {
   faults : fault_report;
       (** what the self-healing loop saw and did (all zero on ideal
           hardware) *)
+  exec : Kcompile.stats;
+      (** executor counters: compilations and compiled-kernel cache
+          hits, parallel vs. sequential launches, domains engaged,
+          interpreter fallbacks (all zero on performance machines) *)
 }
 
 val launch_bindings :
@@ -62,6 +70,7 @@ val run :
   ?tiling:[ `One_d | `Two_d ] ->
   ?cache:bool ->
   ?checkpoint_every:int ->
+  ?domains:int ->
   machine:Gpusim.Machine.t ->
   exe ->
   result
@@ -76,6 +85,16 @@ val run :
     cost-model results — per (kernel, grid, block, args) key; results
     are bit-identical either way, only redundant host computation is
     skipped (see {!Launch_cache}).
+
+    Functional launches run through the {!Kcompile} closure executor
+    (with automatic interpreter fallback, both bit-identical to
+    {!Keval.run}); kernels whose models pass {!Model.parallel_safe}
+    additionally split each partition's block range over the global
+    {!Gpu_runtime.Dpool}.  [domains] caps the domains engaged per
+    launch (default {!Gpu_runtime.Dpool.default_domains}, also capped
+    by the global pool's size; [domains:1] forces sequential
+    execution).  Parallel execution affects wall-clock only — never
+    simulated time or results.
 
     When the machine injects faults the engine self-heals: transient
     kernel and transfer faults are retried with capped exponential

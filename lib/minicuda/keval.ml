@@ -27,6 +27,20 @@ let as_bool = function
 (* Launch-time argument values for the kernel parameters. *)
 type arg = AInt of int | AFloat of float
 
+(* Diagnostics shared with the compiled executor (Kcompile), so both
+   engines fail with byte-identical messages. *)
+let arity_error ~arr ~expected ~got =
+  invalid_arg
+    (Printf.sprintf
+       "Keval: subscript arity mismatch: array %s has %d dimension(s), got %d \
+        subscript(s)"
+       arr expected got)
+
+let bounds_error ~arr ~dim ~extent v =
+  invalid_arg
+    (Printf.sprintf "Keval: index %d out of bounds [0,%d) in dim %d of array %s"
+       v extent dim arr)
+
 type ctx = {
   kernel : Kir.t;
   grid : Dim3.t;
@@ -39,14 +53,7 @@ type ctx = {
   array_dims : (string, int array) Hashtbl.t;
 }
 
-let eval_dim ctx = function
-  | Kir.Dim_const n -> n
-  | Kir.Dim_param n -> (
-      match Hashtbl.find_opt ctx.scalars n with
-      | Some v -> as_int v
-      | None -> invalid_arg ("Keval: array dimension parameter " ^ n ^ " unbound"))
-
-let make_ctx kernel ~grid ~block ~args ~load ~store =
+let bind_scalars kernel ~args =
   let scalars = Hashtbl.create 8 in
   let rec bind params args =
     match (params, args) with
@@ -61,15 +68,31 @@ let make_ctx kernel ~grid ~block ~args ~load ~store =
   in
   (* [args] supplies values only for the scalar parameters, in order. *)
   bind kernel.Kir.params args;
+  scalars
+
+let resolve_dims kernel ~scalars =
+  let eval_dim = function
+    | Kir.Dim_const n -> n
+    | Kir.Dim_param n -> (
+        match Hashtbl.find_opt scalars n with
+        | Some v -> as_int v
+        | None ->
+          invalid_arg ("Keval: array dimension parameter " ^ n ^ " unbound"))
+  in
+  List.filter_map
+    (function
+      | Kir.Array { name; dims } -> Some (name, Array.map eval_dim dims)
+      | Kir.Scalar _ | Kir.Fscalar _ -> None)
+    kernel.Kir.params
+
+let make_ctx kernel ~grid ~block ~args ~load ~store =
+  let scalars = bind_scalars kernel ~args in
   let ctx =
     { kernel; grid; block; scalars; load; store; array_dims = Hashtbl.create 8 }
   in
   List.iter
-    (function
-      | Kir.Array { name; dims } ->
-        Hashtbl.replace ctx.array_dims name (Array.map (eval_dim ctx) dims)
-      | Kir.Scalar _ | Kir.Fscalar _ -> ())
-    kernel.Kir.params;
+    (fun (name, dims) -> Hashtbl.replace ctx.array_dims name dims)
+    (resolve_dims kernel ~scalars);
   ctx
 
 (* Environment of one executing thread. *)
@@ -80,16 +103,14 @@ type thread_env = {
   locals : (string, value) Hashtbl.t;
 }
 
-let linear_index dims idx =
+let linear_index ~arr dims idx =
   let n = Array.length dims in
-  if List.length idx <> n then invalid_arg "Keval: subscript arity mismatch";
+  if List.length idx <> n then
+    arity_error ~arr ~expected:n ~got:(List.length idx);
   let acc = ref 0 in
   List.iteri
     (fun i v ->
-       if v < 0 || v >= dims.(i) then
-         invalid_arg
-           (Printf.sprintf "Keval: index %d out of bounds [0,%d) in dim %d" v
-              dims.(i) i);
+       if v < 0 || v >= dims.(i) then bounds_error ~arr ~dim:i ~extent:dims.(i) v;
        acc := (!acc * dims.(i)) + v)
     idx;
   !acc
@@ -113,7 +134,9 @@ let rec eval (env : thread_env) (e : Kir.exp) : value =
       | Some d -> d
       | None -> invalid_arg ("Keval: unknown array " ^ a)
     in
-    let off = linear_index dims (List.map (fun i -> as_int (eval env i)) idx) in
+    let off =
+      linear_index ~arr:a dims (List.map (fun i -> as_int (eval env i)) idx)
+    in
     VFloat (env.ctx.load a off)
   | Kir.Unop (op, x) -> eval_unop op (eval env x)
   | Kir.Binop (op, x, y) -> eval_binop op (eval env x) (eval env y)
@@ -169,7 +192,9 @@ let rec exec_stmt env (s : Kir.stmt) =
       | Some d -> d
       | None -> invalid_arg ("Keval: unknown array " ^ a)
     in
-    let off = linear_index dims (List.map (fun i -> as_int (eval env i)) idx) in
+    let off =
+      linear_index ~arr:a dims (List.map (fun i -> as_int (eval env i)) idx)
+    in
     env.ctx.store a off (as_float (eval env e))
   | Kir.Local (n, e) | Kir.Assign (n, e) ->
     Hashtbl.replace env.locals n (eval env e)

@@ -13,6 +13,30 @@ type arg = AInt of int | AFloat of float
 (** Launch-time values for the scalar kernel parameters, in parameter
     order (array parameters are bound through [load]/[store]). *)
 
+(** {2 Pieces shared with the compiled executor ({!Kcompile})}
+
+    Both engines resolve launch arguments and report access errors
+    through the same code, so diagnostics and binding semantics cannot
+    drift apart. *)
+
+val bind_scalars : Kir.t -> args:arg list -> (string, value) Hashtbl.t
+(** Bind the scalar parameters to the launch arguments, with the
+    interpreter's dynamic-typing rules (an integer [Scalar] bound to
+    [AFloat] stays a float; [Fscalar] coerces integer arguments).
+    Raises [Invalid_argument] on an argument-count mismatch. *)
+
+val resolve_dims :
+  Kir.t -> scalars:(string, value) Hashtbl.t -> (string * int array) list
+(** Resolve every array parameter's dimensions ([Dim_param] via the
+    bound scalars) to concrete extents. *)
+
+val arity_error : arr:string -> expected:int -> got:int -> 'a
+(** Raise the subscript-arity diagnostic, naming the offending
+    array. *)
+
+val bounds_error : arr:string -> dim:int -> extent:int -> int -> 'a
+(** Raise the out-of-bounds diagnostic, naming the offending array. *)
+
 val run :
   ?block_range:Dim3.t * Dim3.t ->
   Kir.t ->

@@ -9,9 +9,11 @@
 type result = {
   machine : Gpusim.Machine.t;
   time : float; (* simulated end-to-end seconds (after final sync) *)
+  exec : Kcompile.stats; (* executor counters for the functional runs *)
 }
 
-let run ?(machine : Gpusim.Machine.t option) (prog : Host_ir.t) : result =
+let run ?(machine : Gpusim.Machine.t option)
+    ?(executor = `Compiled) (prog : Host_ir.t) : result =
   let m =
     match machine with
     | Some m -> m
@@ -28,6 +30,17 @@ let run ?(machine : Gpusim.Machine.t option) (prog : Host_ir.t) : result =
     | Some buf -> buf
     | None -> invalid_arg ("Single_gpu: unallocated buffer " ^ b)
   in
+  (* Compiled kernels, memoized per launch shape for the life of this
+     run (the reference engine has no launch-plan cache to hang them
+     off).  The engine runs blocks sequentially: without a polyhedral
+     model there is no race-freedom proof to justify a domain pool. *)
+  let compiled :
+      ( string * Dim3.t * Dim3.t * Keval.arg list,
+        (Kcompile.t, string) Stdlib.result )
+      Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let exec_stats = Kcompile.new_stats () in
   let rec exec (s : Host_ir.stmt) =
     match s with
     | Host_ir.Malloc (name, len) ->
@@ -55,14 +68,52 @@ let run ?(machine : Gpusim.Machine.t option) (prog : Host_ir.t) : result =
     | Host_ir.Launch { kernel; grid; block; args } ->
       let bindings = Host_ir.array_bindings kernel args in
       let buffer_of name = find (List.assoc name bindings) in
-      let load a off = (Gpusim.Buffer.data_exn (buffer_of a)).(off) in
-      let store a off v = (Gpusim.Buffer.data_exn (buffer_of a)).(off) <- v in
       let scalar_env = Host_ir.scalar_bindings kernel args in
       let ops = Costmodel.ops_per_block kernel ~scalar_env ~block in
+      let scalars = Host_ir.scalar_args args in
       Gpusim.Machine.launch m ~device:0 ~blocks:(Dim3.volume grid)
         ~ops_per_block:ops ~run:(fun () ->
-          Keval.run kernel ~grid ~block ~args:(Host_ir.scalar_args args) ~load
-            ~store)
+          let interpret () =
+            let load a off = (Gpusim.Buffer.data_exn (buffer_of a)).(off) in
+            let store a off v =
+              (Gpusim.Buffer.data_exn (buffer_of a)).(off) <- v
+            in
+            exec_stats.Kcompile.st_interpreted <-
+              exec_stats.Kcompile.st_interpreted + 1;
+            Keval.run kernel ~grid ~block ~args:scalars ~load ~store
+          in
+          match executor with
+          | `Interpreter -> interpret ()
+          | `Compiled -> (
+              let key = (kernel.Kir.name, grid, block, scalars) in
+              let ck =
+                match Hashtbl.find_opt compiled key with
+                | Some ck ->
+                  exec_stats.Kcompile.st_cache_hits <-
+                    exec_stats.Kcompile.st_cache_hits + 1;
+                  ck
+                | None ->
+                  let ck = Kcompile.compile kernel ~grid ~block ~args:scalars in
+                  exec_stats.Kcompile.st_compiles <-
+                    exec_stats.Kcompile.st_compiles + 1;
+                  Hashtbl.replace compiled key ck;
+                  ck
+              in
+              match ck with
+              | Ok ck ->
+                (* Resolve each array to its backing data once per
+                   launch, not per access. *)
+                let load a =
+                  let data = Gpusim.Buffer.data_exn (buffer_of a) in
+                  fun off -> data.(off)
+                in
+                let store a =
+                  let data = Gpusim.Buffer.data_exn (buffer_of a) in
+                  fun off v -> data.(off) <- v
+                in
+                Kcompile.record_path exec_stats
+                  (Kcompile.run ck ~load ~store)
+              | Error _ -> interpret ()))
     | Host_ir.Repeat (n, body) ->
       for _ = 1 to n do
         List.iter exec body
@@ -78,4 +129,4 @@ let run ?(machine : Gpusim.Machine.t option) (prog : Host_ir.t) : result =
   in
   List.iter exec prog.Host_ir.body;
   Gpusim.Machine.synchronize m;
-  { machine = m; time = Gpusim.Machine.host_time m }
+  { machine = m; time = Gpusim.Machine.host_time m; exec = exec_stats }

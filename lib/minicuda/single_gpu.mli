@@ -5,7 +5,18 @@
 type result = {
   machine : Gpusim.Machine.t;
   time : float;  (** simulated end-to-end seconds (after final sync) *)
+  exec : Kcompile.stats;
+      (** executor counters: compilations, cache hits, fallbacks (all
+          zero on performance machines, which skip functional work) *)
 }
 
-val run : ?machine:Gpusim.Machine.t -> Host_ir.t -> result
-(** Defaults to a fresh functional single-device test machine. *)
+val run :
+  ?machine:Gpusim.Machine.t ->
+  ?executor:[ `Compiled | `Interpreter ] ->
+  Host_ir.t ->
+  result
+(** Defaults to a fresh functional single-device test machine.
+    [executor] (default [`Compiled]) selects the {!Kcompile} closure
+    executor with automatic interpreter fallback, or forces the
+    {!Keval} interpreter (the bench baseline); functional results are
+    bit-identical either way. *)
