@@ -1,12 +1,12 @@
-(* Minimal JSON emitter for the bench harness.
+(* JSON for the bench harness.
 
-   The harness writes one machine-readable BENCH_<campaign>.json per
-   experiment (consumed by CI and by plotting scripts); depending on a
-   JSON library for that would drag a new package into the build, so
-   this is the 60-line subset we need: construction and serialization
-   only, no parsing. *)
+   The emitter used to live here; it moved to [Obs.Json] so the whole
+   tree (bench reports, Chrome traces, profile reports) serializes —
+   and escapes — identically.  This module stays as the harness-facing
+   name, re-exporting the constructors so existing call sites build
+   unchanged. *)
 
-type t =
+type t = Obs.Json.t =
   | Null
   | Bool of bool
   | Int of int
@@ -15,77 +15,5 @@ type t =
   | List of t list
   | Obj of (string * t) list
 
-let escape buf s =
-  String.iter
-    (fun c ->
-       match c with
-       | '"' -> Buffer.add_string buf "\\\""
-       | '\\' -> Buffer.add_string buf "\\\\"
-       | '\n' -> Buffer.add_string buf "\\n"
-       | '\r' -> Buffer.add_string buf "\\r"
-       | '\t' -> Buffer.add_string buf "\\t"
-       | c when Char.code c < 0x20 ->
-         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-       | c -> Buffer.add_char buf c)
-    s
-
-(* Shortest decimal that round-trips; JSON has no NaN/infinity, so
-   non-finite values serialize as null. *)
-let float_repr f =
-  if not (Float.is_finite f) then "null"
-  else
-    let s = Printf.sprintf "%.12g" f in
-    let s = if float_of_string s = f then s else Printf.sprintf "%.17g" f in
-    (* "%g" can print "1" or "1e+06": both are valid JSON numbers. *)
-    s
-
-let rec emit buf indent j =
-  let pad n = Buffer.add_string buf (String.make n ' ') in
-  match j with
-  | Null -> Buffer.add_string buf "null"
-  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
-  | Int i -> Buffer.add_string buf (string_of_int i)
-  | Float f -> Buffer.add_string buf (float_repr f)
-  | Str s ->
-    Buffer.add_char buf '"';
-    escape buf s;
-    Buffer.add_char buf '"'
-  | List [] -> Buffer.add_string buf "[]"
-  | List items ->
-    Buffer.add_string buf "[\n";
-    List.iteri
-      (fun i item ->
-         if i > 0 then Buffer.add_string buf ",\n";
-         pad (indent + 2);
-         emit buf (indent + 2) item)
-      items;
-    Buffer.add_char buf '\n';
-    pad indent;
-    Buffer.add_char buf ']'
-  | Obj [] -> Buffer.add_string buf "{}"
-  | Obj fields ->
-    Buffer.add_string buf "{\n";
-    List.iteri
-      (fun i (k, v) ->
-         if i > 0 then Buffer.add_string buf ",\n";
-         pad (indent + 2);
-         Buffer.add_char buf '"';
-         escape buf k;
-         Buffer.add_string buf "\": ";
-         emit buf (indent + 2) v)
-      fields;
-    Buffer.add_char buf '\n';
-    pad indent;
-    Buffer.add_char buf '}'
-
-let to_string j =
-  let buf = Buffer.create 1024 in
-  emit buf 0 j;
-  Buffer.add_char buf '\n';
-  Buffer.contents buf
-
-let write ~file j =
-  let oc = open_out file in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string j))
+let to_string = Obs.Json.to_string
+let write = Obs.Json.write

@@ -1,8 +1,9 @@
-(** Minimal JSON construction + serialization for the bench harness's
-    [BENCH_<campaign>.json] reports (no external dependency; no
-    parsing).  Non-finite floats serialize as [null]. *)
+(** JSON construction + serialization for the bench harness's
+    [BENCH_<campaign>.json] reports — a re-export of {!Obs.Json}, so
+    every JSON artifact in the tree escapes and formats identically.
+    Non-finite floats serialize as [null]. *)
 
-type t =
+type t = Obs.Json.t =
   | Null
   | Bool of bool
   | Int of int

@@ -28,11 +28,15 @@
                     machine's recommended domain count)
      --json PATH    override the report path (default
                     BENCH_<campaign>.json per campaign, in the cwd)
+     --trace PATH   enable span recording and machine tracing, and
+                    write a Chrome trace-event JSON of the campaign's
+                    last simulated run (open in Perfetto)
 
    Every campaign additionally writes a machine-readable
    BENCH_<campaign>.json recording its wall-clock, per-app timings,
-   executor/plan-cache/fault counters and host info; CI archives these
-   as artifacts.
+   executor/plan-cache/fault counters, a profile breakdown of the last
+   simulated machine (device utilization, byte matrix), a metrics
+   snapshot and host info; CI archives these as artifacts.
 
    All application measurements are simulated times from the calibrated
    machine model (see DESIGN.md §4); the micro-benchmarks and the exec
@@ -63,8 +67,22 @@ let artifacts bench size =
     Hashtbl.replace compiled (bench, size) a;
     a
 
+(* --trace PATH: spans + machine tracing on, Chrome trace of the
+   campaign's last simulated run written at the end. *)
+let trace_path : string option ref = ref None
+
+(* The most recent partitioned-run machine: its profile becomes the
+   report's "breakdown" section (campaigns sweep many machines; the
+   last one is the largest configuration swept). *)
+let last_machine : Gpusim.Machine.t option ref = ref None
+
 let k80 g =
-  Gpusim.Machine.create ~functional:false (Gpusim.Config.k80_box ~n_devices:g ())
+  let m =
+    Gpusim.Machine.create ~functional:false
+      (Gpusim.Config.k80_box ~n_devices:g ())
+  in
+  if !trace_path <> None then Gpusim.Machine.enable_trace m;
+  m
 
 (* Fault spec from --faults SEED,RATE[,DEV@TIME...]; injected into the
    partitioned-run machines only (the single-GPU reference stays the
@@ -135,6 +153,7 @@ let multi_time ?cfg bench size g =
     !cache_misses + r.Mekong.Multi_gpu.cache.Mekong.Launch_cache.misses;
   add_fault_report r;
   Kcompile.add_stats ~into:exec_totals r.Mekong.Multi_gpu.exec;
+  last_machine := Some m;
   add_timing
     [
       ("kind", jstr "partitioned");
@@ -902,6 +921,7 @@ let run_exec () =
                Mekong.Multi_gpu.run ~domains ~machine:m a.Mekong.Toolchain.exe
              in
              Kcompile.add_stats ~into:exec_totals r.Mekong.Multi_gpu.exec;
+             last_machine := Some m;
              (out, r))
        in
        let identical = out_cmp = out_int && out_par = out_int in
@@ -969,10 +989,32 @@ let run_campaign name f =
   cache_misses := 0;
   fault_totals := Mekong.Multi_gpu.no_faults;
   reset_exec ();
+  last_machine := None;
+  Obs.Span.reset ();
   let w0 = Unix.gettimeofday () in
   f ();
   let wall = Unix.gettimeofday () -. w0 in
   let ft = !fault_totals in
+  (* Campaign-level metrics snapshot: the aggregate counters under the
+     same stable names the library publishers use, plus the last
+     machine's gpusim counters. *)
+  let reg = Obs.Metrics.create () in
+  let set k v = Obs.Metrics.set reg k (float_of_int v) in
+  set "cache.plan_hits" !cache_hits;
+  set "cache.plan_misses" !cache_misses;
+  set "faults.observed" ft.Mekong.Multi_gpu.fr_faults;
+  set "faults.retries" ft.Mekong.Multi_gpu.fr_retries;
+  set "faults.replays" ft.Mekong.Multi_gpu.fr_replays;
+  set "faults.devices_lost" ft.Mekong.Multi_gpu.fr_devices_lost;
+  Kcompile.publish_metrics ~into:reg exec_totals;
+  (match !last_machine with
+   | Some m -> Gpusim.Machine.publish_metrics ~into:reg m
+   | None -> ());
+  let breakdown =
+    match !last_machine with
+    | Some m -> Obs.Report.to_json (Mekong.Profile.collect m)
+    | None -> Json_out.Null
+  in
   let j =
     Json_out.Obj
       [
@@ -1009,12 +1051,19 @@ let run_campaign name f =
                       jint ft.Mekong.Multi_gpu.fr_devices_lost );
                   ] );
             ] );
+        ("breakdown", breakdown);
+        ("metrics", Obs.Metrics.to_json reg);
         ("host", host_json ());
       ]
   in
   let file = json_file name in
   Json_out.write ~file j;
-  Printf.printf "[%s report written to %s]\n%!" name file
+  Printf.printf "[%s report written to %s]\n%!" name file;
+  match (!trace_path, !last_machine) with
+  | Some file, Some m ->
+    Gpusim.Trace_export.write ~spans:(Obs.Span.records ()) ~file m;
+    Printf.printf "[%s trace written to %s]\n%!" name file
+  | _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                               *)
@@ -1038,7 +1087,7 @@ let campaigns =
 let usage =
   String.concat "|" (List.map fst campaigns)
   ^ "|all [--faults SEED,RATE[,DEV@TIME...]] [--repeat N] [--domains N] \
-     [--json PATH]"
+     [--json PATH] [--trace PATH]"
 
 let () =
   let int_flag flag v rest k =
@@ -1068,7 +1117,13 @@ let () =
     | "--json" :: path :: rest ->
       json_path := Some path;
       parse acc rest
-    | [ ("--faults" | "--repeat" | "--domains" | "--json") as flag ] ->
+    | "--trace" :: path :: rest ->
+      trace_path := Some path;
+      Obs.Span.set_clock Unix.gettimeofday;
+      Obs.Span.set_enabled true;
+      parse acc rest
+    | [ ("--faults" | "--repeat" | "--domains" | "--json" | "--trace") as flag ]
+      ->
       Printf.eprintf "%s needs an argument\n" flag;
       exit 2
     | a :: rest -> parse (a :: acc) rest

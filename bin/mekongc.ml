@@ -7,6 +7,8 @@
      mekongc rewrite  <app>      print the rewritten multi-GPU host source
      mekongc kernels  <app>      print original and partitioned kernel IR
      mekongc run      <app>      compile and run on N simulated GPUs
+     mekongc profile  <app>      run with full observability and report
+     mekongc check-trace <f>     validate a Chrome trace-event file
      mekongc model    <app> -o F save the application model to a file
      mekongc compile-file <f.cu> parse a toy .cu file, compile it and
                                  run it on N simulated GPUs
@@ -131,17 +133,35 @@ let domains_arg =
            race-free kernels; 1 forces sequential execution (default: \
            \\$MEKONG_DOMAINS, else the machine's recommended domain count)")
 
+(* Observability is off by default (the instrumentation points cost
+   one load-and-branch); --trace and the profile subcommand switch it
+   on and give spans the real wall clock. *)
+let enable_observability () =
+  Obs.Span.set_clock Unix.gettimeofday;
+  Obs.Span.set_enabled true
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "write a Chrome trace-event JSON of the simulated run (open in \
+           Perfetto or chrome://tracing); also enables span recording")
+
 let run_cmd =
-  let run app gpus faults domains =
+  let run app gpus faults domains trace =
     (* The shared pool is sized from the default at first use; a
        --domains larger than the machine's recommended count would
        otherwise be silently capped by a smaller pool. *)
     Option.iter Gpu_runtime.Dpool.set_default_domains domains;
+    if trace <> None then enable_observability ();
     let artifacts = compile_app app in
     let machine =
       Gpusim.Machine.create ~functional:true
         (Gpusim.Config.k80_box ~n_devices:gpus ())
     in
+    if trace <> None then Gpusim.Machine.enable_trace machine;
     (match faults with
      | Some spec when not (Gpusim.Faults.is_null spec) ->
        Gpusim.Machine.inject_faults machine (Gpusim.Faults.create spec)
@@ -157,10 +177,72 @@ let run_cmd =
     Format.printf "%a@." Kcompile.pp_stats res.Mekong.Multi_gpu.exec;
     if Gpusim.Machine.fault_state machine <> None then
       Format.printf "%a@." Mekong.Multi_gpu.pp_fault_report
-        res.Mekong.Multi_gpu.faults
+        res.Mekong.Multi_gpu.faults;
+    match trace with
+    | Some file ->
+      Gpusim.Trace_export.write ~spans:(Obs.Span.records ()) ~file machine;
+      Printf.printf "trace written to %s\n" file
+    | None -> ()
   in
   Cmd.v (Cmd.info "run" ~doc:"compile and run on simulated GPUs")
-    Term.(const run $ app_arg $ gpus_arg $ faults_arg $ domains_arg)
+    Term.(const run $ app_arg $ gpus_arg $ faults_arg $ domains_arg $ trace_arg)
+
+let json_flag =
+  Arg.(value & flag & info [ "json" ] ~doc:"emit the report as JSON")
+
+let profile_cmd =
+  let run app gpus faults domains json trace =
+    Option.iter Gpu_runtime.Dpool.set_default_domains domains;
+    enable_observability ();
+    let artifacts = compile_app app in
+    let machine =
+      Gpusim.Machine.create ~functional:true
+        (Gpusim.Config.k80_box ~n_devices:gpus ())
+    in
+    Gpusim.Machine.enable_trace machine;
+    (match faults with
+     | Some spec when not (Gpusim.Faults.is_null spec) ->
+       Gpusim.Machine.inject_faults machine (Gpusim.Faults.create spec)
+     | _ -> ());
+    let res =
+      Mekong.Multi_gpu.run ?domains ~machine artifacts.Mekong.Toolchain.exe
+    in
+    let report = Mekong.Profile.collect ~result:res machine in
+    if json then
+      print_endline (Obs.Json.to_string (Obs.Report.to_json report))
+    else begin
+      Printf.printf "%s on %d GPUs\n" (fst app) gpus;
+      print_string (Obs.Report.to_string report)
+    end;
+    match trace with
+    | Some file ->
+      Gpusim.Trace_export.write ~spans:(Obs.Span.records ()) ~file machine;
+      if not json then Printf.printf "trace written to %s\n" file
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "run with full observability: per-device utilization, the (src, \
+          dst) byte matrix, counters and span summary")
+    Term.(
+      const run $ app_arg $ gpus_arg $ faults_arg $ domains_arg $ json_flag
+      $ trace_arg)
+
+let check_trace_cmd =
+  let run file =
+    match Obs.Chrome_trace.validate_file ~file with
+    | Ok () -> Printf.printf "%s: valid Chrome trace\n" file
+    | Error e -> die "%s: %s" file e
+  in
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE.json")
+  in
+  Cmd.v
+    (Cmd.info "check-trace"
+       ~doc:"validate a Chrome trace-event JSON file (schema + per-lane \
+             timestamp monotonicity)")
+    Term.(const run $ file_arg)
 
 let out_arg =
   Arg.(value & opt string "model.sexp" & info [ "o" ] ~docv:"FILE" ~doc:"output file")
@@ -226,8 +308,8 @@ let () =
     exit
       (Cmd.eval ~catch:false
          (Cmd.group info
-            [ analyze_cmd; rewrite_cmd; kernels_cmd; run_cmd; model_cmd;
-              compile_file_cmd ]))
+            [ analyze_cmd; rewrite_cmd; kernels_cmd; run_cmd; profile_cmd;
+              check_trace_cmd; model_cmd; compile_file_cmd ]))
   with
   | Sys_error m -> die "%s" m
   | Cuparse.Error m -> die "parse error: %s" m

@@ -64,13 +64,18 @@ type t = {
   host : Timeline.t;
   fabric : Timeline.t;
   stats : stats;
+  pair_bytes : (int * int, int) Hashtbl.t;
+      (* bytes moved per (src, dst) endpoint pair; -1 is the host.
+         Always on: the profile report's byte matrix must reconcile
+         exactly with [stats], so both are charged at the same sites. *)
   mutable next_buffer_id : int;
   mutable active_devices : int;
       (* devices that have executed kernels: drives the autoboost
          derate.  Multi-GPU runs use all devices from the first launch
          round, so we track the high-water mark of launch targets. *)
-  mutable trace : event list option;
-      (* reverse-chronological event log when tracing is enabled *)
+  mutable trace : event Obs.Ring.t option;
+      (* bounded event log when tracing is enabled; oldest events are
+         dropped on overflow and the drops are counted *)
   mutable faults : Faults.t option;
       (* fault-injection state; None = ideal hardware *)
 }
@@ -104,6 +109,7 @@ let create ?(functional = false) cfg =
         pattern_seconds = 0.0;
         transfer_seconds = 0.0;
       };
+    pair_bytes = Hashtbl.create 16;
     next_buffer_id = 0;
     active_devices = 1;
     trace = None;
@@ -113,15 +119,40 @@ let create ?(functional = false) cfg =
        | _ -> None);
   }
 
-(* Enable event tracing (keeps every kernel and transfer event;
-   intended for tests, debugging and trace dumps, not for paper-scale
-   performance sweeps). *)
-let enable_trace m = m.trace <- Some []
+(* Enable event tracing.  Events land in a bounded ring buffer (the
+   newest [capacity] survive; drops are counted and reported), so
+   tracing is safe even on paper-scale sweeps.  Per-engine operation
+   logging is switched on alongside, with the same capacity per
+   engine, for the Chrome-trace lanes. *)
+let default_trace_capacity = 65536
 
-let trace m = List.rev (Option.value ~default:[] m.trace)
+let enable_trace ?(capacity = default_trace_capacity) m =
+  m.trace <- Some (Obs.Ring.create ~capacity);
+  Timeline.enable_log ~capacity m.host;
+  Timeline.enable_log ~capacity m.fabric;
+  Array.iter
+    (fun d ->
+       Timeline.enable_log ~capacity d.compute;
+       Timeline.enable_log ~capacity d.copy_in;
+       Timeline.enable_log ~capacity d.copy_out)
+    m.devices
+
+let trace m = match m.trace with None -> [] | Some r -> Obs.Ring.to_list r
+let trace_enabled m = m.trace <> None
+let trace_dropped m = match m.trace with None -> 0 | Some r -> Obs.Ring.dropped r
 
 let record m ev =
-  match m.trace with None -> () | Some l -> m.trace <- Some (ev :: l)
+  match m.trace with None -> () | Some r -> Obs.Ring.push r ev
+
+(* Byte-matrix accounting, charged exactly where [stats] bytes are. *)
+let count_pair m ~src ~dst ~bytes =
+  let key = (src, dst) in
+  let old = Option.value ~default:0 (Hashtbl.find_opt m.pair_bytes key) in
+  Hashtbl.replace m.pair_bytes key (old + bytes)
+
+let byte_matrix m =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) m.pair_bytes []
+  |> List.sort compare
 
 let config m = m.cfg
 let is_functional m = m.functional
@@ -302,6 +333,7 @@ let h2d m ~src ~src_off ~dst ~dst_off ~len =
     { ev_kind = `H2d; ev_src = -1; ev_dst = dev.dev_id; ev_bytes = bytes;
       ev_start; ev_finish };
   m.stats.h2d_bytes <- m.stats.h2d_bytes + bytes;
+  count_pair m ~src:(-1) ~dst:dev.dev_id ~bytes;
   if m.functional then Buffer.blit_from_host ~src ~src_off dst ~dst_off ~len
 
 (* Asynchronous device-to-host copy. *)
@@ -323,6 +355,7 @@ let d2h m ~src ~src_off ~dst ~dst_off ~len =
     { ev_kind = `D2h; ev_src = dev.dev_id; ev_dst = -1; ev_bytes = bytes;
       ev_start; ev_finish };
   m.stats.d2h_bytes <- m.stats.d2h_bytes + bytes;
+  count_pair m ~src:dev.dev_id ~dst:(-1) ~bytes;
   if m.functional then Buffer.blit_to_host src ~src_off ~dst ~dst_off ~len
 
 (* Asynchronous device-to-device copy. *)
@@ -360,6 +393,7 @@ let p2p m ~src ~src_off ~dst ~dst_off ~len =
     { ev_kind = `P2p; ev_src = sdev.dev_id; ev_dst = ddev.dev_id;
       ev_bytes = bytes; ev_start; ev_finish };
   m.stats.p2p_bytes <- m.stats.p2p_bytes + bytes;
+  count_pair m ~src:sdev.dev_id ~dst:ddev.dev_id ~bytes;
   if m.functional then Buffer.blit ~src ~src_off ~dst ~dst_off ~len
 
 (* A packed device-to-device copy of several segments (the simulated
@@ -404,6 +438,7 @@ let p2p_multi m ~src ~dst ~segments =
       { ev_kind = `P2p; ev_src = sdev.dev_id; ev_dst = ddev.dev_id;
         ev_bytes = bytes; ev_start; ev_finish };
     m.stats.p2p_bytes <- m.stats.p2p_bytes + bytes;
+    count_pair m ~src:sdev.dev_id ~dst:ddev.dev_id ~bytes;
     if m.functional then
       List.iter
         (fun (src_off, dst_off, l) ->
@@ -487,3 +522,33 @@ let pp_stats fmt s =
     "h2d=%dB d2h=%dB p2p=%dB transfers=%d launches=%d faults=%d kernel=%.6fs transfer=%.6fs pattern=%.6fs"
     s.h2d_bytes s.d2h_bytes s.p2p_bytes s.n_transfers s.n_launches s.n_faults
     s.kernel_seconds s.transfer_seconds s.pattern_seconds
+
+(* Snapshot the stats record into a metrics registry under the stable
+   "gpusim." names — the uniform read-out the profile report and the
+   bench JSON consume.  The record stays the hot-path view. *)
+let publish_metrics ?(into = Obs.Metrics.default) m =
+  let s = m.stats in
+  let set n v = Obs.Metrics.set into n v in
+  let seti n v = set n (float_of_int v) in
+  seti "gpusim.h2d_bytes" s.h2d_bytes;
+  seti "gpusim.d2h_bytes" s.d2h_bytes;
+  seti "gpusim.p2p_bytes" s.p2p_bytes;
+  seti "gpusim.transfers" s.n_transfers;
+  seti "gpusim.launches" s.n_launches;
+  seti "gpusim.faults" s.n_faults;
+  set "gpusim.kernel_seconds" s.kernel_seconds;
+  set "gpusim.transfer_seconds" s.transfer_seconds;
+  set "gpusim.pattern_seconds" s.pattern_seconds;
+  seti "gpusim.devices" (n_devices m);
+  seti "gpusim.devices_live" (List.length (live_devices m));
+  seti "gpusim.trace_dropped" (trace_dropped m);
+  List.iter
+    (fun ((src, dst), bytes) ->
+       Obs.Metrics.set into
+         ~labels:
+           [
+             ("src", if src < 0 then "host" else string_of_int src);
+             ("dst", if dst < 0 then "host" else string_of_int dst);
+           ]
+         "gpusim.pair_bytes" (float_of_int bytes))
+    (byte_matrix m)

@@ -113,12 +113,30 @@ val launch :
 (** Launch a kernel asynchronously; [run] performs the functional
     element work and is invoked only in functional mode. *)
 
-val enable_trace : t -> unit
-(** Record every kernel and transfer event (tests/debugging; not for
-    paper-scale sweeps). *)
+val enable_trace : ?capacity:int -> t -> unit
+(** Record kernel, transfer and fault events in a bounded ring buffer
+    (default capacity 65536; the newest events survive and drops are
+    counted), and enable per-engine operation logs with the same
+    capacity — safe even on paper-scale sweeps. *)
 
 val trace : t -> event list
 (** The recorded events in chronological order ([] when disabled). *)
+
+val trace_enabled : t -> bool
+
+val trace_dropped : t -> int
+(** Events evicted from the bounded trace since it was enabled. *)
+
+val byte_matrix : t -> ((int * int) * int) list
+(** Bytes moved per (src, dst) endpoint pair, sorted; -1 is the host.
+    Always accounted (independent of tracing), charged at exactly the
+    sites that charge [stats], so the totals reconcile with
+    h2d/d2h/p2p bytes. *)
+
+val publish_metrics : ?into:Obs.Metrics.t -> t -> unit
+(** Snapshot [stats], the live-device count and the byte matrix into a
+    metrics registry under stable ["gpusim.*"] names (default:
+    {!Obs.Metrics.default}). *)
 
 val host_timeline : t -> Timeline.t
 val fabric_timeline : t -> Timeline.t

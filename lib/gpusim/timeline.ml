@@ -3,22 +3,30 @@
    appended with an issue time; the engine starts each operation no
    earlier than its previous completion and the issue time, and the
    completion time is returned.  Busy time is accumulated per
-   user-supplied category for reporting. *)
+   user-supplied category for reporting.
+
+   With logging enabled the timeline additionally keeps its individual
+   operations in a bounded ring buffer — that log is what the Chrome
+   trace exporter renders as this engine's lane. *)
+
+type op = { op_start : float; op_finish : float; op_category : string }
 
 type t = {
   name : string;
   mutable ready : float; (* completion time of the last scheduled op *)
   busy : (string, float) Hashtbl.t;
+  mutable ops : op Obs.Ring.t option; (* per-op log when enabled *)
 }
 
-let create name = { name; ready = 0.0; busy = Hashtbl.create 8 }
+let create name = { name; ready = 0.0; busy = Hashtbl.create 8; ops = None }
 
 let name t = t.name
 let ready t = t.ready
 
 let reset t =
   t.ready <- 0.0;
-  Hashtbl.reset t.busy
+  Hashtbl.reset t.busy;
+  match t.ops with None -> () | Some r -> Obs.Ring.clear r
 
 (* Schedule an operation of the given duration that cannot start before
    [after].  Returns (start, finish). *)
@@ -29,6 +37,10 @@ let schedule t ~after ~duration ~category =
   t.ready <- finish;
   let old = Option.value ~default:0.0 (Hashtbl.find_opt t.busy category) in
   Hashtbl.replace t.busy category (old +. duration);
+  (match t.ops with
+   | None -> ()
+   | Some r ->
+     Obs.Ring.push r { op_start = start; op_finish = finish; op_category = category });
   (start, finish)
 
 (* Force the engine to be idle until at least [time] (a synchronization
@@ -41,6 +53,25 @@ let busy_in t category =
 let total_busy t = Hashtbl.fold (fun _ v acc -> acc +. v) t.busy 0.0
 
 let categories t = Hashtbl.fold (fun k _ acc -> k :: acc) t.busy []
+
+(* Idle time within a span of [span] seconds: the span minus every
+   busy second, clamped at zero (an engine can be scheduled past the
+   span's end by in-flight work). *)
+let idle_in t ~span = Float.max 0.0 (span -. total_busy t)
+
+(* Busy fraction of a span, clamped to [0, 1]. *)
+let utilization t ~span =
+  if span <= 0.0 then 0.0 else Float.min 1.0 (total_busy t /. span)
+
+(* --- Per-operation log ------------------------------------------------- *)
+
+let enable_log ?(capacity = 65536) t =
+  match t.ops with
+  | Some r when Obs.Ring.capacity r = capacity -> ()
+  | _ -> t.ops <- Some (Obs.Ring.create ~capacity)
+
+let log t = match t.ops with None -> [] | Some r -> Obs.Ring.to_list r
+let log_dropped t = match t.ops with None -> 0 | Some r -> Obs.Ring.dropped r
 
 let pp fmt t =
   Format.fprintf fmt "%s: ready=%.6fs busy=%.6fs" t.name t.ready (total_busy t)

@@ -4,6 +4,9 @@
 
 type t
 
+(** One logged operation (only kept when logging is enabled). *)
+type op = { op_start : float; op_finish : float; op_category : string }
+
 val create : string -> t
 val name : t -> string
 
@@ -26,4 +29,20 @@ val busy_in : t -> string -> float
 
 val total_busy : t -> float
 val categories : t -> string list
+
+val idle_in : t -> span:float -> float
+(** [span] minus the total busy seconds, clamped at zero. *)
+
+val utilization : t -> span:float -> float
+(** Busy fraction of a span, clamped to [0, 1]; 0 for empty spans. *)
+
+val enable_log : ?capacity:int -> t -> unit
+(** Keep each scheduled operation in a bounded ring buffer (oldest
+    dropped).  Idempotent for an unchanged capacity. *)
+
+val log : t -> op list
+(** Logged operations in schedule order ([] when logging is off). *)
+
+val log_dropped : t -> int
+
 val pp : Format.formatter -> t -> unit

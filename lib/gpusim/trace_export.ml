@@ -1,0 +1,181 @@
+(* Chrome-trace export of one simulated run.
+
+   Mapping (devices are processes, engines are threads):
+
+     pid 0        "host"    tid 0 host timeline   tid 1 spans   tid 2 faults
+     pid 1        "fabric"  tid 0 bus occupancy
+     pid 2 + d    "dev d"   tid 0 compute   tid 1 copy_in   tid 2 copy_out
+
+   Device lanes are built from the machine's event trace (which knows
+   the endpoints and byte counts); the host and fabric lanes come from
+   their per-operation timeline logs; host-side spans that carried a
+   simulated-time sampler are rendered on the spans lane.  Everything
+   is on the *simulated* clock (microseconds) — wall-clock-only spans
+   (toolchain phases) belong to the profile report, not the trace.
+
+   Requires [Machine.enable_trace] before the run; with tracing off
+   the export degrades to metadata plus host/fabric lanes only. *)
+
+let host_pid = 0
+let fabric_pid = 1
+let device_pid d = 2 + d
+
+let host_tid_timeline = 0
+let host_tid_spans = 1
+let host_tid_faults = 2
+
+let tid_compute = 0
+let tid_copy_in = 1
+let tid_copy_out = 2
+
+let us seconds = seconds *. 1e6
+
+let metadata m =
+  let open Obs.Chrome_trace in
+  [
+    Process_name { pid = host_pid; name = "host" };
+    Thread_name { pid = host_pid; tid = host_tid_timeline; name = "host thread" };
+    Thread_name { pid = host_pid; tid = host_tid_spans; name = "engine spans" };
+    Thread_name { pid = host_pid; tid = host_tid_faults; name = "faults" };
+    Process_name { pid = fabric_pid; name = "fabric" };
+    Thread_name { pid = fabric_pid; tid = 0; name = "bus" };
+  ]
+  @ List.concat
+      (List.init (Machine.n_devices m) (fun d ->
+           [
+             Process_name
+               { pid = device_pid d; name = Printf.sprintf "dev%d" d };
+             Thread_name { pid = device_pid d; tid = tid_compute; name = "compute" };
+             Thread_name { pid = device_pid d; tid = tid_copy_in; name = "copy_in" };
+             Thread_name
+               { pid = device_pid d; tid = tid_copy_out; name = "copy_out" };
+           ]))
+
+let endpoint d = if d < 0 then "host" else Printf.sprintf "dev%d" d
+
+(* One machine event, spread onto the engine lane(s) it occupied. *)
+let event_lanes (e : Machine.event) =
+  let open Obs.Chrome_trace in
+  let ts = us e.Machine.ev_start in
+  let dur = us (e.Machine.ev_finish -. e.Machine.ev_start) in
+  let transfer name lanes =
+    let args =
+      [
+        ("bytes", Obs.Json.Int e.Machine.ev_bytes);
+        ("src", Obs.Json.Str (endpoint e.Machine.ev_src));
+        ("dst", Obs.Json.Str (endpoint e.Machine.ev_dst));
+      ]
+    in
+    List.map
+      (fun (pid, tid) ->
+         Complete { name; cat = "transfer"; pid; tid; ts; dur; args })
+      lanes
+  in
+  match e.Machine.ev_kind with
+  | `Kernel ->
+    [
+      Complete
+        {
+          name = "kernel";
+          cat = "kernel";
+          pid = device_pid e.Machine.ev_src;
+          tid = tid_compute;
+          ts;
+          dur;
+          args = [];
+        };
+    ]
+  | `H2d -> transfer "h2d" [ (device_pid e.Machine.ev_dst, tid_copy_in) ]
+  | `D2h -> transfer "d2h" [ (device_pid e.Machine.ev_src, tid_copy_out) ]
+  | `P2p ->
+    let src_lane = (device_pid e.Machine.ev_src, tid_copy_out) in
+    if e.Machine.ev_src = e.Machine.ev_dst then transfer "p2p" [ src_lane ]
+    else
+      transfer "p2p"
+        [ src_lane; (device_pid e.Machine.ev_dst, tid_copy_in) ]
+  | `Fault ->
+    [
+      Instant
+        {
+          name = "fault";
+          cat = "fault";
+          pid = host_pid;
+          tid = host_tid_faults;
+          ts;
+          args =
+            [
+              ("src", Obs.Json.Str (endpoint e.Machine.ev_src));
+              ("dst", Obs.Json.Str (endpoint e.Machine.ev_dst));
+            ];
+        };
+    ]
+
+let timeline_lane ~pid ~tid ~cat tl =
+  List.map
+    (fun (op : Timeline.op) ->
+       Obs.Chrome_trace.Complete
+         {
+           name = op.Timeline.op_category;
+           cat;
+           pid;
+           tid;
+           ts = us op.Timeline.op_start;
+           dur = us (op.Timeline.op_finish -. op.Timeline.op_start);
+           args = [];
+         })
+    (Timeline.log tl)
+
+let span_events spans =
+  List.filter_map
+    (fun (s : Obs.Span.record) ->
+       if Float.is_nan s.Obs.Span.sp_sim_start then None
+       else
+         Some
+           (Obs.Chrome_trace.Complete
+              {
+                name =
+                  (if s.Obs.Span.sp_cat = "" then s.Obs.Span.sp_name
+                   else s.Obs.Span.sp_cat ^ "." ^ s.Obs.Span.sp_name);
+                cat = "span";
+                pid = host_pid;
+                tid = host_tid_spans;
+                ts = us s.Obs.Span.sp_sim_start;
+                dur = us (s.Obs.Span.sp_sim_stop -. s.Obs.Span.sp_sim_start);
+                args =
+                  [
+                    ( "wall_us",
+                      Obs.Json.Float
+                        (us (s.Obs.Span.sp_wall_stop -. s.Obs.Span.sp_wall_start))
+                    );
+                    ("depth", Obs.Json.Int s.Obs.Span.sp_depth);
+                  ];
+              }))
+    spans
+
+(* Lane, then time; longer events first on ties so nested spans render
+   (and validate) properly.  This also guarantees per-lane monotone
+   timestamps regardless of the order events were gathered in. *)
+let lane_order a b =
+  let open Obs.Chrome_trace in
+  let key = function
+    | Complete e -> (e.pid, e.tid, e.ts, -.e.dur)
+    | Instant e -> (e.pid, e.tid, e.ts, 0.0)
+    | Process_name e -> (e.pid, -1, neg_infinity, 0.0)
+    | Thread_name e -> (e.pid, e.tid, neg_infinity, 0.0)
+  in
+  compare (key a) (key b)
+
+let events ?(spans = []) m =
+  let timing =
+    List.concat_map event_lanes (Machine.trace m)
+    @ timeline_lane ~pid:host_pid ~tid:host_tid_timeline ~cat:"host"
+        (Machine.host_timeline m)
+    @ timeline_lane ~pid:fabric_pid ~tid:0 ~cat:"fabric"
+        (Machine.fabric_timeline m)
+    @ span_events spans
+  in
+  metadata m @ List.stable_sort lane_order timing
+
+let to_json ?spans m = Obs.Chrome_trace.to_json (events ?spans m)
+let to_string ?spans m = Obs.Chrome_trace.to_string (events ?spans m)
+let write ?spans ~file m = Obs.Chrome_trace.write ~file (events ?spans m)

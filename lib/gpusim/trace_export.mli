@@ -1,0 +1,15 @@
+(** Chrome-trace export of one simulated run: devices as processes,
+    engines (compute stream, copy engines, fabric, host) as threads,
+    plus a lane for host-side spans that carry simulated time.  All
+    timestamps are simulated microseconds.  Enable
+    {!Machine.enable_trace} before the run for the device lanes. *)
+
+val device_pid : int -> int
+(** Process id a device's lanes appear under (host is 0, fabric 1). *)
+
+val events : ?spans:Obs.Span.record list -> Machine.t -> Obs.Chrome_trace.event list
+(** Metadata first, then timing events sorted per lane. *)
+
+val to_json : ?spans:Obs.Span.record list -> Machine.t -> Obs.Json.t
+val to_string : ?spans:Obs.Span.record list -> Machine.t -> string
+val write : ?spans:Obs.Span.record list -> file:string -> Machine.t -> unit

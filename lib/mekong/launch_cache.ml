@@ -92,7 +92,9 @@ let find_or_build t key ~build =
     t.hits <- t.hits + 1;
     plan
   | None ->
-    let plan = build () in
+    let plan =
+      Obs.Span.with_span ~cat:"launch_cache" ("plan:" ^ key.kernel) build
+    in
     t.misses <- t.misses + 1;
     Hashtbl.replace t.table key plan;
     plan
@@ -103,12 +105,22 @@ let find_or_compile t ckey ~compile =
     t.chits <- t.chits + 1;
     (ck, `Hit)
   | None ->
-    let ck = compile () in
+    let ck =
+      Obs.Span.with_span ~cat:"launch_cache" ("compile:" ^ ckey.ck_kernel)
+        compile
+    in
     t.cmisses <- t.cmisses + 1;
     Hashtbl.replace t.compiled ckey ck;
     (ck, `Miss)
 
 let compile_stats t = { hits = t.chits; misses = t.cmisses }
+
+let publish_metrics ?(into = Obs.Metrics.default) t =
+  let set n v = Obs.Metrics.set into n (float_of_int v) in
+  set "cache.plan_hits" t.hits;
+  set "cache.plan_misses" t.misses;
+  set "cache.compile_hits" t.chits;
+  set "cache.compile_misses" t.cmisses
 
 let pp_stats fmt (s : stats) =
   Format.fprintf fmt "plan cache: %d hits / %d misses" s.hits s.misses

@@ -75,3 +75,7 @@ val no_stats : stats
 (** All-zero counters (reported by cache-disabled runs). *)
 
 val pp_stats : Format.formatter -> stats -> unit
+
+val publish_metrics : ?into:Obs.Metrics.t -> t -> unit
+(** Snapshot both tables' hit/miss counters into a metrics registry
+    under stable ["cache.*"] names (default: {!Obs.Metrics.default}). *)

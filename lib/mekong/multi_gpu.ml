@@ -96,6 +96,20 @@ type result = {
          launches, interpreter fallbacks *)
 }
 
+let publish_metrics ?(into = Obs.Metrics.default) (r : result) =
+  let set n v = Obs.Metrics.set into n v in
+  let seti n v = set n (float_of_int v) in
+  set "engine.time_seconds" r.time;
+  seti "engine.transfers" r.transfers;
+  seti "cache.plan_hits" r.cache.Launch_cache.hits;
+  seti "cache.plan_misses" r.cache.Launch_cache.misses;
+  seti "faults.observed" r.faults.fr_faults;
+  seti "faults.retries" r.faults.fr_retries;
+  seti "faults.replays" r.faults.fr_replays;
+  seti "faults.devices_lost" r.faults.fr_devices_lost;
+  Kcompile.publish_metrics ~into r.exec;
+  Gpusim.Machine.publish_metrics ~into r.machine
+
 (* Common parameter bindings of one launch: scalar arguments plus block
    and grid dimensions. *)
 let launch_bindings kernel ~grid ~block ~args =
@@ -131,6 +145,10 @@ let run ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d) ?(cache = true)
   in
   let exec_stats = Kcompile.new_stats () in
   let m = machine in
+  (* Engine phases are spanned on the simulated host clock as well as
+     wall time, so the trace shows where simulated time is created. *)
+  let sim () = Gpusim.Machine.host_time m in
+  let span name f = Obs.Span.with_span ~cat:"engine" ~sim name f in
   let host_costs = (Gpusim.Machine.config m).Gpusim.Config.host in
   let n_devices = Gpusim.Machine.n_devices m in
   Gpusim.Machine.set_active_devices m n_devices;
@@ -288,24 +306,26 @@ let run ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d) ?(cache = true)
     let partitions = plan.Launch_cache.pl_partitions in
     (* (2) of §5: synchronize all buffers read by the kernel. *)
     if cfg.Gpu_runtime.Rconfig.patterns then
-      List.iter
-        (fun (pp : Launch_cache.partition_plan) ->
-           List.iter
-             (fun { Launch_cache.rg_buf; rg_ranges; rg_raw } ->
-                let vb = find rg_buf in
-                let ops, transfers =
-                  with_tracker_ops vb (fun () ->
-                      Gpu_runtime.Vbuf.sync_for_read ~cfg
-                        ~batch:(tiling = `Two_d) vb
-                        ~dev:pp.Launch_cache.pp_part.Partition.device
-                        ~ranges:rg_ranges)
-                in
-                total_transfers := !total_transfers + transfers;
-                charge ~tracker_ops:ops ~ranges:rg_raw ~dispatches:0)
-             pp.Launch_cache.pp_reads)
-        partitions;
-    Gpusim.Machine.synchronize m;
+      span "sync_reads" (fun () ->
+          List.iter
+            (fun (pp : Launch_cache.partition_plan) ->
+               List.iter
+                 (fun { Launch_cache.rg_buf; rg_ranges; rg_raw } ->
+                    let vb = find rg_buf in
+                    let ops, transfers =
+                      with_tracker_ops vb (fun () ->
+                          Gpu_runtime.Vbuf.sync_for_read ~cfg
+                            ~batch:(tiling = `Two_d) vb
+                            ~dev:pp.Launch_cache.pp_part.Partition.device
+                            ~ranges:rg_ranges)
+                    in
+                    total_transfers := !total_transfers + transfers;
+                    charge ~tracker_ops:ops ~ranges:rg_raw ~dispatches:0)
+                 pp.Launch_cache.pp_reads)
+            partitions);
+    span "barrier" (fun () -> Gpusim.Machine.synchronize m);
     (* (3): launch each partition on its device. *)
+    span "launch" (fun () ->
     List.iter
       (fun (pp : Launch_cache.partition_plan) ->
          let buffer_of name =
@@ -370,29 +390,31 @@ let run ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d) ?(cache = true)
                  exec_stats.Kcompile.st_interpreted + 1;
                Keval.run ck.ck_partitioned ~grid:launch_grid ~block
                  ~args:scalar_args ~load ~store))
-      partitions;
+      partitions);
     (* (4): update the trackers to account for the writes. *)
     if cfg.Gpu_runtime.Rconfig.patterns then
-      List.iter
-        (fun (pp : Launch_cache.partition_plan) ->
-           List.iter
-             (fun { Launch_cache.rg_buf; rg_ranges; rg_raw } ->
-                let vb = find rg_buf in
-                let ops, () =
-                  with_tracker_ops vb (fun () ->
-                      Gpu_runtime.Vbuf.update_for_write ~cfg vb
-                        ~dev:pp.Launch_cache.pp_part.Partition.device
-                        ~ranges:rg_ranges)
-                in
-                charge ~tracker_ops:ops ~ranges:rg_raw ~dispatches:0)
-             pp.Launch_cache.pp_writes)
-        partitions;
+      span "tracker_update" (fun () ->
+          List.iter
+            (fun (pp : Launch_cache.partition_plan) ->
+               List.iter
+                 (fun { Launch_cache.rg_buf; rg_ranges; rg_raw } ->
+                    let vb = find rg_buf in
+                    let ops, () =
+                      with_tracker_ops vb (fun () ->
+                          Gpu_runtime.Vbuf.update_for_write ~cfg vb
+                            ~dev:pp.Launch_cache.pp_part.Partition.device
+                            ~ranges:rg_ranges)
+                    in
+                    charge ~tracker_ops:ops ~ranges:rg_raw ~dispatches:0)
+                 pp.Launch_cache.pp_writes)
+            partitions);
     (* (4b): instrumented write-set collection (paper §11 fallback).
        The shadow kernel runs once per partition, recording the exact
        elements written; a dynamic check rejects cross-partition
        write-after-write hazards, then the trackers are updated. *)
     (match ck.ck_shadow with
      | Some shadow when cfg.Gpu_runtime.Rconfig.patterns ->
+       span "shadow" @@ fun () ->
        if not (Gpusim.Machine.is_functional m) then
          invalid_arg
            "Multi_gpu: instrumented writes require a functional machine";
@@ -539,6 +561,7 @@ let run ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d) ?(cache = true)
     ref None
   in
   let take_checkpoint index =
+    span "checkpoint" @@ fun () ->
     let bufs =
       Hashtbl.fold
         (fun name vb acc -> (name, vb, Gpu_runtime.Vbuf.checkpoint ~cfg vb) :: acc)
@@ -550,6 +573,7 @@ let run ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d) ?(cache = true)
     ckpt := Some (index, bufs)
   in
   let restore_checkpoint () =
+    span "replay" @@ fun () ->
     match !ckpt with
     | Some (index, bufs) ->
       let kept = List.map (fun (_, vb, _) -> vb) bufs in
@@ -574,6 +598,7 @@ let run ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d) ?(cache = true)
      replicas that are still fresh.  Only if some range has no fresh
      copy anywhere do we pay a replay from the last checkpoint. *)
   let handle_loss dead =
+    span "recovery" @@ fun () ->
     incr devices_lost;
     live := List.filter (fun d -> d <> dead) !live;
     if !live = [] then

@@ -65,6 +65,12 @@ val launch_bindings :
   Kir.t -> grid:Dim3.t -> block:Dim3.t -> args:Host_ir.harg list ->
   (string * int) list
 
+val publish_metrics : ?into:Obs.Metrics.t -> result -> unit
+(** Snapshot everything one run produced — engine, cache, fault,
+    executor and machine counters — into a metrics registry under
+    stable ["engine.*"]/["cache.*"]/["faults.*"]/["exec.*"]/
+    ["gpusim.*"] names (default: {!Obs.Metrics.default}). *)
+
 val run :
   ?cfg:Gpu_runtime.Rconfig.t ->
   ?tiling:[ `One_d | `Two_d ] ->

@@ -1,0 +1,63 @@
+(* Per-run profile collection: the glue between the simulator/engine
+   state and the plain-data [Obs.Report.t].
+
+   The byte matrix comes straight from [Machine.byte_matrix], which is
+   charged at exactly the sites that charge [Machine.stats] — the
+   report's matrix totals therefore reconcile exactly with the h2d /
+   d2h / p2p byte counters, and [Report.matrix_totals] is the check.
+
+   Counters are published into a *fresh* registry here (never the
+   process-wide default), so a profile never mixes two runs. *)
+
+let collect ?result ?(spans = true) (m : Gpusim.Machine.t) : Obs.Report.t =
+  let elapsed = Gpusim.Machine.elapsed m in
+  let devices =
+    List.init (Gpusim.Machine.n_devices m) (fun d ->
+        let compute, copy_in, copy_out = Gpusim.Machine.device_timelines m d in
+        let busy tl = Gpusim.Timeline.total_busy tl in
+        let all = busy compute +. busy copy_in +. busy copy_out in
+        {
+          Obs.Report.dr_device = d;
+          dr_compute = busy compute;
+          dr_copy_in = busy copy_in;
+          dr_copy_out = busy copy_out;
+          (* Device idle/utilization are judged against the compute
+             engine: the copy engines overlap it by design, so summing
+             the three lanes would overcount. *)
+          dr_idle = Gpusim.Timeline.idle_in compute ~span:elapsed;
+          dr_util =
+            (if elapsed <= 0.0 then 0.0 else Float.min 1.0 (all /. elapsed));
+          dr_lost = Gpusim.Machine.device_lost m d;
+        })
+  in
+  let host = Gpusim.Machine.host_timeline m in
+  let host_busy =
+    List.map
+      (fun c -> (c, Gpusim.Timeline.busy_in host c))
+      (List.sort compare (Gpusim.Timeline.categories host))
+  in
+  let reg = Obs.Metrics.create () in
+  Gpusim.Machine.publish_metrics ~into:reg m;
+  (match result with
+   | Some r -> Multi_gpu.publish_metrics ~into:reg r
+   | None -> ());
+  let counters =
+    List.filter_map
+      (fun (s : Obs.Metrics.sample) ->
+         (* The per-pair series duplicate the matrix; keep the scalars. *)
+         if s.Obs.Metrics.m_labels = [] then
+           Some (s.Obs.Metrics.m_name, Obs.Metrics.value s)
+         else None)
+      (Obs.Metrics.snapshot reg)
+  in
+  {
+    Obs.Report.rp_elapsed = elapsed;
+    rp_devices = devices;
+    rp_host_busy = host_busy;
+    rp_fabric_busy = Gpusim.Timeline.total_busy (Gpusim.Machine.fabric_timeline m);
+    rp_matrix = Gpusim.Machine.byte_matrix m;
+    rp_counters = counters;
+    rp_spans =
+      (if spans then Obs.Span.summarize (Obs.Span.records ()) else []);
+    rp_trace_dropped = Gpusim.Machine.trace_dropped m;
+  }

@@ -1,0 +1,11 @@
+(** Collect a per-run {!Obs.Report.t} from a machine (and optionally
+    the engine result that ran on it). *)
+
+val collect :
+  ?result:Multi_gpu.result -> ?spans:bool -> Gpusim.Machine.t -> Obs.Report.t
+(** Device busy/idle/utilization rows against [Machine.elapsed], host
+    busy-by-category, fabric busy time, the (src, dst) byte matrix
+    (reconciles exactly with [Machine.stats] — see
+    {!Obs.Report.matrix_totals}), label-free counters from a fresh
+    registry, and — unless [spans:false] — a summary of the span
+    records currently buffered. *)

@@ -25,6 +25,7 @@ let error_message e =
    optimization to a fixpoint, cost estimation and rendering — the
    stand-in for a gpucc invocation's front-end/middle-end/back-end. *)
 let frontend_pass (prog : Host_ir.t) =
+  Obs.Span.with_span ~cat:"toolchain" "frontend" @@ fun () ->
   Host_ir.validate prog;
   List.iter
     (fun k ->
@@ -49,15 +50,18 @@ let pass1 ?assume ?(instrument_writes = false) (prog : Host_ir.t) :
         | Ok a -> go (a :: acc) rest
         | Error reason -> Error { kernel = k.Kir.name; reason })
   in
+  Obs.Span.with_span ~cat:"toolchain" "analyze" @@ fun () ->
   go [] (Host_ir.kernels prog)
 
 (* Pass 2: compile the rewritten application against the model. *)
 let pass2 (model : Model.t) (prog : Host_ir.t) : Multi_gpu.exe =
   ignore (frontend_pass prog);
+  Obs.Span.with_span ~cat:"toolchain" "link" @@ fun () ->
   Multi_gpu.link ~model prog
 
 let compile ?assume ?instrument_writes ?model_file (prog : Host_ir.t) :
   (artifacts, error) result =
+  Obs.Span.with_span ~cat:"toolchain" "compile" @@ fun () ->
   match pass1 ?assume ?instrument_writes prog with
   | Error e -> Error e
   | Ok (model, original_source) ->
@@ -70,7 +74,10 @@ let compile ?assume ?instrument_writes ?model_file (prog : Host_ir.t) :
         Model.load ~file
       | None -> Model.of_string (Model.to_string model)
     in
-    let rewritten_source = Rewriter.rewrite original_source in
+    let rewritten_source =
+      Obs.Span.with_span ~cat:"toolchain" "rewrite" (fun () ->
+          Rewriter.rewrite original_source)
+    in
     let exe = pass2 model prog in
     Ok { model; exe; original_source; rewritten_source; model_file }
 

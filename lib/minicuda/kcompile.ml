@@ -383,6 +383,7 @@ and compile_seq c bound = function
     ((fun env -> f env; g env), b2)
 
 let compile kernel ~grid ~block ~args =
+  Obs.Span.with_span ~cat:"kcompile" kernel.Kir.name @@ fun () ->
   (* Argument binding and extent resolution share the interpreter's
      code, so a bad launch raises here exactly what [Keval.run] would
      raise (both happen before any thread executes). *)
@@ -543,6 +544,15 @@ let add_stats ~into s =
   into.st_seq <- into.st_seq + s.st_seq;
   into.st_par <- into.st_par + s.st_par;
   if s.st_domains > into.st_domains then into.st_domains <- s.st_domains
+
+let publish_metrics ?(into = Obs.Metrics.default) s =
+  let set n v = Obs.Metrics.set into n (float_of_int v) in
+  set "exec.compiles" s.st_compiles;
+  set "exec.cache_hits" s.st_cache_hits;
+  set "exec.interpreted" s.st_interpreted;
+  set "exec.seq_launches" s.st_seq;
+  set "exec.par_launches" s.st_par;
+  set "exec.max_domains" s.st_domains
 
 let pp_stats fmt s =
   Format.fprintf fmt

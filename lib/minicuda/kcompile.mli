@@ -62,3 +62,7 @@ val new_stats : unit -> stats
 val record_path : stats -> [ `Seq | `Par of int ] -> unit
 val add_stats : into:stats -> stats -> unit
 val pp_stats : Format.formatter -> stats -> unit
+
+val publish_metrics : ?into:Obs.Metrics.t -> stats -> unit
+(** Snapshot the counters into a metrics registry under stable
+    ["exec.*"] names (default: {!Obs.Metrics.default}). *)

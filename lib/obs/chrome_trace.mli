@@ -1,0 +1,43 @@
+(** Chrome trace-event JSON (loadable in Perfetto and
+    chrome://tracing): complete/instant/metadata events over integer
+    process and thread ids; timestamps in microseconds.  [validate] is
+    the bundled checker enforcing what the exporters promise. *)
+
+type event =
+  | Complete of {
+      name : string;
+      cat : string;
+      pid : int;
+      tid : int;
+      ts : float;  (** microseconds *)
+      dur : float;  (** microseconds *)
+      args : (string * Json.t) list;
+    }
+  | Instant of {
+      name : string;
+      cat : string;
+      pid : int;
+      tid : int;
+      ts : float;
+      args : (string * Json.t) list;
+    }
+  | Process_name of { pid : int; name : string }
+  | Thread_name of { pid : int; tid : int; name : string }
+
+val to_json : event list -> Json.t
+(** [{"traceEvents": [...], "displayTimeUnit": "ms"}]. *)
+
+val to_string : event list -> string
+val write : file:string -> event list -> unit
+
+val validate : Json.t -> (unit, string) result
+(** Structural check of a parsed trace: required fields with the right
+    types on every event, non-negative durations, per-(pid, tid)-lane
+    monotone timestamps.  Accepts both the object and bare-array
+    forms. *)
+
+val validate_string : string -> (unit, string) result
+val validate_file : file:string -> (unit, string) result
+
+val lanes : Json.t -> (int * int) list
+(** Distinct (pid, tid) lanes carrying timing events, sorted. *)

@@ -1,0 +1,49 @@
+(** Registry of named counters, gauges and histograms with labels —
+    the uniform read-out behind the tree's ad-hoc stats records (which
+    stay in place as hot-path views; [publish_*] helpers in their
+    owning modules snapshot them in here under stable names). *)
+
+type t
+
+val create : unit -> t
+
+val default : t
+(** Process-wide registry for points with nothing to thread through. *)
+
+val reset : t -> unit
+
+val incr : t -> ?labels:(string * string) list -> ?by:int -> string -> unit
+(** Counter: cumulative. *)
+
+val set : t -> ?labels:(string * string) list -> string -> float -> unit
+(** Gauge: most recent value wins. *)
+
+val observe : t -> ?labels:(string * string) list -> string -> float -> unit
+(** Histogram: tracks count/sum/min/max. *)
+
+type kind = Counter | Gauge | Histogram
+
+type sample = {
+  m_name : string;
+  m_labels : (string * string) list;  (** sorted by key *)
+  m_kind : kind;
+  m_count : int;
+  m_sum : float;
+  m_min : float;
+  m_max : float;
+  m_last : float;
+}
+
+val value : sample -> float
+(** Headline value: cumulative sum for counters, last for gauges, sum
+    for histograms. *)
+
+val snapshot : t -> sample list
+(** All series, sorted by (name, labels). *)
+
+val find : t -> ?labels:(string * string) list -> string -> sample option
+val kind_name : kind -> string
+
+val to_json : t -> Json.t
+(** One object per series (name, kind, labels, value; histograms add
+    count/min/max). *)

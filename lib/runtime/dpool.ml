@@ -101,6 +101,9 @@ let shutdown t =
   t.workers <- [||]
 
 let parallel_for ?(max_domains = max_int) t ~n f =
+  (* The span lives on the submitting domain only; worker-domain code
+     must not touch the (domain-unsafe) span stack. *)
+  Obs.Span.with_span ~cat:"dpool" "parallel_for" @@ fun () ->
   if n <= 0 then 0
   else begin
     let participants = min (min t.size (max 1 max_domains)) n in
