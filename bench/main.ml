@@ -76,10 +76,17 @@ let trace_path : string option ref = ref None
    last one is the largest configuration swept). *)
 let last_machine : Gpusim.Machine.t option ref = ref None
 
-let k80 g =
+(* --mem-cap BYTES: finite per-device memory on the partitioned-run
+   machines only (the single-GPU reference keeps unlimited memory — a
+   capped reference would raw-OOM, since [Single_gpu] allocates whole
+   buffers up front with no spill path). *)
+let mem_cap : int option ref = ref None
+
+let k80 ?(capped = true) g =
+  let mem_capacity = if capped then !mem_cap else None in
   let m =
     Gpusim.Machine.create ~functional:false
-      (Gpusim.Config.k80_box ~n_devices:g ())
+      (Gpusim.Config.k80_box ~n_devices:g ?mem_capacity ())
   in
   if !trace_path <> None then Gpusim.Machine.enable_trace m;
   m
@@ -167,7 +174,7 @@ let multi_time ?cfg bench size g =
 (* Simulated time of the NVCC-style single-GPU reference binary. *)
 let reference_time bench size =
   let prog = Apps.Workloads.program bench size in
-  let m = k80 1 in
+  let m = k80 ~capped:false 1 in
   let r = Single_gpu.run ~machine:m prog in
   Kcompile.add_stats ~into:exec_totals r.Single_gpu.exec;
   add_timing
@@ -843,6 +850,123 @@ let run_faultcampaign () =
        baseline\n\n"
 
 (* ------------------------------------------------------------------ *)
+(* Memory pressure: spill-to-host + chunked launches under a capacity   *)
+(* ------------------------------------------------------------------ *)
+
+(* Each workload first runs uncapped to measure its own per-device
+   high-water mark, then again at 100%, 50% and 25% of that capacity.
+   Every capped run must stay bit-identical to the uncapped baseline
+   (the DESIGN.md §15 invariant); the report records the spill traffic,
+   chunk counts and slowdown the capacity costs.  Any divergence or
+   unexpected infeasibility fails the campaign (exit 1). *)
+let run_memcampaign () =
+  Printf.printf "Memory campaign: OOM-safe execution under device capacities\n";
+  Printf.printf
+    "(functional runs on the K80 box; capacity = a fraction of the\n";
+  Printf.printf
+    " workload's own uncapped high-water mark; outputs must stay\n";
+  Printf.printf " bit-identical to the uncapped baseline)\n\n";
+  let devices = 4 in
+  let workloads =
+    [
+      ( "matmul",
+        (* 256x256: large enough that a quarter of the high-water
+           clears the single-axis chunking floor (one partition's full
+           band of A plus one block-column of B). *)
+        fun () ->
+          let p, out, _ = Apps.Workloads.functional_matmul ~n:256 in
+          (p, out) );
+      ( "hotspot",
+        fun () ->
+          let p, out, _ =
+            Apps.Workloads.functional_hotspot ~n:64 ~iterations:6
+          in
+          (p, out) );
+    ]
+  in
+  let compile prog =
+    match Mekong.Toolchain.compile prog with
+    | Ok a -> a.Mekong.Toolchain.exe
+    | Error e -> failwith (Mekong.Toolchain.error_message e)
+  in
+  let machine cap =
+    Gpusim.Machine.create ~functional:true
+      (Gpusim.Config.k80_box ~n_devices:devices ?mem_capacity:cap ())
+  in
+  let violations = ref 0 in
+  Printf.printf "%-8s %5s %9s %11s %9s %7s %9s %7s  %s\n" "App" "frac"
+    "cap(B)" "time(s)" "slowdown" "spills" "spill(B)" "chunks" "verdict";
+  Printf.printf "%s\n" (line 86);
+  List.iter
+    (fun (name, mk) ->
+       let prog, out = mk () in
+       let m0 = machine None in
+       let r0 = Mekong.Multi_gpu.run ~machine:m0 (compile prog) in
+       Kcompile.add_stats ~into:exec_totals r0.Mekong.Multi_gpu.exec;
+       let baseline = Array.copy out in
+       let t0 = r0.Mekong.Multi_gpu.time in
+       let hw = ref 0 in
+       for d = 0 to devices - 1 do
+         hw := max !hw (Gpusim.Machine.mem_high_water m0 d)
+       done;
+       Printf.printf "%-8s %5s %9d %11.5f %9s %7d %9d %7d  %s\n%!" name
+         "free" !hw t0 "1.00x" 0 0 0 "baseline";
+       List.iter
+         (fun denom ->
+            let cap = !hw / denom in
+            let frac = Printf.sprintf "1/%d" denom in
+            let prog, out = mk () in
+            let m = machine (Some cap) in
+            match Mekong.Multi_gpu.run ~machine:m (compile prog) with
+            | exception Failure msg ->
+              incr violations;
+              Printf.printf "%-8s %5s %9d %s\n%!" name frac cap
+                ("FAIL: " ^ msg)
+            | r ->
+              let ok = out = baseline in
+              if not ok then incr violations;
+              Kcompile.add_stats ~into:exec_totals r.Mekong.Multi_gpu.exec;
+              let st = Gpusim.Machine.stats m in
+              let mem = r.Mekong.Multi_gpu.mem in
+              let t = r.Mekong.Multi_gpu.time in
+              last_machine := Some m;
+              add_timing
+                [
+                  ("kind", jstr "mem_run");
+                  ("app", jstr name);
+                  ("fraction", jstr frac);
+                  ("capacity_bytes", jint cap);
+                  ("high_water_bytes", jint !hw);
+                  ("uncapped_seconds", jflt t0);
+                  ("capped_seconds", jflt t);
+                  ("spills", jint st.Gpusim.Machine.n_spills);
+                  ("spill_bytes", jint st.Gpusim.Machine.spill_bytes);
+                  ( "chunked_launches",
+                    jint mem.Mekong.Multi_gpu.mr_chunked_launches );
+                  ("chunks", jint mem.Mekong.Multi_gpu.mr_chunks);
+                  ( "oom_refinements",
+                    jint mem.Mekong.Multi_gpu.mr_oom_refinements );
+                  ("bit_identical", Json_out.Bool ok);
+                ];
+              Printf.printf "%-8s %5s %9d %11.5f %8.2fx %7d %9d %7d  %s\n%!"
+                name frac cap t (t /. t0) st.Gpusim.Machine.n_spills
+                st.Gpusim.Machine.spill_bytes mem.Mekong.Multi_gpu.mr_chunks
+                (if ok then "OK" else "FAIL: output diverged"))
+         [ 1; 2; 4 ])
+    workloads;
+  Printf.printf "%s\n" (line 86);
+  if !violations > 0 then begin
+    Printf.printf
+      "MEMORY CAMPAIGN FAILED: %d bit-identity/feasibility violation(s)\n\n"
+      !violations;
+    campaign_failed := true
+  end
+  else
+    Printf.printf
+      "memory campaign passed: all capped runs bit-identical to the \
+       uncapped baseline\n\n"
+
+(* ------------------------------------------------------------------ *)
 (* Executor: interpreter vs compiled closures vs domain-parallel        *)
 (* ------------------------------------------------------------------ *)
 
@@ -1080,14 +1204,15 @@ let campaigns =
     ("ablation", run_ablation);
     ("cache", run_cachebench);
     ("faults", run_faultcampaign);
+    ("mem", run_memcampaign);
     ("exec", run_exec);
     ("micro", run_micro);
   ]
 
 let usage =
   String.concat "|" (List.map fst campaigns)
-  ^ "|all [--faults SEED,RATE[,DEV@TIME...]] [--repeat N] [--domains N] \
-     [--json PATH] [--trace PATH]"
+  ^ "|all [--faults SEED,RATE[,DEV@TIME...]] [--mem-cap BYTES] [--repeat N] \
+     [--domains N] [--json PATH] [--trace PATH]"
 
 let () =
   let int_flag flag v rest k =
@@ -1106,6 +1231,10 @@ let () =
        | Error e ->
          Printf.eprintf "bad --faults spec %S: %s\n" spec e;
          exit 2)
+    | "--mem-cap" :: v :: rest ->
+      int_flag "--mem-cap" v rest (fun n rest ->
+          mem_cap := Some n;
+          parse acc rest)
     | "--repeat" :: v :: rest ->
       int_flag "--repeat" v rest (fun n rest ->
           repeat := n;
@@ -1122,7 +1251,8 @@ let () =
       Obs.Span.set_clock Unix.gettimeofday;
       Obs.Span.set_enabled true;
       parse acc rest
-    | [ ("--faults" | "--repeat" | "--domains" | "--json" | "--trace") as flag ]
+    | [ ("--faults" | "--mem-cap" | "--repeat" | "--domains" | "--json"
+        | "--trace") as flag ]
       ->
       Printf.eprintf "%s needs an argument\n" flag;
       exit 2

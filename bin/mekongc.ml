@@ -149,8 +149,22 @@ let trace_arg =
           "write a Chrome trace-event JSON of the simulated run (open in \
            Perfetto or chrome://tracing); also enables span recording")
 
+let mem_cap_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "mem-cap" ] ~docv:"BYTES"
+        ~doc:
+          "per-device memory capacity in bytes (default: unlimited); the \
+           engine spills cold segments to the host and chunks launches \
+           that do not fit, and exits with code 2 and a one-line \
+           diagnostic when no chunking fits")
+
 let run_cmd =
-  let run app gpus faults domains trace =
+  let run app gpus faults domains trace mem_cap =
+    (match mem_cap with
+     | Some c when c <= 0 -> die "--mem-cap must be positive (got %d)" c
+     | _ -> ());
     (* The shared pool is sized from the default at first use; a
        --domains larger than the machine's recommended count would
        otherwise be silently capped by a smaller pool. *)
@@ -159,7 +173,7 @@ let run_cmd =
     let artifacts = compile_app app in
     let machine =
       Gpusim.Machine.create ~functional:true
-        (Gpusim.Config.k80_box ~n_devices:gpus ())
+        (Gpusim.Config.k80_box ~n_devices:gpus ?mem_capacity:mem_cap ())
     in
     if trace <> None then Gpusim.Machine.enable_trace machine;
     (match faults with
@@ -178,6 +192,9 @@ let run_cmd =
     if Gpusim.Machine.fault_state machine <> None then
       Format.printf "%a@." Mekong.Multi_gpu.pp_fault_report
         res.Mekong.Multi_gpu.faults;
+    if mem_cap <> None then
+      Format.printf "%a@." Mekong.Multi_gpu.pp_mem_report
+        res.Mekong.Multi_gpu.mem;
     match trace with
     | Some file ->
       Gpusim.Trace_export.write ~spans:(Obs.Span.records ()) ~file machine;
@@ -185,7 +202,9 @@ let run_cmd =
     | None -> ()
   in
   Cmd.v (Cmd.info "run" ~doc:"compile and run on simulated GPUs")
-    Term.(const run $ app_arg $ gpus_arg $ faults_arg $ domains_arg $ trace_arg)
+    Term.(
+      const run $ app_arg $ gpus_arg $ faults_arg $ domains_arg $ trace_arg
+      $ mem_cap_arg)
 
 let json_flag =
   Arg.(value & flag & info [ "json" ] ~doc:"emit the report as JSON")

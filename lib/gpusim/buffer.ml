@@ -9,16 +9,27 @@ type t = {
   id : int;
   device : int; (* owning device, or -1 for host-pinned staging *)
   len : int; (* elements *)
+  charged_bytes : int;
+      (* bytes charged against the device's capacity at creation; 0
+         for virtual buffers whose residency is accounted segment-wise
+         by the runtime *)
   data : float array option; (* Some in functional mode *)
 }
 
-let create ~id ~device ~len ~functional =
+let create ~id ~device ~len ~charged_bytes ~functional =
   if len < 0 then invalid_arg "Buffer.create: negative length";
-  { id; device; len; data = (if functional then Some (Array.make len 0.0) else None) }
+  {
+    id;
+    device;
+    len;
+    charged_bytes;
+    data = (if functional then Some (Array.make len 0.0) else None);
+  }
 
 let id b = b.id
 let device b = b.device
 let len b = b.len
+let charged_bytes b = b.charged_bytes
 
 let data_exn b =
   match b.data with
@@ -48,5 +59,6 @@ let blit ~src ~src_off ~dst ~dst_off ~len =
 let check_range b ~off ~len ~what =
   if off < 0 || len < 0 || off + len > b.len then
     invalid_arg
-      (Printf.sprintf "%s: range [%d,%d) outside buffer %d of length %d" what
-         off (off + len) b.id b.len)
+      (Printf.sprintf
+         "%s: range [%d,%d) outside buffer %d of length %d on device %d" what
+         off (off + len) b.id b.len b.device)

@@ -4,7 +4,9 @@
 
 type t
 
-val create : id:int -> device:int -> len:int -> functional:bool -> t
+val create :
+  id:int -> device:int -> len:int -> charged_bytes:int -> functional:bool -> t
+
 val id : t -> int
 
 val device : t -> int
@@ -12,6 +14,10 @@ val device : t -> int
 
 val len : t -> int
 (** Element count. *)
+
+val charged_bytes : t -> int
+(** Bytes charged against the owning device's capacity at creation; 0
+    for virtual buffers accounted segment-wise by the runtime. *)
 
 val data_exn : t -> float array
 (** The backing data; raises [Invalid_argument] on performance-mode

@@ -44,11 +44,60 @@ type t = {
       (* host cost of synchronizing with one device (cudaSetDevice +
          cudaDeviceSynchronize per context) *)
   elem_bytes : int; (* bytes per array element *)
+  mem_capacity : int;
+      (* device-memory capacity in bytes per die.  Allocations and
+         resident segments are charged against it; exceeding it raises
+         [Machine.Out_of_memory].  The default is [max_int]
+         (effectively unlimited) so capacity is opt-in; a real K80 die
+         has 12 GiB. *)
   host : host_costs;
   faults : Faults.spec option;
       (* fault-injection spec applied to machines built over this
          config; None = ideal hardware (the default everywhere) *)
 }
+
+(* Construction-time sanity checks.  Every rate and capacity below
+   feeds a division or a comparison in the simulator; a zero or
+   negative value there silently produces NaN/negative simulated times
+   (or an accounting model where nothing ever fits), so reject them
+   loudly instead. *)
+let validate t =
+  let reject field detail =
+    invalid_arg
+      (Printf.sprintf "Config %s: %s must be %s" t.name field detail)
+  in
+  let positive_int field v =
+    if v <= 0 then reject field (Printf.sprintf "positive (got %d)" v)
+  in
+  let positive_rate field v =
+    if not (v > 0.0) then
+      reject field (Printf.sprintf "a positive rate (got %g)" v)
+  in
+  let non_negative field v =
+    if not (v >= 0.0) then
+      reject field (Printf.sprintf "non-negative (got %g)" v)
+  in
+  positive_int "n_devices" t.n_devices;
+  positive_int "sms_per_device" t.sms_per_device;
+  positive_int "blocks_per_sm" t.blocks_per_sm;
+  positive_int "total_dies" t.total_dies;
+  positive_int "elem_bytes" t.elem_bytes;
+  positive_int "mem_capacity" t.mem_capacity;
+  positive_rate "ops_per_sm" t.ops_per_sm;
+  positive_rate "pcie_bandwidth" t.pcie_bandwidth;
+  positive_rate "p2p_bandwidth" t.p2p_bandwidth;
+  positive_rate "dmem_bandwidth" t.dmem_bandwidth;
+  positive_rate "fabric_bandwidth" t.fabric_bandwidth;
+  if not (t.autoboost_derate >= 0.0 && t.autoboost_derate < 1.0) then
+    reject "autoboost_derate"
+      (Printf.sprintf "in [0,1) (got %g)" t.autoboost_derate);
+  non_negative "transfer_latency" t.transfer_latency;
+  non_negative "launch_latency" t.launch_latency;
+  non_negative "sync_device_seconds" t.sync_device_seconds;
+  non_negative "host.tracker_op_seconds" t.host.tracker_op_seconds;
+  non_negative "host.range_seconds" t.host.range_seconds;
+  non_negative "host.dispatch_seconds" t.host.dispatch_seconds;
+  t
 
 let k80_host_costs =
   {
@@ -61,8 +110,9 @@ let k80_host_costs =
    operations (one "op" bundles an instruction and its share of memory
    traffic), calibrated so the Hotspot Medium iteration lands near the
    9 ms a memory-bound 16384^2 stencil takes on one K80 die. *)
-let k80_box ?(n_devices = 16) () =
-  {
+let k80_box ?(n_devices = 16) ?(mem_capacity = max_int) () =
+  validate
+    {
     name = "supermicro-x10drg-k80";
     n_devices;
     sms_per_device = 13;
@@ -79,15 +129,16 @@ let k80_box ?(n_devices = 16) () =
     transfer_latency = 40.0e-6;
     launch_latency = 8.0e-6;
     sync_device_seconds = 10.0e-6;
-    elem_bytes = 4;
-    host = k80_host_costs;
-    faults = None;
-  }
+      elem_bytes = 4;
+      mem_capacity;
+      host = k80_host_costs;
+      faults = None;
+    }
 
 (* A tiny machine for functional tests: timing constants are irrelevant
    there, device count is what matters. *)
-let test_box ?(n_devices = 4) () =
-  { (k80_box ~n_devices ()) with name = "test-box" }
+let test_box ?(n_devices = 4) ?mem_capacity () =
+  { (k80_box ~n_devices ?mem_capacity ()) with name = "test-box" }
 
 (* Per-die throughput factor when [active] dies are busy out of the
    box's thermal envelope of [total_dies]. *)

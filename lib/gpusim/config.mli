@@ -35,6 +35,10 @@ type t = {
   sync_device_seconds : float;
       (** host cost of synchronizing with one device context *)
   elem_bytes : int;  (** bytes per array element *)
+  mem_capacity : int;
+      (** device-memory bytes per die; allocations and resident
+          segments are charged against it ([max_int] = unlimited, the
+          default; a real K80 die has 12 GiB) *)
   host : host_costs;
   faults : Faults.spec option;
       (** fault-injection spec applied to machines built over this
@@ -43,10 +47,18 @@ type t = {
 
 val k80_host_costs : host_costs
 
-val k80_box : ?n_devices:int -> unit -> t
-(** The calibrated K80-class box (default 16 devices). *)
+val validate : t -> t
+(** Sanity-check a config, raising [Invalid_argument] with the field
+    name on non-positive bandwidths, op rates, counts or
+    [mem_capacity], a derate outside [0,1), or negative latencies.
+    Returns the config unchanged when valid.  [Machine.create] calls
+    this, so hand-built configs are checked too. *)
 
-val test_box : ?n_devices:int -> unit -> t
+val k80_box : ?n_devices:int -> ?mem_capacity:int -> unit -> t
+(** The calibrated K80-class box (default 16 devices, unlimited
+    device memory). *)
+
+val test_box : ?n_devices:int -> ?mem_capacity:int -> unit -> t
 (** Machine for functional tests (timing constants irrelevant there). *)
 
 val boost_factor : t -> active:int -> float

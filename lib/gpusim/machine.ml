@@ -26,6 +26,11 @@ type device = {
   copy_in : Timeline.t;
   copy_out : Timeline.t;
   buffers : (int, Buffer.t) Hashtbl.t;
+  mutable mem_used : int; (* bytes currently charged against capacity *)
+  mutable mem_high : int; (* high-water mark of [mem_used] *)
+  mutable mem_pressure : bool;
+      (* above the 90%-of-capacity threshold; trace events are emitted
+         on crossings, not on every reserve *)
 }
 
 type stats = {
@@ -35,6 +40,8 @@ type stats = {
   mutable n_transfers : int;
   mutable n_launches : int;
   mutable n_faults : int; (* transient faults and device losses observed *)
+  mutable spill_bytes : int; (* bytes evicted device->host under pressure *)
+  mutable n_spills : int; (* spill operations *)
   mutable kernel_seconds : float;
   mutable pattern_seconds : float;
   mutable transfer_seconds : float;
@@ -42,10 +49,10 @@ type stats = {
 
 (* One entry of the optional execution trace. *)
 type event = {
-  ev_kind : [ `Kernel | `H2d | `D2h | `P2p | `Fault ];
+  ev_kind : [ `Kernel | `H2d | `D2h | `P2p | `Fault | `Mem ];
   ev_src : int; (* device id, or -1 for host *)
   ev_dst : int;
-  ev_bytes : int; (* 0 for kernels *)
+  ev_bytes : int; (* 0 for kernels; bytes in use for `Mem *)
   ev_start : float;
   ev_finish : float;
 }
@@ -56,6 +63,12 @@ type event = {
    owned. *)
 exception Transient_fault of { op : string; device : int }
 exception Device_lost of int
+
+(* Raised when a reservation would push a device past its configured
+   capacity; [free] is what remained at that point.  Callers (the
+   runtime's spiller, the engine's chunker) treat it as a request to
+   make room, not a crash. *)
+exception Out_of_memory of { device : int; requested : int; free : int }
 
 type t = {
   cfg : Config.t;
@@ -78,11 +91,15 @@ type t = {
          dropped on overflow and the drops are counted *)
   mutable faults : Faults.t option;
       (* fault-injection state; None = ideal hardware *)
+  mutable lru_clock : int;
+      (* monotone counter handed out by [lru_tick]; the runtime stamps
+         resident segments with it to order evictions *)
 }
 
 let issue_overhead = 1.5e-6 (* host-side cost of issuing one async op *)
 
 let create ?(functional = false) cfg =
+  let cfg = Config.validate cfg in
   {
     cfg;
     functional;
@@ -94,6 +111,9 @@ let create ?(functional = false) cfg =
             copy_in = Timeline.create (Printf.sprintf "dev%d.copy_in" i);
             copy_out = Timeline.create (Printf.sprintf "dev%d.copy_out" i);
             buffers = Hashtbl.create 16;
+            mem_used = 0;
+            mem_high = 0;
+            mem_pressure = false;
           });
     host = Timeline.create "host";
     fabric = Timeline.create "fabric";
@@ -105,6 +125,8 @@ let create ?(functional = false) cfg =
         n_transfers = 0;
         n_launches = 0;
         n_faults = 0;
+        spill_bytes = 0;
+        n_spills = 0;
         kernel_seconds = 0.0;
         pattern_seconds = 0.0;
         transfer_seconds = 0.0;
@@ -117,6 +139,7 @@ let create ?(functional = false) cfg =
       (match cfg.Config.faults with
        | Some spec when not (Faults.is_null spec) -> Some (Faults.create spec)
        | _ -> None);
+    lru_clock = 0;
   }
 
 (* Enable event tracing.  Events land in a bounded ring buffer (the
@@ -219,16 +242,83 @@ let fail_lost m ~op:_ d =
 
 (* --- Memory management ------------------------------------------------ *)
 
-let alloc m ~device:d ~len =
+let mem_capacity m = m.cfg.Config.mem_capacity
+let mem_used m d = (device m d).mem_used
+let mem_free m d = mem_capacity m - (device m d).mem_used
+let mem_high_water m d = (device m d).mem_high
+
+(* MemPressure trace event: an instant carrying the device's current
+   charge, emitted on 90%-threshold crossings and on OOM. *)
+let record_mem m d =
+  let now = Timeline.ready m.host in
+  record m
+    { ev_kind = `Mem; ev_src = d; ev_dst = d;
+      ev_bytes = (device m d).mem_used; ev_start = now; ev_finish = now }
+
+let under_pressure m dev =
+  let cap = mem_capacity m in
+  dev.mem_used > cap - (cap / 10)
+
+(* Charge [bytes] against device [d]'s capacity.  The check is written
+   as [bytes > free] (never [used + bytes > cap]) so an unlimited
+   capacity of [max_int] cannot overflow. *)
+let mem_reserve m ~device:d ~bytes =
+  if bytes < 0 then invalid_arg "Machine.mem_reserve: negative bytes";
   let dev = device m d in
+  let free = mem_capacity m - dev.mem_used in
+  if bytes > free then begin
+    record_mem m d;
+    raise (Out_of_memory { device = d; requested = bytes; free })
+  end;
+  dev.mem_used <- dev.mem_used + bytes;
+  if dev.mem_used > dev.mem_high then dev.mem_high <- dev.mem_used;
+  let pressured = under_pressure m dev in
+  if pressured && not dev.mem_pressure then record_mem m d;
+  dev.mem_pressure <- pressured
+
+let mem_release m ~device:d ~bytes =
+  if bytes < 0 then invalid_arg "Machine.mem_release: negative bytes";
+  let dev = device m d in
+  if bytes > dev.mem_used then
+    invalid_arg
+      (Printf.sprintf
+         "Machine.mem_release: releasing %d bytes but device %d holds %d"
+         bytes d dev.mem_used);
+  dev.mem_used <- dev.mem_used - bytes;
+  dev.mem_pressure <- under_pressure m dev
+
+(* Monotone stamp for LRU ordering of resident segments. *)
+let lru_tick m =
+  m.lru_clock <- m.lru_clock + 1;
+  m.lru_clock
+
+let note_spill m ~bytes =
+  m.stats.n_spills <- m.stats.n_spills + 1;
+  m.stats.spill_bytes <- m.stats.spill_bytes + bytes
+
+(* [charge:false] creates a *virtual* buffer: address space without a
+   capacity charge.  The runtime's [Vbuf] uses these for its full-size
+   per-device instances and charges only the resident segments via
+   [mem_reserve]/[mem_release]. *)
+let alloc ?(charge = true) m ~device:d ~len =
+  let dev = device m d in
+  let bytes = if charge then len * m.cfg.Config.elem_bytes else 0 in
+  if bytes > 0 then mem_reserve m ~device:d ~bytes;
   let id = m.next_buffer_id in
   m.next_buffer_id <- id + 1;
-  let b = Buffer.create ~id ~device:d ~len ~functional:m.functional in
+  let b =
+    Buffer.create ~id ~device:d ~len ~charged_bytes:bytes
+      ~functional:m.functional
+  in
   Hashtbl.replace dev.buffers id b;
   b
 
 let free m b =
   let dev = device m (Buffer.device b) in
+  if Hashtbl.mem dev.buffers (Buffer.id b) then begin
+    let bytes = Buffer.charged_bytes b in
+    if bytes > 0 then mem_release m ~device:dev.dev_id ~bytes
+  end;
   Hashtbl.remove dev.buffers (Buffer.id b)
 
 (* --- Time -------------------------------------------------------------- *)
@@ -519,9 +609,11 @@ let device_timelines m d =
 
 let pp_stats fmt s =
   Format.fprintf fmt
-    "h2d=%dB d2h=%dB p2p=%dB transfers=%d launches=%d faults=%d kernel=%.6fs transfer=%.6fs pattern=%.6fs"
+    "h2d=%dB d2h=%dB p2p=%dB transfers=%d launches=%d faults=%d spills=%d \
+     spill=%dB kernel=%.6fs transfer=%.6fs pattern=%.6fs"
     s.h2d_bytes s.d2h_bytes s.p2p_bytes s.n_transfers s.n_launches s.n_faults
-    s.kernel_seconds s.transfer_seconds s.pattern_seconds
+    s.n_spills s.spill_bytes s.kernel_seconds s.transfer_seconds
+    s.pattern_seconds
 
 (* Snapshot the stats record into a metrics registry under the stable
    "gpusim." names — the uniform read-out the profile report and the
@@ -542,6 +634,18 @@ let publish_metrics ?(into = Obs.Metrics.default) m =
   seti "gpusim.devices" (n_devices m);
   seti "gpusim.devices_live" (List.length (live_devices m));
   seti "gpusim.trace_dropped" (trace_dropped m);
+  seti "gpusim.mem.spills" s.n_spills;
+  seti "gpusim.mem.spill_bytes" s.spill_bytes;
+  (if mem_capacity m < max_int then
+     set "gpusim.mem.capacity" (float_of_int (mem_capacity m)));
+  Array.iter
+    (fun d ->
+       let labels = [ ("device", string_of_int d.dev_id) ] in
+       Obs.Metrics.set into ~labels "gpusim.mem.used"
+         (float_of_int d.mem_used);
+       Obs.Metrics.set into ~labels "gpusim.mem.high_water"
+         (float_of_int d.mem_high))
+    m.devices;
   List.iter
     (fun ((src, dst), bytes) ->
        Obs.Metrics.set into

@@ -14,10 +14,10 @@ type t
 
 (** One entry of the optional execution trace. *)
 type event = {
-  ev_kind : [ `Kernel | `H2d | `D2h | `P2p | `Fault ];
+  ev_kind : [ `Kernel | `H2d | `D2h | `P2p | `Fault | `Mem ];
   ev_src : int;  (** device id, or -1 for the host *)
   ev_dst : int;
-  ev_bytes : int;  (** 0 for kernels *)
+  ev_bytes : int;  (** 0 for kernels; bytes in use for [`Mem] *)
   ev_start : float;
   ev_finish : float;
 }
@@ -29,6 +29,8 @@ type stats = {
   mutable n_transfers : int;
   mutable n_launches : int;
   mutable n_faults : int;  (** transient faults and device losses observed *)
+  mutable spill_bytes : int;  (** bytes evicted device->host under pressure *)
+  mutable n_spills : int;  (** spill operations *)
   mutable kernel_seconds : float;
   mutable pattern_seconds : float;
   mutable transfer_seconds : float;
@@ -42,7 +44,14 @@ exception Device_lost of int
 (** The device fell off the bus; it stays lost, and every subsequent
     operation touching it raises again. *)
 
+exception Out_of_memory of { device : int; requested : int; free : int }
+(** A reservation would push [device] past its configured capacity;
+    [free] is what remained.  Callers treat it as a request to make
+    room (spill, chunk), not a crash. *)
+
 val create : ?functional:bool -> Config.t -> t
+(** Build a machine over a config (validated via {!Config.validate}). *)
+
 val config : t -> Config.t
 val is_functional : t -> bool
 val n_devices : t -> int
@@ -59,8 +68,43 @@ val device_lost : t -> int -> bool
 val live_devices : t -> int list
 (** Devices still on the bus, in id order. *)
 
-val alloc : t -> device:int -> len:int -> Buffer.t
+val alloc : ?charge:bool -> t -> device:int -> len:int -> Buffer.t
+(** Allocate a buffer on a device.  With [charge] (the default) its
+    bytes are reserved against the device's capacity and
+    [Out_of_memory] is raised when they do not fit; with [~charge:false]
+    the buffer is *virtual* — address space only, accounted segment-wise
+    by the caller through {!mem_reserve}/{!mem_release}. *)
+
 val free : t -> Buffer.t -> unit
+(** Free a buffer, releasing whatever bytes its allocation charged. *)
+
+val mem_capacity : t -> int
+(** Per-device capacity in bytes ([max_int] = unlimited). *)
+
+val mem_used : t -> int -> int
+(** Bytes currently charged against one device. *)
+
+val mem_free : t -> int -> int
+(** Remaining capacity of one device. *)
+
+val mem_high_water : t -> int -> int
+(** High-water mark of [mem_used] for one device. *)
+
+val mem_reserve : t -> device:int -> bytes:int -> unit
+(** Charge bytes against a device's capacity; raises [Out_of_memory]
+    (after recording a [`Mem] trace event) when they do not fit.
+    Crossing 90% of capacity records a MemPressure ([`Mem]) event. *)
+
+val mem_release : t -> device:int -> bytes:int -> unit
+(** Release previously reserved bytes; raises [Invalid_argument] when
+    releasing more than is held (an accounting bug, never data). *)
+
+val lru_tick : t -> int
+(** Next value of a monotone counter; the runtime stamps resident
+    segments with it to order evictions (higher = more recent). *)
+
+val note_spill : t -> bytes:int -> unit
+(** Account one spill operation of [bytes] evicted to the host. *)
 
 val host_time : t -> float
 (** Current host-thread time. *)

@@ -56,12 +56,16 @@ let categories t = Hashtbl.fold (fun k _ acc -> k :: acc) t.busy []
 
 (* Idle time within a span of [span] seconds: the span minus every
    busy second, clamped at zero (an engine can be scheduled past the
-   span's end by in-flight work). *)
-let idle_in t ~span = Float.max 0.0 (span -. total_busy t)
+   span's end by in-flight work).  An empty, zero-length or undefined
+   (NaN) window has no idle time — [Float.max] would propagate the NaN
+   straight into reports otherwise. *)
+let idle_in t ~span =
+  if not (span > 0.0) then 0.0 else Float.max 0.0 (span -. total_busy t)
 
-(* Busy fraction of a span, clamped to [0, 1]. *)
+(* Busy fraction of a span, clamped to [0, 1]; 0 on an empty,
+   zero-length or NaN window (the division would yield NaN/inf). *)
 let utilization t ~span =
-  if span <= 0.0 then 0.0 else Float.min 1.0 (total_busy t /. span)
+  if not (span > 0.0) then 0.0 else Float.min 1.0 (total_busy t /. span)
 
 (* --- Per-operation log ------------------------------------------------- *)
 

@@ -109,6 +109,21 @@ let event_lanes (e : Machine.event) =
             ];
         };
     ]
+  | `Mem ->
+    (* Memory-pressure marker on the device's compute lane: emitted on
+       90%-of-capacity crossings and on out-of-memory, carrying the
+       bytes charged at that moment. *)
+    [
+      Instant
+        {
+          name = "mem_pressure";
+          cat = "mem";
+          pid = device_pid e.Machine.ev_src;
+          tid = tid_compute;
+          ts;
+          args = [ ("used_bytes", Obs.Json.Int e.Machine.ev_bytes) ];
+        };
+    ]
 
 let timeline_lane ~pid ~tid ~cat tl =
   List.map

@@ -17,13 +17,24 @@
    write-set collection — stays per launch, as do all simulated
    charges, so cached and uncached runs are bit-identical in simulated
    time, transfers and functional results; only redundant host
-   computation is skipped. *)
+   computation is skipped.
+
+   The memory-pressure chunking decision (each partition's sequential
+   sub-chunks) is part of the plan, so the per-device memory capacity
+   it was computed against is part of the key: a plan built for one
+   capacity is never replayed against another.  Capacity is the only
+   memory state the decision reads — footprints come from the
+   polyhedral ranges, which depend on the launch parameters alone —
+   so within one machine the decision is deterministic per key.
+   Runtime Out_of_memory refinement goes through [replace], which
+   overwrites the key's plan with the more finely chunked one. *)
 
 type key = {
   kernel : string;
   grid : Dim3.t;
   block : Dim3.t;
   args : Host_ir.harg list;
+  mem_cap : int; (* per-device capacity the chunking was planned for *)
 }
 
 type ranges = {
@@ -42,6 +53,10 @@ type partition_plan = {
   pp_scalar_args : Keval.arg list;
   pp_ops_per_block : float;
   pp_shadow_cost : float; (* 0 when the kernel has no shadow clone *)
+  pp_chunks : partition_plan list;
+      (* memory-pressure chunking: sequential sub-plans covering this
+         partition's blocks in ascending block order, each with a
+         footprint that fits the device.  [] = launch whole. *)
 }
 
 type plan = {
@@ -98,6 +113,11 @@ let find_or_build t key ~build =
     t.misses <- t.misses + 1;
     Hashtbl.replace t.table key plan;
     plan
+
+(* Overwrite a key's plan (runtime chunk refinement after a live
+   Out_of_memory: the footprint estimate was optimistic, so the re-built
+   plan with finer chunks replaces the cached one for all later hits). *)
+let replace t key plan = Hashtbl.replace t.table key plan
 
 let find_or_compile t ckey ~compile =
   match Hashtbl.find_opt t.compiled ckey with

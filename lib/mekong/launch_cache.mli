@@ -13,6 +13,10 @@ type key = {
   grid : Dim3.t;
   block : Dim3.t;
   args : Host_ir.harg list;
+  mem_cap : int;
+      (** per-device memory capacity the plan's chunking was computed
+          against — a plan built for one capacity is never replayed
+          against another *)
 }
 
 type ranges = {
@@ -31,6 +35,10 @@ type partition_plan = {
   pp_scalar_args : Keval.arg list;
   pp_ops_per_block : float;
   pp_shadow_cost : float;  (** 0 when the kernel has no shadow clone *)
+  pp_chunks : partition_plan list;
+      (** memory-pressure chunking: sequential sub-plans covering this
+          partition's blocks in ascending block order ([] = launch
+          whole) *)
 }
 
 type plan = {
@@ -56,6 +64,10 @@ val create : unit -> t
 
 val find_or_build : t -> key -> build:(unit -> plan) -> plan
 (** Return the cached plan for [key], or build, record and return it. *)
+
+val replace : t -> key -> plan -> unit
+(** Overwrite a key's plan (runtime chunk refinement after a live
+    [Out_of_memory]). *)
 
 val find_or_compile :
   t ->

@@ -82,6 +82,20 @@ let pp_fault_report fmt r =
   Format.fprintf fmt "faults=%d retries=%d replays=%d devices_lost=%d"
     r.fr_faults r.fr_retries r.fr_replays r.fr_devices_lost
 
+type mem_report = {
+  mr_chunked_launches : int;
+      (* launches that took the sequential chunked path *)
+  mr_chunks : int; (* total sequential chunks executed *)
+  mr_oom_refinements : int;
+      (* plans rebuilt with finer chunks after a live Out_of_memory *)
+}
+
+let no_mem = { mr_chunked_launches = 0; mr_chunks = 0; mr_oom_refinements = 0 }
+
+let pp_mem_report fmt r =
+  Format.fprintf fmt "chunked_launches=%d chunks=%d oom_refinements=%d"
+    r.mr_chunked_launches r.mr_chunks r.mr_oom_refinements
+
 type result = {
   machine : Gpusim.Machine.t;
   time : float;
@@ -94,6 +108,9 @@ type result = {
   exec : Kcompile.stats;
       (* executor counters: compilations, parallel vs. sequential
          launches, interpreter fallbacks *)
+  mem : mem_report;
+      (* memory-pressure adaptation: chunked launches and live-OOM
+         refinements (all zero on uncapped machines) *)
 }
 
 let publish_metrics ?(into = Obs.Metrics.default) (r : result) =
@@ -101,6 +118,9 @@ let publish_metrics ?(into = Obs.Metrics.default) (r : result) =
   let seti n v = set n (float_of_int v) in
   set "engine.time_seconds" r.time;
   seti "engine.transfers" r.transfers;
+  seti "engine.chunked_launches" r.mem.mr_chunked_launches;
+  seti "engine.chunks" r.mem.mr_chunks;
+  seti "engine.oom_refinements" r.mem.mr_oom_refinements;
   seti "cache.plan_hits" r.cache.Launch_cache.hits;
   seti "cache.plan_misses" r.cache.Launch_cache.misses;
   seti "faults.observed" r.faults.fr_faults;
@@ -162,6 +182,28 @@ let run ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d) ?(cache = true)
   let retries = ref 0 and replays = ref 0 and devices_lost = ref 0 in
   let vbufs : (string, Gpu_runtime.Vbuf.t) Hashtbl.t = Hashtbl.create 16 in
   let total_transfers = ref 0 in
+  (* Memory-pressure adaptation (DESIGN.md §15).  A finite per-device
+     capacity makes the engine (a) pass the whole buffer population as
+     the eviction pool so LRU spilling can steal from any cold vbuf,
+     and (b) chunk any partition whose polyhedral footprint exceeds the
+     capacity into sequential sub-launches that fit. *)
+  let mem_cap = Gpusim.Machine.mem_capacity m in
+  let capped = mem_cap < max_int && cfg.Gpu_runtime.Rconfig.patterns in
+  let elem_bytes = (Gpusim.Machine.config m).Gpusim.Config.elem_bytes in
+  let chunked_launches = ref 0 and chunks_run = ref 0 in
+  let oom_refinements = ref 0 in
+  (* Per-launch-key forced minimum chunk count: bumped when a launch
+     dies with a live Out_of_memory despite the footprint estimate. *)
+  let forced : (Launch_cache.key, int) Hashtbl.t = Hashtbl.create 4 in
+  (* The eviction pool, sorted by name: stamps shared across vbufs can
+     tie, and [coldest] breaks ties by pool order, so the order must
+     not depend on hash-table internals. *)
+  let pool_of () =
+    List.sort
+      (fun a b ->
+         compare (Gpu_runtime.Vbuf.name a) (Gpu_runtime.Vbuf.name b))
+      (Hashtbl.fold (fun _ vb acc -> vb :: acc) vbufs [])
+  in
   (* Per-launch compiled-kernel lookup must not be linear in the kernel
      count. *)
   let compiled_tbl : (string, compiled_kernel) Hashtbl.t =
@@ -204,7 +246,61 @@ let run ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d) ?(cache = true)
      below consume.  This is the launch-plan cache's payload; with the
      cache disabled it is rebuilt for every launch, which makes the two
      paths trivially bit-identical. *)
-  let build_plan ck kernel grid block args : Launch_cache.plan =
+  (* Total length covered by a union of half-open ranges. *)
+  let union_len ranges =
+    match List.sort compare ranges with
+    | [] -> 0
+    | (s0, e0) :: rest ->
+      let closed, (cs, ce) =
+        List.fold_left
+          (fun (acc, (cs, ce)) (s, e) ->
+             if s > ce then (acc + (ce - cs), (s, e))
+             else (acc, (cs, max ce e)))
+          (0, (s0, e0)) rest
+      in
+      closed + (ce - cs)
+  in
+  (* Per-buffer device footprint of one partition plan, in bytes: the
+     union of its clamped read and write ranges.  This is exactly what
+     [ensure_resident] will charge, so "footprint <= capacity" means
+     the launch is feasible (everything older is evictable). *)
+  let footprints (pp : Launch_cache.partition_plan) =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun { Launch_cache.rg_buf; rg_ranges; _ } ->
+         let len = Gpu_runtime.Vbuf.len (find rg_buf) in
+         let clamped =
+           List.filter_map
+             (fun (s, e) ->
+                let s = max 0 s and e = min e len in
+                if e > s then Some (s, e) else None)
+             rg_ranges
+         in
+         let prev =
+           Option.value ~default:[] (Hashtbl.find_opt tbl rg_buf)
+         in
+         Hashtbl.replace tbl rg_buf (clamped @ prev))
+      (pp.Launch_cache.pp_reads @ pp.Launch_cache.pp_writes);
+    let per_buf =
+      Hashtbl.fold
+        (fun b rs acc -> (b, union_len rs * elem_bytes) :: acc)
+        tbl []
+    in
+    List.sort compare per_buf
+  in
+  let footprint pp =
+    List.fold_left (fun acc (_, b) -> acc + b) 0 (footprints pp)
+  in
+  let largest_buffer pp =
+    List.fold_left
+      (fun acc (b, bytes) ->
+         match acc with
+         | Some (_, best) when best >= bytes -> acc
+         | _ -> Some (b, bytes))
+      None (footprints pp)
+  in
+  let build_plan ?(min_chunks = 1) ck kernel grid block args :
+    Launch_cache.plan =
     let km = ck.ck_model in
     let partitions =
       let primary = km.Model.strategy in
@@ -258,33 +354,162 @@ let run ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d) ?(cache = true)
              | None -> None)
           arg_arrays
     in
-    let pl_partitions =
-      List.map
-        (fun p ->
-           let part_args = args @ Partition.partition_args p in
-           let scalar_env =
-             Host_ir.scalar_bindings ck.ck_partitioned part_args
-           in
-           {
-             Launch_cache.pp_part = p;
-             pp_reads = eval_ranges p (fun e -> e.Codegen.read);
-             pp_writes = eval_ranges p (fun e -> e.Codegen.write);
-             pp_launch_grid = Partition.launch_grid p;
-             pp_n_blocks = Partition.n_blocks p;
-             pp_part_args = part_args;
-             pp_scalar_args = Host_ir.scalar_args part_args;
-             pp_ops_per_block =
-               Costmodel.ops_per_block ck.ck_partitioned ~scalar_env ~block;
-             pp_shadow_cost =
-               (match ck.ck_shadow with
-                | Some shadow ->
-                  Instrument.shadow_cost shadow
-                    ~scalar_env:(Host_ir.scalar_bindings shadow part_args)
-                    ~block
-                | None -> 0.0);
-           })
-        partitions
+    let plan_of p =
+      let part_args = args @ Partition.partition_args p in
+      let scalar_env =
+        Host_ir.scalar_bindings ck.ck_partitioned part_args
+      in
+      {
+        Launch_cache.pp_part = p;
+        pp_reads = eval_ranges p (fun e -> e.Codegen.read);
+        pp_writes = eval_ranges p (fun e -> e.Codegen.write);
+        pp_launch_grid = Partition.launch_grid p;
+        pp_n_blocks = Partition.n_blocks p;
+        pp_part_args = part_args;
+        pp_scalar_args = Host_ir.scalar_args part_args;
+        pp_ops_per_block =
+          Costmodel.ops_per_block ck.ck_partitioned ~scalar_env ~block;
+        pp_shadow_cost =
+          (match ck.ck_shadow with
+           | Some shadow ->
+             Instrument.shadow_cost shadow
+               ~scalar_env:(Host_ir.scalar_bindings shadow part_args)
+               ~block
+           | None -> 0.0);
+        pp_chunks = [];
+      }
     in
+    let pl_partitions = List.map plan_of partitions in
+    (* Memory-pressure chunking: split any partition whose footprint
+       exceeds the device capacity into sequential sub-launches that
+       fit.  Geometric search over the chunk count; at each count every
+       axis with more than one block is tried and the one minimizing
+       the worst chunk footprint wins (for matmul partitioned along y,
+       chunking along x is what shrinks the B operand's band). *)
+    let infeasible pp' =
+      let dev = pp'.Launch_cache.pp_part.Partition.device in
+      let need = footprint pp' in
+      let buf, bufbytes =
+        Option.value ~default:("<none>", 0) (largest_buffer pp')
+      in
+      failwith
+        (Printf.sprintf
+           "Multi_gpu: kernel %s is infeasible under the device memory \
+            capacity: smallest chunk still needs %d bytes on device %d \
+            (largest buffer %s: %d bytes) but the capacity is %d, \
+            %d bytes short"
+           kernel.Kir.name need dev buf bufbytes mem_cap (need - mem_cap))
+    in
+    let chunk_plan pp =
+      let fp = footprint pp in
+      if fp <= mem_cap && min_chunks <= 1 then pp
+      else begin
+        let p = pp.Launch_cache.pp_part in
+        let extent a =
+          Dim3.get p.Partition.max_blocks a
+          - Dim3.get p.Partition.min_blocks a
+        in
+        let axes = List.filter (fun a -> extent a > 1) Dim3.axes in
+        let max_k = List.fold_left (fun acc a -> max acc (extent a)) 1 axes in
+        (* Best candidate at chunk count [k]: the (worst-footprint,
+           plans) pair of the axis whose worst chunk is smallest. *)
+        let candidate k =
+          List.fold_left
+            (fun acc axis ->
+               let n = min k (extent axis) in
+               if n <= 1 then acc
+               else
+                 let plans =
+                   List.map plan_of (Partition.split p ~axis ~n)
+                 in
+                 let worst =
+                   List.fold_left
+                     (fun acc c -> max acc (footprint c))
+                     0 plans
+                 in
+                 match acc with
+                 | Some (w, _) when w <= worst -> acc
+                 | _ -> Some (worst, plans))
+            None axes
+        in
+        let rec search k best =
+          if k > max_k then best
+          else
+            match candidate k with
+            | Some (worst, plans) when worst <= mem_cap ->
+              `Fits plans
+            | Some (worst, plans) -> search (k * 2) (`Best (worst, plans))
+            | None -> best
+        in
+        match search (max 2 min_chunks) `None with
+        | `Fits plans -> { pp with Launch_cache.pp_chunks = plans }
+        | `Best (_, plans) ->
+          (* Even single-block-wide chunks do not fit: report the
+             tightest chunk we could make. *)
+          let worst_chunk =
+            List.fold_left
+              (fun acc c ->
+                 match acc with
+                 | Some b when footprint b >= footprint c -> acc
+                 | _ -> Some c)
+              None plans
+          in
+          infeasible (Option.value ~default:pp worst_chunk)
+        | `None -> infeasible pp
+      end
+    in
+    let pl_partitions =
+      if not capped then pl_partitions else List.map chunk_plan pl_partitions
+    in
+    (* When any partition launches in chunks, its trackers update
+       eagerly between chunks, so another device's read of data this
+       launch writes would observe post-launch data instead of the
+       barrier-synchronized pre-launch data.  The polyhedral ranges
+       tell us statically whether that can happen; refuse if so. *)
+    if
+      List.exists
+        (fun pp -> pp.Launch_cache.pp_chunks <> [])
+        pl_partitions
+    then begin
+      let overlaps r1 r2 =
+        List.exists
+          (fun (s1, e1) ->
+             List.exists (fun (s2, e2) -> s1 < e2 && s2 < e1) r2)
+          r1
+      in
+      List.iter
+        (fun (wp : Launch_cache.partition_plan) ->
+           List.iter
+             (fun (rp : Launch_cache.partition_plan) ->
+                if
+                  wp.Launch_cache.pp_part.Partition.device
+                  <> rp.Launch_cache.pp_part.Partition.device
+                then
+                  List.iter
+                    (fun (w : Launch_cache.ranges) ->
+                       List.iter
+                         (fun (r : Launch_cache.ranges) ->
+                            if
+                              w.Launch_cache.rg_buf = r.Launch_cache.rg_buf
+                              && overlaps w.Launch_cache.rg_ranges
+                                   r.Launch_cache.rg_ranges
+                            then
+                              failwith
+                                (Printf.sprintf
+                                   "Multi_gpu: kernel %s cannot be \
+                                    chunked under memory pressure: \
+                                    device %d reads parts of buffer %s \
+                                    that device %d writes in the same \
+                                    launch; raise the capacity"
+                                   kernel.Kir.name
+                                   rp.Launch_cache.pp_part.Partition.device
+                                   w.Launch_cache.rg_buf
+                                   wp.Launch_cache.pp_part.Partition.device))
+                         rp.Launch_cache.pp_reads)
+                    wp.Launch_cache.pp_writes)
+             pl_partitions)
+        pl_partitions
+    end;
     { Launch_cache.pl_arg_arrays = arg_arrays; pl_partitions }
   in
   let exec_launch kernel grid block args =
@@ -295,39 +520,61 @@ let run ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d) ?(cache = true)
         invalid_arg ("Multi_gpu: unlinked kernel " ^ kernel.Kir.name)
     in
     let km = ck.ck_model in
+    let key =
+      { Launch_cache.kernel = kernel.Kir.name; grid; block; args; mem_cap }
+    in
+    let min_chunks = Option.value ~default:1 (Hashtbl.find_opt forced key) in
     let plan =
       if cache then
-        Launch_cache.find_or_build !plan_cache
-          { Launch_cache.kernel = kernel.Kir.name; grid; block; args }
-          ~build:(fun () -> build_plan ck kernel grid block args)
-      else build_plan ck kernel grid block args
+        Launch_cache.find_or_build !plan_cache key ~build:(fun () ->
+            build_plan ~min_chunks ck kernel grid block args)
+      else build_plan ~min_chunks ck kernel grid block args
     in
     let arg_arrays = plan.Launch_cache.pl_arg_arrays in
     let partitions = plan.Launch_cache.pl_partitions in
-    (* (2) of §5: synchronize all buffers read by the kernel. *)
-    if cfg.Gpu_runtime.Rconfig.patterns then
-      span "sync_reads" (fun () ->
-          List.iter
-            (fun (pp : Launch_cache.partition_plan) ->
-               List.iter
-                 (fun { Launch_cache.rg_buf; rg_ranges; rg_raw } ->
-                    let vb = find rg_buf in
-                    let ops, transfers =
-                      with_tracker_ops vb (fun () ->
-                          Gpu_runtime.Vbuf.sync_for_read ~cfg
-                            ~batch:(tiling = `Two_d) vb
-                            ~dev:pp.Launch_cache.pp_part.Partition.device
-                            ~ranges:rg_ranges)
-                    in
-                    total_transfers := !total_transfers + transfers;
-                    charge ~tracker_ops:ops ~ranges:rg_raw ~dispatches:0)
-                 pp.Launch_cache.pp_reads)
-            partitions);
-    span "barrier" (fun () -> Gpusim.Machine.synchronize m);
-    (* (3): launch each partition on its device. *)
-    span "launch" (fun () ->
-    List.iter
-      (fun (pp : Launch_cache.partition_plan) ->
+    let any_chunked =
+      List.exists
+        (fun (pp : Launch_cache.partition_plan) ->
+           pp.Launch_cache.pp_chunks <> [])
+        partitions
+    in
+    if any_chunked && ck.ck_shadow <> None then
+      failwith
+        (Printf.sprintf
+           "Multi_gpu: kernel %s needs instrumented write collection, \
+            which memory-pressure chunking does not support; raise the \
+            capacity"
+           kernel.Kir.name);
+    let pool = pool_of () in
+    let sync_reads ?stamp (pp : Launch_cache.partition_plan) =
+      List.iter
+        (fun { Launch_cache.rg_buf; rg_ranges; rg_raw } ->
+           let vb = find rg_buf in
+           let ops, transfers =
+             with_tracker_ops vb (fun () ->
+                 Gpu_runtime.Vbuf.sync_for_read ~cfg
+                   ~batch:(tiling = `Two_d) ~pool ?stamp vb
+                   ~dev:pp.Launch_cache.pp_part.Partition.device
+                   ~ranges:rg_ranges)
+           in
+           total_transfers := !total_transfers + transfers;
+           charge ~tracker_ops:ops ~ranges:rg_raw ~dispatches:0)
+        pp.Launch_cache.pp_reads
+    in
+    let update_writes ?stamp (pp : Launch_cache.partition_plan) =
+      List.iter
+        (fun { Launch_cache.rg_buf; rg_ranges; rg_raw } ->
+           let vb = find rg_buf in
+           let ops, () =
+             with_tracker_ops vb (fun () ->
+                 Gpu_runtime.Vbuf.update_for_write ~cfg ~pool ?stamp vb
+                   ~dev:pp.Launch_cache.pp_part.Partition.device
+                   ~ranges:rg_ranges)
+           in
+           charge ~tracker_ops:ops ~ranges:rg_raw ~dispatches:0)
+        pp.Launch_cache.pp_writes
+    in
+    let launch_partition (pp : Launch_cache.partition_plan) =
          let buffer_of name =
            Gpu_runtime.Vbuf.instance (find (List.assoc name arg_arrays))
              pp.Launch_cache.pp_part.Partition.device
@@ -389,25 +636,67 @@ let run ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d) ?(cache = true)
                exec_stats.Kcompile.st_interpreted <-
                  exec_stats.Kcompile.st_interpreted + 1;
                Keval.run ck.ck_partitioned ~grid:launch_grid ~block
-                 ~args:scalar_args ~load ~store))
-      partitions);
-    (* (4): update the trackers to account for the writes. *)
-    if cfg.Gpu_runtime.Rconfig.patterns then
-      span "tracker_update" (fun () ->
+                 ~args:scalar_args ~load ~store)
+    in
+    if not any_chunked then begin
+      (* (2) of §5: synchronize all buffers read by the kernel. *)
+      if cfg.Gpu_runtime.Rconfig.patterns then
+        span "sync_reads" (fun () ->
+            List.iter
+              (fun (pp : Launch_cache.partition_plan) ->
+                 sync_reads ~stamp:(Gpusim.Machine.lru_tick m) pp)
+              partitions);
+      span "barrier" (fun () -> Gpusim.Machine.synchronize m);
+      (* (3): launch each partition on its device. *)
+      span "launch" (fun () -> List.iter launch_partition partitions);
+      (* (4): update the trackers to account for the writes. *)
+      if cfg.Gpu_runtime.Rconfig.patterns then
+        span "tracker_update" (fun () ->
+            List.iter
+              (fun (pp : Launch_cache.partition_plan) ->
+                 update_writes ~stamp:(Gpusim.Machine.lru_tick m) pp)
+              partitions)
+    end
+    else begin
+      (* Memory-pressure chunked path: the partition's footprint does
+         not fit its device, so its chunks run sequentially, each one
+         doing sync -> launch -> eager tracker update with the whole
+         chunk working set sharing one LRU stamp (so a chunk can never
+         evict its own segments while faulting others in).  The RAW
+         guard in [build_plan] made eager updates safe; same-device
+         chunks run in ascending block order, like the sequential
+         executor does, so functional results are bit-identical to the
+         uncapped launch. *)
+      incr chunked_launches;
+      span "chunked_launch" (fun () ->
+          Gpusim.Machine.synchronize m;
           List.iter
             (fun (pp : Launch_cache.partition_plan) ->
+               let chunk_list =
+                 match pp.Launch_cache.pp_chunks with
+                 | [] -> [ pp ]
+                 | chunks -> chunks
+               in
                List.iter
-                 (fun { Launch_cache.rg_buf; rg_ranges; rg_raw } ->
-                    let vb = find rg_buf in
-                    let ops, () =
-                      with_tracker_ops vb (fun () ->
-                          Gpu_runtime.Vbuf.update_for_write ~cfg vb
-                            ~dev:pp.Launch_cache.pp_part.Partition.device
-                            ~ranges:rg_ranges)
+                 (fun (cp : Launch_cache.partition_plan) ->
+                    incr chunks_run;
+                    let stamp = Gpusim.Machine.lru_tick m in
+                    let dev =
+                      cp.Launch_cache.pp_part.Partition.device
                     in
-                    charge ~tracker_ops:ops ~ranges:rg_raw ~dispatches:0)
-                 pp.Launch_cache.pp_writes)
-            partitions);
+                    sync_reads ~stamp cp;
+                    (* Reserve the write set before computing so the
+                       capacity is honest while the kernel runs. *)
+                    List.iter
+                      (fun { Launch_cache.rg_buf; rg_ranges; _ } ->
+                         Gpu_runtime.Vbuf.ensure_resident ~cfg ~pool
+                           ~stamp (find rg_buf) ~dev ~ranges:rg_ranges)
+                      cp.Launch_cache.pp_writes;
+                    launch_partition cp;
+                    update_writes ~stamp cp)
+                 chunk_list)
+            partitions)
+    end;
     (* (4b): instrumented write-set collection (paper §11 fallback).
        The shadow kernel runs once per partition, recording the exact
        elements written; a dynamic check rejects cross-partition
@@ -510,7 +799,8 @@ let run ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d) ?(cache = true)
       let vb = find dst in
       let ops, () =
         with_tracker_ops vb (fun () ->
-            Gpu_runtime.Vbuf.h2d ~cfg vb ~src:src.Host_ir.data)
+            Gpu_runtime.Vbuf.h2d ~cfg ~pool:(pool_of ()) vb
+              ~src:src.Host_ir.data)
       in
       charge ~tracker_ops:ops ~ranges:0 ~dispatches:0
     | Host_ir.Memcpy_d2h { dst; src } ->
@@ -650,6 +940,44 @@ let run ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d) ?(cache = true)
           match handle_loss dead with
           | `Retry -> attempt ~tries:0 ~spent
           | `Replay index -> `Goto index)
+      | Gpusim.Machine.Out_of_memory { device; requested; free } -> (
+          (* The footprint estimate was too optimistic (it can only be
+             exact for the enumerated ranges; live state such as
+             checkpoint gathers is not part of the plan).  Rebuild the
+             launch with strictly finer chunks and retry; build_plan
+             raises the one-line infeasibility diagnostic when even
+             single-block chunks cannot fit, which bounds the loop. *)
+          match stmt with
+          | Host_ir.Launch { kernel; grid; block; args } when capped ->
+            let key =
+              {
+                Launch_cache.kernel = kernel.Kir.name;
+                grid;
+                block;
+                args;
+                mem_cap;
+              }
+            in
+            let cur =
+              Option.value ~default:1 (Hashtbl.find_opt forced key)
+            in
+            let next = max 2 (cur * 2) in
+            Hashtbl.replace forced key next;
+            incr oom_refinements;
+            (match Hashtbl.find_opt compiled_tbl kernel.Kir.name with
+             | Some ck ->
+               let plan =
+                 build_plan ~min_chunks:next ck kernel grid block args
+               in
+               if cache then Launch_cache.replace !plan_cache key plan
+             | None -> ());
+            attempt ~tries ~spent
+          | _ ->
+            failwith
+              (Printf.sprintf
+                 "Multi_gpu: out of device memory: %d bytes requested \
+                  on device %d with only %d bytes free (capacity %d)"
+                 requested device free mem_cap))
     in
     match attempt ~tries:0 ~spent:0.0 with
     | `Next -> incr i
@@ -666,6 +994,12 @@ let run ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d) ?(cache = true)
       (if cache then Launch_cache.stats !plan_cache
        else Launch_cache.no_stats);
     exec = exec_stats;
+    mem =
+      {
+        mr_chunked_launches = !chunked_launches;
+        mr_chunks = !chunks_run;
+        mr_oom_refinements = !oom_refinements;
+      };
     faults =
       (if healing then
          {

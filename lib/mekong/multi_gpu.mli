@@ -46,6 +46,18 @@ type fault_report = {
 val no_faults : fault_report
 val pp_fault_report : Format.formatter -> fault_report -> unit
 
+type mem_report = {
+  mr_chunked_launches : int;
+      (** launches that took the sequential chunked path *)
+  mr_chunks : int;  (** total sequential chunks executed *)
+  mr_oom_refinements : int;
+      (** plans rebuilt with finer chunks after a live
+          [Out_of_memory] *)
+}
+
+val no_mem : mem_report
+val pp_mem_report : Format.formatter -> mem_report -> unit
+
 type result = {
   machine : Gpusim.Machine.t;
   time : float;  (** simulated end-to-end seconds *)
@@ -59,6 +71,10 @@ type result = {
       (** executor counters: compilations and compiled-kernel cache
           hits, parallel vs. sequential launches, domains engaged,
           interpreter fallbacks (all zero on performance machines) *)
+  mem : mem_report;
+      (** memory-pressure adaptation: chunked launches, chunks executed
+          and live-OOM plan refinements (all zero on machines with
+          unlimited device memory) *)
 }
 
 val launch_bindings :
@@ -112,4 +128,14 @@ val run :
     fresh copy anywhere.  Under any fault schedule that leaves at least
     one device alive, functional results are bit-identical to the
     fault-free run; on ideal hardware none of this machinery runs and
-    [faults] is {!no_faults}. *)
+    [faults] is {!no_faults}.
+
+    Under a finite per-device memory capacity
+    ({!Gpusim.Config.t.mem_capacity}) the engine adapts to memory
+    pressure (DESIGN.md §15): cold buffer segments are spilled to the
+    host by LRU to make room, and any partition whose polyhedral
+    working-set footprint exceeds the capacity is split into
+    sequential chunks that fit, each synchronizing, launching and
+    updating trackers on its own.  Feasible runs complete
+    bit-identically to the uncapped run; infeasible ones fail with a
+    one-line diagnostic naming the buffer, device and shortfall. *)

@@ -51,6 +51,30 @@ let make ~grid ~axis ~n =
       in
       { device = d; min_blocks; max_blocks })
 
+(* Split one partition into [n] contiguous sub-chunks along [axis]
+   (memory-pressure chunking: the chunks launch sequentially on the
+   partition's own device).  Balanced like [make], covering exactly
+   [min_blocks, max_blocks) in ascending block order; empty chunks are
+   dropped. *)
+let split p ~axis ~n =
+  if n <= 0 then invalid_arg "Partition.split: need at least one chunk";
+  let lo0 = Dim3.get p.min_blocks axis and hi0 = Dim3.get p.max_blocks axis in
+  let total = hi0 - lo0 in
+  let base = total / n and extra = total mod n in
+  let start_of i = lo0 + (i * base) + min i extra in
+  List.filter_map
+    (fun i ->
+       let lo = start_of i and hi = start_of (i + 1) in
+       if hi <= lo then None
+       else
+         Some
+           {
+             p with
+             min_blocks = Dim3.set p.min_blocks axis lo;
+             max_blocks = Dim3.set p.max_blocks axis hi;
+           })
+    (List.init n Fun.id)
+
 (* Split [grid] into an n1 x n2 grid of rectangular tiles along two
    axes (an extension over the paper's contiguous 1-D chunks: for
    stencils the halo surface shrinks from O(extent) to

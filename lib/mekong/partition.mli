@@ -22,6 +22,12 @@ val make : grid:Dim3.t -> axis:Dim3.axis -> n:int -> t list
 (** Split [grid] into [n] contiguous balanced chunks of blocks along
     [axis]; devices beyond the block count get empty partitions. *)
 
+val split : t -> axis:Dim3.axis -> n:int -> t list
+(** Split one partition into at most [n] contiguous balanced sub-chunks
+    along [axis], covering its block box exactly in ascending block
+    order on the same device (memory-pressure chunking: the chunks
+    launch sequentially).  Empty chunks are dropped. *)
+
 val make_2d :
   grid:Dim3.t -> axis1:Dim3.axis -> axis2:Dim3.axis -> n:int -> t list
 (** Split [grid] into a near-square grid of rectangular tiles over two

@@ -20,6 +20,20 @@ type t = {
   machine : Gpusim.Machine.t;
   instances : Gpusim.Buffer.t array; (* one full-size instance per device *)
   tracker : Tracker.t;
+  residency : Tracker.t array;
+      (* per-device segment residency under the machine's memory
+         capacity.  The instances above are *virtual* (they charge no
+         capacity); only resident segments are charged, and the owner
+         field here is an LRU stamp: 0 = not resident, >0 = resident,
+         higher = touched more recently. *)
+  charged : int array;
+      (* bytes this vbuf currently holds reserved per device; mirrors
+         the residency trackers exactly (checked by
+         [check_residency]) *)
+  mutable distributed : bool;
+      (* an h2d has assigned real owners; before that the tracker's
+         initial owner (device 0) is a placeholder that no residency
+         invariant should be read into *)
   mutable host_copy : float array option;
       (* functional mirror of the last h2d source: segments owned by
          [Tracker.host] are served from here, never from a device
@@ -40,8 +54,12 @@ let create machine ~name ~len =
     len;
     machine;
     instances =
-      Array.init n (fun d -> Gpusim.Machine.alloc machine ~device:d ~len);
+      Array.init n (fun d ->
+          Gpusim.Machine.alloc ~charge:false machine ~device:d ~len);
     tracker = Tracker.create ~len ~initial_owner:0;
+    residency = Array.init n (fun _ -> Tracker.create ~len ~initial_owner:0);
+    charged = Array.make n 0;
+    distributed = false;
     host_copy = None;
     validity = None;
   }
@@ -52,7 +70,22 @@ let tracker t = t.tracker
 let instance t d = t.instances.(d)
 let n_devices t = Array.length t.instances
 
-let free t = Array.iter (fun b -> Gpusim.Machine.free t.machine b) t.instances
+let elem_bytes t =
+  (Gpusim.Machine.config t.machine).Gpusim.Config.elem_bytes
+
+(* Forget every resident segment of device [dev] without any writeback
+   (used when a device dies, on restore, and on free). *)
+let drop_residency t ~dev =
+  if t.charged.(dev) > 0 then
+    Gpusim.Machine.mem_release t.machine ~device:dev ~bytes:t.charged.(dev);
+  t.charged.(dev) <- 0;
+  Tracker.write t.residency.(dev) ~start:0 ~stop:t.len ~owner:0
+
+let free t =
+  for d = 0 to Array.length t.instances - 1 do
+    drop_residency t ~dev:d
+  done;
+  Array.iter (fun b -> Gpusim.Machine.free t.machine b) t.instances
 
 (* --- Replica-freshness tracking (fault tolerance only) ----------------- *)
 
@@ -108,8 +141,279 @@ let linear_chunk ~len ~n_devices d =
 let check_host_array t ~what a =
   if Array.length a <> t.len then
     invalid_arg
-      (Printf.sprintf "Vbuf.%s(%s): host array has %d elements, buffer has %d"
-         what t.name (Array.length a) t.len)
+      (Printf.sprintf
+         "Vbuf.%s(%s): host array has %d elements, buffer has %d across %d \
+          devices"
+         what t.name (Array.length a) t.len (n_devices t))
+
+(* Clamp a range list to the buffer: enumerators over-approximate, so a
+   range may start below 0 or reach past [len]; empty and fully
+   out-of-bounds ranges are dropped (the tracker rejects them). *)
+let clamp_ranges t ranges =
+  List.filter_map
+    (fun (start, stop) ->
+       let start = max 0 start and stop = min stop t.len in
+       if stop > start then Some (start, stop) else None)
+    ranges
+
+(* --- Segment residency and spill-to-host ------------------------------- *)
+
+(* Because the per-device instances are virtual, device memory is
+   accounted segment-wise: [ensure_resident] charges the missing parts
+   of a range (evicting the globally coldest resident segments of a
+   caller-supplied pool of vbufs when the device is full) and [spill]
+   evicts explicitly.  Evicting a segment the coherence tracker says
+   this device *owns* must not lose the buffer's only fresh copy, so
+   it is written back to the host copy first — a simulated d2h, which
+   is exactly the traffic a real spill pays — and its ownership moves
+   to [Tracker.host]; resident segments owned elsewhere are dropped
+   free, since the protocol re-fetches them on the next read anyway.
+   On an unlimited machine nothing ever triggers eviction and the only
+   cost is the stamp bookkeeping, which never touches the simulated
+   clock. *)
+
+let resident_bytes t ~dev =
+  if dev < 0 || dev >= Array.length t.charged then 0 else t.charged.(dev)
+
+(* Lazily materialize the host copy as a spill target.  Fresh zeroes
+   are correct for any segment never written: instances are born
+   zero-filled. *)
+let spill_target t =
+  match t.host_copy with
+  | Some h -> h
+  | None ->
+    if Gpusim.Machine.is_functional t.machine then begin
+      let h = Array.make t.len 0.0 in
+      t.host_copy <- Some h;
+      h
+    end
+    else [||]
+
+(* Evict the resident parts of [start, stop) on [dev]; returns the
+   bytes released.  Device-owned parts are written back to the host
+   copy (simulated d2h + ownership handover) and counted as spill
+   traffic; the rest is dropped free. *)
+let spill_range ?(cfg = Rconfig.alpha) t ~dev ~start ~stop =
+  let eb = elem_bytes t in
+  let do_data =
+    cfg.Rconfig.transfers || Gpusim.Machine.is_functional t.machine
+  in
+  let released = ref 0 in
+  let resident =
+    List.filter
+      (fun (seg : Tracker.segment) -> seg.owner > 0)
+      (Tracker.query t.residency.(dev) ~start ~stop)
+  in
+  if resident <> [] then
+    Obs.Span.with_span ~cat:"engine"
+      ~sim:(fun () -> Gpusim.Machine.host_time t.machine)
+      "spill"
+      (fun () ->
+         List.iter
+           (fun (seg : Tracker.segment) ->
+              let s = seg.Tracker.start and e = seg.Tracker.stop in
+              List.iter
+                (fun (o : Tracker.segment) ->
+                   if o.owner = dev then begin
+                     let os = o.Tracker.start and oe = o.Tracker.stop in
+                     let bytes = (oe - os) * eb in
+                     (* d2h first: a transient fault aborts the spill
+                        before any tracker state changes, so a retry
+                        redoes it. *)
+                     if do_data then
+                       Gpusim.Machine.d2h t.machine ~src:t.instances.(dev)
+                         ~src_off:os ~dst:(spill_target t) ~dst_off:os
+                         ~len:(oe - os);
+                     Tracker.write t.tracker ~start:os ~stop:oe
+                       ~owner:Tracker.host;
+                     mark_fresh t ~who:(host_slot t) ~start:os ~stop:oe;
+                     Gpusim.Machine.note_spill t.machine ~bytes
+                   end)
+                (Tracker.query t.tracker ~start:s ~stop:e);
+              (* The device's bytes are gone either way: its replica of
+                 the whole evicted range is stale from here on. *)
+              (match validity t with
+               | Some v -> Tracker.write v.(dev) ~start:s ~stop:e ~owner:0
+               | None -> ());
+              let bytes = (e - s) * eb in
+              Gpusim.Machine.mem_release t.machine ~device:dev ~bytes;
+              t.charged.(dev) <- t.charged.(dev) - bytes;
+              released := !released + bytes;
+              Tracker.write t.residency.(dev) ~start:s ~stop:e ~owner:0)
+           resident);
+  !released
+
+let spill ?cfg t ~dev ~ranges =
+  List.fold_left
+    (fun acc (start, stop) -> acc + spill_range ?cfg t ~dev ~start ~stop)
+    0 (clamp_ranges t ranges)
+
+(* The globally coldest resident segment on [dev] across [pool] that
+   is older than [stamp] (segments stamped by the in-progress ensure
+   are never eviction candidates). *)
+let coldest pool ~dev ~stamp =
+  List.fold_left
+    (fun acc v ->
+       if dev >= Array.length v.instances then acc
+       else
+         List.fold_left
+           (fun acc (seg : Tracker.segment) ->
+              if seg.owner > 0 && seg.owner < stamp then
+                match acc with
+                | Some (_, best) when best.Tracker.owner <= seg.owner -> acc
+                | _ -> Some (v, seg)
+              else acc)
+           acc
+           (Tracker.query v.residency.(dev) ~start:0 ~stop:v.len))
+    None pool
+
+let non_resident_len t ~dev ~start ~stop =
+  List.fold_left
+    (fun acc (seg : Tracker.segment) ->
+       if seg.owner = 0 then acc + (seg.Tracker.stop - seg.Tracker.start)
+       else acc)
+    0
+    (Tracker.query t.residency.(dev) ~start ~stop)
+
+(* Make the ranges resident on [dev], evicting coldest-first from
+   [pool] (plus this vbuf) when the device is full.  All ranges of one
+   launch should share a [stamp] (one [Machine.lru_tick]) so none of
+   them can evict another; raises [Machine.Out_of_memory] when even a
+   full eviction of everything older cannot make room. *)
+let ensure_resident ?(cfg = Rconfig.alpha) ?(pool = []) ?stamp t ~dev ~ranges =
+  let stamp =
+    match stamp with Some s -> s | None -> Gpusim.Machine.lru_tick t.machine
+  in
+  let pool = if List.memq t pool then pool else t :: pool in
+  let eb = elem_bytes t in
+  List.iter
+    (fun (start, stop) ->
+       (* Re-stamp the already-resident parts first: from now on the
+          eviction loop below cannot pick them. *)
+       List.iter
+         (fun (seg : Tracker.segment) ->
+            if seg.owner > 0 then
+              Tracker.write t.residency.(dev) ~start:seg.Tracker.start
+                ~stop:seg.Tracker.stop ~owner:stamp)
+         (Tracker.query t.residency.(dev) ~start ~stop);
+       let needed = non_resident_len t ~dev ~start ~stop * eb in
+       if needed > 0 then begin
+         while Gpusim.Machine.mem_free t.machine dev < needed do
+           match coldest pool ~dev ~stamp with
+           | Some (v, seg) ->
+             ignore
+               (spill_range ~cfg v ~dev ~start:seg.Tracker.start
+                  ~stop:seg.Tracker.stop)
+           | None ->
+             raise
+               (Gpusim.Machine.Out_of_memory
+                  {
+                    device = dev;
+                    requested = needed;
+                    free = Gpusim.Machine.mem_free t.machine dev;
+                  })
+         done;
+         Gpusim.Machine.mem_reserve t.machine ~device:dev ~bytes:needed;
+         t.charged.(dev) <- t.charged.(dev) + needed;
+         Tracker.write t.residency.(dev) ~start ~stop ~owner:stamp
+       end
+       else Tracker.write t.residency.(dev) ~start ~stop ~owner:stamp)
+    (clamp_ranges t ranges)
+
+(* How many elements of [start, stop) could be made resident on [dev]
+   if everything evictable were evicted: the h2d scatter uses this to
+   upload only the prefix that can exist on the device at all, leaving
+   the remainder host-owned. *)
+let resident_budget t ~pool ~dev ~start ~stop =
+  let pool = if List.memq t pool then pool else t :: pool in
+  let eb = elem_bytes t in
+  let stamp = Gpusim.Machine.lru_tick t.machine in
+  let evictable =
+    List.fold_left
+      (fun acc v ->
+         if dev >= Array.length v.instances then acc
+         else
+           List.fold_left
+             (fun acc (seg : Tracker.segment) ->
+                if seg.owner > 0 && seg.owner < stamp then begin
+                  let len = seg.Tracker.stop - seg.Tracker.start in
+                  (* Resident parts of the target range itself cost
+                     nothing to keep, so they are not budget. *)
+                  let overlap =
+                    if v == t then
+                      max 0
+                        (min seg.Tracker.stop stop - max seg.Tracker.start start)
+                    else 0
+                  in
+                  acc + ((len - overlap) * eb)
+                end
+                else acc)
+             acc
+             (Tracker.query v.residency.(dev) ~start:0 ~stop:v.len))
+      0 pool
+  in
+  let budget = ref (Gpusim.Machine.mem_free t.machine dev + evictable) in
+  let fit = ref start in
+  (try
+     List.iter
+       (fun (seg : Tracker.segment) ->
+          let len = seg.Tracker.stop - seg.Tracker.start in
+          if seg.owner > 0 then fit := seg.Tracker.stop
+          else begin
+            let affordable = !budget / eb in
+            if affordable >= len then begin
+              budget := !budget - (len * eb);
+              fit := seg.Tracker.stop
+            end
+            else begin
+              fit := seg.Tracker.start + affordable;
+              raise Exit
+            end
+          end)
+       (Tracker.query t.residency.(dev) ~start ~stop)
+   with Exit -> ());
+  max start (min stop !fit)
+
+(* Residency invariants, checked by tests after every step of a random
+   schedule:
+   - the residency trackers are structurally sound;
+   - the charged bytes mirror the resident element counts exactly;
+   - once distributed, every segment the coherence tracker assigns to a
+     device is resident there (we never account away the only copy). *)
+let check_residency t =
+  Array.iteri
+    (fun d res ->
+       Tracker.check_invariants res;
+       let resident =
+         List.fold_left
+           (fun acc (s : Tracker.segment) ->
+              if s.owner > 0 then acc + (s.Tracker.stop - s.Tracker.start)
+              else acc)
+           0
+           (Tracker.query res ~start:0 ~stop:t.len)
+       in
+       if resident * elem_bytes t <> t.charged.(d) then
+         failwith
+           (Printf.sprintf
+              "Vbuf.check_residency(%s): device %d charges %d bytes for %d \
+               resident elements"
+              t.name d t.charged.(d) resident))
+    t.residency;
+  if t.distributed then
+    List.iter
+      (fun (s : Tracker.segment) ->
+         if s.owner >= 0 then
+           List.iter
+             (fun (r : Tracker.segment) ->
+                if r.owner = 0 then
+                  failwith
+                    (Printf.sprintf
+                       "Vbuf.check_residency(%s): [%d,%d) owned by device %d \
+                        but not resident there"
+                       t.name r.Tracker.start r.Tracker.stop s.owner))
+             (Tracker.query t.residency.(s.owner) ~start:s.Tracker.start
+                ~stop:s.Tracker.stop))
+      (Tracker.segments t.tracker)
 
 (* The devices a scatter targets: all of them on ideal hardware, the
    survivors under fault injection (a lost device can accept no data). *)
@@ -124,7 +428,7 @@ let scatter_targets t =
 (* Host-to-device memcpy: scatter [src] linearly over the (live)
    devices and record ownership.  [src = None] is a phantom host array
    (performance runs at paper scale never materialize host data). *)
-let h2d ?(cfg = Rconfig.alpha) t ~src =
+let h2d ?(cfg = Rconfig.alpha) ?(pool = []) t ~src =
   (match src with
    | Some a -> check_host_array t ~what:"h2d" a
    | None ->
@@ -134,21 +438,42 @@ let h2d ?(cfg = Rconfig.alpha) t ~src =
    | Some a -> t.host_copy <- Some (Array.copy a)
    | None -> ());
   let src = Option.value src ~default:[||] in
+  let do_data =
+    cfg.Rconfig.transfers || Gpusim.Machine.is_functional t.machine
+  in
   let live = scatter_targets t in
   let n = List.length live in
   List.iteri
     (fun i d ->
        let start, stop = linear_chunk ~len:t.len ~n_devices:n i in
        if stop > start then begin
-         if cfg.Rconfig.transfers || Gpusim.Machine.is_functional t.machine then
+         (* Under a finite capacity only the prefix of the chunk that
+            can exist on the device at all is uploaded; the remainder
+            stays host-owned (the source array *is* the fresh copy), so
+            a scatter chunk larger than the device is never fatal. *)
+         let fit =
+           if cfg.Rconfig.patterns then begin
+             let fit = resident_budget t ~pool ~dev:d ~start ~stop in
+             if fit > start then
+               ensure_resident ~cfg ~pool t ~dev:d ~ranges:[ (start, fit) ];
+             fit
+           end
+           else stop
+         in
+         if do_data && fit > start then
            Gpusim.Machine.h2d t.machine ~src ~src_off:start ~dst:t.instances.(d)
-             ~dst_off:start ~len:(stop - start);
-         if cfg.Rconfig.patterns then
-           Tracker.write t.tracker ~start ~stop ~owner:d;
+             ~dst_off:start ~len:(fit - start);
+         if cfg.Rconfig.patterns then begin
+           t.distributed <- true;
+           Tracker.write t.tracker ~start ~stop:fit ~owner:d;
+           if stop > fit then
+             Tracker.write t.tracker ~start:fit ~stop ~owner:Tracker.host
+         end;
          (* The chunk's new logical content lives on its target device
-            and in host memory; every other replica is now stale. *)
+            (up to [fit]) and in host memory; every other replica is
+            now stale. *)
          mark_stale_others t ~who:d ~start ~stop;
-         mark_fresh t ~who:d ~start ~stop;
+         (if fit > start then mark_fresh t ~who:d ~start ~stop:fit);
          mark_fresh t ~who:(host_slot t) ~start ~stop
        end)
     live
@@ -193,16 +518,6 @@ let d2h ?(cfg = Rconfig.alpha) t ~dst =
    one packed transfer each (a pitched cudaMemcpy2D) — used by the 2-D
    tiling extension, whose column halos fragment into thousands of
    tiny row segments that would otherwise pay a latency each. *)
-(* Clamp a range list to the buffer: enumerators over-approximate, so a
-   range may start below 0 or reach past [len]; empty and fully
-   out-of-bounds ranges are dropped (the tracker rejects them). *)
-let clamp_ranges t ranges =
-  List.filter_map
-    (fun (start, stop) ->
-       let start = max 0 start and stop = min stop t.len in
-       if stop > start then Some (start, stop) else None)
-    ranges
-
 (* Upload one host-owned segment onto device [dev]: host data never
    lives in a device instance, so it moves over PCIe, not peer-to-peer. *)
 let fetch_from_host t ~dev ~start ~len ~do_data =
@@ -221,7 +536,8 @@ let fetch_from_host t ~dev ~start ~len ~do_data =
       ~dst_off:start ~len
   end
 
-let sync_for_read ?(cfg = Rconfig.alpha) ?(batch = false) t ~dev ~ranges =
+let sync_for_read ?(cfg = Rconfig.alpha) ?(batch = false) ?(pool = []) ?stamp
+    t ~dev ~ranges =
   if not cfg.Rconfig.patterns then 0
   else begin
     let transfers = ref 0 in
@@ -229,6 +545,9 @@ let sync_for_read ?(cfg = Rconfig.alpha) ?(batch = false) t ~dev ~ranges =
       cfg.Rconfig.transfers || Gpusim.Machine.is_functional t.machine
     in
     let ranges = clamp_ranges t ranges in
+    (* Fetched segments will land in this device's instance: charge the
+       whole read set as resident before any data moves. *)
+    ensure_resident ~cfg ~pool ?stamp t ~dev ~ranges;
     if batch then begin
       let per_owner : (int, (int * int * int) list ref) Hashtbl.t =
         Hashtbl.create 8
@@ -291,16 +610,24 @@ let sync_for_read ?(cfg = Rconfig.alpha) ?(batch = false) t ~dev ~ranges =
     !transfers
   end
 
-(* Record that device [dev] wrote the given element ranges. *)
-let update_for_write ?(cfg = Rconfig.alpha) t ~dev ~ranges =
-  if cfg.Rconfig.patterns then
+(* Record that device [dev] wrote the given element ranges.  The
+   written bytes necessarily exist on the device, so the ranges are
+   made resident first — a backstop that raises [Out_of_memory] if the
+   engine's footprint planning under-estimated, rather than letting
+   the accounting drift from reality. *)
+let update_for_write ?(cfg = Rconfig.alpha) ?(pool = []) ?stamp t ~dev ~ranges
+  =
+  if cfg.Rconfig.patterns then begin
+    let ranges = clamp_ranges t ranges in
+    ensure_resident ~cfg ~pool ?stamp t ~dev ~ranges;
     List.iter
       (fun (start, stop) ->
          Tracker.write t.tracker ~start ~stop ~owner:dev;
          (* The write invalidates every other replica. *)
          mark_stale_others t ~who:dev ~start ~stop;
          mark_fresh t ~who:dev ~start ~stop)
-      (clamp_ranges t ranges)
+      ranges
+  end
 
 (* --- Checkpoint / restore / recovery (fault tolerance) ----------------- *)
 
@@ -336,6 +663,11 @@ let restore t ck =
    | Some a -> t.host_copy <- Some (Array.copy a)
    | None -> ());
   Tracker.write t.tracker ~start:0 ~stop:t.len ~owner:Tracker.host;
+  (* Every device copy is now stale, so nothing is worth keeping
+     resident: replayed reads re-upload (and re-charge) on demand. *)
+  for d = 0 to Array.length t.instances - 1 do
+    drop_residency t ~dev:d
+  done;
   match validity t with
   | None -> ()
   | Some v ->
@@ -351,6 +683,8 @@ let restore t ck =
    already in place); return the ranges for which no fresh replica
    exists anywhere.  Those are truly lost and force a replay. *)
 let recover t ~dev ~live =
+  (* The device's memory is gone with it; stop charging for it. *)
+  drop_residency t ~dev;
   let owned = Tracker.owned_by t.tracker ~owner:dev in
   match validity t with
   | None ->

@@ -10,7 +10,9 @@
 type t
 
 val create : Gpusim.Machine.t -> name:string -> len:int -> t
-(** Allocate one full-size instance on every device of the machine. *)
+(** Allocate one full-size *virtual* instance on every device of the
+    machine: instances charge no device memory; only resident segments
+    do (see {!ensure_resident}). *)
 
 val name : t -> string
 val len : t -> int
@@ -26,12 +28,16 @@ val linear_chunk : len:int -> n_devices:int -> int -> (int * int)
 (** The half-open element range device [d] owns under the linear
     distribution (the "predefined pattern" of §8.2). *)
 
-val h2d : ?cfg:Rconfig.t -> t -> src:float array option -> unit
+val h2d : ?cfg:Rconfig.t -> ?pool:t list -> t -> src:float array option -> unit
 (** Host-to-device memcpy: linear scatter plus tracker update.  Under
     fault injection the scatter targets only the surviving devices.
-    [src = None] is a phantom host array (performance runs only).
-    Raises [Invalid_argument] naming the buffer if the host array's
-    length differs from [len t]. *)
+    Under a finite memory capacity each chunk's resident prefix is
+    limited to what the target device can hold after evicting
+    everything evictable from [pool]; the remainder stays host-owned
+    and is uploaded on demand.  [src = None] is a phantom host array
+    (performance runs only).  Raises [Invalid_argument] naming the
+    buffer, lengths and device count if the host array's length
+    differs from [len t]. *)
 
 val d2h : ?cfg:Rconfig.t -> t -> dst:float array option -> unit
 (** Device-to-host memcpy: gather every segment from its owner.
@@ -41,19 +47,60 @@ val d2h : ?cfg:Rconfig.t -> t -> dst:float array option -> unit
     differs from [len t]. *)
 
 val sync_for_read :
-  ?cfg:Rconfig.t -> ?batch:bool -> t -> dev:int -> ranges:(int * int) list ->
-  int
+  ?cfg:Rconfig.t -> ?batch:bool -> ?pool:t list -> ?stamp:int -> t ->
+  dev:int -> ranges:(int * int) list -> int
 (** Bring the element ranges up to date on device [dev], copying stale
     segments from their owners; returns the number of transfers issued.
     Ranges are clamped to the buffer (enumerators over-approximate);
     segments owned by [Tracker.host] are uploaded over PCIe from the
-    host copy.  [batch] groups stale segments per owner into packed
-    transfers (pitched cudaMemcpy2D), which the 2-D tiling extension
-    needs for its fragmented column halos. *)
+    host copy.  The read set is made resident first (see
+    {!ensure_resident}; [pool]/[stamp] are passed through).  [batch]
+    groups stale segments per owner into packed transfers (pitched
+    cudaMemcpy2D), which the 2-D tiling extension needs for its
+    fragmented column halos. *)
 
 val update_for_write :
-  ?cfg:Rconfig.t -> t -> dev:int -> ranges:(int * int) list -> unit
-(** Record that device [dev] wrote the ranges (clamped to the buffer). *)
+  ?cfg:Rconfig.t -> ?pool:t list -> ?stamp:int -> t -> dev:int ->
+  ranges:(int * int) list -> unit
+(** Record that device [dev] wrote the ranges (clamped to the buffer).
+    The ranges are made resident first — written bytes necessarily
+    exist on the device — raising [Gpusim.Machine.Out_of_memory] if
+    they cannot fit, rather than letting accounting drift. *)
+
+(** {2 Segment residency under finite device memory}
+
+    With a finite [Config.mem_capacity] only resident segments occupy
+    device memory.  Residency is LRU-stamped; eviction writes
+    device-owned segments back to the host copy (a simulated d2h — the
+    traffic a real spill pays) and hands their ownership to
+    [Tracker.host], while segments owned elsewhere are dropped free.
+    Results stay bit-identical: the coherence protocol re-fetches
+    whatever a read needs, from the host copy if need be. *)
+
+val ensure_resident :
+  ?cfg:Rconfig.t -> ?pool:t list -> ?stamp:int -> t -> dev:int ->
+  ranges:(int * int) list -> unit
+(** Make the ranges resident on [dev], evicting the globally coldest
+    resident segments across [pool] (plus this vbuf) when the device
+    is full.  All ranges of one launch should share a [stamp] (one
+    {!Gpusim.Machine.lru_tick}) so none of them can evict another.
+    Raises [Gpusim.Machine.Out_of_memory] when a full eviction of
+    everything older still cannot make room. *)
+
+val spill :
+  ?cfg:Rconfig.t -> t -> dev:int -> ranges:(int * int) list -> int
+(** Evict the resident parts of the ranges from [dev]; returns the
+    bytes released.  Device-owned parts are written back to the host
+    copy and counted as spill traffic. *)
+
+val resident_bytes : t -> dev:int -> int
+(** Bytes this vbuf currently holds resident on one device. *)
+
+val check_residency : t -> unit
+(** Validate the residency invariants (trackers sound, charges mirror
+    resident elements, owned segments resident); raises [Failure] on
+    violation.  Meaningful once the buffer has been distributed by an
+    {!h2d}. *)
 
 (** {2 Checkpoint / restore / recovery (fault tolerance)}
 

@@ -35,6 +35,28 @@ let test_timeline_wait () =
   Timeline.reset t;
   checkf "reset" 0.0 (Timeline.ready t)
 
+(* Regression: zero-length and empty measurement windows must yield 0,
+   not NaN (0/0) or a negative idle.  Hand-computed: 1.5s busy in a 2s
+   window = 75% utilization, 0.5s idle; the same timeline against a
+   zero, negative or NaN window reports 0. *)
+let test_timeline_empty_windows () =
+  let t = Timeline.create "t" in
+  checkf "empty utilization" 0.0 (Timeline.utilization t ~span:0.0);
+  checkf "empty idle" 0.0 (Timeline.idle_in t ~span:0.0);
+  ignore (Timeline.schedule t ~after:0.0 ~duration:1.5 ~category:"k");
+  checkf "busy" 1.5 (Timeline.total_busy t);
+  checkf "utilization 75%" 0.75 (Timeline.utilization t ~span:2.0);
+  checkf "idle 0.5s" 0.5 (Timeline.idle_in t ~span:2.0);
+  checkf "zero window utilization" 0.0 (Timeline.utilization t ~span:0.0);
+  checkf "zero window idle" 0.0 (Timeline.idle_in t ~span:0.0);
+  checkf "negative window utilization" 0.0 (Timeline.utilization t ~span:(-1.0));
+  checkf "negative window idle" 0.0 (Timeline.idle_in t ~span:(-1.0));
+  checkf "nan window utilization" 0.0 (Timeline.utilization t ~span:nan);
+  checkf "nan window idle" 0.0 (Timeline.idle_in t ~span:nan);
+  (* a window shorter than the busy time clamps instead of exceeding 1 *)
+  checkf "clamped utilization" 1.0 (Timeline.utilization t ~span:1.0);
+  checkf "clamped idle" 0.0 (Timeline.idle_in t ~span:1.0)
+
 (* ---------------- Machine timing ---------------- *)
 
 let quiet_cfg n =
@@ -174,7 +196,7 @@ let test_range_checks () =
   let m = Machine.create (quiet_cfg 1) in
   let b = Machine.alloc m ~device:0 ~len:10 in
   Alcotest.check_raises "h2d oob"
-    (Invalid_argument "h2d: range [5,15) outside buffer 0 of length 10")
+    (Invalid_argument "h2d: range [5,15) outside buffer 0 of length 10 on device 0")
     (fun () -> Machine.h2d m ~src:[||] ~src_off:0 ~dst:b ~dst_off:5 ~len:10)
 
 let test_trace () =
@@ -340,13 +362,111 @@ let test_machine_faults_off_by_default () =
   in
   checkb "real spec armed" true (Machine.fault_state m3 <> None)
 
+(* ---------------- Config validation ---------------- *)
+
+(* Every numeric field is validated by the constructors: one test per
+   field asserting the descriptive Invalid_argument.  The error must
+   name the config and the field so a bad sweep configuration is
+   diagnosable from the one-line message. *)
+let test_config_validation () =
+  let base = Config.k80_box () in
+  let rejects field mk =
+    match Config.validate (mk base) with
+    | _ -> Alcotest.failf "field %s: bad value accepted" field
+    | exception Invalid_argument msg ->
+      checkb
+        (Printf.sprintf "field %s named in %S" field msg)
+        true
+        (String.length msg > 0
+         && Str.string_match (Str.regexp (".*" ^ Str.quote field)) msg 0)
+  in
+  ignore (Config.validate base);
+  rejects "n_devices" (fun c -> { c with Config.n_devices = 0 });
+  rejects "sms_per_device" (fun c -> { c with Config.sms_per_device = -1 });
+  rejects "blocks_per_sm" (fun c -> { c with Config.blocks_per_sm = 0 });
+  rejects "total_dies" (fun c -> { c with Config.total_dies = 0 });
+  rejects "elem_bytes" (fun c -> { c with Config.elem_bytes = 0 });
+  rejects "mem_capacity" (fun c -> { c with Config.mem_capacity = 0 });
+  rejects "mem_capacity" (fun c -> { c with Config.mem_capacity = -4096 });
+  rejects "ops_per_sm" (fun c -> { c with Config.ops_per_sm = 0.0 });
+  rejects "ops_per_sm" (fun c -> { c with Config.ops_per_sm = nan });
+  rejects "pcie_bandwidth" (fun c -> { c with Config.pcie_bandwidth = -1.0 });
+  rejects "p2p_bandwidth" (fun c -> { c with Config.p2p_bandwidth = 0.0 });
+  rejects "dmem_bandwidth" (fun c -> { c with Config.dmem_bandwidth = 0.0 });
+  rejects "fabric_bandwidth" (fun c ->
+      { c with Config.fabric_bandwidth = -2.0 });
+  rejects "autoboost_derate" (fun c ->
+      { c with Config.autoboost_derate = 1.0 });
+  rejects "autoboost_derate" (fun c ->
+      { c with Config.autoboost_derate = -0.1 });
+  rejects "transfer_latency" (fun c ->
+      { c with Config.transfer_latency = -1e-6 });
+  rejects "launch_latency" (fun c -> { c with Config.launch_latency = nan });
+  rejects "sync_device_seconds" (fun c ->
+      { c with Config.sync_device_seconds = -1.0 });
+  (* the machine constructor validates too *)
+  (match Machine.create { base with Config.n_devices = -2 } with
+   | _ -> Alcotest.fail "Machine.create accepted a bad config"
+   | exception Invalid_argument _ -> ());
+  (* finite capacities are accepted and preserved *)
+  let c = Config.k80_box ~mem_capacity:4096 () in
+  checki "capacity kept" 4096 c.Config.mem_capacity;
+  checkb "default unlimited" true
+    ((Config.k80_box ()).Config.mem_capacity = max_int)
+
+(* ---------------- Device-memory accounting ---------------- *)
+
+let test_mem_accounting () =
+  let m = Machine.create (Config.test_box ~n_devices:2 ~mem_capacity:1000 ()) in
+  checki "capacity" 1000 (Machine.mem_capacity m);
+  checki "free at start" 1000 (Machine.mem_free m 0);
+  Machine.mem_reserve m ~device:0 ~bytes:600;
+  checki "used" 600 (Machine.mem_used m 0);
+  checki "free" 400 (Machine.mem_free m 0);
+  checki "other device untouched" 0 (Machine.mem_used m 1);
+  checki "high water" 600 (Machine.mem_high_water m 0);
+  (* over-capacity reservations raise the typed exception with the
+     device, the request and what was free *)
+  Alcotest.check_raises "oom"
+    (Machine.Out_of_memory { device = 0; requested = 500; free = 400 })
+    (fun () -> Machine.mem_reserve m ~device:0 ~bytes:500);
+  checki "failed reserve charges nothing" 600 (Machine.mem_used m 0);
+  Machine.mem_release m ~device:0 ~bytes:200;
+  checki "released" 400 (Machine.mem_used m 0);
+  checki "high water sticks" 600 (Machine.mem_high_water m 0);
+  (* releasing more than held is an accounting bug, not an OOM *)
+  (match Machine.mem_release m ~device:0 ~bytes:401 with
+   | _ -> Alcotest.fail "over-release accepted"
+   | exception Invalid_argument _ -> ());
+  (* charged allocation reserves; uncharged (virtual) does not *)
+  let m2 = Machine.create (Config.test_box ~n_devices:2 ~mem_capacity:1000 ()) in
+  let eb = (Machine.config m2).Config.elem_bytes in
+  let b = Machine.alloc m2 ~device:1 ~len:10 in
+  checki "alloc charges" (10 * eb) (Machine.mem_used m2 1);
+  let v = Machine.alloc ~charge:false m2 ~device:1 ~len:1000 in
+  checki "virtual alloc free" (10 * eb) (Machine.mem_used m2 1);
+  Machine.free m2 b;
+  checki "free releases" 0 (Machine.mem_used m2 1);
+  Machine.free m2 v;
+  checki "virtual free releases nothing" 0 (Machine.mem_used m2 1);
+  (* LRU stamps are monotonic *)
+  let s1 = Machine.lru_tick m2 in
+  let s2 = Machine.lru_tick m2 in
+  checkb "lru monotonic" true (s2 > s1 && s1 > 0);
+  (* spill accounting *)
+  Machine.note_spill m2 ~bytes:64;
+  Machine.note_spill m2 ~bytes:36;
+  let st = Machine.stats m2 in
+  checki "spills" 2 st.Machine.n_spills;
+  checki "spill bytes" 100 st.Machine.spill_bytes
+
 let test_buffer_basics () =
-  let b = Buffer.create ~id:7 ~device:3 ~len:5 ~functional:true in
+  let b = Buffer.create ~id:7 ~device:3 ~len:5 ~charged_bytes:20 ~functional:true in
   checki "id" 7 (Buffer.id b);
   checki "device" 3 (Buffer.device b);
   checki "len" 5 (Buffer.len b);
   checkb "has data" true (Buffer.has_data b);
-  let p = Buffer.create ~id:8 ~device:0 ~len:5 ~functional:false in
+  let p = Buffer.create ~id:8 ~device:0 ~len:5 ~charged_bytes:20 ~functional:false in
   checkb "perf mode has no data" false (Buffer.has_data p);
   (* perf-mode blits are no-ops *)
   Buffer.blit_from_host ~src:[| 1.0 |] ~src_off:0 p ~dst_off:0 ~len:1;
@@ -361,7 +481,14 @@ let () =
         [
           Alcotest.test_case "ordering" `Quick test_timeline_order;
           Alcotest.test_case "wait/reset" `Quick test_timeline_wait;
+          Alcotest.test_case "empty windows" `Quick
+            test_timeline_empty_windows;
         ] );
+      ( "config",
+        [ Alcotest.test_case "field validation" `Quick test_config_validation ]
+      );
+      ( "memory",
+        [ Alcotest.test_case "accounting" `Quick test_mem_accounting ] );
       ( "timing",
         [
           Alcotest.test_case "transfer duration" `Quick test_transfer_time;

@@ -373,12 +373,12 @@ let test_vbuf_host_array_validation () =
   let vb = Vbuf.create m ~name:"temps" ~len:10 in
   Alcotest.check_raises "h2d length mismatch"
     (Invalid_argument
-       "Vbuf.h2d(temps): host array has 7 elements, buffer has 10")
+       "Vbuf.h2d(temps): host array has 7 elements, buffer has 10 across 4 devices")
     (fun () -> Vbuf.h2d vb ~src:(Some (Array.make 7 0.0)));
   Vbuf.h2d vb ~src:(Some (Array.make 10 1.0));
   Alcotest.check_raises "d2h length mismatch"
     (Invalid_argument
-       "Vbuf.d2h(temps): host array has 11 elements, buffer has 10")
+       "Vbuf.d2h(temps): host array has 11 elements, buffer has 10 across 4 devices")
     (fun () -> Vbuf.d2h vb ~dst:(Some (Array.make 11 0.0)))
 
 (* ---------------- Checkpoint / restore / recovery ---------------- *)
