@@ -82,11 +82,15 @@ let last_machine : Gpusim.Machine.t option ref = ref None
    buffers up front with no spill path). *)
 let mem_cap : int option ref = ref None
 
+(* --topology SPEC: fabric topology of the partitioned-run machines
+   ("flat", the default, or "islands:SIZE,LINK_GBS,UPLINK_GBS"). *)
+let topology : Gpusim.Config.topology ref = ref Gpusim.Config.Flat
+
 let k80 ?(capped = true) g =
   let mem_capacity = if capped then !mem_cap else None in
   let m =
     Gpusim.Machine.create ~functional:false
-      (Gpusim.Config.k80_box ~n_devices:g ?mem_capacity ())
+      (Gpusim.Config.k80_box ~n_devices:g ?mem_capacity ~topology:!topology ())
   in
   if !trace_path <> None then Gpusim.Machine.enable_trace m;
   m
@@ -1086,6 +1090,595 @@ let run_exec () =
   else Printf.printf "exec campaign passed\n\n"
 
 (* ------------------------------------------------------------------ *)
+(* Overlap: asynchronous compute/communication on the stream API        *)
+(* ------------------------------------------------------------------ *)
+
+(* Three sections:
+
+   1. Streaming pipelines on the raw machine stream/event API — the
+      workloads asynchronous copy engines exist for.  The SAME chunk
+      DAG is scheduled three ways:
+
+        barrier  upload all / sync / compute all / sync / download all
+                 / sync per round — what a barriered engine does;
+        overlap  event-chained double buffering on explicit streams,
+                 one final synchronize;
+        ideal    compute only, transfers never issued (the lower
+                 bound).
+
+      hidden = (t_barrier - t_overlap) / (t_barrier - t_ideal) is the
+      fraction of the exposed transfer time the overlap schedule
+      hides; the CI gate is >= 0.5 and the target 0.8.  Functional
+      replicas of the same DAGs must agree bit-exactly across
+      schedules.
+
+   2. The partitioned engine with ~overlap:true against the barriered
+      engine: outputs bit-identical (also under injected faults and a
+      memory capacity) and simulated time never worse.  Lockstep
+      stencils cannot hide their halo latency — the kernel -> halo ->
+      kernel chain is serial — so their hidden fraction is reported,
+      not gated.
+
+   3. Scheduling proof obligations: busy copy engines, at least one
+      kernel strictly concurrent with a transfer under overlap (and
+      none under the barrier schedule), every island link/uplink lane
+      busy on an islands topology, and the islands fabric beating the
+      flat bus when transfers are exposed.  The campaign's last
+      machine carries the islands overlap trace, so --trace emits the
+      concurrent per-link lanes for `mekongc check-trace`. *)
+
+(* Calibrate ops_per_block so one chunk kernel takes [target] seconds
+   on [m] (the wave model is linear in ops_per_block). *)
+let calibrate_ops m ~blocks ~target =
+  let d1 = Gpusim.Machine.kernel_duration m ~blocks ~ops_per_block:1.0e6 in
+  1.0e6 *. target /. d1
+
+(* Does any kernel run concurrently with any transfer anywhere on the
+   machine?  Uses the per-engine operation logs (enable_trace). *)
+let kernel_transfer_concurrency m =
+  let g = Gpusim.Machine.n_devices m in
+  let ops tl = Gpusim.Timeline.log tl in
+  let kernels = ref [] and copies = ref [] in
+  for d = 0 to g - 1 do
+    let compute, cin, cout = Gpusim.Machine.device_timelines m d in
+    kernels := ops compute @ !kernels;
+    copies := ops cin @ ops cout @ !copies
+  done;
+  List.exists
+    (fun (k : Gpusim.Timeline.op) ->
+       k.Gpusim.Timeline.op_category = "kernel"
+       && List.exists
+            (fun (t : Gpusim.Timeline.op) ->
+               t.Gpusim.Timeline.op_category = "transfer"
+               && k.Gpusim.Timeline.op_start < t.Gpusim.Timeline.op_finish
+               && t.Gpusim.Timeline.op_start < k.Gpusim.Timeline.op_finish)
+            !copies)
+    !kernels
+
+let aggregate_util m ~engine =
+  let g = Gpusim.Machine.n_devices m in
+  let span = Gpusim.Machine.elapsed m in
+  if span <= 0.0 then 0.0
+  else begin
+    let busy = ref 0.0 in
+    for d = 0 to g - 1 do
+      let compute, cin, cout = Gpusim.Machine.device_timelines m d in
+      let tl =
+        match engine with
+        | `Compute -> compute
+        | `Copy_in -> cin
+        | `Copy_out -> cout
+      in
+      busy := !busy +. Gpusim.Timeline.total_busy tl
+    done;
+    !busy /. (span *. float_of_int g)
+  end
+
+(* Host -> device -> kernel -> host streaming over [chunks] chunks of
+   [chunk_len] elements, round-robin over [g] devices with two buffer
+   pairs each.  Returns the output chunks (meaningful on functional
+   machines only). *)
+let h2d_stream ~mode m ~g ~chunks ~chunk_len ~ops_per_block =
+  let open Gpusim in
+  let functional = Machine.is_functional m in
+  Machine.set_active_devices m g;
+  let blocks = max 1 (chunk_len / 256) in
+  (* In performance mode host arrays are never read: share one. *)
+  let mk_host f = Array.init (if functional then chunks else 1) f in
+  let input =
+    mk_host (fun c ->
+        Array.init chunk_len (fun i ->
+            float_of_int (((c * 7919) + (i * 13)) mod 997) /. 31.0))
+  in
+  let output = mk_host (fun _ -> Array.make chunk_len nan) in
+  let host a c = a.(if functional then c else 0) in
+  let bin =
+    Array.init g (fun d ->
+        Array.init 2 (fun _ -> Machine.alloc m ~device:d ~len:chunk_len))
+  in
+  let bout =
+    Array.init g (fun d ->
+        Array.init 2 (fun _ -> Machine.alloc m ~device:d ~len:chunk_len))
+  in
+  let body d s () =
+    let src = Buffer.data_exn bin.(d).(s) in
+    let dst = Buffer.data_exn bout.(d).(s) in
+    for i = 0 to chunk_len - 1 do
+      dst.(i) <- (src.(i) *. 1.5) +. 2.0
+    done
+  in
+  (match mode with
+   | `Overlap ->
+     (* Double buffered: the h2d of chunk c may not overwrite slot s
+        before the kernel of chunk c-2g (the slot's previous tenant)
+        has read it; everything else chains through events, no host
+        barrier until the end. *)
+     let slot_free = Array.make_matrix g 2 0.0 in
+     for c = 0 to chunks - 1 do
+       let d = c mod g and s = c / g mod 2 in
+       let up =
+         Machine.h2d_async ~deps:[ slot_free.(d).(s) ] m ~src:(host input c)
+           ~src_off:0 ~dst:bin.(d).(s) ~dst_off:0 ~len:chunk_len
+       in
+       let k =
+         Machine.launch_async ~deps:[ up ] m ~device:d ~blocks ~ops_per_block
+           ~run:(body d s)
+       in
+       slot_free.(d).(s) <- k;
+       ignore
+         (Machine.d2h_async ~deps:[ k ] m ~src:bout.(d).(s) ~src_off:0
+            ~dst:(host output c) ~dst_off:0 ~len:chunk_len)
+     done;
+     Machine.synchronize m
+   | `Barrier ->
+     let rounds = (chunks + g - 1) / g in
+     for r = 0 to rounds - 1 do
+       let batch =
+         List.filter (fun c -> c < chunks)
+           (List.init g (fun d -> (r * g) + d))
+       in
+       List.iter
+         (fun c ->
+            Machine.h2d m ~src:(host input c) ~src_off:0
+              ~dst:bin.(c mod g).(0) ~dst_off:0 ~len:chunk_len)
+         batch;
+       Machine.synchronize m;
+       List.iter
+         (fun c ->
+            Machine.launch m ~device:(c mod g) ~blocks ~ops_per_block
+              ~run:(body (c mod g) 0))
+         batch;
+       Machine.synchronize m;
+       List.iter
+         (fun c ->
+            Machine.d2h m ~src:bout.(c mod g).(0) ~src_off:0
+              ~dst:(host output c) ~dst_off:0 ~len:chunk_len)
+         batch;
+       Machine.synchronize m
+     done
+   | `Ideal ->
+     (* Compute lower bound; performance machines only (the kernels
+        would read buffers no transfer ever filled). *)
+     assert (not functional);
+     for c = 0 to chunks - 1 do
+       Machine.launch m ~device:(c mod g) ~blocks ~ops_per_block
+         ~run:(body (c mod g) 0)
+     done;
+     Machine.synchronize m);
+  output
+
+(* Ring streaming over [rounds] rounds: each device computes on the
+   chunk it received last round into a private accumulator while
+   simultaneously forwarding that same chunk to the next device (both
+   only read it), double-buffered so the incoming chunk lands in the
+   other slot.  Returns the accumulator chunks. *)
+let ring_stream ~mode m ~g ~rounds ~chunk_len ~ops_per_block =
+  let open Gpusim in
+  let functional = Machine.is_functional m in
+  Machine.set_active_devices m g;
+  let blocks = max 1 (chunk_len / 256) in
+  let initial =
+    Array.init g (fun d ->
+        Array.init chunk_len (fun i ->
+            float_of_int (((d * 131) + (i * 7)) mod 89) /. 17.0))
+  in
+  let out = Array.init g (fun _ -> Array.make chunk_len nan) in
+  let chunk =
+    Array.init g (fun d ->
+        Array.init 2 (fun _ -> Machine.alloc m ~device:d ~len:chunk_len))
+  in
+  let acc = Array.init g (fun d -> Machine.alloc m ~device:d ~len:chunk_len) in
+  let body d s () =
+    let src = Buffer.data_exn chunk.(d).(s) in
+    let dst = Buffer.data_exn acc.(d) in
+    for i = 0 to chunk_len - 1 do
+      dst.(i) <- dst.(i) +. src.(i)
+    done
+  in
+  let zero = Array.make chunk_len 0.0 in
+  (* Load the accumulators and round-0 chunks (slot 0). *)
+  let recv_ev =
+    Array.init g (fun d ->
+        Machine.h2d m ~src:zero ~src_off:0 ~dst:acc.(d) ~dst_off:0
+          ~len:chunk_len;
+        Machine.h2d_async m ~src:initial.(d) ~src_off:0 ~dst:chunk.(d).(0)
+          ~dst_off:0 ~len:chunk_len)
+  in
+  (* Last kernel that read slot s of device d — overwriting the slot
+     must wait it (the concurrent send only reads, and its completion
+     is recv_ev on the receiving side, also awaited). *)
+  let consumed = Array.make_matrix g 2 0.0 in
+  (match mode with
+   | `Overlap ->
+     for r = 0 to rounds - 1 do
+       let s = r mod 2 in
+       (* Kernels first: each device's copy engines hold only already
+          chained work, so the launch's default-stream wait adds no
+          false serialization against this round's sends. *)
+       let kevs =
+         Array.init g (fun d ->
+             let k =
+               Machine.launch_async ~deps:[ recv_ev.(d) ] m ~device:d ~blocks
+                 ~ops_per_block ~run:(body d s)
+             in
+             consumed.(d).(s) <- k;
+             k)
+       in
+       ignore kevs;
+       if r < rounds - 1 then
+         let next = Array.make g 0.0 in
+         for d = 0 to g - 1 do
+           let dst = (d + 1) mod g in
+           (* The forward reads the chunk (needs recv_ev) and lands in
+              the destination's other slot, whose old tenant had two
+              readers: the destination's kernel (consumed) and the
+              destination's own forward of it (recv_ev one hop on).
+              It must NOT wait this round's kernel — both only read. *)
+           next.(dst) <-
+             Machine.p2p_async
+               ~deps:
+                 [ recv_ev.(d); consumed.(dst).(1 - s);
+                   recv_ev.((dst + 1) mod g) ]
+               m ~src:chunk.(d).(s) ~src_off:0 ~dst:chunk.(dst).(1 - s)
+               ~dst_off:0 ~len:chunk_len
+         done;
+         Array.blit next 0 recv_ev 0 g
+     done;
+     Machine.synchronize m
+   | `Barrier ->
+     for r = 0 to rounds - 1 do
+       let s = r mod 2 in
+       for d = 0 to g - 1 do
+         Machine.launch m ~device:d ~blocks ~ops_per_block ~run:(body d s)
+       done;
+       Machine.synchronize m;
+       if r < rounds - 1 then begin
+         for d = 0 to g - 1 do
+           let dst = (d + 1) mod g in
+           Machine.p2p m ~src:chunk.(d).(s) ~src_off:0
+             ~dst:chunk.(dst).(1 - s) ~dst_off:0 ~len:chunk_len
+         done;
+         Machine.synchronize m
+       end
+     done
+   | `Ideal ->
+     assert (not functional);
+     for r = 0 to rounds - 1 do
+       for d = 0 to g - 1 do
+         Machine.launch m ~device:d ~blocks ~ops_per_block
+           ~run:(body d (r mod 2))
+       done
+     done;
+     Machine.synchronize m);
+  Array.iteri
+    (fun d a ->
+       Machine.d2h m ~src:a ~src_off:0 ~dst:out.(d) ~dst_off:0 ~len:chunk_len)
+    acc;
+  Machine.synchronize m;
+  out
+
+let run_overlapcampaign () =
+  Printf.printf "Overlap campaign: async copy engines vs the host barrier\n";
+  Printf.printf
+    "(hidden = (t_barrier - t_overlap) / (t_barrier - t_ideal): the\n";
+  Printf.printf
+    " fraction of exposed transfer time the stream schedule hides;\n";
+  Printf.printf " gate >= 0.50, target 0.80; outputs must stay bit-identical)\n\n";
+  let violations = ref 0 in
+  let check what ok =
+    if not ok then begin
+      incr violations;
+      Printf.printf "  FAIL: %s\n%!" what
+    end
+  in
+  let g = 4 in
+  let islands =
+    Gpusim.Config.Islands
+      { island_size = 2; link_bandwidth = 20.0e9; uplink_bandwidth = 12.0e9 }
+  in
+  let perf ?topology () =
+    let m =
+      Gpusim.Machine.create ~functional:false
+        (Gpusim.Config.k80_box ~n_devices:g ?topology ())
+    in
+    Gpusim.Machine.enable_trace m;
+    m
+  in
+  let func ?topology () =
+    Gpusim.Machine.create ~functional:true
+      (Gpusim.Config.test_box ~n_devices:g ?topology ())
+  in
+  (* -- 1. streaming pipelines --------------------------------------- *)
+  Printf.printf "%-12s %11s %11s %11s %8s %8s  %s\n" "Stream" "barrier(s)"
+    "overlap(s)" "ideal(s)" "hidden" "target" "verdict";
+  Printf.printf "%s\n" (line 78);
+  let stream_machines = ref [] in
+  let stream name ?topology run_mode =
+    let time mode =
+      let m = perf ?topology () in
+      let blocks = max 1 (1 lsl 20 / 256) in
+      let ops = calibrate_ops m ~blocks ~target:8.0e-3 in
+      ignore (run_mode mode m ops);
+      stream_machines := (name, mode, m) :: !stream_machines;
+      Gpusim.Machine.host_time m
+    in
+    let tb = time `Barrier and t_o = time `Overlap and ti = time `Ideal in
+    let hidden = if tb -. ti > 0.0 then (tb -. t_o) /. (tb -. ti) else 0.0 in
+    check (name ^ ": hidden fraction under the 0.50 gate") (hidden >= 0.5);
+    check (name ^ ": overlap slower than barrier") (t_o <= tb);
+    add_timing
+      [
+        ("kind", jstr "stream");
+        ("workload", jstr name);
+        ("barrier_seconds", jflt tb);
+        ("overlap_seconds", jflt t_o);
+        ("ideal_seconds", jflt ti);
+        ("hidden_fraction", jflt hidden);
+        ("gate", jflt 0.5);
+        ("target", jflt 0.8);
+      ];
+    Printf.printf "%-12s %11.5f %11.5f %11.5f %7.1f%% %7.0f%%  %s\n%!" name tb
+      t_o ti (100.0 *. hidden) 80.0
+      (if hidden >= 0.8 then "OK (target met)"
+       else if hidden >= 0.5 then "OK (gate met)"
+       else "FAIL: below gate");
+    hidden
+  in
+  let h2d_hidden =
+    stream "h2d-stream" (fun mode m ops ->
+        h2d_stream ~mode m ~g ~chunks:24 ~chunk_len:(1 lsl 20)
+          ~ops_per_block:ops)
+  in
+  let ring_hidden =
+    stream "ring-stream" (fun mode m ops ->
+        ring_stream ~mode m ~g ~rounds:8 ~chunk_len:(1 lsl 19)
+          ~ops_per_block:ops)
+  in
+  ignore (h2d_hidden, ring_hidden);
+  (* Functional replicas: the overlap schedule must produce the exact
+     bytes the barrier schedule does. *)
+  let fo = h2d_stream ~mode:`Overlap (func ()) ~g ~chunks:8 ~chunk_len:2048
+      ~ops_per_block:1.0 in
+  let fb = h2d_stream ~mode:`Barrier (func ()) ~g ~chunks:8 ~chunk_len:2048
+      ~ops_per_block:1.0 in
+  check "h2d-stream: functional overlap diverged from barrier" (fo = fb);
+  let ro = ring_stream ~mode:`Overlap (func ()) ~g ~rounds:6 ~chunk_len:1024
+      ~ops_per_block:1.0 in
+  let rb = ring_stream ~mode:`Barrier (func ()) ~g ~rounds:6 ~chunk_len:1024
+      ~ops_per_block:1.0 in
+  check "ring-stream: functional overlap diverged from barrier" (ro = rb);
+  let rbi =
+    ring_stream ~mode:`Overlap (func ~topology:islands ()) ~g ~rounds:6
+      ~chunk_len:1024 ~ops_per_block:1.0
+  in
+  check "ring-stream: islands topology changed functional results" (rbi = rb);
+  (* -- 2. the partitioned engine ------------------------------------ *)
+  Printf.printf "\n%-8s %4s %11s %11s %8s  %s\n" "App" "gpus" "barrier(s)"
+    "overlap(s)" "hidden" "verdict";
+  Printf.printf "%s\n" (line 78);
+  let compile prog =
+    match Mekong.Toolchain.compile prog with
+    | Ok a -> a.Mekong.Toolchain.exe
+    | Error e -> failwith (Mekong.Toolchain.error_message e)
+  in
+  let engine_time ~overlap ?cfg bench size gpus =
+    let a = artifacts bench size in
+    let m = k80 gpus in
+    let r =
+      Mekong.Multi_gpu.run ?cfg ~overlap ~machine:m a.Mekong.Toolchain.exe
+    in
+    Kcompile.add_stats ~into:exec_totals r.Mekong.Multi_gpu.exec;
+    (r.Mekong.Multi_gpu.time, Gpusim.Machine.stats m)
+  in
+  List.iter
+    (fun (name, bench) ->
+       List.iter
+         (fun gpus ->
+            let tb, sb = engine_time ~overlap:false bench Apps.Workloads.Small gpus in
+            let t_o, so = engine_time ~overlap:true bench Apps.Workloads.Small gpus in
+            let tbeta, _ =
+              engine_time ~overlap:false ~cfg:Gpu_runtime.Rconfig.beta bench
+                Apps.Workloads.Small gpus
+            in
+            let same_traffic =
+              sb.Gpusim.Machine.h2d_bytes = so.Gpusim.Machine.h2d_bytes
+              && sb.Gpusim.Machine.d2h_bytes = so.Gpusim.Machine.d2h_bytes
+              && sb.Gpusim.Machine.p2p_bytes = so.Gpusim.Machine.p2p_bytes
+            in
+            check
+              (Printf.sprintf "%s g=%d: overlap changed transfer traffic" name
+                 gpus)
+              same_traffic;
+            check
+              (Printf.sprintf "%s g=%d: overlap slower than barrier" name gpus)
+              (t_o <= tb +. 1e-12);
+            let hidden =
+              if tb -. tbeta > 0.0 then (tb -. t_o) /. (tb -. tbeta) else 0.0
+            in
+            add_timing
+              [
+                ("kind", jstr "engine_overlap");
+                ("app", jstr name);
+                ("gpus", jint gpus);
+                ("barrier_seconds", jflt tb);
+                ("overlap_seconds", jflt t_o);
+                ("beta_seconds", jflt tbeta);
+                ("hidden_fraction", jflt hidden);
+              ];
+            Printf.printf "%-8s %4d %11.5f %11.5f %7.1f%%  %s\n%!" name gpus tb
+              t_o (100.0 *. hidden)
+              (if t_o <= tb +. 1e-12 && same_traffic then "OK" else "FAIL"))
+         [ 4; 16 ])
+    [ ("hotspot", Apps.Workloads.Hotspot_b);
+      ("nbody", Apps.Workloads.Nbody_b);
+      ("matmul", Apps.Workloads.Matmul_b) ];
+  (* Functional engine bit-identity: plain, under faults, under a
+     memory capacity. *)
+  let func_engine ?fault_spec ?mem_capacity ~overlap mk =
+    let prog, out = mk () in
+    let m =
+      Gpusim.Machine.create ~functional:true
+        (Gpusim.Config.k80_box ~n_devices:g ?mem_capacity ())
+    in
+    (match fault_spec with
+     | Some spec -> Gpusim.Machine.inject_faults m (Gpusim.Faults.create spec)
+     | None -> ());
+    let r =
+      Mekong.Multi_gpu.run ~checkpoint_every:3 ~overlap ~machine:m
+        (compile prog)
+    in
+    Kcompile.add_stats ~into:exec_totals r.Mekong.Multi_gpu.exec;
+    (Array.copy out, r, m)
+  in
+  List.iter
+    (fun (name, mk) ->
+       let base, _, m0 = func_engine ~overlap:false mk in
+       let o, _, _ = func_engine ~overlap:true mk in
+       check (name ^ ": engine overlap diverged") (o = base);
+       let spec t0 =
+         {
+           Gpusim.Faults.null_spec with
+           seed = 42;
+           kernel_fault_rate = 0.02;
+           transfer_fault_rate = 0.02;
+           scheduled_losses = [ (1, 0.3 *. t0) ];
+         }
+       in
+       let t0 = Gpusim.Machine.elapsed m0 in
+       let f, rf, _ = func_engine ~fault_spec:(spec t0) ~overlap:true mk in
+       check (name ^ ": engine overlap diverged under faults") (f = base);
+       check
+         (name ^ ": fault schedule never triggered the device loss")
+         (rf.Mekong.Multi_gpu.faults.Mekong.Multi_gpu.fr_devices_lost > 0);
+       let hw = ref 0 in
+       for d = 0 to g - 1 do
+         hw := max !hw (Gpusim.Machine.mem_high_water m0 d)
+       done;
+       let c, _, _ = func_engine ~mem_capacity:(!hw / 2) ~overlap:true mk in
+       check (name ^ ": engine overlap diverged under a memory cap") (c = base))
+    [
+      ( "hotspot",
+        fun () ->
+          let p, out, _ =
+            Apps.Workloads.functional_hotspot ~n:64 ~iterations:6
+          in
+          (p, out) );
+      ( "matmul",
+        fun () ->
+          let p, out, _ = Apps.Workloads.functional_matmul ~n:256 in
+          (p, out) );
+    ];
+  (* -- 3. scheduling proof obligations ------------------------------ *)
+  let find name mode =
+    let _, _, m =
+      List.find (fun (n, md, _) -> n = name && md = mode) !stream_machines
+    in
+    m
+  in
+  let mo = find "h2d-stream" `Overlap and mb = find "h2d-stream" `Barrier in
+  check "overlap schedule shows no concurrent kernel/transfer pair"
+    (kernel_transfer_concurrency mo);
+  check "barrier schedule shows a concurrent kernel/transfer pair"
+    (not (kernel_transfer_concurrency mb));
+  for d = 0 to g - 1 do
+    let _, cin, cout = Gpusim.Machine.device_timelines mo d in
+    check
+      (Printf.sprintf "device %d copy engines idle under overlap" d)
+      (Gpusim.Timeline.total_busy cin > 0.0
+       && Gpusim.Timeline.total_busy cout > 0.0)
+  done;
+  let uo = aggregate_util mo ~engine:`Compute in
+  let ub = aggregate_util mb ~engine:`Compute in
+  check "overlap does not raise compute utilization" (uo > ub);
+  add_timing
+    [
+      ("kind", jstr "utilization");
+      ("workload", jstr "h2d-stream");
+      ("compute_util_overlap", jflt uo);
+      ("compute_util_barrier", jflt ub);
+      ("copy_in_util_overlap", jflt (aggregate_util mo ~engine:`Copy_in));
+      ("copy_out_util_overlap", jflt (aggregate_util mo ~engine:`Copy_out));
+    ];
+  Printf.printf
+    "\ncompute utilization: %.1f%% overlap vs %.1f%% barrier (h2d-stream)\n"
+    (100.0 *. uo) (100.0 *. ub);
+  (* Topology: the ring's neighbor traffic runs on parallel island
+     links, so the islands fabric must beat the flat bus while the
+     transfers are exposed, and every link lane must carry traffic. *)
+  let ring_time ?topology mode =
+    let m = perf ?topology () in
+    let blocks = max 1 (1 lsl 19 / 256) in
+    let ops = calibrate_ops m ~blocks ~target:4.0e-3 in
+    ignore (ring_stream ~mode m ~g ~rounds:8 ~chunk_len:(1 lsl 19)
+              ~ops_per_block:ops);
+    (Gpusim.Machine.host_time m, m)
+  in
+  let t_flat, _ = ring_time `Barrier in
+  let t_isl, mi = ring_time ~topology:islands `Barrier in
+  check "islands fabric not faster than the flat bus on the ring"
+    (t_isl < t_flat);
+  List.iter
+    (fun (lname, tl) ->
+       check
+         (Printf.sprintf "link lane %s idle on the islands ring" lname)
+         (Gpusim.Timeline.total_busy tl > 0.0))
+    (Gpusim.Machine.link_timelines mi);
+  add_timing
+    [
+      ("kind", jstr "topology");
+      ("workload", jstr "ring-stream");
+      ("flat_barrier_seconds", jflt t_flat);
+      ("islands_barrier_seconds", jflt t_isl);
+      ("islands_speedup", jflt (t_flat /. t_isl));
+      ( "links",
+        Json_out.List
+          (List.map
+             (fun (lname, tl) ->
+                Json_out.Obj
+                  [
+                    ("name", jstr lname);
+                    ("busy_seconds", jflt (Gpusim.Timeline.total_busy tl));
+                  ])
+             (Gpusim.Machine.link_timelines mi)) );
+    ];
+  Printf.printf "islands vs flat on the exposed ring: %.5fs vs %.5fs (%.2fx)\n"
+    t_isl t_flat (t_flat /. t_isl);
+  (* The islands overlap ring is the machine whose trace --trace
+     writes: concurrent compute/copy lanes plus one lane per island
+     link. *)
+  let _, mi_overlap = ring_time ~topology:islands `Overlap in
+  last_machine := Some mi_overlap;
+  Printf.printf "%s\n" (line 78);
+  if !violations > 0 then begin
+    Printf.printf "OVERLAP CAMPAIGN FAILED: %d violation(s)\n\n" !violations;
+    campaign_failed := true
+  end
+  else
+    Printf.printf
+      "overlap campaign passed: streams hide the gated fraction and stay \
+       bit-identical\n\n"
+
+(* ------------------------------------------------------------------ *)
 (* Per-campaign BENCH_<campaign>.json reports                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1206,12 +1799,14 @@ let campaigns =
     ("faults", run_faultcampaign);
     ("mem", run_memcampaign);
     ("exec", run_exec);
+    ("overlap", run_overlapcampaign);
     ("micro", run_micro);
   ]
 
 let usage =
   String.concat "|" (List.map fst campaigns)
-  ^ "|all [--faults SEED,RATE[,DEV@TIME...]] [--mem-cap BYTES] [--repeat N] \
+  ^ "|all [--faults SEED,RATE[,DEV@TIME...]] [--mem-cap BYTES] \
+     [--topology flat|islands:SIZE,LINK_GBS,UPLINK_GBS] [--repeat N] \
      [--domains N] [--json PATH] [--trace PATH]"
 
 let () =
@@ -1235,6 +1830,14 @@ let () =
       int_flag "--mem-cap" v rest (fun n rest ->
           mem_cap := Some n;
           parse acc rest)
+    | "--topology" :: spec :: rest ->
+      (match Gpusim.Config.topology_of_string spec with
+       | Ok t ->
+         topology := t;
+         parse acc rest
+       | Error e ->
+         Printf.eprintf "bad --topology spec %S: %s\n" spec e;
+         exit 2)
     | "--repeat" :: v :: rest ->
       int_flag "--repeat" v rest (fun n rest ->
           repeat := n;
@@ -1251,8 +1854,8 @@ let () =
       Obs.Span.set_clock Unix.gettimeofday;
       Obs.Span.set_enabled true;
       parse acc rest
-    | [ ("--faults" | "--mem-cap" | "--repeat" | "--domains" | "--json"
-        | "--trace") as flag ]
+    | [ ("--faults" | "--mem-cap" | "--topology" | "--repeat" | "--domains"
+        | "--json" | "--trace") as flag ]
       ->
       Printf.eprintf "%s needs an argument\n" flag;
       exit 2

@@ -149,6 +149,37 @@ let trace_arg =
           "write a Chrome trace-event JSON of the simulated run (open in \
            Perfetto or chrome://tracing); also enables span recording")
 
+let overlap_arg =
+  Arg.(
+    value & flag
+    & info [ "overlap" ]
+        ~doc:
+          "overlap compute and communication: drop the host barrier between \
+           the read exchange and the partition launches (results stay \
+           bit-identical; only simulated time changes)")
+
+let topology_arg =
+  let conv_topo =
+    let parse s =
+      match Gpusim.Config.topology_of_string s with
+      | Ok t -> Ok t
+      | Error e -> Error (`Msg e)
+    in
+    let print fmt t =
+      Format.pp_print_string fmt (Gpusim.Config.topology_to_string t)
+    in
+    Arg.conv (parse, print)
+  in
+  Arg.(
+    value
+    & opt conv_topo Gpusim.Config.Flat
+    & info [ "topology" ] ~docv:"flat|islands:SIZE,LINK_GBS,UPLINK_GBS"
+        ~doc:
+          "fabric topology: $(b,flat) (single shared PCIe bus, the default) \
+           or $(b,islands:SIZE,LINK_GBS,UPLINK_GBS) (NVLink-style islands of \
+           SIZE devices with a LINK_GBS GB/s intra-island link each and a \
+           host uplink per island at UPLINK_GBS GB/s)")
+
 let mem_cap_arg =
   Arg.(
     value
@@ -161,7 +192,7 @@ let mem_cap_arg =
            diagnostic when no chunking fits")
 
 let run_cmd =
-  let run app gpus faults domains trace mem_cap =
+  let run app gpus faults domains trace mem_cap overlap topology =
     (match mem_cap with
      | Some c when c <= 0 -> die "--mem-cap must be positive (got %d)" c
      | _ -> ());
@@ -173,7 +204,8 @@ let run_cmd =
     let artifacts = compile_app app in
     let machine =
       Gpusim.Machine.create ~functional:true
-        (Gpusim.Config.k80_box ~n_devices:gpus ?mem_capacity:mem_cap ())
+        (Gpusim.Config.k80_box ~n_devices:gpus ?mem_capacity:mem_cap
+           ~topology ())
     in
     if trace <> None then Gpusim.Machine.enable_trace machine;
     (match faults with
@@ -181,7 +213,8 @@ let run_cmd =
        Gpusim.Machine.inject_faults machine (Gpusim.Faults.create spec)
      | _ -> ());
     let res =
-      Mekong.Multi_gpu.run ?domains ~machine artifacts.Mekong.Toolchain.exe
+      Mekong.Multi_gpu.run ?domains ~overlap ~machine
+        artifacts.Mekong.Toolchain.exe
     in
     let stats = Gpusim.Machine.stats machine in
     Printf.printf "%s on %d GPUs: %.3f ms simulated\n" (fst app) gpus
@@ -204,19 +237,19 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"compile and run on simulated GPUs")
     Term.(
       const run $ app_arg $ gpus_arg $ faults_arg $ domains_arg $ trace_arg
-      $ mem_cap_arg)
+      $ mem_cap_arg $ overlap_arg $ topology_arg)
 
 let json_flag =
   Arg.(value & flag & info [ "json" ] ~doc:"emit the report as JSON")
 
 let profile_cmd =
-  let run app gpus faults domains json trace =
+  let run app gpus faults domains json trace overlap topology =
     Option.iter Gpu_runtime.Dpool.set_default_domains domains;
     enable_observability ();
     let artifacts = compile_app app in
     let machine =
       Gpusim.Machine.create ~functional:true
-        (Gpusim.Config.k80_box ~n_devices:gpus ())
+        (Gpusim.Config.k80_box ~n_devices:gpus ~topology ())
     in
     Gpusim.Machine.enable_trace machine;
     (match faults with
@@ -224,7 +257,8 @@ let profile_cmd =
        Gpusim.Machine.inject_faults machine (Gpusim.Faults.create spec)
      | _ -> ());
     let res =
-      Mekong.Multi_gpu.run ?domains ~machine artifacts.Mekong.Toolchain.exe
+      Mekong.Multi_gpu.run ?domains ~overlap ~machine
+        artifacts.Mekong.Toolchain.exe
     in
     let report = Mekong.Profile.collect ~result:res machine in
     if json then
@@ -246,7 +280,7 @@ let profile_cmd =
           dst) byte matrix, counters and span summary")
     Term.(
       const run $ app_arg $ gpus_arg $ faults_arg $ domains_arg $ json_flag
-      $ trace_arg)
+      $ trace_arg $ overlap_arg $ topology_arg)
 
 let check_trace_cmd =
   let run file =

@@ -6,6 +6,23 @@
    *shapes*, not absolute seconds (see DESIGN.md §4 and
    EXPERIMENTS.md). *)
 
+(* Fabric topology.  [Flat] is the classic single shared PCIe bus the
+   paper's testbed exposes: every host<->device and cross-device byte
+   contends for one aggregate [fabric_bandwidth] pipe.  [Islands]
+   models an NVLink-style machine: devices are grouped into islands of
+   [island_size] consecutive ids; each island has one intra-island
+   link (direct device<->device traffic at [link_bandwidth]) and one
+   uplink to the host/inter-island switch at [uplink_bandwidth].
+   Transfers occupy every link on their route, so contention is
+   per-link instead of machine-global. *)
+type topology =
+  | Flat
+  | Islands of {
+      island_size : int; (* devices per island (consecutive ids) *)
+      link_bandwidth : float; (* intra-island link bytes per second *)
+      uplink_bandwidth : float; (* per-island host uplink bytes per second *)
+    }
+
 type host_costs = {
   tracker_op_seconds : float;
       (* cost of one segment-tracker query or update (B-tree op) *)
@@ -50,6 +67,10 @@ type t = {
          [Machine.Out_of_memory].  The default is [max_int]
          (effectively unlimited) so capacity is opt-in; a real K80 die
          has 12 GiB. *)
+  topology : topology;
+      (* fabric topology: the flat shared bus (the default, and the
+         paper's testbed) or NVLink-style islands with per-link
+         contention *)
   host : host_costs;
   faults : Faults.spec option;
       (* fault-injection spec applied to machines built over this
@@ -91,6 +112,12 @@ let validate t =
   if not (t.autoboost_derate >= 0.0 && t.autoboost_derate < 1.0) then
     reject "autoboost_derate"
       (Printf.sprintf "in [0,1) (got %g)" t.autoboost_derate);
+  (match t.topology with
+   | Flat -> ()
+   | Islands { island_size; link_bandwidth; uplink_bandwidth } ->
+     positive_int "topology.island_size" island_size;
+     positive_rate "topology.link_bandwidth" link_bandwidth;
+     positive_rate "topology.uplink_bandwidth" uplink_bandwidth);
   non_negative "transfer_latency" t.transfer_latency;
   non_negative "launch_latency" t.launch_latency;
   non_negative "sync_device_seconds" t.sync_device_seconds;
@@ -110,7 +137,7 @@ let k80_host_costs =
    operations (one "op" bundles an instruction and its share of memory
    traffic), calibrated so the Hotspot Medium iteration lands near the
    9 ms a memory-bound 16384^2 stencil takes on one K80 die. *)
-let k80_box ?(n_devices = 16) ?(mem_capacity = max_int) () =
+let k80_box ?(n_devices = 16) ?(mem_capacity = max_int) ?(topology = Flat) () =
   validate
     {
     name = "supermicro-x10drg-k80";
@@ -131,14 +158,15 @@ let k80_box ?(n_devices = 16) ?(mem_capacity = max_int) () =
     sync_device_seconds = 10.0e-6;
       elem_bytes = 4;
       mem_capacity;
+      topology;
       host = k80_host_costs;
       faults = None;
     }
 
 (* A tiny machine for functional tests: timing constants are irrelevant
    there, device count is what matters. *)
-let test_box ?(n_devices = 4) ?mem_capacity () =
-  { (k80_box ~n_devices ?mem_capacity ()) with name = "test-box" }
+let test_box ?(n_devices = 4) ?mem_capacity ?topology () =
+  { (k80_box ~n_devices ?mem_capacity ?topology ()) with name = "test-box" }
 
 (* Per-die throughput factor when [active] dies are busy out of the
    box's thermal envelope of [total_dies]. *)
@@ -149,10 +177,60 @@ let boost_factor t ~active =
       *. float_of_int (max 0 (min active t.total_dies - 1))
       /. float_of_int total)
 
+(* CLI spec for a topology: "flat", or "islands:SIZE,LINK,UPLINK" with
+   the bandwidths in GB/s (e.g. "islands:4,80,12").  The inverse of
+   [topology_to_string] up to number formatting. *)
+let topology_of_string s =
+  let s = String.trim s in
+  if s = "flat" then Ok Flat
+  else
+    match String.index_opt s ':' with
+    | Some i when String.sub s 0 i = "islands" -> (
+        let rest = String.sub s (i + 1) (String.length s - i - 1) in
+        match String.split_on_char ',' rest with
+        | [ size; link; uplink ] -> (
+            match
+              ( int_of_string_opt (String.trim size),
+                float_of_string_opt (String.trim link),
+                float_of_string_opt (String.trim uplink) )
+            with
+            | Some island_size, Some link_gbs, Some uplink_gbs
+              when island_size > 0 && link_gbs > 0.0 && uplink_gbs > 0.0 ->
+              Ok
+                (Islands
+                   {
+                     island_size;
+                     link_bandwidth = link_gbs *. 1e9;
+                     uplink_bandwidth = uplink_gbs *. 1e9;
+                   })
+            | _ ->
+              Error
+                (Printf.sprintf
+                   "bad islands spec %S: want islands:SIZE,LINK_GBS,UPLINK_GBS \
+                    with positive numbers"
+                   s))
+        | _ ->
+          Error
+            (Printf.sprintf
+               "bad islands spec %S: want islands:SIZE,LINK_GBS,UPLINK_GBS" s))
+    | _ ->
+      Error
+        (Printf.sprintf
+           "unknown topology %S: want \"flat\" or \"islands:SIZE,LINK,UPLINK\""
+           s)
+
+let topology_to_string = function
+  | Flat -> "flat"
+  | Islands { island_size; link_bandwidth; uplink_bandwidth } ->
+    Printf.sprintf "islands:%d,%g,%g" island_size (link_bandwidth /. 1e9)
+      (uplink_bandwidth /. 1e9)
+
 let pp fmt t =
   Format.fprintf fmt
-    "%s: %d devices x %d SMs, pcie %.1f GB/s, p2p %.1f GB/s, fabric %.1f GB/s"
+    "%s: %d devices x %d SMs, pcie %.1f GB/s, p2p %.1f GB/s, fabric %.1f GB/s, \
+     topology %s"
     t.name t.n_devices t.sms_per_device
     (t.pcie_bandwidth /. 1e9)
     (t.p2p_bandwidth /. 1e9)
     (t.fabric_bandwidth /. 1e9)
+    (topology_to_string t.topology)

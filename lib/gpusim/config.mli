@@ -3,6 +3,23 @@
     dies behind PCIe 3.0 switches).  Shapes, not absolute seconds, are
     the reproduction target — see DESIGN.md §4. *)
 
+(** Fabric topology.  [Flat] is the single shared PCIe bus of the
+    paper's testbed (the default): every host<->device and cross-device
+    byte contends for one aggregate [fabric_bandwidth] pipe.
+    [Islands] models an NVLink-style machine: devices are grouped into
+    islands of [island_size] consecutive ids, each with one
+    intra-island link (direct device<->device traffic at
+    [link_bandwidth]) and one host/inter-island uplink at
+    [uplink_bandwidth]; transfers occupy every link on their route, so
+    contention is per-link instead of machine-global. *)
+type topology =
+  | Flat
+  | Islands of {
+      island_size : int;
+      link_bandwidth : float;
+      uplink_bandwidth : float;
+    }
+
 type host_costs = {
   tracker_op_seconds : float;
       (** cost of one segment-tracker query or update (B-tree op) *)
@@ -39,6 +56,10 @@ type t = {
       (** device-memory bytes per die; allocations and resident
           segments are charged against it ([max_int] = unlimited, the
           default; a real K80 die has 12 GiB) *)
+  topology : topology;
+      (** fabric topology: the flat shared bus (the default, and the
+          paper's testbed) or NVLink-style islands with per-link
+          contention *)
   host : host_costs;
   faults : Faults.spec option;
       (** fault-injection spec applied to machines built over this
@@ -54,14 +75,23 @@ val validate : t -> t
     Returns the config unchanged when valid.  [Machine.create] calls
     this, so hand-built configs are checked too. *)
 
-val k80_box : ?n_devices:int -> ?mem_capacity:int -> unit -> t
+val k80_box :
+  ?n_devices:int -> ?mem_capacity:int -> ?topology:topology -> unit -> t
 (** The calibrated K80-class box (default 16 devices, unlimited
-    device memory). *)
+    device memory, flat fabric). *)
 
-val test_box : ?n_devices:int -> ?mem_capacity:int -> unit -> t
+val test_box :
+  ?n_devices:int -> ?mem_capacity:int -> ?topology:topology -> unit -> t
 (** Machine for functional tests (timing constants irrelevant there). *)
 
 val boost_factor : t -> active:int -> float
 (** Per-die throughput factor when [active] dies are busy. *)
+
+val topology_of_string : string -> (topology, string) result
+(** Parse a CLI topology spec: ["flat"], or
+    ["islands:SIZE,LINK_GBS,UPLINK_GBS"] with bandwidths in GB/s
+    (e.g. ["islands:4,80,12"]). *)
+
+val topology_to_string : topology -> string
 
 val pp : Format.formatter -> t -> unit

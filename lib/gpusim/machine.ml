@@ -40,6 +40,14 @@ type stats = {
   mutable n_transfers : int;
   mutable n_launches : int;
   mutable n_faults : int; (* transient faults and device losses observed *)
+  mutable faulted_transfers : int;
+      (* transfers that paid their wire time but failed transiently *)
+  mutable faulted_bytes : int;
+      (* bytes moved by those transfers; they are *included* in the
+         h2d/d2h/p2p byte counters and the pair matrix (the traffic
+         really crossed the fabric, and a retry legitimately pays it
+         again), so seconds/bytes reconciliation stays exact under
+         fault schedules *)
   mutable spill_bytes : int; (* bytes evicted device->host under pressure *)
   mutable n_spills : int; (* spill operations *)
   mutable kernel_seconds : float;
@@ -70,12 +78,44 @@ exception Device_lost of int
    make room, not a crash. *)
 exception Out_of_memory of { device : int; requested : int; free : int }
 
+(* One contention lane of the fabric.  The timeline carries the busy
+   accounting and the trace lane; the interval list is the admission
+   index: links arbitrate by TIME, not by issue order, so a transfer
+   whose dependencies resolve early may start before a later-starting
+   reservation that happened to be issued first (backfill).  Without
+   that, an asynchronous pipeline that eagerly issues a download
+   chained behind a still-running kernel would park a far-future
+   reservation on the bus and serialize every transfer issued after
+   it.  Intervals wholly before the host clock can never constrain a
+   future admission (a transfer's start is at least its host issue
+   time, and the host clock is monotone), so they are pruned as the
+   clock passes them and the index stays small. *)
+type link = {
+  l_tl : Timeline.t;
+  mutable l_busy : (float * float) list; (* sorted by start, disjoint *)
+}
+
+let mk_link name = { l_tl = Timeline.create name; l_busy = [] }
+
+(* Link-level fabric state for an [Config.Islands] topology: one
+   intra-island link and one host/inter-island uplink per island.  The
+   flat topology has no such state — it keeps the single shared
+   [fabric] link below. *)
+type topo = {
+  t_island : link array; (* intra-island links, one per island *)
+  t_uplink : link array; (* host/inter-island uplinks, one per island *)
+  t_isl_size : int;
+  t_link_bw : float;
+  t_uplink_bw : float;
+}
+
 type t = {
   cfg : Config.t;
   functional : bool;
   devices : device array;
   host : Timeline.t;
-  fabric : Timeline.t;
+  fabric : link;
+  topo : topo option; (* None = flat shared bus *)
   stats : stats;
   pair_bytes : (int * int, int) Hashtbl.t;
       (* bytes moved per (src, dst) endpoint pair; -1 is the host.
@@ -116,7 +156,26 @@ let create ?(functional = false) cfg =
             mem_pressure = false;
           });
     host = Timeline.create "host";
-    fabric = Timeline.create "fabric";
+    fabric = mk_link "fabric";
+    topo =
+      (match cfg.Config.topology with
+       | Config.Flat -> None
+       | Config.Islands { island_size; link_bandwidth; uplink_bandwidth } ->
+         let n_islands =
+           (cfg.Config.n_devices + island_size - 1) / island_size
+         in
+         Some
+           {
+             t_island =
+               Array.init n_islands (fun i ->
+                   mk_link (Printf.sprintf "isl%d.link" i));
+             t_uplink =
+               Array.init n_islands (fun i ->
+                   mk_link (Printf.sprintf "isl%d.uplink" i));
+             t_isl_size = island_size;
+             t_link_bw = link_bandwidth;
+             t_uplink_bw = uplink_bandwidth;
+           });
     stats =
       {
         h2d_bytes = 0;
@@ -125,6 +184,8 @@ let create ?(functional = false) cfg =
         n_transfers = 0;
         n_launches = 0;
         n_faults = 0;
+        faulted_transfers = 0;
+        faulted_bytes = 0;
         spill_bytes = 0;
         n_spills = 0;
         kernel_seconds = 0.0;
@@ -152,7 +213,12 @@ let default_trace_capacity = 65536
 let enable_trace ?(capacity = default_trace_capacity) m =
   m.trace <- Some (Obs.Ring.create ~capacity);
   Timeline.enable_log ~capacity m.host;
-  Timeline.enable_log ~capacity m.fabric;
+  Timeline.enable_log ~capacity m.fabric.l_tl;
+  (match m.topo with
+   | None -> ()
+   | Some topo ->
+     Array.iter (fun l -> Timeline.enable_log ~capacity l.l_tl) topo.t_island;
+     Array.iter (fun l -> Timeline.enable_log ~capacity l.l_tl) topo.t_uplink);
   Array.iter
     (fun d ->
        Timeline.enable_log ~capacity d.compute;
@@ -340,13 +406,18 @@ let elapsed m =
 
 (* Host-side synchronization with every device: the host serially
    synchronizes each context (cudaSetDevice + cudaDeviceSynchronize per
-   device, paper §8.4), then is joined with the latest engine. *)
+   device, paper §8.4).  The serial per-context cost is charged *after*
+   the devices drain — the host spins inside the driver until the last
+   engine finishes, then still pays each context call.  (Charging it at
+   issue time would hide it entirely under device execution, making
+   sync free in every timing and trace.) *)
 let synchronize m =
   let serial =
     m.cfg.Config.sync_device_seconds *. float_of_int (n_devices m)
   in
-  ignore (Timeline.schedule m.host ~after:0.0 ~duration:serial ~category:"sync");
-  Timeline.wait_until m.host (elapsed m)
+  let drained = elapsed m in
+  ignore
+    (Timeline.schedule m.host ~after:drained ~duration:serial ~category:"sync")
 
 (* Charge host-side computation (e.g. dependency resolution) to the
    host timeline. *)
@@ -357,14 +428,104 @@ let host_work m ~seconds ~category =
 
 (* --- Transfers --------------------------------------------------------- *)
 
-(* Shared-fabric accounting: a transfer may not start before the fabric
-   has drained the bytes of the transfers issued before it. *)
-let fabric_admit m ~start ~bytes =
-  let bus = float_of_int bytes /. m.cfg.Config.fabric_bandwidth in
-  let fstart = Float.max start (Timeline.ready m.fabric) in
-  ignore
-    (Timeline.schedule m.fabric ~after:fstart ~duration:bus ~category:"bus");
-  fstart
+(* An event: the simulated completion time of an asynchronous
+   operation.  The [*_async] operations below return one and accept a
+   [deps] list of them, which is what lets an engine order transfers
+   and launches against each other without a host barrier. *)
+type evt = float
+
+(* Plan the fabric route of one transfer between two endpoints (-1 =
+   host): the contention legs it occupies — (link timeline, occupancy
+   seconds) pairs — and the point-to-point bandwidth of its data path.
+
+   Flat topology: every non-local transfer occupies the single shared
+   bus; cross-device copies stage through host memory across root
+   complexes, crossing it twice (2x bytes).  Islands topology:
+   host<->device traffic occupies the device's island uplink;
+   intra-island copies move point-to-point over the island link at the
+   link's own bandwidth (no host staging); inter-island copies stage
+   through the switch, occupying both islands' uplinks.  Same-device
+   copies move through device memory and occupy no link at all on
+   either topology. *)
+let route m ~src ~dst ~bytes =
+  let cfg = m.cfg in
+  if src >= 0 && src = dst then ([], cfg.Config.dmem_bandwidth)
+  else
+    match m.topo with
+    | None ->
+      let fabric_bytes = if src >= 0 && dst >= 0 then 2 * bytes else bytes in
+      let occupancy =
+        float_of_int fabric_bytes /. cfg.Config.fabric_bandwidth
+      in
+      ( [ (m.fabric, occupancy) ],
+        if src >= 0 && dst >= 0 then cfg.Config.p2p_bandwidth
+        else cfg.Config.pcie_bandwidth )
+    | Some topo ->
+      let island d = d / topo.t_isl_size in
+      let uplink i =
+        (topo.t_uplink.(i), float_of_int bytes /. topo.t_uplink_bw)
+      in
+      if src < 0 then ([ uplink (island dst) ], cfg.Config.pcie_bandwidth)
+      else if dst < 0 then ([ uplink (island src) ], cfg.Config.pcie_bandwidth)
+      else if island src = island dst then
+        ( [ (topo.t_island.(island src),
+             float_of_int bytes /. topo.t_link_bw) ],
+          topo.t_link_bw )
+      else ([ uplink (island src); uplink (island dst) ], cfg.Config.p2p_bandwidth)
+
+(* Earliest time >= [from] at which a link is continuously free for
+   [dur] seconds.  [busy] is sorted by start and disjoint. *)
+let earliest_free busy ~from ~dur =
+  let rec go t = function
+    | [] -> t
+    | (s, e) :: rest ->
+      if e <= t then go t rest
+      else if s >= t +. dur then t
+      else go (Float.max t e) rest
+  in
+  go from busy
+
+let rec insert_interval ((s, _) as ivl) = function
+  | [] -> [ ivl ]
+  | (s', _) :: _ as l when s <= s' -> ivl :: l
+  | hd :: rest -> hd :: insert_interval ivl rest
+
+(* Per-link admission: the earliest time >= [start] at which every leg
+   of the route is simultaneously free for its occupancy, by TIME
+   rather than by issue order (see [link]): a transfer whose
+   dependencies resolve early backfills around far-future reservations
+   instead of queueing behind them.  [now] is the transfer's host
+   issue time — a lower bound on every future admission — used to
+   prune drained intervals. *)
+let route_admit ~now ~start ~legs =
+  match legs with
+  | [] -> start
+  | legs ->
+    List.iter
+      (fun (l, _) ->
+         match l.l_busy with
+         | (_, e) :: _ when e <= now ->
+           l.l_busy <- List.filter (fun (_, e) -> e > now) l.l_busy
+         | _ -> ())
+      legs;
+    let rec fix t =
+      let t' =
+        List.fold_left
+          (fun acc (l, occupancy) ->
+             Float.max acc (earliest_free l.l_busy ~from:acc ~dur:occupancy))
+          t legs
+      in
+      if t' > t then fix t' else t'
+    in
+    let s = fix start in
+    List.iter
+      (fun (l, occupancy) ->
+         l.l_busy <- insert_interval (s, s +. occupancy) l.l_busy;
+         ignore
+           (Timeline.schedule_at l.l_tl ~start:s ~duration:occupancy
+              ~category:"bus"))
+      legs;
+    s
 
 let count_transfer m ~seconds =
   m.stats.n_transfers <- m.stats.n_transfers + 1;
@@ -372,27 +533,33 @@ let count_transfer m ~seconds =
 
 (* Run one transfer: engines are the timelines held for the duration,
    deps the timelines whose completion must be awaited (default-stream
-   ordering against compute).  [fabric_bytes] may exceed [bytes]:
-   device-to-device copies between GPUs under different PCIe root
-   complexes stage through host memory, crossing the fabric twice. *)
-let transfer m ~engines ~deps ~bytes ~fabric_bytes ~bandwidth =
+   ordering against compute), events extra completion times the caller
+   wants awaited (explicit cross-stream dependencies).
+
+   Stream semantics at the call sites below: a transfer issued with no
+   explicit [?deps] runs on the device's default stream — it waits the
+   compute engine, like a plain cudaMemcpyAsync.  A transfer issued
+   *with* [?deps] (even [Some []]) runs on a separate stream ordered
+   only by its copy engine and the given events, exactly a
+   cudaStreamWaitEvent chain — the caller asserts those events capture
+   every producer/consumer of the ranges it touches (double buffering
+   is the usual way to make that true).  That is what lets a
+   double-buffered pipeline fetch the next chunk underneath the
+   current kernel. *)
+let transfer m ~engines ~deps ~events ~bytes ~legs ~bandwidth =
   let issue =
     snd
       (Timeline.schedule m.host ~after:0.0 ~duration:issue_overhead
          ~category:"issue")
   in
+  let ready = List.fold_left Float.max issue events in
   let ready =
-    List.fold_left (fun acc t -> Float.max acc (Timeline.ready t)) issue deps
+    List.fold_left (fun acc t -> Float.max acc (Timeline.ready t)) ready deps
   in
   let ready =
     List.fold_left (fun acc t -> Float.max acc (Timeline.ready t)) ready engines
   in
-  (* Device-local copies ([fabric_bytes = 0]) never touch the fabric:
-     admitting them would falsely serialize behind its backlog. *)
-  let start =
-    if fabric_bytes = 0 then ready
-    else fabric_admit m ~start:ready ~bytes:fabric_bytes
-  in
+  let start = route_admit ~now:issue ~start:ready ~legs in
   let dur =
     m.cfg.Config.transfer_latency +. (float_of_int bytes /. bandwidth)
   in
@@ -404,137 +571,150 @@ let transfer m ~engines ~deps ~bytes ~fabric_bytes ~bandwidth =
   count_transfer m ~seconds:dur;
   (start, start +. dur)
 
-(* Asynchronous host-to-device copy of [len] elements. *)
-let h2d m ~src ~src_off ~dst ~dst_off ~len =
+(* A transiently faulted transfer paid its wire time and its bytes
+   really crossed the fabric, so it is charged to the byte counters and
+   the pair matrix like any other transfer *before* the fault is
+   raised (a retry then legitimately charges the traffic again); the
+   dedicated faulted counters keep the failures visible. *)
+let count_faulted m ~bytes =
+  m.stats.faulted_transfers <- m.stats.faulted_transfers + 1;
+  m.stats.faulted_bytes <- m.stats.faulted_bytes + bytes
+
+(* Asynchronous host-to-device copy of [len] elements; returns the
+   completion event. *)
+let h2d_async ?deps m ~src ~src_off ~dst ~dst_off ~len : evt =
   Buffer.check_range dst ~off:dst_off ~len ~what:"h2d";
   let bytes = len * m.cfg.Config.elem_bytes in
   let dev = device m (Buffer.device dst) in
   let fate = transfer_fate m ~devices:[ dev.dev_id ] in
   (match fate with `Lost d -> fail_lost m ~op:"h2d" d | `Ok | `Transient -> ());
-  let ev_start, ev_finish =
-    transfer m ~engines:[ dev.copy_in ] ~deps:[ dev.compute ] ~bytes
-      ~fabric_bytes:bytes ~bandwidth:m.cfg.Config.pcie_bandwidth
+  let legs, bandwidth = route m ~src:(-1) ~dst:dev.dev_id ~bytes in
+  let tl_deps, events =
+    match deps with
+    | None -> ([ dev.compute ], []) (* default stream *)
+    | Some evs -> ([], evs) (* explicit stream: the events order it *)
   in
-  if fate = `Transient then begin
-    record_fault m ~src:(-1) ~dst:dev.dev_id;
-    raise (Transient_fault { op = "h2d"; device = dev.dev_id })
-  end;
+  let ev_start, ev_finish =
+    transfer m ~engines:[ dev.copy_in ] ~deps:tl_deps ~events ~bytes ~legs
+      ~bandwidth
+  in
   record m
     { ev_kind = `H2d; ev_src = -1; ev_dst = dev.dev_id; ev_bytes = bytes;
       ev_start; ev_finish };
   m.stats.h2d_bytes <- m.stats.h2d_bytes + bytes;
   count_pair m ~src:(-1) ~dst:dev.dev_id ~bytes;
-  if m.functional then Buffer.blit_from_host ~src ~src_off dst ~dst_off ~len
+  if fate = `Transient then begin
+    count_faulted m ~bytes;
+    record_fault m ~src:(-1) ~dst:dev.dev_id;
+    raise (Transient_fault { op = "h2d"; device = dev.dev_id })
+  end;
+  if m.functional then Buffer.blit_from_host ~src ~src_off dst ~dst_off ~len;
+  ev_finish
 
-(* Asynchronous device-to-host copy. *)
-let d2h m ~src ~src_off ~dst ~dst_off ~len =
+let h2d ?deps m ~src ~src_off ~dst ~dst_off ~len =
+  ignore (h2d_async ?deps m ~src ~src_off ~dst ~dst_off ~len)
+
+(* Asynchronous device-to-host copy; returns the completion event. *)
+let d2h_async ?deps m ~src ~src_off ~dst ~dst_off ~len : evt =
   Buffer.check_range src ~off:src_off ~len ~what:"d2h";
   let bytes = len * m.cfg.Config.elem_bytes in
   let dev = device m (Buffer.device src) in
   let fate = transfer_fate m ~devices:[ dev.dev_id ] in
   (match fate with `Lost d -> fail_lost m ~op:"d2h" d | `Ok | `Transient -> ());
-  let ev_start, ev_finish =
-    transfer m ~engines:[ dev.copy_out ] ~deps:[ dev.compute ] ~bytes
-      ~fabric_bytes:bytes ~bandwidth:m.cfg.Config.pcie_bandwidth
+  let legs, bandwidth = route m ~src:dev.dev_id ~dst:(-1) ~bytes in
+  let tl_deps, events =
+    match deps with
+    | None -> ([ dev.compute ], [])
+    | Some evs -> ([], evs)
   in
-  if fate = `Transient then begin
-    record_fault m ~src:dev.dev_id ~dst:(-1);
-    raise (Transient_fault { op = "d2h"; device = dev.dev_id })
-  end;
+  let ev_start, ev_finish =
+    transfer m ~engines:[ dev.copy_out ] ~deps:tl_deps ~events ~bytes ~legs
+      ~bandwidth
+  in
   record m
     { ev_kind = `D2h; ev_src = dev.dev_id; ev_dst = -1; ev_bytes = bytes;
       ev_start; ev_finish };
   m.stats.d2h_bytes <- m.stats.d2h_bytes + bytes;
   count_pair m ~src:dev.dev_id ~dst:(-1) ~bytes;
-  if m.functional then Buffer.blit_to_host src ~src_off ~dst ~dst_off ~len
+  if fate = `Transient then begin
+    count_faulted m ~bytes;
+    record_fault m ~src:dev.dev_id ~dst:(-1);
+    raise (Transient_fault { op = "d2h"; device = dev.dev_id })
+  end;
+  if m.functional then Buffer.blit_to_host src ~src_off ~dst ~dst_off ~len;
+  ev_finish
 
-(* Asynchronous device-to-device copy. *)
-let p2p m ~src ~src_off ~dst ~dst_off ~len =
-  Buffer.check_range src ~off:src_off ~len ~what:"p2p(src)";
-  Buffer.check_range dst ~off:dst_off ~len ~what:"p2p(dst)";
+let d2h ?deps m ~src ~src_off ~dst ~dst_off ~len =
+  ignore (d2h_async ?deps m ~src ~src_off ~dst ~dst_off ~len)
+
+(* Shared body of [p2p] and [p2p_multi]: timing, routing and
+   accounting of a device-to-device copy of [len] elements; [blit]
+   performs the functional data movement. *)
+let p2p_common ?deps m ~op ~src ~dst ~len ~blit : evt =
   let bytes = len * m.cfg.Config.elem_bytes in
   let sdev = device m (Buffer.device src) in
   let ddev = device m (Buffer.device dst) in
   let fate = transfer_fate m ~devices:[ sdev.dev_id; ddev.dev_id ] in
-  (match fate with `Lost d -> fail_lost m ~op:"p2p" d | `Ok | `Transient -> ());
+  (match fate with `Lost d -> fail_lost m ~op d | `Ok | `Transient -> ());
   let same_device = sdev.dev_id = ddev.dev_id in
   let engines =
     if same_device then [ sdev.copy_out ]
     else [ sdev.copy_out; ddev.copy_in ]
   in
-  (* Cross-device copies stage through host memory across root
-     complexes: the bytes cross the shared fabric twice.  A copy within
-     one device moves through device memory only — no fabric traffic,
-     device-memory bandwidth. *)
-  let fabric_bytes = if same_device then 0 else 2 * bytes in
-  let bandwidth =
-    if same_device then m.cfg.Config.dmem_bandwidth
-    else m.cfg.Config.p2p_bandwidth
+  let legs, bandwidth = route m ~src:sdev.dev_id ~dst:ddev.dev_id ~bytes in
+  let tl_deps, events =
+    match deps with
+    | None -> ([ sdev.compute; ddev.compute ], [])
+    | Some evs -> ([], evs)
   in
   let ev_start, ev_finish =
-    transfer m ~engines ~deps:[ sdev.compute; ddev.compute ] ~bytes
-      ~fabric_bytes ~bandwidth
+    transfer m ~engines ~deps:tl_deps ~events ~bytes ~legs ~bandwidth
   in
-  if fate = `Transient then begin
-    record_fault m ~src:sdev.dev_id ~dst:ddev.dev_id;
-    raise (Transient_fault { op = "p2p"; device = ddev.dev_id })
-  end;
   record m
     { ev_kind = `P2p; ev_src = sdev.dev_id; ev_dst = ddev.dev_id;
       ev_bytes = bytes; ev_start; ev_finish };
   m.stats.p2p_bytes <- m.stats.p2p_bytes + bytes;
   count_pair m ~src:sdev.dev_id ~dst:ddev.dev_id ~bytes;
-  if m.functional then Buffer.blit ~src ~src_off ~dst ~dst_off ~len
+  if fate = `Transient then begin
+    count_faulted m ~bytes;
+    record_fault m ~src:sdev.dev_id ~dst:ddev.dev_id;
+    raise (Transient_fault { op = "p2p"; device = ddev.dev_id })
+  end;
+  if m.functional then blit ();
+  ev_finish
+
+(* Asynchronous device-to-device copy; returns the completion event. *)
+let p2p_async ?deps m ~src ~src_off ~dst ~dst_off ~len : evt =
+  Buffer.check_range src ~off:src_off ~len ~what:"p2p(src)";
+  Buffer.check_range dst ~off:dst_off ~len ~what:"p2p(dst)";
+  p2p_common ?deps m ~op:"p2p" ~src ~dst ~len ~blit:(fun () ->
+      Buffer.blit ~src ~src_off ~dst ~dst_off ~len)
+
+let p2p ?deps m ~src ~src_off ~dst ~dst_off ~len =
+  ignore (p2p_async ?deps m ~src ~src_off ~dst ~dst_off ~len)
 
 (* A packed device-to-device copy of several segments (the simulated
    counterpart of a pitched cudaMemcpy2D): one transfer event moves the
-   summed bytes, paying the latency once. *)
-let p2p_multi m ~src ~dst ~segments =
-  let len =
-    List.fold_left (fun acc (_, _, l) -> acc + l) 0 segments
-  in
-  if len > 0 then begin
+   summed bytes, paying the latency once.  Returns the completion
+   event (the issue time when [segments] is empty — nothing moves). *)
+let p2p_multi_async ?deps m ~src ~dst ~segments : evt =
+  let len = List.fold_left (fun acc (_, _, l) -> acc + l) 0 segments in
+  if len = 0 then Timeline.ready m.host
+  else begin
     List.iter
       (fun (src_off, dst_off, l) ->
          Buffer.check_range src ~off:src_off ~len:l ~what:"p2p_multi(src)";
          Buffer.check_range dst ~off:dst_off ~len:l ~what:"p2p_multi(dst)")
       segments;
-    let bytes = len * m.cfg.Config.elem_bytes in
-    let sdev = device m (Buffer.device src) in
-    let ddev = device m (Buffer.device dst) in
-    let fate = transfer_fate m ~devices:[ sdev.dev_id; ddev.dev_id ] in
-    (match fate with
-     | `Lost d -> fail_lost m ~op:"p2p_multi" d
-     | `Ok | `Transient -> ());
-    let same_device = sdev.dev_id = ddev.dev_id in
-    let engines =
-      if same_device then [ sdev.copy_out ]
-      else [ sdev.copy_out; ddev.copy_in ]
-    in
-    let fabric_bytes = if same_device then 0 else 2 * bytes in
-    let bandwidth =
-      if same_device then m.cfg.Config.dmem_bandwidth
-      else m.cfg.Config.p2p_bandwidth
-    in
-    let ev_start, ev_finish =
-      transfer m ~engines ~deps:[ sdev.compute; ddev.compute ] ~bytes
-        ~fabric_bytes ~bandwidth
-    in
-    if fate = `Transient then begin
-      record_fault m ~src:sdev.dev_id ~dst:ddev.dev_id;
-      raise (Transient_fault { op = "p2p"; device = ddev.dev_id })
-    end;
-    record m
-      { ev_kind = `P2p; ev_src = sdev.dev_id; ev_dst = ddev.dev_id;
-        ev_bytes = bytes; ev_start; ev_finish };
-    m.stats.p2p_bytes <- m.stats.p2p_bytes + bytes;
-    count_pair m ~src:sdev.dev_id ~dst:ddev.dev_id ~bytes;
-    if m.functional then
-      List.iter
-        (fun (src_off, dst_off, l) ->
-           Buffer.blit ~src ~src_off ~dst ~dst_off ~len:l)
-        segments
+    p2p_common ?deps m ~op:"p2p_multi" ~src ~dst ~len ~blit:(fun () ->
+        List.iter
+          (fun (src_off, dst_off, l) ->
+             Buffer.blit ~src ~src_off ~dst ~dst_off ~len:l)
+          segments)
   end
+
+let p2p_multi ?deps m ~src ~dst ~segments =
+  ignore (p2p_multi_async ?deps m ~src ~dst ~segments)
 
 (* --- Kernels ------------------------------------------------------------ *)
 
@@ -564,7 +744,7 @@ let kernel_duration m ~blocks ~ops_per_block =
 let set_active_devices m n =
   m.active_devices <- max 1 (min n (n_devices m))
 
-let launch m ~device:d ~blocks ~ops_per_block ~run =
+let launch_async ?(deps = []) m ~device:d ~blocks ~ops_per_block ~run : evt =
   let dev = device m d in
   let fate =
     match m.faults with
@@ -582,6 +762,7 @@ let launch m ~device:d ~blocks ~ops_per_block ~run =
     Float.max issue
       (Float.max (Timeline.ready dev.copy_in) (Timeline.ready dev.copy_out))
   in
+  let after = List.fold_left Float.max after deps in
   let dur = kernel_duration m ~blocks ~ops_per_block in
   let kstart, kfinish =
     Timeline.schedule dev.compute ~after ~duration:dur ~category:"kernel"
@@ -597,11 +778,30 @@ let launch m ~device:d ~blocks ~ops_per_block ~run =
   record m
     { ev_kind = `Kernel; ev_src = dev.dev_id; ev_dst = dev.dev_id;
       ev_bytes = 0; ev_start = kstart; ev_finish = kfinish };
-  if m.functional then run ()
+  if m.functional then run ();
+  kfinish
+
+let launch ?deps m ~device ~blocks ~ops_per_block ~run =
+  ignore (launch_async ?deps m ~device ~blocks ~ops_per_block ~run)
 
 (* Timeline accessors for reporting and calibration. *)
 let host_timeline m = m.host
-let fabric_timeline m = m.fabric
+let fabric_timeline m = m.fabric.l_tl
+
+(* Every contention lane of the fabric with its stable display name:
+   the one shared bus on the flat topology, the per-island links and
+   uplinks on an islands topology (in island order, link before
+   uplink). *)
+let link_timelines m =
+  match m.topo with
+  | None -> [ ("bus", m.fabric.l_tl) ]
+  | Some topo ->
+    List.concat
+      (List.init (Array.length topo.t_island) (fun i ->
+           [
+             (Printf.sprintf "isl%d.link" i, topo.t_island.(i).l_tl);
+             (Printf.sprintf "isl%d.uplink" i, topo.t_uplink.(i).l_tl);
+           ]))
 
 let device_timelines m d =
   let dev = device m d in
@@ -609,11 +809,12 @@ let device_timelines m d =
 
 let pp_stats fmt s =
   Format.fprintf fmt
-    "h2d=%dB d2h=%dB p2p=%dB transfers=%d launches=%d faults=%d spills=%d \
-     spill=%dB kernel=%.6fs transfer=%.6fs pattern=%.6fs"
+    "h2d=%dB d2h=%dB p2p=%dB transfers=%d launches=%d faults=%d \
+     faulted_transfers=%d faulted=%dB spills=%d spill=%dB kernel=%.6fs \
+     transfer=%.6fs pattern=%.6fs"
     s.h2d_bytes s.d2h_bytes s.p2p_bytes s.n_transfers s.n_launches s.n_faults
-    s.n_spills s.spill_bytes s.kernel_seconds s.transfer_seconds
-    s.pattern_seconds
+    s.faulted_transfers s.faulted_bytes s.n_spills s.spill_bytes
+    s.kernel_seconds s.transfer_seconds s.pattern_seconds
 
 (* Snapshot the stats record into a metrics registry under the stable
    "gpusim." names — the uniform read-out the profile report and the
@@ -628,6 +829,8 @@ let publish_metrics ?(into = Obs.Metrics.default) m =
   seti "gpusim.transfers" s.n_transfers;
   seti "gpusim.launches" s.n_launches;
   seti "gpusim.faults" s.n_faults;
+  seti "gpusim.faulted_transfers" s.faulted_transfers;
+  seti "gpusim.faulted_bytes" s.faulted_bytes;
   set "gpusim.kernel_seconds" s.kernel_seconds;
   set "gpusim.transfer_seconds" s.transfer_seconds;
   set "gpusim.pattern_seconds" s.pattern_seconds;
@@ -646,6 +849,11 @@ let publish_metrics ?(into = Obs.Metrics.default) m =
        Obs.Metrics.set into ~labels "gpusim.mem.high_water"
          (float_of_int d.mem_high))
     m.devices;
+  List.iter
+    (fun (name, tl) ->
+       Obs.Metrics.set into ~labels:[ ("link", name) ] "gpusim.link_busy"
+         (Timeline.total_busy tl))
+    (link_timelines m);
   List.iter
     (fun ((src, dst), bytes) ->
        Obs.Metrics.set into

@@ -29,6 +29,12 @@ type stats = {
   mutable n_transfers : int;
   mutable n_launches : int;
   mutable n_faults : int;  (** transient faults and device losses observed *)
+  mutable faulted_transfers : int;
+      (** transfers that paid their wire time but failed transiently;
+          their bytes are included in the h2d/d2h/p2p counters and the
+          pair matrix (the traffic really crossed the fabric), so
+          seconds/bytes reconciliation stays exact under faults *)
+  mutable faulted_bytes : int;  (** bytes moved by those transfers *)
   mutable spill_bytes : int;  (** bytes evicted device->host under pressure *)
   mutable n_spills : int;  (** spill operations *)
   mutable kernel_seconds : float;
@@ -116,32 +122,69 @@ val elapsed : t -> float
 (** Latest time across every engine and the host. *)
 
 val synchronize : t -> unit
-(** Host-side synchronization with every device (serial
-    cudaSetDevice/cudaDeviceSynchronize per context, then join). *)
+(** Host-side synchronization with every device: the host joins the
+    latest engine, then pays the serial cudaSetDevice /
+    cudaDeviceSynchronize cost per context — charged {e after} the
+    devices drain, so sync cost is visible in timings and traces. *)
 
 val host_work : t -> seconds:float -> category:string -> unit
 (** Charge host-side computation (e.g. dependency resolution). *)
 
-val h2d :
+type evt = float
+(** An event: the simulated completion time of an asynchronous
+    operation.  The [*_async] operations return one and accept a
+    [deps] list of them — explicit cross-stream dependencies, so a
+    caller can order transfers and launches against each other without
+    a host barrier.
+
+    Stream semantics for transfers: with no [?deps], a transfer runs
+    on the device's default stream — it waits the device's compute
+    engine, like a plain cudaMemcpyAsync.  With [?deps] (even [[]]),
+    it runs on a separate stream ordered only by its copy engine and
+    the given events (a cudaStreamWaitEvent chain); the caller asserts
+    those events cover every producer and consumer of the ranges it
+    touches — double buffering is the usual way to make that true.
+    Kernel launches always wait their device's copy engines
+    (default-stream ordering); their [?deps] are additional. *)
+
+val h2d : ?deps:evt list ->
   t -> src:float array -> src_off:int -> dst:Buffer.t -> dst_off:int ->
   len:int -> unit
 (** Asynchronous host-to-device copy of [len] elements. *)
 
-val d2h :
+val h2d_async : ?deps:evt list ->
+  t -> src:float array -> src_off:int -> dst:Buffer.t -> dst_off:int ->
+  len:int -> evt
+(** [h2d] returning the completion event. *)
+
+val d2h : ?deps:evt list ->
   t -> src:Buffer.t -> src_off:int -> dst:float array -> dst_off:int ->
   len:int -> unit
 
-val p2p :
+val d2h_async : ?deps:evt list ->
+  t -> src:Buffer.t -> src_off:int -> dst:float array -> dst_off:int ->
+  len:int -> evt
+
+val p2p : ?deps:evt list ->
   t -> src:Buffer.t -> src_off:int -> dst:Buffer.t -> dst_off:int ->
   len:int -> unit
-(** Asynchronous device-to-device copy; stages through host memory, so
-    it crosses the shared fabric twice. *)
+(** Asynchronous device-to-device copy.  On the flat topology it
+    stages through host memory, crossing the shared fabric twice; on
+    an islands topology intra-island copies move directly over the
+    island link and inter-island copies occupy both uplinks. *)
 
-val p2p_multi :
+val p2p_async : ?deps:evt list ->
+  t -> src:Buffer.t -> src_off:int -> dst:Buffer.t -> dst_off:int ->
+  len:int -> evt
+
+val p2p_multi : ?deps:evt list ->
   t -> src:Buffer.t -> dst:Buffer.t -> segments:(int * int * int) list -> unit
 (** Packed device-to-device copy of [(src_off, dst_off, len)] segments
     (a pitched cudaMemcpy2D): the summed bytes move as one transfer,
     paying the latency once. *)
+
+val p2p_multi_async : ?deps:evt list ->
+  t -> src:Buffer.t -> dst:Buffer.t -> segments:(int * int * int) list -> evt
 
 val kernel_duration : t -> blocks:int -> ops_per_block:float -> float
 (** Modelled duration of a kernel launch (wave model with autoboost
@@ -151,11 +194,18 @@ val set_active_devices : t -> int -> unit
 (** Declare how many devices the workload keeps busy (drives the
     autoboost derate deterministically). *)
 
-val launch :
+val launch : ?deps:evt list ->
   t -> device:int -> blocks:int -> ops_per_block:float ->
   run:(unit -> unit) -> unit
 (** Launch a kernel asynchronously; [run] performs the functional
-    element work and is invoked only in functional mode. *)
+    element work and is invoked only in functional mode.  [deps] are
+    extra events the kernel must wait for, besides the device's copy
+    engines (default-stream ordering). *)
+
+val launch_async : ?deps:evt list ->
+  t -> device:int -> blocks:int -> ops_per_block:float ->
+  run:(unit -> unit) -> evt
+(** [launch] returning the kernel's completion event. *)
 
 val enable_trace : ?capacity:int -> t -> unit
 (** Record kernel, transfer and fault events in a bounded ring buffer
@@ -183,7 +233,17 @@ val publish_metrics : ?into:Obs.Metrics.t -> t -> unit
     {!Obs.Metrics.default}). *)
 
 val host_timeline : t -> Timeline.t
+
 val fabric_timeline : t -> Timeline.t
+(** The flat shared bus.  Meaningful only on the [Config.Flat]
+    topology; on an islands topology it stays empty — use
+    {!link_timelines}. *)
+
+val link_timelines : t -> (string * Timeline.t) list
+(** Every contention lane of the fabric with its stable display name:
+    [["bus", _]] on the flat topology; per-island [["isl<i>.link";
+    "isl<i>.uplink"]] pairs (in island order) on an islands
+    topology. *)
 
 val device_timelines : t -> int -> Timeline.t * Timeline.t * Timeline.t
 (** (compute, copy-in, copy-out) engines of one device. *)

@@ -43,6 +43,24 @@ let schedule t ~after ~duration ~category =
      Obs.Ring.push r { op_start = start; op_finish = finish; op_category = category });
   (start, finish)
 
+(* Record an operation at exactly [start], without clamping against
+   the engine's ready time: for contention lanes whose admission is
+   computed externally (time-based backfill), where a later-recorded
+   operation may legitimately start before an earlier reservation
+   ends.  The ready time still covers the operation's finish, so
+   [elapsed]-style maxima stay correct. *)
+let schedule_at t ~start ~duration ~category =
+  if duration < 0.0 then invalid_arg "Timeline.schedule_at: negative duration";
+  let finish = start +. duration in
+  if finish > t.ready then t.ready <- finish;
+  let old = Option.value ~default:0.0 (Hashtbl.find_opt t.busy category) in
+  Hashtbl.replace t.busy category (old +. duration);
+  (match t.ops with
+   | None -> ()
+   | Some r ->
+     Obs.Ring.push r { op_start = start; op_finish = finish; op_category = category });
+  (start, finish)
+
 (* Force the engine to be idle until at least [time] (a synchronization
    barrier). *)
 let wait_until t time = if time > t.ready then t.ready <- time
@@ -52,7 +70,11 @@ let busy_in t category =
 
 let total_busy t = Hashtbl.fold (fun _ v acc -> acc +. v) t.busy 0.0
 
-let categories t = Hashtbl.fold (fun k _ acc -> k :: acc) t.busy []
+(* Sorted, so reports and JSON artifacts do not depend on hash-table
+   iteration order (which varies across OCaml versions and hash
+   seeds). *)
+let categories t =
+  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.busy [])
 
 (* Idle time within a span of [span] seconds: the span minus every
    busy second, clamped at zero (an engine can be scheduled past the

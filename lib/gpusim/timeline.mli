@@ -20,6 +20,15 @@ val schedule :
 (** Append an operation that cannot start before [after]; returns
     (start, finish).  Busy time is accumulated per [category]. *)
 
+val schedule_at :
+  t -> start:float -> duration:float -> category:string -> float * float
+(** Record an operation at exactly [start], without clamping against
+    [ready] (the engine's ready still advances to at least the
+    operation's finish).  For contention lanes whose admission is
+    computed externally with backfill, where a later-recorded
+    operation may start before an earlier reservation ends; the
+    per-op log is then ordered by admission, not by start. *)
+
 val wait_until : t -> float -> unit
 (** Force the engine idle until at least the given time (a
     synchronization barrier). *)
@@ -28,7 +37,10 @@ val busy_in : t -> string -> float
 (** Accumulated busy seconds in one category. *)
 
 val total_busy : t -> float
+
 val categories : t -> string list
+(** Categories with accumulated busy time, in sorted order (stable
+    across hash seeds). *)
 
 val idle_in : t -> span:float -> float
 (** [span] minus the total busy seconds, clamped at zero. *)

@@ -3,7 +3,9 @@
    Mapping (devices are processes, engines are threads):
 
      pid 0        "host"    tid 0 host timeline   tid 1 spans   tid 2 faults
-     pid 1        "fabric"  tid 0 bus occupancy
+     pid 1        "fabric"  one tid per contention lane (tid 0 "bus" on
+                            the flat topology; per-island link/uplink
+                            lanes on an islands topology)
      pid 2 + d    "dev d"   tid 0 compute   tid 1 copy_in   tid 2 copy_out
 
    Device lanes are built from the machine's event trace (which knows
@@ -38,8 +40,10 @@ let metadata m =
     Thread_name { pid = host_pid; tid = host_tid_spans; name = "engine spans" };
     Thread_name { pid = host_pid; tid = host_tid_faults; name = "faults" };
     Process_name { pid = fabric_pid; name = "fabric" };
-    Thread_name { pid = fabric_pid; tid = 0; name = "bus" };
   ]
+  @ List.mapi
+      (fun tid (name, _) -> Thread_name { pid = fabric_pid; tid; name })
+      (Machine.link_timelines m)
   @ List.concat
       (List.init (Machine.n_devices m) (fun d ->
            [
@@ -185,8 +189,10 @@ let events ?(spans = []) m =
     List.concat_map event_lanes (Machine.trace m)
     @ timeline_lane ~pid:host_pid ~tid:host_tid_timeline ~cat:"host"
         (Machine.host_timeline m)
-    @ timeline_lane ~pid:fabric_pid ~tid:0 ~cat:"fabric"
-        (Machine.fabric_timeline m)
+    @ List.concat
+        (List.mapi
+           (fun tid (_, tl) -> timeline_lane ~pid:fabric_pid ~tid ~cat:"fabric" tl)
+           (Machine.link_timelines m))
     @ span_events spans
   in
   metadata m @ List.stable_sort lane_order timing

@@ -93,6 +93,7 @@ val run :
   ?cache:bool ->
   ?checkpoint_every:int ->
   ?domains:int ->
+  ?overlap:bool ->
   machine:Gpusim.Machine.t ->
   exe ->
   result
@@ -129,6 +130,19 @@ val run :
     one device alive, functional results are bit-identical to the
     fault-free run; on ideal hardware none of this machinery runs and
     [faults] is {!no_faults}.
+
+    [overlap] (default false) drops the host barrier between the read
+    exchange and the partition launches of each non-chunked kernel
+    launch, letting transfers and compute overlap: the copy engines
+    are in-order and every exchange transfer is issued before any
+    launch, so each kernel still observes its complete read set, while
+    device k+1's halo fetches run under device k's kernel, the next
+    iteration's exchange prefetches under the current iteration's
+    compute, and host pattern work hides under device execution.
+    Simulated results are bit-identical to the barriered engine on
+    every machine — including under fault schedules and memory
+    pressure (the chunked path keeps its barrier; its eager tracker
+    updates rely on it) — only simulated time changes.
 
     Under a finite per-device memory capacity
     ({!Gpusim.Config.t.mem_capacity}) the engine adapts to memory

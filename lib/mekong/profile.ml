@@ -54,7 +54,11 @@ let collect ?result ?(spans = true) (m : Gpusim.Machine.t) : Obs.Report.t =
     Obs.Report.rp_elapsed = elapsed;
     rp_devices = devices;
     rp_host_busy = host_busy;
-    rp_fabric_busy = Gpusim.Timeline.total_busy (Gpusim.Machine.fabric_timeline m);
+    rp_fabric_busy =
+      List.fold_left
+        (fun acc (_, tl) -> acc +. Gpusim.Timeline.total_busy tl)
+        0.0
+        (Gpusim.Machine.link_timelines m);
     rp_matrix = Gpusim.Machine.byte_matrix m;
     rp_counters = counters;
     rp_spans =

@@ -57,6 +57,31 @@ let test_timeline_empty_windows () =
   checkf "clamped utilization" 1.0 (Timeline.utilization t ~span:1.0);
   checkf "clamped idle" 0.0 (Timeline.idle_in t ~span:1.0)
 
+(* Regression: [categories] must come back sorted regardless of
+   insertion order, so reports and JSON artifacts are stable across
+   hash-table seeds and OCaml versions. *)
+let test_timeline_categories_sorted () =
+  let t = Timeline.create "t" in
+  List.iter
+    (fun c -> ignore (Timeline.schedule t ~after:0.0 ~duration:0.1 ~category:c))
+    [ "zeta"; "alpha"; "mid"; "beta" ];
+  Alcotest.(check (list string))
+    "sorted" [ "alpha"; "beta"; "mid"; "zeta" ] (Timeline.categories t)
+
+(* schedule_at records at exactly the given start, without clamping
+   against ready — a later-recorded op may start before an earlier
+   reservation ends — while ready still covers every finish. *)
+let test_timeline_schedule_at () =
+  let t = Timeline.create "t" in
+  let s1, e1 = Timeline.schedule_at t ~start:10.0 ~duration:2.0 ~category:"bus" in
+  checkf "parked start" 10.0 s1;
+  checkf "parked end" 12.0 e1;
+  let s2, e2 = Timeline.schedule_at t ~start:1.0 ~duration:3.0 ~category:"bus" in
+  checkf "backfilled start not clamped" 1.0 s2;
+  checkf "backfilled end" 4.0 e2;
+  checkf "ready covers the latest finish" 12.0 (Timeline.ready t);
+  checkf "busy accumulates" 5.0 (Timeline.busy_in t "bus")
+
 (* ---------------- Machine timing ---------------- *)
 
 let quiet_cfg n =
@@ -178,6 +203,22 @@ let test_p2p_waits_src_compute () =
   Machine.p2p m ~src:b0 ~src_off:0 ~dst:b1 ~dst_off:0 ~len:1000;
   Machine.synchronize m;
   checkb "transfer after source kernel" true (Machine.host_time m >= 0.002)
+
+(* Regression: synchronize charges its serial per-context cost AFTER
+   the devices drain, not concurrently with them.  Hand-computed: a
+   4 ms h2d followed by a synchronize over 2 contexts at 1 ms each
+   puts the host at ~6 ms; the old accounting overlapped the sync with
+   the transfer and reported ~4 ms. *)
+let test_sync_charged_after_drain () =
+  let cfg = { (quiet_cfg 2) with Config.sync_device_seconds = 1.0e-3 } in
+  let m = Machine.create cfg in
+  let b = Machine.alloc m ~device:0 ~len:1_000_000 in
+  Machine.h2d m ~src:[||] ~src_off:0 ~dst:b ~dst_off:0 ~len:1_000_000;
+  Machine.synchronize m;
+  let t = Machine.host_time m in
+  checkb "sync serialized after the drain" true (t >= 0.006 && t < 0.0065);
+  checkf "sync cost visible on the host lane" 2.0e-3
+    (Timeline.busy_in (Machine.host_timeline m) "sync")
 
 (* ---------------- Functional data movement ---------------- *)
 
@@ -311,6 +352,45 @@ let test_machine_transient_fault () =
   done;
   checkb "eventually succeeds" true !ok
 
+(* Regression: a transiently faulted transfer paid its wire time and
+   its bytes really crossed the fabric, so it must be charged to the
+   byte counters and the pair matrix like any other transfer (a retry
+   legitimately charges the traffic again); the dedicated faulted
+   counters keep the failures visible, and seconds/bytes
+   reconciliation stays exact under faults. *)
+let test_faulted_transfer_accounting () =
+  let m = Machine.create (quiet_cfg 2) in
+  Machine.inject_faults m
+    (Faults.create
+       { Faults.null_spec with seed = 7; transfer_fault_rate = 0.999;
+         max_consecutive = 2 });
+  let b = Machine.alloc m ~device:0 ~len:1_000_000 in
+  let attempts = ref 0 and faults = ref 0 in
+  let ok = ref false in
+  while not !ok do
+    incr attempts;
+    if !attempts > 10 then Alcotest.fail "retry loop did not terminate";
+    try
+      Machine.h2d m ~src:[||] ~src_off:0 ~dst:b ~dst_off:0 ~len:1_000_000;
+      ok := true
+    with Machine.Transient_fault { op = "h2d"; device = 0 } -> incr faults
+  done;
+  checkb "at least one transfer faulted" true (!faults > 0);
+  let st = Machine.stats m in
+  checki "every attempt charged h2d bytes" (4_000_000 * !attempts)
+    st.Machine.h2d_bytes;
+  checki "faulted transfers counted" !faults st.Machine.faulted_transfers;
+  checki "faulted bytes counted" (4_000_000 * !faults) st.Machine.faulted_bytes;
+  (match List.assoc_opt (-1, 0) (Machine.byte_matrix m) with
+   | Some bytes ->
+     checki "pair matrix includes the faulted traffic" (4_000_000 * !attempts)
+       bytes
+   | None -> Alcotest.fail "missing host->device pair");
+  (* every attempt paid its 4 ms of wire time *)
+  checkb "transfer seconds include faulted attempts" true
+    (st.Machine.transfer_seconds
+     >= (0.004 *. float_of_int !attempts) -. 1e-9)
+
 let test_machine_device_loss () =
   let m = Machine.create ~functional:true (Config.test_box ~n_devices:3 ()) in
   Machine.inject_faults m
@@ -404,6 +484,17 @@ let test_config_validation () =
   rejects "launch_latency" (fun c -> { c with Config.launch_latency = nan });
   rejects "sync_device_seconds" (fun c ->
       { c with Config.sync_device_seconds = -1.0 });
+  let isl ?(size = 2) ?(link = 1e9) ?(uplink = 1e9) () =
+    Config.Islands
+      { island_size = size; link_bandwidth = link; uplink_bandwidth = uplink }
+  in
+  ignore (Config.validate { base with Config.topology = isl () });
+  rejects "topology.island_size" (fun c ->
+      { c with Config.topology = isl ~size:0 () });
+  rejects "topology.link_bandwidth" (fun c ->
+      { c with Config.topology = isl ~link:0.0 () });
+  rejects "topology.uplink_bandwidth" (fun c ->
+      { c with Config.topology = isl ~uplink:(-1.0) () });
   (* the machine constructor validates too *)
   (match Machine.create { base with Config.n_devices = -2 } with
    | _ -> Alcotest.fail "Machine.create accepted a bad config"
@@ -413,6 +504,33 @@ let test_config_validation () =
   checki "capacity kept" 4096 c.Config.mem_capacity;
   checkb "default unlimited" true
     ((Config.k80_box ()).Config.mem_capacity = max_int)
+
+(* CLI topology specs: the parser and printer must be inverses, and
+   malformed or non-positive specs must be rejected with an error
+   (never a crash or a silently-flat topology). *)
+let test_topology_spec () =
+  checkb "flat parses" true (Config.topology_of_string "flat" = Ok Config.Flat);
+  (match Config.topology_of_string "islands:4,80,12" with
+   | Ok (Config.Islands { island_size; link_bandwidth; uplink_bandwidth }) ->
+     checki "island size" 4 island_size;
+     checkf "link GB/s scaled" 80e9 link_bandwidth;
+     checkf "uplink GB/s scaled" 12e9 uplink_bandwidth
+   | _ -> Alcotest.fail "islands spec rejected");
+  List.iter
+    (fun s ->
+       checkb (Printf.sprintf "%S rejected" s) true
+         (match Config.topology_of_string s with
+          | Error _ -> true
+          | Ok _ -> false))
+    [ "nope"; "islands:0,80,12"; "islands:4,-1,12"; "islands:4,80";
+      "islands:a,b,c"; "islands:4,80,12,1" ];
+  List.iter
+    (fun t ->
+       checkb "printer/parser roundtrip" true
+         (Config.topology_of_string (Config.topology_to_string t) = Ok t))
+    [ Config.Flat;
+      Config.Islands
+        { island_size = 2; link_bandwidth = 20e9; uplink_bandwidth = 12e9 } ]
 
 (* ---------------- Device-memory accounting ---------------- *)
 
@@ -483,10 +601,16 @@ let () =
           Alcotest.test_case "wait/reset" `Quick test_timeline_wait;
           Alcotest.test_case "empty windows" `Quick
             test_timeline_empty_windows;
+          Alcotest.test_case "sorted categories" `Quick
+            test_timeline_categories_sorted;
+          Alcotest.test_case "schedule_at backfill" `Quick
+            test_timeline_schedule_at;
         ] );
       ( "config",
-        [ Alcotest.test_case "field validation" `Quick test_config_validation ]
-      );
+        [
+          Alcotest.test_case "field validation" `Quick test_config_validation;
+          Alcotest.test_case "topology specs" `Quick test_topology_spec;
+        ] );
       ( "memory",
         [ Alcotest.test_case "accounting" `Quick test_mem_accounting ] );
       ( "timing",
@@ -499,6 +623,8 @@ let () =
           Alcotest.test_case "autoboost derate" `Quick test_autoboost;
           Alcotest.test_case "default-stream order" `Quick test_default_stream_ordering;
           Alcotest.test_case "p2p waits source" `Quick test_p2p_waits_src_compute;
+          Alcotest.test_case "sync after drain" `Quick
+            test_sync_charged_after_drain;
         ] );
       ( "data",
         [
@@ -516,6 +642,8 @@ let () =
             test_faults_consecutive_cap;
           Alcotest.test_case "transient fault" `Quick
             test_machine_transient_fault;
+          Alcotest.test_case "faulted transfer accounting" `Quick
+            test_faulted_transfer_accounting;
           Alcotest.test_case "device loss" `Quick test_machine_device_loss;
           Alcotest.test_case "off by default" `Quick
             test_machine_faults_off_by_default;
