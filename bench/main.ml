@@ -12,6 +12,7 @@
      dune exec bench/main.exe -- cache    -- launch-plan cache wall-clock
      dune exec bench/main.exe -- faults   -- fault-injection campaign
      dune exec bench/main.exe -- exec     -- interpreter vs compiled executor
+     dune exec bench/main.exe -- serve    -- multi-tenant serving campaign
      dune exec bench/main.exe -- micro    -- Bechamel micro-benchmarks
 
    Any experiment accepts --faults SEED,RATE[,DEV@TIME...] to inject
@@ -1679,6 +1680,274 @@ let run_overlapcampaign () =
        bit-identical\n\n"
 
 (* ------------------------------------------------------------------ *)
+(* Serving: multi-tenant campaign under faults, losses and overload     *)
+(* ------------------------------------------------------------------ *)
+
+(* A ≥200-job mixed campaign through the serving scheduler, three
+   variants on an 8-GPU fleet:
+
+     clean     the mix with two poison jobs, no losses
+     loss      the same mix with two permanent device losses fired
+               mid-stream (at the 30th/60th percentile of the clean
+               variant's completion times, so they hit a busy fleet)
+     overload  a burst arrival against a tiny queue bound plus a tight
+               deadline (typed Queue_full rejections and timeouts)
+
+   Gates (any violation exits 1 after the reports are written):
+   - zero lost jobs: every submission reaches a typed outcome;
+   - every healthy job in the clean and loss variants completes, and
+     its output is bit-identical to a solo run of the identical
+     instance on the full healthy machine;
+   - poison jobs are quarantined by the circuit breaker, never retried
+     forever;
+   - the loss variant loses exactly its two scheduled devices, at
+     least one in-flight job preempts and re-queues, and no lease
+     occupies a device after its death;
+   - the overload variant rejects with the typed queue bound;
+   - per-tenant SLO percentiles are finite wherever defined, and the
+     scheduler's Chrome trace validates. *)
+let run_servecampaign () =
+  let fleet_n = 8 in
+  let n_jobs = 220 in
+  let n_poison = 2 in
+  let seed = 42 in
+  Printf.printf "Serving campaign: %d-job multi-tenant mix on %d GPUs\n"
+    n_jobs fleet_n;
+  Printf.printf
+    "(admission control, priorities, circuit breaker, graceful\n\
+    \ degradation; completed outputs must be bit-identical to solo runs)\n\n";
+  let violations = ref 0 in
+  let check msg ok =
+    if not ok then begin
+      incr violations;
+      Printf.printf "  FAIL: %s\n%!" msg
+    end
+  in
+  let fleet () = Gpusim.Config.k80_box ~n_devices:fleet_n () in
+  let run_variant ~variant ?(max_queue = 256) ?(losses = []) ?deadline
+      ?(mean_gap = 2e-4) ~jobs ~poison ~seed () =
+    let built =
+      Serve.Mix.generate ~seed ~tenants:4 ~poison ?deadline ~mean_gap ~jobs ()
+    in
+    let cfg = Serve.Scheduler.config ~max_queue ~losses (fleet ()) in
+    let r =
+      Serve.Scheduler.run cfg (List.map (fun b -> b.Serve.Mix.b_spec) built)
+    in
+    add_timing
+      [
+        ("kind", jstr "serve_variant");
+        ("variant", jstr variant);
+        ("report", Serve.Scheduler.report_to_json r);
+      ];
+    (built, r)
+  in
+  let outcome_of (r : Serve.Scheduler.report) name =
+    let j =
+      List.find (fun (j : Serve.Job.report) -> j.Serve.Job.r_name = name)
+        r.Serve.Scheduler.r_jobs
+    in
+    j.Serve.Job.r_outcome
+  in
+  let counts (r : Serve.Scheduler.report) =
+    List.fold_left
+      (fun (c, rj, t, q) (j : Serve.Job.report) ->
+         match j.Serve.Job.r_outcome with
+         | Serve.Job.Completed _ -> (c + 1, rj, t, q)
+         | Serve.Job.Rejected _ -> (c, rj + 1, t, q)
+         | Serve.Job.Timed_out _ -> (c, rj, t + 1, q)
+         | Serve.Job.Quarantined _ -> (c, rj, t, q + 1))
+      (0, 0, 0, 0) r.Serve.Scheduler.r_jobs
+  in
+  (* Solo reference outputs, one per workload key: instances of a key
+     are bit-identical by construction, so each key is run once, alone
+     on the full healthy machine. *)
+  let solo_outputs built =
+    let tbl : (string, float array) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun (b : Serve.Mix.built) ->
+         if
+           (not b.Serve.Mix.b_poison)
+           && not (Hashtbl.mem tbl b.Serve.Mix.b_key)
+         then begin
+           let exe', out' = b.Serve.Mix.b_solo () in
+           let m = Gpusim.Machine.create ~functional:true (fleet ()) in
+           ignore (Mekong.Multi_gpu.run ~machine:m exe');
+           Hashtbl.replace tbl b.Serve.Mix.b_key out'
+         end)
+      built;
+    tbl
+  in
+  let check_variant ~variant built r =
+    let total = List.length r.Serve.Scheduler.r_jobs in
+    check
+      (Printf.sprintf "%s: every job must reach a typed outcome" variant)
+      (total = List.length built);
+    let solo = solo_outputs built in
+    List.iter
+      (fun (b : Serve.Mix.built) ->
+         let name = b.Serve.Mix.b_spec.Serve.Job.name in
+         match outcome_of r name with
+         | Serve.Job.Completed _ ->
+           check
+             (Printf.sprintf "%s: %s bit-identical to its solo run" variant
+                name)
+             (b.Serve.Mix.b_output = Hashtbl.find solo b.Serve.Mix.b_key)
+         | Serve.Job.Quarantined _ ->
+           check
+             (Printf.sprintf "%s: only poison jobs may be quarantined (%s)"
+                variant name)
+             b.Serve.Mix.b_poison
+         | _ -> ())
+      built;
+    List.iter
+      (fun (b : Serve.Mix.built) ->
+         if not b.Serve.Mix.b_poison then
+           check
+             (Printf.sprintf "%s: healthy job %s must complete" variant
+                b.Serve.Mix.b_spec.Serve.Job.name)
+             (match outcome_of r b.Serve.Mix.b_spec.Serve.Job.name with
+              | Serve.Job.Completed _ -> true
+              | _ -> false)
+         else
+           check
+             (Printf.sprintf "%s: poison job %s must be quarantined" variant
+                b.Serve.Mix.b_spec.Serve.Job.name)
+             (match outcome_of r b.Serve.Mix.b_spec.Serve.Job.name with
+              | Serve.Job.Quarantined _ -> true
+              | _ -> false))
+      built;
+    List.iter
+      (fun (t : Serve.Slo.tenant) ->
+         if t.Serve.Slo.t_completed > 0 then
+           check
+             (Printf.sprintf "%s: tenant %s percentiles finite" variant
+                t.Serve.Slo.t_name)
+             (List.for_all Float.is_finite
+                [
+                  t.Serve.Slo.t_queue_p50; t.Serve.Slo.t_queue_p99;
+                  t.Serve.Slo.t_turnaround_p50; t.Serve.Slo.t_turnaround_p99;
+                ]))
+      (Serve.Scheduler.tenants r)
+  in
+  let print_variant variant (r : Serve.Scheduler.report) =
+    let c, rj, t, q = counts r in
+    Printf.printf
+      "%-9s %4d jobs: %4d completed %3d rejected %3d timed-out %3d \
+       quarantined | %d lost | makespan %.4fs | util %2.0f%%\n%!"
+      variant
+      (List.length r.Serve.Scheduler.r_jobs)
+      c rj t q r.Serve.Scheduler.r_devices_lost r.Serve.Scheduler.r_makespan
+      (100.0 *. r.Serve.Scheduler.r_utilization)
+  in
+
+  (* Variant 1: clean. *)
+  let built_c, r_clean =
+    run_variant ~variant:"clean" ~jobs:n_jobs ~poison:n_poison ~seed ()
+  in
+  print_variant "clean" r_clean;
+  check_variant ~variant:"clean" built_c r_clean;
+
+  (* Variant 2: the same mix with two mid-stream permanent losses.
+     Times are percentiles of the clean variant's completion times, so
+     both losses land while the fleet is saturated; devices 0 and 1
+     die because low device ids are preferred by dispatch and are
+     therefore the busiest. *)
+  let finishes =
+    List.filter_map
+      (fun (j : Serve.Job.report) ->
+         match j.Serve.Job.r_outcome with
+         | Serve.Job.Completed { finished; _ } -> Some finished
+         | _ -> None)
+      r_clean.Serve.Scheduler.r_jobs
+    |> Array.of_list
+  in
+  Array.sort compare finishes;
+  let losses =
+    [ (0, percentile finishes 30.0); (1, percentile finishes 60.0) ]
+  in
+  List.iter
+    (fun (d, t) -> Printf.printf "  scheduling loss of device %d at %.4fs\n" d t)
+    losses;
+  let built_l, r_loss =
+    run_variant ~variant:"loss" ~losses ~jobs:n_jobs ~poison:n_poison ~seed ()
+  in
+  print_variant "loss" r_loss;
+  check_variant ~variant:"loss" built_l r_loss;
+  check "loss: exactly the two scheduled devices die"
+    (r_loss.Serve.Scheduler.r_devices_lost = 2);
+  let preemptions =
+    List.fold_left
+      (fun acc (j : Serve.Job.report) ->
+         match j.Serve.Job.r_outcome with
+         | Serve.Job.Completed { preemptions; _ } -> acc + preemptions
+         | _ -> acc)
+      0 r_loss.Serve.Scheduler.r_jobs
+  in
+  Printf.printf
+    "  loss variant: %d preempt/requeue cycle(s) across in-flight jobs\n"
+    preemptions;
+  check "loss: at least one in-flight job preempts and re-queues"
+    (preemptions >= 1);
+  List.iter
+    (fun (s : Serve.Scheduler.segment) ->
+       List.iter
+         (fun d ->
+            match List.assoc_opt d losses with
+            | Some t ->
+              check
+                (Printf.sprintf "loss: no lease on device %d after its death" d)
+                (s.Serve.Scheduler.sg_start <= t)
+            | None -> ())
+         s.Serve.Scheduler.sg_devices)
+    r_loss.Serve.Scheduler.r_segments;
+  (match Obs.Chrome_trace.validate (Serve.Strace.to_json r_loss) with
+   | Ok () -> ()
+   | Error e -> check (Printf.sprintf "loss: scheduler trace valid (%s)" e) false);
+
+  (* Variant 3: overload — a burst arrival against a tiny queue bound
+     and a tight per-job deadline.  Overflow must surface as typed
+     Queue_full rejections, never silent drops. *)
+  let _, r_over =
+    run_variant ~variant:"overload" ~max_queue:8 ~mean_gap:0.0 ~deadline:5e-3
+      ~jobs:64 ~poison:0 ~seed:7 ()
+  in
+  print_variant "overload" r_over;
+  let c_o, rj_o, t_o, q_o = counts r_over in
+  check "overload: all outcomes typed and accounted"
+    (c_o + rj_o + t_o + q_o = 64);
+  check "overload: the bounded queue rejects" (rj_o > 0);
+  List.iter
+    (fun (j : Serve.Job.report) ->
+       match j.Serve.Job.r_outcome with
+       | Serve.Job.Rejected { reason = Serve.Job.Queue_full n; _ } ->
+         check "overload: rejection carries the queue bound" (n = 8)
+       | Serve.Job.Rejected { reason; _ } ->
+         check
+           (Printf.sprintf "overload: unexpected rejection %s"
+              (Serve.Job.reject_reason_to_string reason))
+           false
+       | _ -> ())
+    r_over.Serve.Scheduler.r_jobs;
+
+  Printf.printf "\nper-tenant SLOs of the loss variant:\n";
+  Format.printf "%a@?" Serve.Slo.pp (Serve.Scheduler.tenants r_loss);
+  (match !trace_path with
+   | Some file ->
+     Serve.Strace.write ~file r_loss;
+     Printf.printf "[serve scheduler trace written to %s]\n%!" file
+   | None -> ());
+  Printf.printf "%s\n" (line 86);
+  if !violations > 0 then begin
+    Printf.printf "SERVE CAMPAIGN FAILED: %d gate violation(s)\n\n" !violations;
+    campaign_failed := true
+  end
+  else
+    Printf.printf
+      "serve campaign passed: every job typed, completed outputs \
+       bit-identical,\npoison quarantined, losses absorbed, overload \
+       rejected with backpressure\n\n"
+
+(* ------------------------------------------------------------------ *)
 (* Per-campaign BENCH_<campaign>.json reports                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1800,6 +2069,7 @@ let campaigns =
     ("mem", run_memcampaign);
     ("exec", run_exec);
     ("overlap", run_overlapcampaign);
+    ("serve", run_servecampaign);
     ("micro", run_micro);
   ]
 

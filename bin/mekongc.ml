@@ -7,6 +7,7 @@
      mekongc rewrite  <app>      print the rewritten multi-GPU host source
      mekongc kernels  <app>      print original and partitioned kernel IR
      mekongc run      <app>      compile and run on N simulated GPUs
+     mekongc serve               run a multi-tenant serving campaign
      mekongc profile  <app>      run with full observability and report
      mekongc check-trace <f>     validate a Chrome trace-event file
      mekongc model    <app> -o F save the application model to a file
@@ -133,6 +134,14 @@ let domains_arg =
            race-free kernels; 1 forces sequential execution (default: \
            \\$MEKONG_DOMAINS, else the machine's recommended domain count)")
 
+(* Validated before it reaches the pool: a non-positive count is a
+   user error (one-line diagnostic, exit 2), not an internal one. *)
+let set_domains domains =
+  (match domains with
+   | Some d when d < 1 -> die "--domains must be a positive integer (got %d)" d
+   | _ -> ());
+  Option.iter Gpu_runtime.Dpool.set_default_domains domains
+
 (* Observability is off by default (the instrumentation points cost
    one load-and-branch); --trace and the profile subcommand switch it
    on and give spans the real wall clock. *)
@@ -199,7 +208,7 @@ let run_cmd =
     (* The shared pool is sized from the default at first use; a
        --domains larger than the machine's recommended count would
        otherwise be silently capped by a smaller pool. *)
-    Option.iter Gpu_runtime.Dpool.set_default_domains domains;
+    set_domains domains;
     if trace <> None then enable_observability ();
     let artifacts = compile_app app in
     let machine =
@@ -242,9 +251,89 @@ let run_cmd =
 let json_flag =
   Arg.(value & flag & info [ "json" ] ~doc:"emit the report as JSON")
 
+let serve_cmd =
+  let jobs_arg =
+    Arg.(value & opt int 40 & info [ "jobs" ] ~docv:"N" ~doc:"jobs in the mix")
+  in
+  let tenants_arg =
+    Arg.(value & opt int 3 & info [ "tenants" ] ~docv:"N" ~doc:"tenants")
+  in
+  let poison_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "poison" ] ~docv:"N"
+          ~doc:"poison jobs (always-faulting kernels) spread through the mix")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"mix seed")
+  in
+  let max_queue_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "max-queue" ] ~docv:"N" ~doc:"bounded pending-queue limit")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:"per-job turnaround deadline in simulated seconds")
+  in
+  let lose_arg =
+    Arg.(
+      value
+      & opt (list (pair ~sep:'@' int float)) []
+      & info [ "lose" ] ~docv:"DEV@TIME[,DEV@TIME...]"
+          ~doc:
+            "permanently lose fleet device DEV at simulated time TIME; \
+             in-flight jobs preempt into a checkpoint handoff, re-queue \
+             and re-admit onto the surviving devices")
+  in
+  let run gpus jobs tenants poison seed max_queue mem_cap deadline losses
+      domains json trace =
+    if gpus < 1 then die "--gpus must be positive (got %d)" gpus;
+    (match mem_cap with
+     | Some c when c <= 0 -> die "--mem-cap must be positive (got %d)" c
+     | _ -> ());
+    set_domains domains;
+    let built =
+      try Serve.Mix.generate ~seed ~tenants ~poison ?deadline ~jobs ()
+      with Invalid_argument m -> die "%s" m
+    in
+    let fleet =
+      Gpusim.Config.k80_box ~n_devices:gpus ?mem_capacity:mem_cap ()
+    in
+    let cfg =
+      try Serve.Scheduler.config ~max_queue ~losses ?domains fleet
+      with Invalid_argument m -> die "%s" m
+    in
+    let r =
+      Serve.Scheduler.run cfg (List.map (fun b -> b.Serve.Mix.b_spec) built)
+    in
+    Serve.Scheduler.publish_metrics r;
+    if json then
+      print_endline (Obs.Json.to_string (Serve.Scheduler.report_to_json r))
+    else Format.printf "%a@?" Serve.Scheduler.pp r;
+    match trace with
+    | Some file ->
+      Serve.Strace.write ~file r;
+      if not json then Printf.printf "scheduler trace written to %s\n" file
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "run a multi-tenant serving campaign: a seeded mix of jobs through \
+          the admission-controlled scheduler, with optional deadlines, \
+          poison jobs and permanent device losses")
+    Term.(
+      const run $ gpus_arg $ jobs_arg $ tenants_arg $ poison_arg $ seed_arg
+      $ max_queue_arg $ mem_cap_arg $ deadline_arg $ lose_arg $ domains_arg
+      $ json_flag $ trace_arg)
+
 let profile_cmd =
   let run app gpus faults domains json trace overlap topology =
-    Option.iter Gpu_runtime.Dpool.set_default_domains domains;
+    set_domains domains;
     enable_observability ();
     let artifacts = compile_app app in
     let machine =
@@ -361,10 +450,12 @@ let () =
     exit
       (Cmd.eval ~catch:false
          (Cmd.group info
-            [ analyze_cmd; rewrite_cmd; kernels_cmd; run_cmd; profile_cmd;
-              check_trace_cmd; model_cmd; compile_file_cmd ]))
+            [ analyze_cmd; rewrite_cmd; kernels_cmd; run_cmd; serve_cmd;
+              profile_cmd; check_trace_cmd; model_cmd; compile_file_cmd ]))
   with
   | Sys_error m -> die "%s" m
   | Cuparse.Error m -> die "parse error: %s" m
+  | Mekong.Multi_gpu.All_devices_lost ->
+    die "all simulated devices were lost; no replica survives to recover from"
   | Failure m -> die "%s" m
   | Invalid_argument m -> die "internal error: %s" m

@@ -168,6 +168,26 @@ let k80_box ?(n_devices = 16) ?(mem_capacity = max_int) ?(topology = Flat) () =
 let test_box ?(n_devices = 4) ?mem_capacity ?topology () =
   { (k80_box ~n_devices ?mem_capacity ?topology ()) with name = "test-box" }
 
+(* The config of a leased sub-machine: the same per-device constants
+   over [n_devices] of the fleet's devices.  The fleet-level fault spec
+   is dropped — a scheduler injects per-job faults and translates
+   fleet-wide scheduled losses into lease-local ones itself.  The
+   thermal envelope ([total_dies]) is kept: leased dies share the
+   box. *)
+let lease t ~n_devices =
+  if n_devices < 1 || n_devices > t.n_devices then
+    invalid_arg
+      (Printf.sprintf "Config.lease: n_devices must be in [1,%d] (got %d)"
+         t.n_devices n_devices)
+  else
+    validate
+      {
+        t with
+        n_devices;
+        name = Printf.sprintf "%s/lease%d" t.name n_devices;
+        faults = None;
+      }
+
 (* Per-die throughput factor when [active] dies are busy out of the
    box's thermal envelope of [total_dies]. *)
 let boost_factor t ~active =

@@ -84,6 +84,15 @@ val test_box :
   ?n_devices:int -> ?mem_capacity:int -> ?topology:topology -> unit -> t
 (** Machine for functional tests (timing constants irrelevant there). *)
 
+val lease : t -> n_devices:int -> t
+(** The config of a leased sub-machine: the same per-device constants
+    over [n_devices] (1 <= [n_devices] <= [t.n_devices], else
+    [Invalid_argument]) of the fleet's devices, with the fleet-level
+    fault spec dropped — the serving scheduler injects per-job faults
+    and translates fleet-wide scheduled losses into lease-local ones
+    itself.  [total_dies] is kept: leased dies share the box's thermal
+    envelope. *)
+
 val boost_factor : t -> active:int -> float
 (** Per-die throughput factor when [active] dies are busy. *)
 

@@ -68,6 +68,11 @@ let link ?rectangles ?force_strategy ~(model : Model.t) (prog : Host_ir.t) :
         (Host_ir.kernels prog);
   }
 
+exception All_devices_lost
+(* Terminal: the fault schedule killed every device.  Raised instead of
+   spinning in backoff against an empty fleet; there is no state worth
+   reporting because no device can hold any. *)
+
 type fault_report = {
   fr_faults : int; (* transient faults and losses observed by the machine *)
   fr_retries : int; (* statement retries after transient faults *)
@@ -130,6 +135,20 @@ let publish_metrics ?(into = Obs.Metrics.default) (r : result) =
   Kcompile.publish_metrics ~into r.exec;
   Gpusim.Machine.publish_metrics ~into r.machine
 
+(* A preemption handoff: the flattened-statement index to resume from
+   plus the logical content of every live buffer, gathered host-side.
+   Statements are idempotent (see the flattening comment below), so
+   resuming a fresh engine at [h_index] with these buffers restored
+   reproduces the uninterrupted run bit-identically. *)
+type handoff = {
+  h_index : int;
+  h_buffers : (string * int * float array option) list;
+      (* (name, len, content); content is [None] on performance
+         machines, where only extents matter *)
+}
+
+type bounded = Done of result | Preempted of result * handoff
+
 (* Common parameter bindings of one launch: scalar arguments plus block
    and grid dimensions. *)
 let launch_bindings kernel ~grid ~block ~args =
@@ -150,12 +169,16 @@ let backoff_base = 100e-6
 let backoff_cap = 10e-3
 let backoff_budget = 1.0
 
-let run ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d) ?(cache = true)
-    ?(checkpoint_every = 8) ?domains ?(overlap = false)
-    ~(machine : Gpusim.Machine.t) (exe : exe) : result =
+let run_bounded ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d)
+    ?(cache = true) ?(checkpoint_every = 8) ?domains ?(overlap = false)
+    ?abort_at ?resume ~(machine : Gpusim.Machine.t) (exe : exe) : bounded =
   if not (Gpu_runtime.Rconfig.is_valid cfg) then invalid_arg "Multi_gpu.run: bad config";
   if checkpoint_every <= 0 then
     invalid_arg "Multi_gpu.run: checkpoint_every must be positive";
+  (match abort_at with
+   | Some t when not (t > 0.0) ->
+     invalid_arg "Multi_gpu.run_bounded: abort_at must be positive"
+   | _ -> ());
   let domains =
     match domains with
     | Some d ->
@@ -240,6 +263,26 @@ let run ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d) ?(cache = true)
     let before = Gpu_runtime.Tracker.ops tr in
     let res = f () in
     (Gpu_runtime.Tracker.ops tr - before, res)
+  in
+  (* Rebuild the buffer population from a preemption handoff: allocate
+     every buffer first (so the eviction pool sees the whole set), then
+     re-scatter each one's content, paying the upload like any h2d.
+     Statement [h_index] then continues as if nothing happened. *)
+  let install_resume (h : handoff) =
+    span "resume" @@ fun () ->
+    List.iter
+      (fun (name, len, _) ->
+         Hashtbl.replace vbufs name (Gpu_runtime.Vbuf.create m ~name ~len))
+      h.h_buffers;
+    List.iter
+      (fun (name, _, data) ->
+         let vb = find name in
+         let ops, () =
+           with_tracker_ops vb (fun () ->
+               Gpu_runtime.Vbuf.h2d ~cfg ~pool:(pool_of ()) vb ~src:data)
+         in
+         charge ~tracker_ops:ops ~ranges:0 ~dispatches:0)
+      h.h_buffers
   in
   (* Derive everything a launch needs from its parameters alone (no
      tracker or buffer state), in the exact shape the execution phases
@@ -891,10 +934,16 @@ let run ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d) ?(cache = true)
            Hashtbl.replace vbufs name vb)
         bufs;
       index
-    | None ->
-      Hashtbl.iter (fun _ vb -> Gpu_runtime.Vbuf.free vb) vbufs;
-      Hashtbl.reset vbufs;
-      0
+    | None -> (
+        Hashtbl.iter (fun _ vb -> Gpu_runtime.Vbuf.free vb) vbufs;
+        Hashtbl.reset vbufs;
+        (* A resumed run's earliest recovery point is its handoff: the
+           buffers it restored are this segment's "beginning". *)
+        match resume with
+        | Some h ->
+          install_resume h;
+          h.h_index
+        | None -> 0)
   in
   (* Permanent loss: shrink the live set, drop every cached plan (they
      all name the dead device), re-home what the dead device owned onto
@@ -904,8 +953,7 @@ let run ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d) ?(cache = true)
     span "recovery" @@ fun () ->
     incr devices_lost;
     live := List.filter (fun d -> d <> dead) !live;
-    if !live = [] then
-      failwith "Multi_gpu: every device lost; nothing left to run on";
+    if !live = [] then raise All_devices_lost;
     Gpusim.Machine.set_active_devices m (n_live ());
     plan_cache := Launch_cache.create ();
     let data_lost = ref false in
@@ -923,8 +971,72 @@ let run ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d) ?(cache = true)
   in
   let n_stmts = Array.length stmts in
   let launches_since_ckpt = ref 0 in
-  let i = ref 0 in
-  while !i < n_stmts do
+  let i =
+    ref
+      (match resume with
+       | Some h ->
+         if h.h_index < 0 || h.h_index > n_stmts then
+           invalid_arg "Multi_gpu.run_bounded: resume index out of range";
+         install_resume h;
+         h.h_index
+       | None -> 0)
+  in
+  (* Preemption: gather every live buffer to the host (a checkpoint in
+     handoff form) and stop.  The gather itself runs on the simulated
+     machine, so it pays transfer time and can itself fault: transient
+     faults back off and retry, a device loss re-homes/replays through
+     [handle_loss] and falls back into the main loop, whose abort check
+     immediately re-enters here against the recovered state. *)
+  let preempt_now () =
+    try
+      span "preempt" @@ fun () ->
+      Gpusim.Machine.synchronize m;
+      let bufs =
+        List.sort
+          (fun (a, _) (b, _) -> compare a b)
+          (Hashtbl.fold (fun name vb acc -> (name, vb) :: acc) vbufs [])
+      in
+      let captured =
+        List.map
+          (fun (name, vb) ->
+             let len = Gpu_runtime.Vbuf.len vb in
+             let dst =
+               if Gpusim.Machine.is_functional m then
+                 Some (Array.make len 0.0)
+               else None
+             in
+             let ops, () =
+               with_tracker_ops vb (fun () ->
+                   Gpu_runtime.Vbuf.d2h ~cfg vb ~dst)
+             in
+             charge ~tracker_ops:ops ~ranges:0 ~dispatches:0;
+             (name, len, dst))
+          bufs
+      in
+      Gpusim.Machine.synchronize m;
+      Some { h_index = !i; h_buffers = captured }
+    with
+    | Gpusim.Machine.Transient_fault _ when healing ->
+      incr retries;
+      Gpusim.Machine.host_work m ~seconds:backoff_base ~category:"backoff";
+      None
+    | Gpusim.Machine.Device_lost dead when healing ->
+      (match handle_loss dead with
+       | `Retry -> ()
+       | `Replay index ->
+         i := index;
+         launches_since_ckpt := 0);
+      None
+  in
+  let aborting () =
+    match abort_at with
+    | Some t -> Gpusim.Machine.elapsed m >= t
+    | None -> false
+  in
+  let preempted = ref None in
+  while !preempted = None && !i < n_stmts do
+    if aborting () then preempted := preempt_now ()
+    else begin
     let stmt = stmts.(!i) in
     let rec attempt ~tries ~spent =
       try
@@ -992,35 +1104,51 @@ let run ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d) ?(cache = true)
                   on device %d with only %d bytes free (capacity %d)"
                  requested device free mem_cap))
     in
-    match attempt ~tries:0 ~spent:0.0 with
+    (match attempt ~tries:0 ~spent:0.0 with
     | `Next -> incr i
     | `Goto j ->
       i := j;
-      launches_since_ckpt := 0
+      launches_since_ckpt := 0)
+    end
   done;
-  Gpusim.Machine.synchronize m;
-  {
-    machine = m;
-    time = Gpusim.Machine.host_time m;
-    transfers = !total_transfers;
-    cache =
-      (if cache then Launch_cache.stats !plan_cache
-       else Launch_cache.no_stats);
-    exec = exec_stats;
-    mem =
-      {
-        mr_chunked_launches = !chunked_launches;
-        mr_chunks = !chunks_run;
-        mr_oom_refinements = !oom_refinements;
-      };
-    faults =
-      (if healing then
-         {
-           fr_faults =
-             (Gpusim.Machine.stats m).Gpusim.Machine.n_faults - faults_at_entry;
-           fr_retries = !retries;
-           fr_replays = !replays;
-           fr_devices_lost = !devices_lost;
-         }
-       else no_faults);
-  }
+  if !preempted = None then Gpusim.Machine.synchronize m;
+  let result =
+    {
+      machine = m;
+      time = Gpusim.Machine.host_time m;
+      transfers = !total_transfers;
+      cache =
+        (if cache then Launch_cache.stats !plan_cache
+         else Launch_cache.no_stats);
+      exec = exec_stats;
+      mem =
+        {
+          mr_chunked_launches = !chunked_launches;
+          mr_chunks = !chunks_run;
+          mr_oom_refinements = !oom_refinements;
+        };
+      faults =
+        (if healing then
+           {
+             fr_faults =
+               (Gpusim.Machine.stats m).Gpusim.Machine.n_faults
+               - faults_at_entry;
+             fr_retries = !retries;
+             fr_replays = !replays;
+             fr_devices_lost = !devices_lost;
+           }
+         else no_faults);
+    }
+  in
+  match !preempted with
+  | Some h -> Preempted (result, h)
+  | None -> Done result
+
+let run ?cfg ?tiling ?cache ?checkpoint_every ?domains ?overlap
+    ~(machine : Gpusim.Machine.t) (exe : exe) : result =
+  match
+    run_bounded ?cfg ?tiling ?cache ?checkpoint_every ?domains ?overlap
+      ~machine exe
+  with
+  | Done r -> r
+  | Preempted _ -> assert false (* no abort_at: cannot preempt *)

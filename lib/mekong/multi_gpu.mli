@@ -34,6 +34,12 @@ val link :
     optimization; [force_strategy] overrides the model's suggested
     partitioning axis (both for ablations). *)
 
+exception All_devices_lost
+(** Terminal: the fault schedule killed every device of the machine.
+    Raised by {!run}/{!run_bounded} instead of spinning in backoff
+    against an empty fleet; there is no partial result because no
+    device can hold any state. *)
+
 type fault_report = {
   fr_faults : int;
       (** transient faults and losses observed by the machine *)
@@ -153,3 +159,44 @@ val run :
     updating trackers on its own.  Feasible runs complete
     bit-identically to the uncapped run; infeasible ones fail with a
     one-line diagnostic naming the buffer, device and shortfall. *)
+
+type handoff = {
+  h_index : int;  (** flattened-statement index to resume from *)
+  h_buffers : (string * int * float array option) list;
+      (** (name, len, content) of every live buffer at preemption;
+          content is [None] on performance machines *)
+}
+(** A preemption handoff: a checkpoint in portable form.  Because the
+    engine's flattened statements are idempotent, resuming a fresh
+    engine at [h_index] with these buffers restored reproduces the
+    uninterrupted run bit-identically — including on a {e different}
+    machine (the serving layer re-dispatches preempted jobs onto new
+    device leases this way). *)
+
+type bounded = Done of result | Preempted of result * handoff
+
+val run_bounded :
+  ?cfg:Gpu_runtime.Rconfig.t ->
+  ?tiling:[ `One_d | `Two_d ] ->
+  ?cache:bool ->
+  ?checkpoint_every:int ->
+  ?domains:int ->
+  ?overlap:bool ->
+  ?abort_at:float ->
+  ?resume:handoff ->
+  machine:Gpusim.Machine.t ->
+  exe ->
+  bounded
+(** {!run} with preemption.  When the machine's simulated clock
+    ({!Gpusim.Machine.elapsed}) reaches [abort_at] (seconds, machine
+    time, must be positive), the engine stops between statements,
+    gathers every live buffer to the host — paying the simulated
+    transfer time, and riding the self-healing machinery if the gather
+    itself faults — and returns [Preempted (partial_result, handoff)].
+    [resume] restores a previous handoff before executing: buffers are
+    re-allocated and re-scattered (paying the upload), and execution
+    continues from the handoff's statement index.  The resuming
+    machine must run the same linked [exe] in the same mode
+    (functional/performance); it may have a different device count.
+    Without [abort_at] the result is always [Done] and behavior is
+    exactly {!run}'s. *)

@@ -73,10 +73,15 @@ let rec worker_loop t last_epoch =
   end
 
 let create ?domains () =
-  let requested =
-    match domains with Some d -> d | None -> Domain.recommended_domain_count ()
+  let n =
+    match domains with
+    | Some d ->
+      if d < 1 then
+        invalid_arg
+          (Printf.sprintf "Dpool: domains must be a positive integer, got %d" d);
+      d
+    | None -> max 1 (Domain.recommended_domain_count ())
   in
-  let n = max 1 requested in
   let t =
     {
       size = n;
@@ -149,7 +154,12 @@ let parallel_for ?(max_domains = max_int) t ~n f =
 (* --- The shared global pool ------------------------------------------- *)
 
 let default_override = ref None
-let set_default_domains n = default_override := Some (max 1 n)
+
+let set_default_domains n =
+  if n < 1 then
+    invalid_arg
+      (Printf.sprintf "Dpool: domains must be a positive integer, got %d" n);
+  default_override := Some n
 
 let default_domains () =
   match !default_override with

@@ -13,8 +13,9 @@ type t
 val create : ?domains:int -> unit -> t
 (** Pool with [domains] total participants (the submitter plus
     [domains - 1] spawned workers); defaults to
-    [Domain.recommended_domain_count ()].  Clamped below at 1, in
-    which case nothing is spawned and jobs run inline. *)
+    [Domain.recommended_domain_count ()].  Raises [Invalid_argument]
+    with a one-line diagnostic when [domains] is not positive; with
+    [domains:1] nothing is spawned and jobs run inline. *)
 
 val size : t -> int
 (** Total participants, including the submitting domain. *)
@@ -50,4 +51,5 @@ val default_domains : unit -> int
 
 val set_default_domains : int -> unit
 (** Override the global pool size (CLI knob).  Takes effect only if
-    called before the first [get]. *)
+    called before the first [get].  Raises [Invalid_argument] with a
+    one-line diagnostic when the value is not positive. *)

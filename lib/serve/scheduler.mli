@@ -1,0 +1,93 @@
+(** The serving scheduler: a discrete-event loop over simulated time
+    that admits a stream of jobs under the fleet's memory capacity,
+    packs them onto disjoint device leases, and runs one partitioned
+    engine per dispatched job on a leased sub-machine.
+
+    Robustness invariants (DESIGN.md §17):
+    - every submitted job ends in exactly one typed {!Job.outcome};
+      overflow and infeasibility are typed rejections, never drops;
+    - per-job deadlines preempt in simulated time ([Timed_out]);
+    - repeated failures trip a circuit breaker ([Quarantined]) after
+      [max_strikes], with capped-exponential retry backoff in between;
+    - a permanent fleet device loss degrades gracefully: in-flight
+      jobs on the dead device preempt into a checkpoint handoff and
+      re-queue, later re-admitted onto the surviving devices;
+      scheduling continues while at least one device survives;
+    - per-job functional output is bit-identical to running the job
+      alone on the full machine, under any schedule. *)
+
+type config = {
+  fleet : Gpusim.Config.t;
+      (** the whole box; [n_devices] is the fleet size and
+          [mem_capacity] drives admission *)
+  functional : bool;
+  max_queue : int;  (** bounded pending queue (backpressure) *)
+  max_strikes : int;  (** circuit breaker: failures before quarantine *)
+  retry_base : float;  (** first retry delay, simulated seconds *)
+  retry_cap : float;  (** retry delay ceiling *)
+  losses : (int * float) list;
+      (** fleet-level permanent losses: (device, simulated seconds) *)
+  checkpoint_every : int;  (** engine checkpoint cadence per lease *)
+  domains : int option;  (** worker-domain cap passed to the engines *)
+}
+
+val config :
+  ?functional:bool ->
+  ?max_queue:int ->
+  ?max_strikes:int ->
+  ?retry_base:float ->
+  ?retry_cap:float ->
+  ?losses:(int * float) list ->
+  ?checkpoint_every:int ->
+  ?domains:int ->
+  Gpusim.Config.t ->
+  config
+(** Defaults: functional, queue bound 64, 3 strikes, retries at
+    1ms doubling to a 250ms cap, no losses, checkpoints every 4
+    launches.  Raises [Invalid_argument] on a non-positive bound or
+    rate, an out-of-range loss device, a negative loss time, or an
+    invalid fleet config.  Duplicate losses of one device keep the
+    earliest. *)
+
+(** One lease occupancy: a job running on a device subset for a span
+    of simulated time. *)
+type segment = {
+  sg_job : string;
+  sg_tenant : string;
+  sg_devices : int list;  (** fleet device ids, ascending *)
+  sg_start : float;
+  sg_stop : float;
+  sg_outcome : [ `Done | `Preempted | `Timed_out | `Failed ];
+}
+
+type report = {
+  r_fleet : int;  (** fleet size at start *)
+  r_jobs : Job.report list;  (** submission order, one per spec *)
+  r_segments : segment list;  (** chronological *)
+  r_queue_log : (float * string * string) list;
+      (** (time, kind, job): arrive / requeue / reject / timeout /
+          quarantine / complete instants, chronological *)
+  r_losses : (int * float) list;  (** the schedule that was applied *)
+  r_makespan : float;
+  r_utilization : float;
+      (** busy device-seconds over live device-seconds *)
+  r_devices_lost : int;
+  r_peak_queue : int;
+}
+
+val run : config -> Job.spec list -> report
+(** Drive every job to a terminal outcome.  Specs may arrive in any
+    order; duplicate job names raise [Invalid_argument]. *)
+
+val tenants : report -> Slo.tenant list
+(** Per-tenant SLO aggregation of a run. *)
+
+val report_to_json : report -> Obs.Json.t
+(** Everything: summary, per-tenant SLOs, per-job outcomes. *)
+
+val publish_metrics : ?into:Obs.Metrics.t -> report -> unit
+(** Snapshot the run into a metrics registry under stable ["serve.*"]
+    names, with per-tenant labels (default {!Obs.Metrics.default}). *)
+
+val pp : Format.formatter -> report -> unit
+(** Human summary: outcome counts, utilization, per-tenant SLO table. *)

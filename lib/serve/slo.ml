@@ -1,0 +1,148 @@
+(* Per-tenant SLO aggregation over one scheduler run. *)
+
+type tenant = {
+  t_name : string;
+  t_submitted : int;
+  t_completed : int;
+  t_rejected : int;
+  t_timed_out : int;
+  t_quarantined : int;
+  t_retries : int;
+  t_preemptions : int;
+  t_queue_p50 : float;
+  t_queue_p99 : float;
+  t_turnaround_p50 : float;
+  t_turnaround_p99 : float;
+  t_device_seconds : float;
+}
+
+(* Same interpolation bench/main.ml uses, so the campaign's gate
+   numbers and the per-tenant rows agree on what "p99" means. *)
+let percentile samples p =
+  let n = Array.length samples in
+  if n = 0 then 0.0
+  else begin
+    let sorted = Array.copy samples in
+    Array.sort compare sorted;
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+type acc = {
+  mutable a_submitted : int;
+  mutable a_completed : int;
+  mutable a_rejected : int;
+  mutable a_timed_out : int;
+  mutable a_quarantined : int;
+  mutable a_retries : int;
+  mutable a_preemptions : int;
+  mutable a_queue : float list;
+  mutable a_turnaround : float list;
+  mutable a_device_seconds : float;
+}
+
+let collect ~(jobs : Job.report list) ~device_seconds =
+  let tbl : (string, acc) Hashtbl.t = Hashtbl.create 8 in
+  let acc_of name =
+    match Hashtbl.find_opt tbl name with
+    | Some a -> a
+    | None ->
+      let a =
+        {
+          a_submitted = 0;
+          a_completed = 0;
+          a_rejected = 0;
+          a_timed_out = 0;
+          a_quarantined = 0;
+          a_retries = 0;
+          a_preemptions = 0;
+          a_queue = [];
+          a_turnaround = [];
+          a_device_seconds = 0.0;
+        }
+      in
+      Hashtbl.add tbl name a;
+      a
+  in
+  List.iter
+    (fun (r : Job.report) ->
+       let a = acc_of r.Job.r_tenant in
+       a.a_submitted <- a.a_submitted + 1;
+       match r.Job.r_outcome with
+       | Job.Completed { queue_latency; turnaround; retries; preemptions; _ }
+         ->
+         a.a_completed <- a.a_completed + 1;
+         a.a_retries <- a.a_retries + retries;
+         a.a_preemptions <- a.a_preemptions + preemptions;
+         a.a_queue <- queue_latency :: a.a_queue;
+         a.a_turnaround <- turnaround :: a.a_turnaround
+       | Job.Rejected _ -> a.a_rejected <- a.a_rejected + 1
+       | Job.Timed_out _ -> a.a_timed_out <- a.a_timed_out + 1
+       | Job.Quarantined { strikes; _ } ->
+         a.a_quarantined <- a.a_quarantined + 1;
+         a.a_retries <- a.a_retries + strikes - 1)
+    jobs;
+  List.iter
+    (fun (tenant, secs) ->
+       let a = acc_of tenant in
+       a.a_device_seconds <- a.a_device_seconds +. secs)
+    device_seconds;
+  Hashtbl.fold
+    (fun name a rows ->
+       let queue = Array.of_list a.a_queue in
+       let turnaround = Array.of_list a.a_turnaround in
+       {
+         t_name = name;
+         t_submitted = a.a_submitted;
+         t_completed = a.a_completed;
+         t_rejected = a.a_rejected;
+         t_timed_out = a.a_timed_out;
+         t_quarantined = a.a_quarantined;
+         t_retries = a.a_retries;
+         t_preemptions = a.a_preemptions;
+         t_queue_p50 = percentile queue 50.0;
+         t_queue_p99 = percentile queue 99.0;
+         t_turnaround_p50 = percentile turnaround 50.0;
+         t_turnaround_p99 = percentile turnaround 99.0;
+         t_device_seconds = a.a_device_seconds;
+       }
+       :: rows)
+    tbl []
+  |> List.sort (fun a b -> compare a.t_name b.t_name)
+
+let to_json rows : Obs.Json.t =
+  let open Obs.Json in
+  List
+    (List.map
+       (fun t ->
+          Obj
+            [ ("tenant", Str t.t_name);
+              ("submitted", Int t.t_submitted);
+              ("completed", Int t.t_completed);
+              ("rejected", Int t.t_rejected);
+              ("timed_out", Int t.t_timed_out);
+              ("quarantined", Int t.t_quarantined);
+              ("retries", Int t.t_retries);
+              ("preemptions", Int t.t_preemptions);
+              ("queue_p50_seconds", Float t.t_queue_p50);
+              ("queue_p99_seconds", Float t.t_queue_p99);
+              ("turnaround_p50_seconds", Float t.t_turnaround_p50);
+              ("turnaround_p99_seconds", Float t.t_turnaround_p99);
+              ("device_seconds", Float t.t_device_seconds) ])
+       rows)
+
+let pp fmt rows =
+  Format.fprintf fmt
+    "%-12s %5s %5s %5s %5s %5s %8s %8s %8s %8s@\n"
+    "tenant" "subm" "done" "rej" "tout" "quar" "q_p50" "q_p99" "t_p50" "t_p99";
+  List.iter
+    (fun t ->
+       Format.fprintf fmt
+         "%-12s %5d %5d %5d %5d %5d %8.2g %8.2g %8.2g %8.2g@\n"
+         t.t_name t.t_submitted t.t_completed t.t_rejected t.t_timed_out
+         t.t_quarantined t.t_queue_p50 t.t_queue_p99 t.t_turnaround_p50
+         t.t_turnaround_p99)
+    rows

@@ -1,0 +1,81 @@
+(* Chrome-trace export of one scheduler run. *)
+
+(* Far above Trace_export's device pids (host 0, fabric 1, devices
+   2..), so merged scheduler + machine traces never collide. *)
+let pid = 1000
+
+let us t = t *. 1e6
+
+let events (r : Scheduler.report) : Obs.Chrome_trace.event list =
+  let open Obs.Chrome_trace in
+  let meta =
+    Process_name { pid; name = "scheduler" }
+    :: Thread_name { pid; tid = 0; name = "queue" }
+    :: List.init r.Scheduler.r_fleet (fun d ->
+        Thread_name { pid; tid = d + 1; name = Printf.sprintf "dev%d" d })
+  in
+  let queue =
+    List.map
+      (fun (t, kind, job) ->
+         Instant
+           {
+             name = kind;
+             cat = "serve";
+             pid;
+             tid = 0;
+             ts = us t;
+             args = [ ("job", Obs.Json.Str job) ];
+           })
+      r.Scheduler.r_queue_log
+  in
+  let outcome_name = function
+    | `Done -> "done"
+    | `Preempted -> "preempted"
+    | `Timed_out -> "timed_out"
+    | `Failed -> "failed"
+  in
+  let device_events =
+    List.concat_map
+      (fun (s : Scheduler.segment) ->
+         List.map
+           (fun d ->
+              Complete
+                {
+                  name = s.Scheduler.sg_job;
+                  cat = "serve";
+                  pid;
+                  tid = d + 1;
+                  ts = us s.Scheduler.sg_start;
+                  dur = us (s.Scheduler.sg_stop -. s.Scheduler.sg_start);
+                  args =
+                    [ ("tenant", Obs.Json.Str s.Scheduler.sg_tenant);
+                      ("outcome",
+                       Obs.Json.Str (outcome_name s.Scheduler.sg_outcome)) ];
+                })
+           s.Scheduler.sg_devices)
+      r.Scheduler.r_segments
+    @ List.map
+      (fun (d, t) ->
+         Instant
+           { name = "lost"; cat = "serve"; pid; tid = d + 1; ts = us t; args = [] })
+      r.Scheduler.r_losses
+  in
+  let ts_of = function
+    | Complete { ts; _ } | Instant { ts; _ } -> ts
+    | Process_name _ | Thread_name _ -> 0.0
+  in
+  let tid_of = function
+    | Complete { tid; _ } | Instant { tid; _ } -> tid
+    | Process_name _ | Thread_name _ -> -1
+  in
+  (* The validator wants per-lane monotone timestamps; a stable sort by
+     (lane, ts) gives every lane a monotone stream. *)
+  let timing =
+    List.stable_sort
+      (fun a b -> compare (tid_of a, ts_of a) (tid_of b, ts_of b))
+      (queue @ device_events)
+  in
+  meta @ timing
+
+let to_json r = Obs.Chrome_trace.to_json (events r)
+let write ~file r = Obs.Chrome_trace.write ~file (events r)

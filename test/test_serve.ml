@@ -1,0 +1,422 @@
+(* Tests for the multi-tenant serving layer: admission control,
+   priorities, deadlines, the circuit breaker, graceful degradation
+   under permanent device loss, the engine's preempt/resume handoff,
+   and the headline robustness property — every completed job's
+   functional output is bit-identical to running it alone on the full
+   machine, under any schedule. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let qtest t = QCheck_alcotest.to_alcotest t
+
+let compile_exn prog =
+  match Mekong.Toolchain.compile prog with
+  | Ok a -> a.Mekong.Toolchain.exe
+  | Error e -> Alcotest.failf "toolchain: %s" (Mekong.Toolchain.error_message e)
+
+let fleet ?mem_capacity n = Gpusim.Config.test_box ~n_devices:n ?mem_capacity ()
+
+let outcome_of (r : Serve.Scheduler.report) name =
+  match
+    List.find_opt (fun (j : Serve.Job.report) -> j.Serve.Job.r_name = name)
+      r.Serve.Scheduler.r_jobs
+  with
+  | Some j -> j.Serve.Job.r_outcome
+  | None -> Alcotest.failf "no job named %s in report" name
+
+let count_outcome (r : Serve.Scheduler.report) pred =
+  List.length
+    (List.filter (fun (j : Serve.Job.report) -> pred j.Serve.Job.r_outcome)
+       r.Serve.Scheduler.r_jobs)
+
+let is_completed = function Serve.Job.Completed _ -> true | _ -> false
+let is_rejected = function Serve.Job.Rejected _ -> true | _ -> false
+
+(* ---------------- Satellite: domain-count validation ---------------- *)
+
+let test_dpool_rejects_nonpositive () =
+  let raises f =
+    match f () with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  checkb "create ~domains:0 rejected" true
+    (raises (fun () -> Gpu_runtime.Dpool.create ~domains:0 ()));
+  checkb "create ~domains:-2 rejected" true
+    (raises (fun () -> Gpu_runtime.Dpool.create ~domains:(-2) ()));
+  checkb "set_default_domains 0 rejected" true
+    (raises (fun () -> Gpu_runtime.Dpool.set_default_domains 0));
+  (* Positive values still work. *)
+  let p = Gpu_runtime.Dpool.create ~domains:1 () in
+  Gpu_runtime.Dpool.shutdown p
+
+(* ---------------- Satellite: typed total-loss failure ---------------- *)
+
+let test_all_devices_lost_typed () =
+  let prog, _, _ = Apps.Workloads.functional_vecadd ~n:256 in
+  let exe = compile_exn prog in
+  let m = Gpusim.Machine.create ~functional:true (fleet 2) in
+  let spec =
+    { Gpusim.Faults.null_spec with scheduled_losses = [ (0, 0.0); (1, 0.0) ] }
+  in
+  Gpusim.Machine.inject_faults m (Gpusim.Faults.create spec);
+  checkb "raises All_devices_lost" true
+    (match Mekong.Multi_gpu.run ~machine:m exe with
+     | exception Mekong.Multi_gpu.All_devices_lost -> true
+     | _ -> false)
+
+(* ---------------- Config.lease ---------------- *)
+
+let test_config_lease () =
+  let box = fleet 8 in
+  let l = Gpusim.Config.lease box ~n_devices:3 in
+  checki "lease size" 3 l.Gpusim.Config.n_devices;
+  checkb "lease name tagged" true
+    (l.Gpusim.Config.name <> box.Gpusim.Config.name);
+  let raises n =
+    match Gpusim.Config.lease box ~n_devices:n with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  checkb "lease 0 rejected" true (raises 0);
+  checkb "lease 9 rejected" true (raises 9)
+
+(* ---------------- Engine preempt / resume ---------------- *)
+
+let test_preempt_resume_bit_identical () =
+  let prog, out, cpu = Apps.Workloads.functional_hotspot ~n:32 ~iterations:3 in
+  let exe = compile_exn prog in
+  (* Force at least one preemption by aborting very early, then resume
+     on machines of varying device count until done. *)
+  let handoff = ref None in
+  let preempts = ref 0 in
+  let devices = [| 4; 2; 3; 1; 2; 4; 1; 3 |] in
+  let finished = ref false in
+  let step = ref 0 in
+  while not !finished do
+    if !step >= 64 then Alcotest.fail "resume chain did not terminate";
+    let g = devices.(!step mod Array.length devices) in
+    let m = Gpusim.Machine.create ~functional:true (fleet g) in
+    (match
+       Mekong.Multi_gpu.run_bounded ~checkpoint_every:2 ~abort_at:2e-4
+         ?resume:!handoff ~machine:m exe
+     with
+     | Mekong.Multi_gpu.Done _ -> finished := true
+     | Mekong.Multi_gpu.Preempted (_, h) ->
+       incr preempts;
+       handoff := Some h);
+    incr step
+  done;
+  checkb "at least one preemption" true (!preempts > 0);
+  checkb "resumed output = CPU reference" true (out = cpu ())
+
+let test_run_without_abort_never_preempts () =
+  let prog, out, cpu = Apps.Workloads.functional_vecadd ~n:512 in
+  let exe = compile_exn prog in
+  let m = Gpusim.Machine.create ~functional:true (fleet 3) in
+  (match Mekong.Multi_gpu.run_bounded ~machine:m exe with
+   | Mekong.Multi_gpu.Done _ -> ()
+   | Mekong.Multi_gpu.Preempted _ -> Alcotest.fail "preempted without abort_at");
+  checkb "output = CPU" true (out = cpu ())
+
+(* ---------------- Scheduler: happy path ---------------- *)
+
+let test_mix_all_complete_bit_identical () =
+  let built = Serve.Mix.generate ~seed:7 ~tenants:3 ~jobs:12 () in
+  let cfg = Serve.Scheduler.config (fleet 4) in
+  let r =
+    Serve.Scheduler.run cfg
+      (List.map (fun b -> b.Serve.Mix.b_spec) built)
+  in
+  checki "all completed" 12 (count_outcome r is_completed);
+  (* Bit-identity: each job's output array equals a fresh solo run of
+     the identical instance on the full machine. *)
+  List.iter
+    (fun (b : Serve.Mix.built) ->
+       let exe', out' = b.Serve.Mix.b_solo () in
+       let m = Gpusim.Machine.create ~functional:true (fleet 4) in
+       ignore (Mekong.Multi_gpu.run ~machine:m exe');
+       checkb (b.Serve.Mix.b_spec.Serve.Job.name ^ " bit-identical") true
+         (b.Serve.Mix.b_output = out'))
+    built;
+  checkb "every job has a segment or rejection" true
+    (List.length r.Serve.Scheduler.r_segments >= 12)
+
+let test_queue_overflow_typed_rejection () =
+  (* One device, tiny queue, many simultaneous arrivals: overflow must
+     be a typed rejection, never a silent drop. *)
+  let built = Serve.Mix.generate ~seed:3 ~jobs:10 ~mean_gap:0.0 () in
+  let specs =
+    List.map
+      (fun b -> { b.Serve.Mix.b_spec with Serve.Job.devices = 1 })
+      built
+  in
+  let cfg = Serve.Scheduler.config ~max_queue:2 (fleet 1) in
+  let r = Serve.Scheduler.run cfg specs in
+  let rejected = count_outcome r is_rejected in
+  checkb "some overflow rejections" true (rejected > 0);
+  List.iter
+    (fun (j : Serve.Job.report) ->
+       match j.Serve.Job.r_outcome with
+       | Serve.Job.Rejected { reason = Serve.Job.Queue_full n; _ } ->
+         checki "reason carries the bound" 2 n
+       | _ -> ())
+    r.Serve.Scheduler.r_jobs;
+  checki "submitted = completed + rejected" 10
+    (count_outcome r is_completed + rejected)
+
+let test_priority_orders_dispatch () =
+  let prog_lo, _, _ = Apps.Workloads.functional_vecadd ~n:1024 in
+  let prog_hi, _, _ = Apps.Workloads.functional_vecadd ~n:1024 in
+  let blocker, _, _ = Apps.Workloads.functional_matmul ~n:32 in
+  (* The blocker occupies the single device; lo and hi then sit in the
+     queue together, and hi (submitted later, higher priority) must
+     start first. *)
+  let specs =
+    [
+      Serve.Job.make ~name:"blocker" ~tenant:"a" ~arrival:0.0 blocker;
+      Serve.Job.make ~name:"lo" ~tenant:"a" ~priority:0 ~arrival:1e-6 prog_lo;
+      Serve.Job.make ~name:"hi" ~tenant:"b" ~priority:5 ~arrival:2e-6 prog_hi;
+    ]
+  in
+  let r = Serve.Scheduler.run (Serve.Scheduler.config (fleet 1)) specs in
+  let started n =
+    match outcome_of r n with
+    | Serve.Job.Completed { started; _ } -> started
+    | o -> Alcotest.failf "%s not completed: %s" n (Serve.Job.outcome_name o)
+  in
+  checkb "high priority starts before low" true (started "hi" < started "lo")
+
+(* ---------------- Deadlines ---------------- *)
+
+let test_deadline_times_out () =
+  let prog, _, _ = Apps.Workloads.functional_matmul ~n:32 in
+  let quick, _, _ = Apps.Workloads.functional_vecadd ~n:256 in
+  let specs =
+    [
+      Serve.Job.make ~name:"tight" ~tenant:"a" ~deadline:1e-6 prog;
+      Serve.Job.make ~name:"ok" ~tenant:"a" ~arrival:1e-6 quick;
+    ]
+  in
+  let r = Serve.Scheduler.run (Serve.Scheduler.config (fleet 2)) specs in
+  checkb "tight deadline times out" true
+    (match outcome_of r "tight" with Serve.Job.Timed_out _ -> true | _ -> false);
+  checkb "other job unaffected" true (is_completed (outcome_of r "ok"))
+
+let test_expired_in_queue_times_out () =
+  let blocker, _, _ = Apps.Workloads.functional_matmul ~n:32 in
+  let prog, _, _ = Apps.Workloads.functional_vecadd ~n:256 in
+  let specs =
+    [
+      Serve.Job.make ~name:"blocker" ~tenant:"a" blocker;
+      Serve.Job.make ~name:"starved" ~tenant:"b" ~arrival:1e-6 ~deadline:2e-6
+        prog;
+    ]
+  in
+  let r = Serve.Scheduler.run (Serve.Scheduler.config (fleet 1)) specs in
+  match outcome_of r "starved" with
+  | Serve.Job.Timed_out { started; _ } ->
+    checkb "never dispatched" true (started = None)
+  | o -> Alcotest.failf "starved: %s" (Serve.Job.outcome_name o)
+
+(* ---------------- Circuit breaker ---------------- *)
+
+let test_poison_quarantined () =
+  let built = Serve.Mix.generate ~seed:5 ~jobs:6 ~poison:2 () in
+  let cfg = Serve.Scheduler.config ~max_strikes:3 (fleet 2) in
+  let r =
+    Serve.Scheduler.run cfg (List.map (fun b -> b.Serve.Mix.b_spec) built)
+  in
+  List.iter
+    (fun (b : Serve.Mix.built) ->
+       let name = b.Serve.Mix.b_spec.Serve.Job.name in
+       match (b.Serve.Mix.b_poison, outcome_of r name) with
+       | true, Serve.Job.Quarantined { strikes; _ } ->
+         checki (name ^ " struck out") 3 strikes
+       | true, o ->
+         Alcotest.failf "%s should be quarantined, got %s" name
+           (Serve.Job.outcome_name o)
+       | false, Serve.Job.Completed _ -> ()
+       | false, o ->
+         Alcotest.failf "%s should complete, got %s" name
+           (Serve.Job.outcome_name o))
+    built
+
+(* ---------------- Graceful degradation ---------------- *)
+
+let run_with_losses ~fleet_n ~losses ~jobs ~seed =
+  let built = Serve.Mix.generate ~seed ~tenants:3 ~jobs () in
+  let cfg = Serve.Scheduler.config ~losses (fleet fleet_n) in
+  let r =
+    Serve.Scheduler.run cfg (List.map (fun b -> b.Serve.Mix.b_spec) built)
+  in
+  (built, r)
+
+let test_loss_degrades_gracefully () =
+  (* Kill half the fleet almost immediately: in-flight jobs preempt and
+     requeue; everything still completes bit-identically. *)
+  let losses = [ (3, 5e-5); (2, 8e-5) ] in
+  let built, r = run_with_losses ~fleet_n:4 ~losses ~jobs:14 ~seed:11 in
+  checki "both losses applied" 2 r.Serve.Scheduler.r_devices_lost;
+  checki "all jobs completed" 14 (count_outcome r is_completed);
+  (* No segment may occupy a device after its death. *)
+  List.iter
+    (fun (s : Serve.Scheduler.segment) ->
+       List.iter
+         (fun d ->
+            match List.assoc_opt d losses with
+            | Some t ->
+              checkb "no lease outlives the device" true
+                (s.Serve.Scheduler.sg_start <= t)
+            | None -> ())
+         s.Serve.Scheduler.sg_devices)
+    r.Serve.Scheduler.r_segments;
+  List.iter
+    (fun (b : Serve.Mix.built) ->
+       let exe', out' = b.Serve.Mix.b_solo () in
+       let m = Gpusim.Machine.create ~functional:true (fleet 4) in
+       ignore (Mekong.Multi_gpu.run ~machine:m exe');
+       checkb (b.Serve.Mix.b_spec.Serve.Job.name ^ " bit-identical") true
+         (b.Serve.Mix.b_output = out'))
+    built
+
+let test_fleet_lost_rejects_rest () =
+  let losses = [ (0, 1e-4); (1, 1e-4) ] in
+  let built = Serve.Mix.generate ~seed:2 ~jobs:30 () in
+  let cfg = Serve.Scheduler.config ~losses (fleet 2) in
+  let r =
+    Serve.Scheduler.run cfg (List.map (fun b -> b.Serve.Mix.b_spec) built)
+  in
+  checki "fleet gone" 2 r.Serve.Scheduler.r_devices_lost;
+  (* Everything is terminal and anything not completed was rejected
+     with the typed Fleet_lost reason (arrivals after the loss) or
+     completed before it. *)
+  let fleet_lost =
+    count_outcome r (function
+      | Serve.Job.Rejected { reason = Serve.Job.Fleet_lost; _ } -> true
+      | _ -> false)
+  in
+  checkb "late arrivals rejected as Fleet_lost" true (fleet_lost > 0);
+  checki "all terminal" 30
+    (count_outcome r (fun _ -> true))
+
+(* ---------------- Observability ---------------- *)
+
+let test_metrics_published () =
+  let _, r = run_with_losses ~fleet_n:2 ~losses:[ (1, 1e-4) ] ~jobs:8 ~seed:4 in
+  let reg = Obs.Metrics.create () in
+  Serve.Scheduler.publish_metrics ~into:reg r;
+  let gauge name =
+    match Obs.Metrics.find reg name with
+    | Some s -> Obs.Metrics.value s
+    | None -> Alcotest.failf "missing metric %s" name
+  in
+  checkb "submitted gauge" true (gauge "serve.jobs.submitted" = 8.0);
+  checkb "devices_lost gauge" true (gauge "serve.devices_lost" = 1.0);
+  let tenant_rows =
+    List.filter
+      (fun (s : Obs.Metrics.sample) ->
+         s.Obs.Metrics.m_name = "serve.tenant.submitted")
+      (Obs.Metrics.snapshot reg)
+  in
+  checkb "per-tenant labelled gauges" true (List.length tenant_rows >= 1)
+
+let test_trace_validates () =
+  let _, r = run_with_losses ~fleet_n:3 ~losses:[ (2, 6e-5) ] ~jobs:9 ~seed:9 in
+  match Obs.Chrome_trace.validate (Serve.Strace.to_json r) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "scheduler trace invalid: %s" e
+
+let test_report_json_shape () =
+  let _, r = run_with_losses ~fleet_n:2 ~losses:[] ~jobs:5 ~seed:13 in
+  match Serve.Scheduler.report_to_json r with
+  | Obs.Json.Obj fields ->
+    List.iter
+      (fun k ->
+         checkb ("field " ^ k) true (List.mem_assoc k fields))
+      [ "fleet"; "submitted"; "completed"; "tenants"; "jobs";
+        "makespan_seconds"; "utilization" ]
+  | _ -> Alcotest.fail "report_to_json: expected an object"
+
+(* ---------------- The headline property ---------------- *)
+
+(* Any job mix, any fleet, any loss schedule: every job that completes
+   is bit-identical to a solo run of the identical instance on the
+   full healthy machine. *)
+let prop_serving_bit_identical =
+  QCheck.Test.make ~name:"serve: completed jobs bit-identical to solo runs"
+    ~count:12
+    QCheck.(
+      quad (int_range 2 4) (int_range 1 8) (int_bound 1000) (int_bound 2))
+    (fun (fleet_n, jobs, seed, n_losses) ->
+      let losses =
+        List.init (min n_losses (fleet_n - 1)) (fun i ->
+            (i, 2e-5 +. (float_of_int (seed mod 7) *. 1e-5)))
+      in
+      let built = Serve.Mix.generate ~seed ~tenants:2 ~jobs () in
+      let cfg = Serve.Scheduler.config ~losses (fleet fleet_n) in
+      let r =
+        Serve.Scheduler.run cfg (List.map (fun b -> b.Serve.Mix.b_spec) built)
+      in
+      (* Terminality: every job has exactly one outcome. *)
+      List.length r.Serve.Scheduler.r_jobs = jobs
+      && List.for_all
+           (fun (b : Serve.Mix.built) ->
+              match outcome_of r b.Serve.Mix.b_spec.Serve.Job.name with
+              | Serve.Job.Completed _ ->
+                let exe', out' = b.Serve.Mix.b_solo () in
+                let m =
+                  Gpusim.Machine.create ~functional:true (fleet fleet_n)
+                in
+                ignore (Mekong.Multi_gpu.run ~machine:m exe');
+                b.Serve.Mix.b_output = out'
+              | _ -> true)
+           built)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "satellites",
+        [
+          Alcotest.test_case "dpool rejects non-positive domains" `Quick
+            test_dpool_rejects_nonpositive;
+          Alcotest.test_case "All_devices_lost is typed" `Quick
+            test_all_devices_lost_typed;
+          Alcotest.test_case "Config.lease" `Quick test_config_lease;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "preempt/resume bit-identical" `Quick
+            test_preempt_resume_bit_identical;
+          Alcotest.test_case "run_bounded without abort never preempts" `Quick
+            test_run_without_abort_never_preempts;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "mix completes bit-identically" `Quick
+            test_mix_all_complete_bit_identical;
+          Alcotest.test_case "queue overflow is a typed rejection" `Quick
+            test_queue_overflow_typed_rejection;
+          Alcotest.test_case "priority orders dispatch" `Quick
+            test_priority_orders_dispatch;
+          Alcotest.test_case "running job times out at deadline" `Quick
+            test_deadline_times_out;
+          Alcotest.test_case "queued job times out at deadline" `Quick
+            test_expired_in_queue_times_out;
+          Alcotest.test_case "poison jobs quarantined" `Quick
+            test_poison_quarantined;
+          Alcotest.test_case "device loss degrades gracefully" `Quick
+            test_loss_degrades_gracefully;
+          Alcotest.test_case "total fleet loss rejects the rest" `Quick
+            test_fleet_lost_rejects_rest;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "serve.* metrics published" `Quick
+            test_metrics_published;
+          Alcotest.test_case "scheduler trace validates" `Quick
+            test_trace_validates;
+          Alcotest.test_case "report JSON shape" `Quick test_report_json_shape;
+        ] );
+      ("property", [ qtest prop_serving_bit_identical ]);
+    ]
