@@ -109,6 +109,10 @@ let cache_misses = ref 0
 (* Cumulative self-healing counters (all zero without --faults). *)
 let fault_totals = ref Mekong.Multi_gpu.no_faults
 
+(* Cumulative autotuner calibration counters (all zero in campaigns
+   that never enable autotuning). *)
+let tune_totals = ref Mekong.Multi_gpu.no_tune
+
 (* Cumulative executor counters (compiled vs interpreted launches). *)
 let exec_totals = Kcompile.new_stats ()
 
@@ -151,19 +155,36 @@ let add_fault_report r =
       fr_devices_lost = t.fr_devices_lost + f.fr_devices_lost;
     }
 
+let add_tune_report (r : Mekong.Multi_gpu.result) =
+  let open Mekong.Multi_gpu in
+  let t = !tune_totals and u = r.tune in
+  tune_totals :=
+    {
+      tn_launches = t.tn_launches + u.tn_launches;
+      tn_predicted_s = t.tn_predicted_s +. u.tn_predicted_s;
+      tn_actual_s = t.tn_actual_s +. u.tn_actual_s;
+      tn_err_hist =
+        Array.init
+          (Array.length u.tn_err_hist)
+          (fun i -> t.tn_err_hist.(i) + u.tn_err_hist.(i));
+      tn_halo_blocks = t.tn_halo_blocks + u.tn_halo_blocks;
+      tn_halo_steps = t.tn_halo_steps + u.tn_halo_steps;
+    }
+
 (* Simulated time of the partitioned application on [g] GPUs. *)
-let multi_time ?cfg bench size g =
+let multi_time ?cfg ?(autotune = false) bench size g =
   let a = artifacts bench size in
   let m = k80 g in
   (match !fault_spec with
    | Some spec when not (Gpusim.Faults.is_null spec) ->
      Gpusim.Machine.inject_faults m (Gpusim.Faults.create spec)
    | _ -> ());
-  let r = Mekong.Multi_gpu.run ?cfg ~machine:m a.Mekong.Toolchain.exe in
+  let r = Mekong.Multi_gpu.run ?cfg ~autotune ~machine:m a.Mekong.Toolchain.exe in
   cache_hits := !cache_hits + r.Mekong.Multi_gpu.cache.Mekong.Launch_cache.hits;
   cache_misses :=
     !cache_misses + r.Mekong.Multi_gpu.cache.Mekong.Launch_cache.misses;
   add_fault_report r;
+  add_tune_report r;
   Kcompile.add_stats ~into:exec_totals r.Mekong.Multi_gpu.exec;
   last_machine := Some m;
   add_timing
@@ -1948,6 +1969,184 @@ let run_servecampaign () =
        rejected with backpressure\n\n"
 
 (* ------------------------------------------------------------------ *)
+(* Autotune campaign: the cost-driven partition autotuner, gated      *)
+(* ------------------------------------------------------------------ *)
+
+(* Four hard gates (any violation exits 1 after the report is written):
+
+   A  bit-identity: autotuned functional runs reproduce the CPU oracle
+      on every app at 4 devices, hotspot also at 16 — the fleet size
+      where the tuner must *reject* a narrow plan on its decisiveness
+      margin and engage halo tiling on the fixed bands instead;
+   B  never slower: on every app and fleet size in {1,2,4,8,16}, the
+      autotuned simulated time is at most the fixed-axis engine's.
+      The scorer's hysteresis band and structure-change margin, plus
+      the engine keeping the seed's transfer schedule when the winner
+      is the fixed shape, exist exactly for this gate;
+   C  halo speedup: on an iterated stencil deep and wide enough to
+      amortize barriers (2048^2, 50 iterations, 4 GPUs), halo tiling
+      beats the per-step fixed schedule by >= 1.3x simulated;
+   D  halo bytes: on small iterated stencils the tuner's narrow plan
+      moves strictly fewer steady-state p2p bytes per iteration
+      (differenced between a 24- and an 8-iteration run, so one-time
+      distribution traffic cancels).  At large n the 1-D conservation
+      law holds — same G, same boundary rows, same bytes — so the
+      gate probes the sizes where fewer devices win outright. *)
+let run_autotunecampaign () =
+  let compile prog =
+    match Mekong.Toolchain.compile prog with
+    | Ok a -> a
+    | Error e -> failwith (Mekong.Toolchain.error_message e)
+  in
+  let violations = ref 0 in
+  let check ok what detail =
+    Printf.printf "  %-4s %-28s %s\n%!"
+      (if ok then "PASS" else "FAIL")
+      what detail;
+    if not ok then incr violations
+  in
+  let sim ?(functional = false) ~g ~autotune prog =
+    let m =
+      if functional then
+        Gpusim.Machine.create ~functional:true
+          (Gpusim.Config.k80_box ~n_devices:g ())
+      else k80 g
+    in
+    let a = compile prog in
+    let r = Mekong.Multi_gpu.run ~autotune ~machine:m a.Mekong.Toolchain.exe in
+    add_tune_report r;
+    Kcompile.add_stats ~into:exec_totals r.Mekong.Multi_gpu.exec;
+    if not functional then last_machine := Some m;
+    r
+  in
+  Printf.printf "autotune campaign: %s\n%s\n" "cost-driven partition tuning"
+    (line 72);
+  Printf.printf "Gate A: autotuned functional runs vs CPU oracle\n";
+  List.iter
+    (fun (name, g, mk) ->
+       let prog, out, cpu = mk () in
+       ignore (sim ~functional:true ~g ~autotune:true prog);
+       let ok = out = cpu () in
+       check ok
+         (Printf.sprintf "%s g=%d" name g)
+         (if ok then "bit-identical" else "OUTPUT DIVERGED");
+       add_timing
+         [
+           ("kind", jstr "autotune-identity");
+           ("app", jstr name);
+           ("gpus", jint g);
+           ("bit_identical", Json_out.Bool ok);
+         ])
+    [
+      ("matmul", 4, fun () -> Apps.Workloads.functional_matmul ~n:64);
+      ( "hotspot", 4,
+        fun () -> Apps.Workloads.functional_hotspot ~n:64 ~iterations:4 );
+      ( "hotspot", 16,
+        fun () -> Apps.Workloads.functional_hotspot ~n:64 ~iterations:4 );
+      ( "nbody", 4,
+        fun () -> Apps.Workloads.functional_nbody ~n:512 ~iterations:2 );
+    ];
+  Printf.printf "Gate B: autotuned never slower than the fixed axis\n";
+  List.iter
+    (fun (name, mk) ->
+       List.iter
+         (fun g ->
+            let tf = (sim ~g ~autotune:false (mk ())).Mekong.Multi_gpu.time in
+            let ta = (sim ~g ~autotune:true (mk ())).Mekong.Multi_gpu.time in
+            let ok = ta <= tf *. 1.000001 in
+            check ok
+              (Printf.sprintf "%s g=%d" name g)
+              (Printf.sprintf "fixed=%9.3fms auto=%9.3fms (%.3fx)"
+                 (tf *. 1e3) (ta *. 1e3) (tf /. ta));
+            add_timing
+              [
+                ("kind", jstr "autotune-pair");
+                ("app", jstr name);
+                ("gpus", jint g);
+                ("fixed_seconds", jflt tf);
+                ("autotuned_seconds", jflt ta);
+                ("never_slower", Json_out.Bool ok);
+              ])
+         [ 1; 2; 4; 8; 16 ])
+    [
+      ( "hotspot",
+        fun () ->
+          Apps.Workloads.program ~iterations:20 Apps.Workloads.Hotspot_b
+            Apps.Workloads.Small );
+      ( "nbody",
+        fun () ->
+          Apps.Workloads.program ~iterations:4 Apps.Workloads.Nbody_b
+            Apps.Workloads.Small );
+      ( "matmul",
+        fun () ->
+          Apps.Workloads.program Apps.Workloads.Matmul_b Apps.Workloads.Small
+      );
+    ];
+  let stencil n it =
+    Apps.Hotspot.program_h ~n ~iterations:it
+      ~init:(Host_ir.host_phantom (n * n))
+      ~result:(Host_ir.host_phantom (n * n))
+  in
+  Printf.printf "Gate C: halo-tiled stencil speedup at 4 GPUs\n";
+  let rf = sim ~g:4 ~autotune:false (stencil 2048 50) in
+  let ra = sim ~g:4 ~autotune:true (stencil 2048 50) in
+  let spd = rf.Mekong.Multi_gpu.time /. ra.Mekong.Multi_gpu.time in
+  let halo_steps = ra.Mekong.Multi_gpu.tune.Mekong.Multi_gpu.tn_halo_steps in
+  check
+    (halo_steps > 0 && spd >= 1.3)
+    "hotspot n=2048 it=50 g=4"
+    (Printf.sprintf "speedup=%.2fx (gate 1.30x) halo_steps=%d" spd halo_steps);
+  add_timing
+    [
+      ("kind", jstr "autotune-halo-speedup");
+      ("app", jstr "hotspot");
+      ("n", jint 2048);
+      ("iterations", jint 50);
+      ("gpus", jint 4);
+      ("fixed_seconds", jflt rf.Mekong.Multi_gpu.time);
+      ("autotuned_seconds", jflt ra.Mekong.Multi_gpu.time);
+      ("speedup", jflt spd);
+      ("halo_steps", jint halo_steps);
+    ];
+  Printf.printf "Gate D: steady-state p2p bytes reduced on small stencils\n";
+  List.iter
+    (fun n ->
+       let per_iter autotune =
+         let bytes it =
+           let r = sim ~g:4 ~autotune (stencil n it) in
+           (Gpusim.Machine.stats r.Mekong.Multi_gpu.machine)
+             .Gpusim.Machine.p2p_bytes
+         in
+         (bytes 24 - bytes 8) / 16
+       in
+       let bf = per_iter false and ba = per_iter true in
+       check (ba < bf)
+         (Printf.sprintf "hotspot n=%d g=4" n)
+         (Printf.sprintf "per-iter p2p fixed=%dB auto=%dB" bf ba);
+       add_timing
+         [
+           ("kind", jstr "autotune-halo-bytes");
+           ("app", jstr "hotspot");
+           ("n", jint n);
+           ("gpus", jint 4);
+           ("fixed_bytes_per_iter", jint bf);
+           ("autotuned_bytes_per_iter", jint ba);
+         ])
+    [ 512; 1024 ];
+  Printf.printf "%s\n" (line 72);
+  if !violations > 0 then begin
+    Printf.printf "AUTOTUNE CAMPAIGN FAILED: %d gate violation(s)\n\n"
+      !violations;
+    campaign_failed := true
+  end
+  else
+    Printf.printf
+      "autotune campaign passed: bit-identical everywhere, never slower \
+       than\nthe fixed axis, halo tiling %.2fx on the deep stencil, \
+       narrow plans\nmove fewer steady-state bytes\n\n"
+      spd
+
+(* ------------------------------------------------------------------ *)
 (* Per-campaign BENCH_<campaign>.json reports                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1974,6 +2173,7 @@ let run_campaign name f =
   cache_hits := 0;
   cache_misses := 0;
   fault_totals := Mekong.Multi_gpu.no_faults;
+  tune_totals := Mekong.Multi_gpu.no_tune;
   reset_exec ();
   last_machine := None;
   Obs.Span.reset ();
@@ -1992,6 +2192,24 @@ let run_campaign name f =
   set "faults.retries" ft.Mekong.Multi_gpu.fr_retries;
   set "faults.replays" ft.Mekong.Multi_gpu.fr_replays;
   set "faults.devices_lost" ft.Mekong.Multi_gpu.fr_devices_lost;
+  let tt = !tune_totals in
+  set "autotune.launches" tt.Mekong.Multi_gpu.tn_launches;
+  Obs.Metrics.set reg "autotune.predicted_us"
+    (tt.Mekong.Multi_gpu.tn_predicted_s *. 1e6);
+  Obs.Metrics.set reg "autotune.actual_us"
+    (tt.Mekong.Multi_gpu.tn_actual_s *. 1e6);
+  set "autotune.halo_blocks" tt.Mekong.Multi_gpu.tn_halo_blocks;
+  set "autotune.halo_steps" tt.Mekong.Multi_gpu.tn_halo_steps;
+  Array.iteri
+    (fun i n ->
+       let buckets = Mekong.Multi_gpu.tune_err_buckets in
+       let k =
+         if i < Array.length buckets then
+           Printf.sprintf "autotune.err_le_%.0fpct" buckets.(i)
+         else "autotune.err_gt_100pct"
+       in
+       set k n)
+    tt.Mekong.Multi_gpu.tn_err_hist;
   Kcompile.publish_metrics ~into:reg exec_totals;
   (match !last_machine with
    | Some m -> Gpusim.Machine.publish_metrics ~into:reg m
@@ -2036,6 +2254,24 @@ let run_campaign name f =
                     ( "devices_lost",
                       jint ft.Mekong.Multi_gpu.fr_devices_lost );
                   ] );
+              ( "autotune",
+                Json_out.Obj
+                  [
+                    ("launches", jint tt.Mekong.Multi_gpu.tn_launches);
+                    ( "predicted_us",
+                      jflt (tt.Mekong.Multi_gpu.tn_predicted_s *. 1e6) );
+                    ( "actual_us",
+                      jflt (tt.Mekong.Multi_gpu.tn_actual_s *. 1e6) );
+                    ( "halo_blocks",
+                      jint tt.Mekong.Multi_gpu.tn_halo_blocks );
+                    ("halo_steps", jint tt.Mekong.Multi_gpu.tn_halo_steps);
+                    ( "err_hist",
+                      Json_out.List
+                        (Array.to_list
+                           (Array.map
+                              (fun n -> jint n)
+                              tt.Mekong.Multi_gpu.tn_err_hist)) );
+                  ] );
             ] );
         ("breakdown", breakdown);
         ("metrics", Obs.Metrics.to_json reg);
@@ -2070,6 +2306,7 @@ let campaigns =
     ("exec", run_exec);
     ("overlap", run_overlapcampaign);
     ("serve", run_servecampaign);
+    ("autotune", run_autotunecampaign);
     ("micro", run_micro);
   ]
 

@@ -7,6 +7,7 @@
      mekongc rewrite  <app>      print the rewritten multi-GPU host source
      mekongc kernels  <app>      print original and partitioned kernel IR
      mekongc run      <app>      compile and run on N simulated GPUs
+     mekongc plan     <app>      print the autotuner's candidate plans
      mekongc serve               run a multi-tenant serving campaign
      mekongc profile  <app>      run with full observability and report
      mekongc check-trace <f>     validate a Chrome trace-event file
@@ -200,29 +201,84 @@ let mem_cap_arg =
            that do not fit, and exits with code 2 and a one-line \
            diagnostic when no chunking fits")
 
+let autotune_arg =
+  Arg.(
+    value & flag
+    & info [ "autotune" ]
+        ~doc:
+          "replace the fixed partitioning strategy with the cost-driven \
+           per-launch search (1-D on every viable axis, 2-D tile grids, \
+           throughput-proportional uneven splits, fewer-device splits) and \
+           halo-tile eligible double-buffered stencil loops; results stay \
+           bit-identical, only the schedule changes")
+
+let explain_arg =
+  Arg.(
+    value & flag
+    & info [ "explain-plan" ]
+        ~doc:
+          "before running, print every candidate partition plan the \
+           autotuner scored per kernel — predicted compute/transfer/host \
+           costs, cross-device bytes, halo depth — with the winner marked")
+
+let speeds_arg =
+  Arg.(
+    value
+    & opt (some (list float)) None
+    & info [ "speeds" ] ~docv:"S1,S2,..."
+        ~doc:
+          "relative per-device throughputs for a heterogeneous fleet (one \
+           value per GPU, 1.0 = nominal); the autotuner's weighted \
+           candidates split work proportionally")
+
+let device_speeds_of ~gpus speeds =
+  match speeds with
+  | None -> None
+  | Some l ->
+    if List.length l <> gpus then
+      die "--speeds needs exactly %d values (got %d)" gpus (List.length l);
+    Some (Array.of_list l)
+
+let print_choices choices =
+  List.iter
+    (fun (ch : Mekong.Autotune.choice) ->
+       Format.printf "kernel %s  grid %a  block %a  (%d raw ranges searched)@."
+         ch.Mekong.Autotune.c_kernel Dim3.pp ch.Mekong.Autotune.c_grid Dim3.pp
+         ch.Mekong.Autotune.c_block ch.Mekong.Autotune.c_raw_ranges;
+       List.iter
+         (fun c ->
+            Format.printf "  %s %a@."
+              (if c == ch.Mekong.Autotune.c_winner then "*" else " ")
+              Mekong.Autotune.pp_candidate c)
+         ch.Mekong.Autotune.c_candidates)
+    choices
+
 let run_cmd =
-  let run app gpus faults domains trace mem_cap overlap topology =
+  let run app gpus faults domains trace mem_cap overlap topology autotune
+      explain speeds =
     (match mem_cap with
      | Some c when c <= 0 -> die "--mem-cap must be positive (got %d)" c
      | _ -> ());
+    let device_speeds = device_speeds_of ~gpus speeds in
     (* The shared pool is sized from the default at first use; a
        --domains larger than the machine's recommended count would
        otherwise be silently capped by a smaller pool. *)
     set_domains domains;
     if trace <> None then enable_observability ();
     let artifacts = compile_app app in
-    let machine =
-      Gpusim.Machine.create ~functional:true
-        (Gpusim.Config.k80_box ~n_devices:gpus ?mem_capacity:mem_cap
-           ~topology ())
+    let cfg =
+      Gpusim.Config.k80_box ~n_devices:gpus ?mem_capacity:mem_cap ~topology
+        ?device_speeds ()
     in
+    if explain then print_choices (Mekong.Toolchain.explain_plans ~cfg artifacts);
+    let machine = Gpusim.Machine.create ~functional:true cfg in
     if trace <> None then Gpusim.Machine.enable_trace machine;
     (match faults with
      | Some spec when not (Gpusim.Faults.is_null spec) ->
        Gpusim.Machine.inject_faults machine (Gpusim.Faults.create spec)
      | _ -> ());
     let res =
-      Mekong.Multi_gpu.run ?domains ~overlap ~machine
+      Mekong.Multi_gpu.run ?domains ~overlap ~autotune ~machine
         artifacts.Mekong.Toolchain.exe
     in
     let stats = Gpusim.Machine.stats machine in
@@ -237,6 +293,9 @@ let run_cmd =
     if mem_cap <> None then
       Format.printf "%a@." Mekong.Multi_gpu.pp_mem_report
         res.Mekong.Multi_gpu.mem;
+    if autotune then
+      Format.printf "%a@." Mekong.Multi_gpu.pp_tune_report
+        res.Mekong.Multi_gpu.tune;
     match trace with
     | Some file ->
       Gpusim.Trace_export.write ~spans:(Obs.Span.records ()) ~file machine;
@@ -246,10 +305,42 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"compile and run on simulated GPUs")
     Term.(
       const run $ app_arg $ gpus_arg $ faults_arg $ domains_arg $ trace_arg
-      $ mem_cap_arg $ overlap_arg $ topology_arg)
+      $ mem_cap_arg $ overlap_arg $ topology_arg $ autotune_arg $ explain_arg
+      $ speeds_arg)
 
 let json_flag =
   Arg.(value & flag & info [ "json" ] ~doc:"emit the report as JSON")
+
+let plan_cmd =
+  let run app gpus topology speeds json =
+    if gpus < 1 then die "--gpus must be positive (got %d)" gpus;
+    let device_speeds = device_speeds_of ~gpus speeds in
+    let artifacts = compile_app app in
+    let cfg =
+      try Gpusim.Config.k80_box ~n_devices:gpus ~topology ?device_speeds ()
+      with Invalid_argument m -> die "%s" m
+    in
+    let choices = Mekong.Toolchain.explain_plans ~cfg artifacts in
+    if json then
+      print_endline
+        ("["
+         ^ String.concat "," (List.map Mekong.Autotune.choice_json choices)
+         ^ "]")
+    else begin
+      Printf.printf "%s: %d launch shape(s) on %d GPUs (%s)\n" (fst app)
+        (List.length choices) gpus
+        (Gpusim.Config.topology_to_string topology);
+      print_choices choices
+    end
+  in
+  Cmd.v
+    (Cmd.info "plan"
+       ~doc:
+         "print the autotuner's candidate partition plans per kernel launch \
+          — predicted compute/transfer/host costs, cross-device bytes and \
+          halo depth for each candidate — with the chosen winner marked")
+    Term.(
+      const run $ app_arg $ gpus_arg $ topology_arg $ speeds_arg $ json_flag)
 
 let serve_cmd =
   let jobs_arg =
@@ -450,8 +541,9 @@ let () =
     exit
       (Cmd.eval ~catch:false
          (Cmd.group info
-            [ analyze_cmd; rewrite_cmd; kernels_cmd; run_cmd; serve_cmd;
-              profile_cmd; check_trace_cmd; model_cmd; compile_file_cmd ]))
+            [ analyze_cmd; rewrite_cmd; kernels_cmd; run_cmd; plan_cmd;
+              serve_cmd; profile_cmd; check_trace_cmd; model_cmd;
+              compile_file_cmd ]))
   with
   | Sys_error m -> die "%s" m
   | Cuparse.Error m -> die "parse error: %s" m

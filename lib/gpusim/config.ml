@@ -71,6 +71,13 @@ type t = {
       (* fabric topology: the flat shared bus (the default, and the
          paper's testbed) or NVLink-style islands with per-link
          contention *)
+  device_speeds : float array;
+      (* per-device throughput multiplier on [ops_per_sm], for
+         heterogeneous fleets (e.g. a box mixing K80 and K40 dies).
+         [||] (the default) means every device runs at 1.0 — the
+         homogeneous box, bit-identical to configs predating the
+         field.  When non-empty the length must equal [n_devices] and
+         every entry must be positive. *)
   host : host_costs;
   faults : Faults.spec option;
       (* fault-injection spec applied to machines built over this
@@ -118,6 +125,18 @@ let validate t =
      positive_int "topology.island_size" island_size;
      positive_rate "topology.link_bandwidth" link_bandwidth;
      positive_rate "topology.uplink_bandwidth" uplink_bandwidth);
+  (if Array.length t.device_speeds > 0 then begin
+     if Array.length t.device_speeds <> t.n_devices then
+       reject "device_speeds"
+         (Printf.sprintf "of length n_devices=%d (got %d)" t.n_devices
+            (Array.length t.device_speeds));
+     Array.iteri
+       (fun d s ->
+          if not (s > 0.0) then
+            reject "device_speeds"
+              (Printf.sprintf "positive for every device (device %d: %g)" d s))
+       t.device_speeds
+   end);
   non_negative "transfer_latency" t.transfer_latency;
   non_negative "launch_latency" t.launch_latency;
   non_negative "sync_device_seconds" t.sync_device_seconds;
@@ -137,7 +156,8 @@ let k80_host_costs =
    operations (one "op" bundles an instruction and its share of memory
    traffic), calibrated so the Hotspot Medium iteration lands near the
    9 ms a memory-bound 16384^2 stencil takes on one K80 die. *)
-let k80_box ?(n_devices = 16) ?(mem_capacity = max_int) ?(topology = Flat) () =
+let k80_box ?(n_devices = 16) ?(mem_capacity = max_int) ?(topology = Flat)
+    ?(device_speeds = [||]) () =
   validate
     {
     name = "supermicro-x10drg-k80";
@@ -159,14 +179,16 @@ let k80_box ?(n_devices = 16) ?(mem_capacity = max_int) ?(topology = Flat) () =
       elem_bytes = 4;
       mem_capacity;
       topology;
+      device_speeds;
       host = k80_host_costs;
       faults = None;
     }
 
 (* A tiny machine for functional tests: timing constants are irrelevant
    there, device count is what matters. *)
-let test_box ?(n_devices = 4) ?mem_capacity ?topology () =
-  { (k80_box ~n_devices ?mem_capacity ?topology ()) with name = "test-box" }
+let test_box ?(n_devices = 4) ?mem_capacity ?topology ?device_speeds () =
+  { (k80_box ~n_devices ?mem_capacity ?topology ?device_speeds ()) with
+    name = "test-box" }
 
 (* The config of a leased sub-machine: the same per-device constants
    over [n_devices] of the fleet's devices.  The fleet-level fault spec
@@ -186,7 +208,21 @@ let lease t ~n_devices =
         n_devices;
         name = Printf.sprintf "%s/lease%d" t.name n_devices;
         faults = None;
+        (* A lease grabs whichever fleet devices are free, so a
+           per-device speed map keyed by fleet id cannot be sliced
+           meaningfully; leased sub-machines run homogeneous. *)
+        device_speeds = [||];
       }
+
+(* Throughput multiplier of one device; 1.0 everywhere on a
+   homogeneous box (empty [device_speeds]) or for out-of-range ids. *)
+let device_speed t d =
+  if d >= 0 && d < Array.length t.device_speeds then t.device_speeds.(d)
+  else 1.0
+
+let heterogeneous t =
+  Array.length t.device_speeds > 0
+  && Array.exists (fun s -> s <> t.device_speeds.(0)) t.device_speeds
 
 (* Per-die throughput factor when [active] dies are busy out of the
    box's thermal envelope of [total_dies]. *)

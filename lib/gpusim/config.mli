@@ -60,6 +60,11 @@ type t = {
       (** fabric topology: the flat shared bus (the default, and the
           paper's testbed) or NVLink-style islands with per-link
           contention *)
+  device_speeds : float array;
+      (** per-device throughput multiplier on [ops_per_sm] for
+          heterogeneous fleets; [[||]] (the default) = homogeneous.
+          Non-empty arrays must have length [n_devices] with every
+          entry positive. *)
   host : host_costs;
   faults : Faults.spec option;
       (** fault-injection spec applied to machines built over this
@@ -76,12 +81,14 @@ val validate : t -> t
     this, so hand-built configs are checked too. *)
 
 val k80_box :
-  ?n_devices:int -> ?mem_capacity:int -> ?topology:topology -> unit -> t
+  ?n_devices:int -> ?mem_capacity:int -> ?topology:topology ->
+  ?device_speeds:float array -> unit -> t
 (** The calibrated K80-class box (default 16 devices, unlimited
-    device memory, flat fabric). *)
+    device memory, flat fabric, homogeneous dies). *)
 
 val test_box :
-  ?n_devices:int -> ?mem_capacity:int -> ?topology:topology -> unit -> t
+  ?n_devices:int -> ?mem_capacity:int -> ?topology:topology ->
+  ?device_speeds:float array -> unit -> t
 (** Machine for functional tests (timing constants irrelevant there). *)
 
 val lease : t -> n_devices:int -> t
@@ -91,10 +98,19 @@ val lease : t -> n_devices:int -> t
     fault spec dropped — the serving scheduler injects per-job faults
     and translates fleet-wide scheduled losses into lease-local ones
     itself.  [total_dies] is kept: leased dies share the box's thermal
-    envelope. *)
+    envelope.  [device_speeds] is reset to homogeneous — a lease grabs
+    whichever fleet devices are free, so a speed map keyed by fleet id
+    cannot be sliced meaningfully. *)
 
 val boost_factor : t -> active:int -> float
 (** Per-die throughput factor when [active] dies are busy. *)
+
+val device_speed : t -> int -> float
+(** Throughput multiplier of one device: [device_speeds.(d)], or 1.0 on
+    a homogeneous box (empty [device_speeds]) / out-of-range ids. *)
+
+val heterogeneous : t -> bool
+(** Whether [device_speeds] names at least two different speeds. *)
 
 val topology_of_string : string -> (topology, string) result
 (** Parse a CLI topology spec: ["flat"], or

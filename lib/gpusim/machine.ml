@@ -723,16 +723,19 @@ let p2p_multi ?deps m ~src ~dst ~segments =
    block's time (latency bound), above it the duration grows linearly.
    The per-SM rate is derated by the autoboost factor for the number of
    currently active devices. *)
-let kernel_duration m ~blocks ~ops_per_block =
+let kernel_duration ?device m ~blocks ~ops_per_block =
   if blocks = 0 then 0.0
   else begin
     let cfg = m.cfg in
     let slots = cfg.Config.sms_per_device * cfg.Config.blocks_per_sm in
     let boost = Config.boost_factor cfg ~active:m.active_devices in
+    let speed =
+      match device with None -> 1.0 | Some d -> Config.device_speed cfg d
+    in
     let block_time =
       ops_per_block
       *. float_of_int cfg.Config.blocks_per_sm
-      /. (cfg.Config.ops_per_sm *. boost)
+      /. (cfg.Config.ops_per_sm *. speed *. boost)
     in
     block_time *. Float.max 1.0 (float_of_int blocks /. float_of_int slots)
   end
@@ -763,7 +766,7 @@ let launch_async ?(deps = []) m ~device:d ~blocks ~ops_per_block ~run : evt =
       (Float.max (Timeline.ready dev.copy_in) (Timeline.ready dev.copy_out))
   in
   let after = List.fold_left Float.max after deps in
-  let dur = kernel_duration m ~blocks ~ops_per_block in
+  let dur = kernel_duration ~device:d m ~blocks ~ops_per_block in
   let kstart, kfinish =
     Timeline.schedule dev.compute ~after ~duration:dur ~category:"kernel"
   in

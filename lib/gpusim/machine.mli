@@ -186,9 +186,11 @@ val p2p_multi : ?deps:evt list ->
 val p2p_multi_async : ?deps:evt list ->
   t -> src:Buffer.t -> dst:Buffer.t -> segments:(int * int * int) list -> evt
 
-val kernel_duration : t -> blocks:int -> ops_per_block:float -> float
+val kernel_duration :
+  ?device:int -> t -> blocks:int -> ops_per_block:float -> float
 (** Modelled duration of a kernel launch (wave model with autoboost
-    derating). *)
+    derating).  [device] applies that device's [Config.device_speed]
+    multiplier; omitted = 1.0 (a homogeneous device). *)
 
 val set_active_devices : t -> int -> unit
 (** Declare how many devices the workload keeps busy (drives the

@@ -35,6 +35,13 @@ type key = {
   block : Dim3.t;
   args : Host_ir.harg list;
   mem_cap : int; (* per-device capacity the chunking was planned for *)
+  tune : string;
+      (* autotuner scoring-input signature (Autotune.signature): live
+         devices, speeds, bandwidths, latency, topology, iteration
+         context.  "" when autotuning is off, so keys — and therefore
+         cache behavior — are unchanged from the fixed-strategy engine.
+         With autotuning on, a plan chosen under one scoring regime is
+         never replayed under another (e.g. after a device loss). *)
 }
 
 type ranges = {
@@ -62,6 +69,17 @@ type partition_plan = {
 type plan = {
   pl_arg_arrays : (string * string) list; (* array param -> buffer name *)
   pl_partitions : partition_plan list;
+  pl_predicted_s : float;
+      (* autotuner's predicted per-launch seconds for the chosen plan
+         (0.0 when autotuning is off) — compared against measured
+         per-launch seconds for the autotune.{predicted,actual}_us
+         calibration metrics *)
+  pl_choice : string;
+      (* Autotune.shape_name of the winning candidate ("" = fixed) *)
+  pl_halo : int;
+      (* halo-tiling depth the winner was scored with (0 = per-step
+         schedule); the engine executes halo tiling iff >= 2 so the
+         executed schedule always matches the scored one *)
 }
 
 type stats = { hits : int; misses : int }

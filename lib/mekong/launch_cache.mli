@@ -17,6 +17,12 @@ type key = {
       (** per-device memory capacity the plan's chunking was computed
           against — a plan built for one capacity is never replayed
           against another *)
+  tune : string;
+      (** autotuner scoring-input signature ({!Autotune.signature});
+          [""] when autotuning is off, so keys are unchanged from the
+          fixed-strategy engine.  A plan chosen under one scoring
+          regime (live set, speeds, topology, iteration context) is
+          never replayed under another. *)
 }
 
 type ranges = {
@@ -45,6 +51,17 @@ type plan = {
   pl_arg_arrays : (string * string) list;
       (** array parameter -> buffer name *)
   pl_partitions : partition_plan list;
+  pl_predicted_s : float;
+      (** autotuner's predicted per-launch seconds (0.0 when off),
+          compared against measured seconds for the
+          [autotune.{predicted,actual}_us] calibration metrics *)
+  pl_choice : string;
+      (** {!Autotune.shape_name} of the winning candidate ([""] =
+          fixed strategy, autotuning off) *)
+  pl_halo : int;
+      (** halo-tiling depth the winner was scored with; the engine
+          executes halo tiling iff [>= 2], so the executed schedule
+          always matches the scored one *)
 }
 
 type stats = { hits : int; misses : int }

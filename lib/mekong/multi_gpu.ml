@@ -101,6 +101,37 @@ let pp_mem_report fmt r =
   Format.fprintf fmt "chunked_launches=%d chunks=%d oom_refinements=%d"
     r.mr_chunked_launches r.mr_chunks r.mr_oom_refinements
 
+(* Relative-error histogram bucket upper bounds, in percent (the last
+   bucket is open-ended). *)
+let tune_err_buckets = [| 5.0; 10.0; 25.0; 50.0; 100.0 |]
+
+type tune_report = {
+  tn_launches : int; (* autotuned launches measured *)
+  tn_predicted_s : float; (* summed predicted launch seconds *)
+  tn_actual_s : float; (* summed measured launch seconds *)
+  tn_err_hist : int array;
+      (* relative-error histogram over launches:
+         |pred-act|/act <= 5, 10, 25, 50, 100, > 100 percent *)
+  tn_halo_blocks : int; (* temporal blocks executed by halo tiling *)
+  tn_halo_steps : int; (* kernel steps inside those blocks *)
+}
+
+let no_tune =
+  {
+    tn_launches = 0;
+    tn_predicted_s = 0.0;
+    tn_actual_s = 0.0;
+    tn_err_hist = Array.make (Array.length tune_err_buckets + 1) 0;
+    tn_halo_blocks = 0;
+    tn_halo_steps = 0;
+  }
+
+let pp_tune_report fmt r =
+  Format.fprintf fmt
+    "autotuned=%d predicted=%.6fs actual=%.6fs halo_blocks=%d halo_steps=%d"
+    r.tn_launches r.tn_predicted_s r.tn_actual_s r.tn_halo_blocks
+    r.tn_halo_steps
+
 type result = {
   machine : Gpusim.Machine.t;
   time : float;
@@ -116,6 +147,10 @@ type result = {
   mem : mem_report;
       (* memory-pressure adaptation: chunked launches and live-OOM
          refinements (all zero on uncapped machines) *)
+  tune : tune_report;
+      (* autotuner calibration: predicted vs. measured per-launch
+         seconds and the halo-tiling activity (all zero when
+         autotuning is off) *)
 }
 
 let publish_metrics ?(into = Obs.Metrics.default) (r : result) =
@@ -132,6 +167,20 @@ let publish_metrics ?(into = Obs.Metrics.default) (r : result) =
   seti "faults.retries" r.faults.fr_retries;
   seti "faults.replays" r.faults.fr_replays;
   seti "faults.devices_lost" r.faults.fr_devices_lost;
+  seti "autotune.launches" r.tune.tn_launches;
+  set "autotune.predicted_us" (r.tune.tn_predicted_s *. 1e6);
+  set "autotune.actual_us" (r.tune.tn_actual_s *. 1e6);
+  seti "autotune.halo_blocks" r.tune.tn_halo_blocks;
+  seti "autotune.halo_steps" r.tune.tn_halo_steps;
+  Array.iteri
+    (fun i count ->
+       let name =
+         if i < Array.length tune_err_buckets then
+           Printf.sprintf "autotune.err_le_%.0fpct" tune_err_buckets.(i)
+         else "autotune.err_gt_100pct"
+       in
+       seti name count)
+    r.tune.tn_err_hist;
   Kcompile.publish_metrics ~into r.exec;
   Gpusim.Machine.publish_metrics ~into r.machine
 
@@ -171,7 +220,8 @@ let backoff_budget = 1.0
 
 let run_bounded ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d)
     ?(cache = true) ?(checkpoint_every = 8) ?domains ?(overlap = false)
-    ?abort_at ?resume ~(machine : Gpusim.Machine.t) (exe : exe) : bounded =
+    ?(autotune = false) ?abort_at ?resume ~(machine : Gpusim.Machine.t)
+    (exe : exe) : bounded =
   if not (Gpu_runtime.Rconfig.is_valid cfg) then invalid_arg "Multi_gpu.run: bad config";
   if checkpoint_every <= 0 then
     invalid_arg "Multi_gpu.run: checkpoint_every must be positive";
@@ -218,6 +268,104 @@ let run_bounded ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d)
   (* Per-launch-key forced minimum chunk count: bumped when a launch
      dies with a live Out_of_memory despite the footprint estimate. *)
   let forced : (Launch_cache.key, int) Hashtbl.t = Hashtbl.create 4 in
+  (* --- Autotuning state (DESIGN.md §18) ------------------------------ *)
+  (* The scorer needs the polyhedral range lists, so autotuning is only
+     meaningful under a patterns config (like the tracker itself). *)
+  let tune_enabled = autotune && cfg.Gpu_runtime.Rconfig.patterns in
+  (* Double-buffer pairs of the host program (static): the autotuner's
+     steady-state home model and the halo-tiling legality check both
+     need to know which buffer a Swap aliases to which. *)
+  let swap_aliases =
+    let acc = ref [] in
+    let rec go (s : Host_ir.stmt) =
+      match s with
+      | Host_ir.Swap (a, b) ->
+        if not (List.mem (a, b) !acc || List.mem (b, a) !acc) then
+          acc := (a, b) :: !acc
+      | Host_ir.Repeat (_, body) -> List.iter go body
+      | _ -> ()
+    in
+    List.iter go exe.prog.Host_ir.body;
+    List.rev !acc
+  in
+  (* Iteration context per kernel (static): the product of enclosing
+     Repeat counts, which is what the halo-aware scorer amortizes
+     per-transfer latency and barriers over. *)
+  let repeat_iters : (string, int) Hashtbl.t = Hashtbl.create 4 in
+  let () =
+    let rec scan ~n (s : Host_ir.stmt) =
+      match s with
+      | Host_ir.Launch { kernel; _ } ->
+        let cur =
+          Option.value ~default:1
+            (Hashtbl.find_opt repeat_iters kernel.Kir.name)
+        in
+        if n > cur then Hashtbl.replace repeat_iters kernel.Kir.name n
+      | Host_ir.Repeat (k, body) -> List.iter (scan ~n:(n * k)) body
+      | _ -> ()
+    in
+    List.iter (scan ~n:1) exe.prog.Host_ir.body
+  in
+  let iters_of kernel =
+    Option.value ~default:1 (Hashtbl.find_opt repeat_iters kernel.Kir.name)
+  in
+  (* The launch-key extension: "" when autotuning is off (seed-identical
+     keys and cache behavior), otherwise the scoring-input signature so
+     a plan chosen under one regime (live set, speeds, topology) is
+     never replayed under another. *)
+  let tune_sig kernel =
+    if not tune_enabled then ""
+    else
+      Autotune.signature ~cfg:(Gpusim.Machine.config m) ~live:!live
+        ~iters:(iters_of kernel)
+  in
+  let key_of kernel grid block args =
+    {
+      Launch_cache.kernel = kernel.Kir.name;
+      grid;
+      block;
+      args;
+      mem_cap;
+      tune = tune_sig kernel;
+    }
+  in
+  (* Winning halo schedules by launch key, filled by [build_plan] when
+     the autotuner's winner carries one; the Repeat executor consults
+     it (plan [pl_halo >= 2] guarantees an entry from the same build). *)
+  let halo_infos : (Launch_cache.key, Autotune.halo_plan) Hashtbl.t =
+    Hashtbl.create 4
+  in
+  (* Halo-tiled Repeat execution composes with the plain engine only:
+     self-healing checkpoints count per-launch, preemption and resume
+     index into the flattened stream, and memory chunking re-syncs
+     between chunks — all assume the per-step schedule, so any of them
+     disables Repeat interception (never the autotuned partition
+     choice itself). *)
+  let halo_repeats_ok =
+    tune_enabled && (not healing) && abort_at = None && resume = None
+    && not capped
+  in
+  let tune_launches = ref 0 in
+  let tune_pred = ref 0.0 and tune_act = ref 0.0 in
+  let tune_err_hist = Array.make (Array.length tune_err_buckets + 1) 0 in
+  let halo_blocks = ref 0 and halo_steps = ref 0 in
+  let record_tune ~predicted ~actual =
+    incr tune_launches;
+    tune_pred := !tune_pred +. predicted;
+    tune_act := !tune_act +. actual;
+    let err =
+      if actual > 0.0 then abs_float (predicted -. actual) /. actual *. 100.0
+      else if predicted = 0.0 then 0.0
+      else infinity
+    in
+    let rec bucket i =
+      if i >= Array.length tune_err_buckets then i
+      else if err <= tune_err_buckets.(i) then i
+      else bucket (i + 1)
+    in
+    let b = bucket 0 in
+    tune_err_hist.(b) <- tune_err_hist.(b) + 1
+  in
   (* The eviction pool, sorted by name: stamps shared across vbufs can
      tie, and [coldest] breaks ties by pool order, so the order must
      not depend on hash-table internals. *)
@@ -263,6 +411,102 @@ let run_bounded ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d)
     let before = Gpu_runtime.Tracker.ops tr in
     let res = f () in
     (Gpu_runtime.Tracker.ops tr - before, res)
+  in
+  (* The launch/sync/update primitives of one partition plan, shared by
+     the per-launch path ([exec_launch]) and the halo-tiled Repeat
+     executor.  Buffer names resolve through [find] at call time, so a
+     host-program Swap between calls redirects them exactly as it does
+     the kernel's own argument resolution. *)
+  let sync_pp_reads ?stamp ~pool ~batch (pp : Launch_cache.partition_plan) =
+    List.iter
+      (fun { Launch_cache.rg_buf; rg_ranges; rg_raw } ->
+         let vb = find rg_buf in
+         let ops, transfers =
+           with_tracker_ops vb (fun () ->
+               Gpu_runtime.Vbuf.sync_for_read ~cfg ~batch ~pool ?stamp vb
+                 ~dev:pp.Launch_cache.pp_part.Partition.device
+                 ~ranges:rg_ranges)
+         in
+         total_transfers := !total_transfers + transfers;
+         charge ~tracker_ops:ops ~ranges:rg_raw ~dispatches:0)
+      pp.Launch_cache.pp_reads
+  in
+  let update_pp_writes ?stamp ~pool (pp : Launch_cache.partition_plan) =
+    List.iter
+      (fun { Launch_cache.rg_buf; rg_ranges; rg_raw } ->
+         let vb = find rg_buf in
+         let ops, () =
+           with_tracker_ops vb (fun () ->
+               Gpu_runtime.Vbuf.update_for_write ~cfg ~pool ?stamp vb
+                 ~dev:pp.Launch_cache.pp_part.Partition.device
+                 ~ranges:rg_ranges)
+         in
+         charge ~tracker_ops:ops ~ranges:rg_raw ~dispatches:0)
+      pp.Launch_cache.pp_writes
+  in
+  let launch_pp ck ~arg_arrays ~block (pp : Launch_cache.partition_plan) =
+    let buffer_of name =
+      Gpu_runtime.Vbuf.instance (find (List.assoc name arg_arrays))
+        pp.Launch_cache.pp_part.Partition.device
+    in
+    charge ~tracker_ops:0 ~ranges:0 ~dispatches:1;
+    Gpusim.Machine.launch m
+      ~device:pp.Launch_cache.pp_part.Partition.device
+      ~blocks:pp.Launch_cache.pp_n_blocks
+      ~ops_per_block:pp.Launch_cache.pp_ops_per_block ~run:(fun () ->
+        let launch_grid = pp.Launch_cache.pp_launch_grid in
+        let scalar_args = pp.Launch_cache.pp_scalar_args in
+        let compiled, freshness =
+          (* Compiled closures are cached even with [cache:false]:
+             they never affect simulated results, and re-deriving
+             them per launch would bury the plan-cache A/B signal
+             under compilation noise. *)
+          Launch_cache.find_or_compile !plan_cache
+            {
+              Launch_cache.ck_kernel = ck.ck_partitioned.Kir.name;
+              ck_grid = launch_grid;
+              ck_block = block;
+              ck_args = scalar_args;
+            }
+            ~compile:(fun () ->
+              Kcompile.compile ck.ck_partitioned ~grid:launch_grid
+                ~block ~args:scalar_args)
+        in
+        (match freshness with
+         | `Hit ->
+           exec_stats.Kcompile.st_cache_hits <-
+             exec_stats.Kcompile.st_cache_hits + 1
+         | `Miss ->
+           exec_stats.Kcompile.st_compiles <-
+             exec_stats.Kcompile.st_compiles + 1);
+        match compiled with
+        | Ok cck ->
+          (* Resolve each array argument to its device-local
+             backing data once per launch, not per access. *)
+          let load a =
+            let data = Gpusim.Buffer.data_exn (buffer_of a) in
+            fun off -> data.(off)
+          in
+          let store a =
+            let data = Gpusim.Buffer.data_exn (buffer_of a) in
+            fun off v -> data.(off) <- v
+          in
+          let pool =
+            if ck.ck_parallel_safe && domains > 1 then
+              Some (Gpu_runtime.Dpool.get ())
+            else None
+          in
+          Kcompile.record_path exec_stats
+            (Kcompile.run ?pool ~max_domains:domains cck ~load ~store)
+        | Error _ ->
+          let load a off = (Gpusim.Buffer.data_exn (buffer_of a)).(off) in
+          let store a off v =
+            (Gpusim.Buffer.data_exn (buffer_of a)).(off) <- v
+          in
+          exec_stats.Kcompile.st_interpreted <-
+            exec_stats.Kcompile.st_interpreted + 1;
+          Keval.run ck.ck_partitioned ~grid:launch_grid ~block
+            ~args:scalar_args ~load ~store)
   in
   (* Rebuild the buffer population from a preemption handoff: allocate
      every buffer first (so the eviction pool sees the whole set), then
@@ -345,27 +589,46 @@ let run_bounded ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d)
   let build_plan ?(min_chunks = 1) ck kernel grid block args :
     Launch_cache.plan =
     let km = ck.ck_model in
+    (* Autotuned runs pick the partitioning by scored search over the
+       candidate families (Autotune.choose); fixed runs use the
+       model's strategy axis under the configured tiling, exactly as
+       before. *)
+    let choice =
+      if not tune_enabled then None
+      else
+        Some
+          (span ("autotune:" ^ kernel.Kir.name) (fun () ->
+               Autotune.choose ~cfg:(Gpusim.Machine.config m) ~live:!live
+                 ~km ~enums:ck.ck_enums ~partitioned:ck.ck_partitioned
+                 ~kernel ~grid ~block ~args ~aliases:swap_aliases
+                 ~iters:(iters_of kernel)
+                 ~buf_len:(fun b -> Gpu_runtime.Vbuf.len (find b))
+                 ()))
+    in
     let partitions =
       let primary = km.Model.strategy in
       (* Partition over the surviving devices (all of them on ideal
          hardware), then map partition slots onto actual device ids. *)
       let n = n_live () in
       let parts =
-        match tiling with
-        | `One_d -> Partition.make ~grid ~axis:primary ~n
-        | `Two_d ->
-          (* secondary axis: another axis with more than one block,
-             preferring the row-major-adjacent one; fall back to 1-D
-             when the grid is flat *)
-          let secondary =
-            List.find_opt
-              (fun a -> a <> primary && Dim3.get grid a > 1)
-              [ Dim3.X; Dim3.Y; Dim3.Z ]
-          in
-          (match secondary with
-           | Some axis2 ->
-             Partition.make_2d ~grid ~axis1:primary ~axis2 ~n
-           | None -> Partition.make ~grid ~axis:primary ~n)
+        match choice with
+        | Some ch -> ch.Autotune.c_winner.Autotune.parts
+        | None ->
+          (match tiling with
+           | `One_d -> Partition.make ~grid ~axis:primary ~n
+           | `Two_d ->
+             (* secondary axis: another axis with more than one block,
+                preferring the row-major-adjacent one; fall back to 1-D
+                when the grid is flat *)
+             let secondary =
+               List.find_opt
+                 (fun a -> a <> primary && Dim3.get grid a > 1)
+                 [ Dim3.X; Dim3.Y; Dim3.Z ]
+             in
+             (match secondary with
+              | Some axis2 ->
+                Partition.make_2d ~grid ~axis1:primary ~axis2 ~n
+              | None -> Partition.make ~grid ~axis:primary ~n))
       in
       let live_arr = Array.of_list !live in
       let parts =
@@ -553,7 +816,31 @@ let run_bounded ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d)
              pl_partitions)
         pl_partitions
     end;
-    { Launch_cache.pl_arg_arrays = arg_arrays; pl_partitions }
+    (* Record the winner's halo schedule (if any) for the Repeat
+       executor, under the same key the plan is cached under. *)
+    (match choice with
+     | Some ch ->
+       let key = key_of kernel grid block args in
+       (match ch.Autotune.c_winner.Autotune.halo with
+        | Some hp -> Hashtbl.replace halo_infos key hp
+        | None -> Hashtbl.remove halo_infos key)
+     | None -> ());
+    {
+      Launch_cache.pl_arg_arrays = arg_arrays;
+      pl_partitions;
+      pl_predicted_s =
+        (match choice with
+         | Some ch -> ch.Autotune.c_winner.Autotune.score
+         | None -> 0.0);
+      pl_choice =
+        (match choice with
+         | Some ch -> Autotune.shape_name ch.Autotune.c_winner.Autotune.shape
+         | None -> "");
+      pl_halo =
+        (match choice with
+         | Some ch -> Autotune.halo_depth ch.Autotune.c_winner
+         | None -> 0);
+    }
   in
   let exec_launch kernel grid block args =
     let ck =
@@ -563,9 +850,7 @@ let run_bounded ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d)
         invalid_arg ("Multi_gpu: unlinked kernel " ^ kernel.Kir.name)
     in
     let km = ck.ck_model in
-    let key =
-      { Launch_cache.kernel = kernel.Kir.name; grid; block; args; mem_cap }
-    in
+    let key = key_of kernel grid block args in
     let min_chunks = Option.value ~default:1 (Hashtbl.find_opt forced key) in
     let plan =
       if cache then
@@ -589,97 +874,29 @@ let run_bounded ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d)
             capacity"
            kernel.Kir.name);
     let pool = pool_of () in
-    let sync_reads ?stamp (pp : Launch_cache.partition_plan) =
-      List.iter
-        (fun { Launch_cache.rg_buf; rg_ranges; rg_raw } ->
-           let vb = find rg_buf in
-           let ops, transfers =
-             with_tracker_ops vb (fun () ->
-                 Gpu_runtime.Vbuf.sync_for_read ~cfg
-                   ~batch:(tiling = `Two_d) ~pool ?stamp vb
-                   ~dev:pp.Launch_cache.pp_part.Partition.device
-                   ~ranges:rg_ranges)
-           in
-           total_transfers := !total_transfers + transfers;
-           charge ~tracker_ops:ops ~ranges:rg_raw ~dispatches:0)
-        pp.Launch_cache.pp_reads
+    (* Segment batching (p2p_multi packing) was introduced for the
+       fragmented transfers of 2-D tiles, and autotuned runs keep it
+       for every shape that departs from the seed's — the packed copy
+       pays one latency for many segments but serializes copy engines
+       the per-range path overlaps, so it is only a win when ranges
+       fragment.  When the tuner's winner IS the fixed shape (and no
+       halo schedule engages), the transfers are the seed's contiguous
+       strips and the seed's per-range path is kept byte-for-byte, so
+       "autotuned never slower than fixed" holds by construction
+       there. *)
+    let batch =
+      tiling = `Two_d
+      || tune_enabled
+         && (plan.Launch_cache.pl_halo >= 2
+             || not (Autotune.seed_shape_name plan.Launch_cache.pl_choice))
     in
-    let update_writes ?stamp (pp : Launch_cache.partition_plan) =
-      List.iter
-        (fun { Launch_cache.rg_buf; rg_ranges; rg_raw } ->
-           let vb = find rg_buf in
-           let ops, () =
-             with_tracker_ops vb (fun () ->
-                 Gpu_runtime.Vbuf.update_for_write ~cfg ~pool ?stamp vb
-                   ~dev:pp.Launch_cache.pp_part.Partition.device
-                   ~ranges:rg_ranges)
-           in
-           charge ~tracker_ops:ops ~ranges:rg_raw ~dispatches:0)
-        pp.Launch_cache.pp_writes
-    in
-    let launch_partition (pp : Launch_cache.partition_plan) =
-         let buffer_of name =
-           Gpu_runtime.Vbuf.instance (find (List.assoc name arg_arrays))
-             pp.Launch_cache.pp_part.Partition.device
-         in
-         charge ~tracker_ops:0 ~ranges:0 ~dispatches:1;
-         Gpusim.Machine.launch m
-           ~device:pp.Launch_cache.pp_part.Partition.device
-           ~blocks:pp.Launch_cache.pp_n_blocks
-           ~ops_per_block:pp.Launch_cache.pp_ops_per_block ~run:(fun () ->
-             let launch_grid = pp.Launch_cache.pp_launch_grid in
-             let scalar_args = pp.Launch_cache.pp_scalar_args in
-             let compiled, freshness =
-               (* Compiled closures are cached even with [cache:false]:
-                  they never affect simulated results, and re-deriving
-                  them per launch would bury the plan-cache A/B signal
-                  under compilation noise. *)
-               Launch_cache.find_or_compile !plan_cache
-                 {
-                   Launch_cache.ck_kernel = ck.ck_partitioned.Kir.name;
-                   ck_grid = launch_grid;
-                   ck_block = block;
-                   ck_args = scalar_args;
-                 }
-                 ~compile:(fun () ->
-                   Kcompile.compile ck.ck_partitioned ~grid:launch_grid
-                     ~block ~args:scalar_args)
-             in
-             (match freshness with
-              | `Hit ->
-                exec_stats.Kcompile.st_cache_hits <-
-                  exec_stats.Kcompile.st_cache_hits + 1
-              | `Miss ->
-                exec_stats.Kcompile.st_compiles <-
-                  exec_stats.Kcompile.st_compiles + 1);
-             match compiled with
-             | Ok cck ->
-               (* Resolve each array argument to its device-local
-                  backing data once per launch, not per access. *)
-               let load a =
-                 let data = Gpusim.Buffer.data_exn (buffer_of a) in
-                 fun off -> data.(off)
-               in
-               let store a =
-                 let data = Gpusim.Buffer.data_exn (buffer_of a) in
-                 fun off v -> data.(off) <- v
-               in
-               let pool =
-                 if ck.ck_parallel_safe && domains > 1 then
-                   Some (Gpu_runtime.Dpool.get ())
-                 else None
-               in
-               Kcompile.record_path exec_stats
-                 (Kcompile.run ?pool ~max_domains:domains cck ~load ~store)
-             | Error _ ->
-               let load a off = (Gpusim.Buffer.data_exn (buffer_of a)).(off) in
-               let store a off v =
-                 (Gpusim.Buffer.data_exn (buffer_of a)).(off) <- v
-               in
-               exec_stats.Kcompile.st_interpreted <-
-                 exec_stats.Kcompile.st_interpreted + 1;
-               Keval.run ck.ck_partitioned ~grid:launch_grid ~block
-                 ~args:scalar_args ~load ~store)
+    let sync_reads ?stamp pp = sync_pp_reads ?stamp ~pool ~batch pp in
+    let update_writes ?stamp pp = update_pp_writes ?stamp ~pool pp in
+    let launch_partition pp = launch_pp ck ~arg_arrays ~block pp in
+    let tune_t0 =
+      if tune_enabled && plan.Launch_cache.pl_predicted_s > 0.0 then
+        Some (Gpusim.Machine.elapsed m)
+      else None
     in
     if not any_chunked then begin
       (* (2) of §5: synchronize all buffers read by the kernel. *)
@@ -845,7 +1062,163 @@ let run_bounded ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d)
                  charge ~tracker_ops:ops ~ranges:0 ~dispatches:0)
               per_dev)
          instrumented
-     | _ -> ())
+     | _ -> ());
+    (* Calibration: compare the autotuner's predicted per-launch
+       seconds against the makespan this launch actually added (latest
+       engine time, so async kernel completions are included). *)
+    match tune_t0 with
+    | Some t0 ->
+      record_tune ~predicted:plan.Launch_cache.pl_predicted_s
+        ~actual:(Gpusim.Machine.elapsed m -. t0)
+    | None -> ()
+  in
+  (* Halo/overlapped-tiled execution of [Repeat (iters, [Launch; Swap])]
+     stencil loops (DESIGN.md §18).  Per temporal block of [t <= depth]
+     steps: one exchange fetches the stale parts of each partition's
+     band widened by [t*h] elements per side on the input buffer, one
+     barrier orders it (unless overlap mode already dropped barriers),
+     then [t] widened launches run back-to-back with no per-step sync —
+     each step recomputes the apron redundantly instead of exchanging,
+     and devices skew freely within the block.  Validity: at block
+     start the fetch makes [band +- t*h] of the input fresh everywhere;
+     each step shrinks the valid margin by [h], so after step [j] the
+     output is valid on [band +- (t-j)*h] — in particular every step's
+     output is valid on its band (the tracker claims exactly that), and
+     the block's last step is valid on precisely the band.  Garbage in
+     the apron beyond the valid margin never escapes: the next block's
+     fetch overwrites it before any launch reads it.  Functional
+     results are bit-identical to the per-step schedule because each
+     band element sees the same dependency chain in the same order. *)
+  let exec_halo kernel grid block args ~iters ~swap:(sx, sy) =
+    let ck =
+      match Hashtbl.find_opt compiled_tbl kernel.Kir.name with
+      | Some ck -> ck
+      | None ->
+        invalid_arg ("Multi_gpu: unlinked kernel " ^ kernel.Kir.name)
+    in
+    let key = key_of kernel grid block args in
+    let plan =
+      if cache then
+        Launch_cache.find_or_build !plan_cache key ~build:(fun () ->
+            build_plan ck kernel grid block args)
+      else build_plan ck kernel grid block args
+    in
+    let exec_swap () =
+      let va = find sx and vb = find sy in
+      Hashtbl.replace vbufs sx vb;
+      Hashtbl.replace vbufs sy va
+    in
+    let hp =
+      (* Instrumented write collection (paper §11) is data-dependent
+         and per-launch; it composes with the per-step schedule only. *)
+      if plan.Launch_cache.pl_halo >= 2 && ck.ck_shadow = None then
+        Hashtbl.find_opt halo_infos key
+      else None
+    in
+    match hp with
+    | None ->
+      (* The winner is a per-step schedule: run the loop exactly as the
+         flattened engine would. *)
+      for _ = 1 to iters do
+        exec_launch kernel grid block args;
+        exec_swap ()
+      done
+    | Some hp ->
+      let arg_arrays = plan.Launch_cache.pl_arg_arrays in
+      let partitions = plan.Launch_cache.pl_partitions in
+      let h = hp.Autotune.hp_halo_elems in
+      (* Widened launch plans: one extra block row of redundant compute
+         per side along the split axis.  Reads/writes stay on the base
+         plan — the tracker is only ever told about the band. *)
+      let widened =
+        List.map
+          (fun (pp : Launch_cache.partition_plan) ->
+             let p =
+               Partition.widen pp.Launch_cache.pp_part ~grid
+                 ~axis:hp.Autotune.hp_axis ~blocks:1
+             in
+             let part_args = args @ Partition.partition_args p in
+             let scalar_env =
+               Host_ir.scalar_bindings ck.ck_partitioned part_args
+             in
+             ( pp,
+               {
+                 pp with
+                 Launch_cache.pp_part = p;
+                 pp_reads = [];
+                 pp_writes = [];
+                 pp_launch_grid = Partition.launch_grid p;
+                 pp_n_blocks = Partition.n_blocks p;
+                 pp_part_args = part_args;
+                 pp_scalar_args = Host_ir.scalar_args part_args;
+                 pp_ops_per_block =
+                   Costmodel.ops_per_block ck.ck_partitioned ~scalar_env
+                     ~block;
+               } ))
+          partitions
+      in
+      let band (pp : Launch_cache.partition_plan) =
+        match
+          List.find_opt
+            (fun (r : Launch_cache.ranges) ->
+               r.Launch_cache.rg_buf = hp.Autotune.hp_write_buf)
+            pp.Launch_cache.pp_writes
+        with
+        | Some { Launch_cache.rg_ranges = [ (s, e) ]; _ } -> (s, e)
+        | _ ->
+          (* Eligibility guaranteed dense single-range bands. *)
+          assert false
+      in
+      let steps_done = ref 0 in
+      while !steps_done < iters do
+        let t = min hp.Autotune.hp_depth (iters - !steps_done) in
+        incr halo_blocks;
+        halo_steps := !halo_steps + t;
+        let tune_t0 = Gpusim.Machine.elapsed m in
+        (* One exchange for the whole temporal block: the stale parts
+           of each band widened by t*h on the *input* buffer.  The
+           neighbors' copies of their own bands are always valid (they
+           own them), so every fetched byte is fresh. *)
+        span "halo_exchange" (fun () ->
+            let pool = pool_of () in
+            let stamp = Gpusim.Machine.lru_tick m in
+            let vb = find hp.Autotune.hp_read_buf in
+            let len = Gpu_runtime.Vbuf.len vb in
+            List.iter
+              (fun ((pp : Launch_cache.partition_plan), _) ->
+                 let ws, we = band pp in
+                 let lo = max 0 (ws - (t * h))
+                 and hi = min len (we + (t * h)) in
+                 let ops, transfers =
+                   with_tracker_ops vb (fun () ->
+                       Gpu_runtime.Vbuf.sync_for_read ~cfg ~batch:true
+                         ~pool ~stamp vb
+                         ~dev:pp.Launch_cache.pp_part.Partition.device
+                         ~ranges:[ (lo, hi) ])
+                 in
+                 total_transfers := !total_transfers + transfers;
+                 charge ~tracker_ops:ops ~ranges:1 ~dispatches:0)
+              widened);
+        if not overlap then
+          span "barrier" (fun () -> Gpusim.Machine.synchronize m);
+        for _step = 1 to t do
+          span "launch" (fun () ->
+              List.iter
+                (fun (_, wp) -> launch_pp ck ~arg_arrays ~block wp)
+                widened);
+          span "tracker_update" (fun () ->
+              let pool = pool_of () in
+              let stamp = Gpusim.Machine.lru_tick m in
+              List.iter
+                (fun (pp, _) -> update_pp_writes ~stamp ~pool pp)
+                widened);
+          exec_swap ()
+        done;
+        record_tune
+          ~predicted:(plan.Launch_cache.pl_predicted_s *. float_of_int t)
+          ~actual:(Gpusim.Machine.elapsed m -. tune_t0);
+        steps_done := !steps_done + t
+      done
   in
   let rec exec (s : Host_ir.stmt) =
     match s with
@@ -870,6 +1243,15 @@ let run_bounded ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d)
       Gpusim.Machine.synchronize m
     | Host_ir.Launch { kernel; grid; block; args } ->
       exec_launch kernel grid block args
+    | Host_ir.Repeat
+        ( n,
+          [ Host_ir.Launch { kernel; grid; block; args };
+            Host_ir.Swap (sx, sy) ] )
+      when halo_repeats_ok && n > 1 ->
+      (* A double-buffered stencil loop kept whole by the flattening:
+         route through the halo executor (which falls back to the
+         per-step schedule when the autotuned winner has no halo). *)
+      exec_halo kernel grid block args ~iters:n ~swap:(sx, sy)
     | Host_ir.Repeat (n, body) ->
       for _ = 1 to n do
         List.iter exec body
@@ -893,6 +1275,16 @@ let run_bounded ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d)
     let acc = ref [] in
     let rec go (s : Host_ir.stmt) =
       match s with
+      | Host_ir.Repeat
+          (n, [ Host_ir.Launch _; Host_ir.Swap _ ])
+        when halo_repeats_ok && n > 1 ->
+        (* A double-buffered stencil loop stays whole so the halo
+           executor can temporally block it.  Kept only when the
+           features that index into the flattened stream (healing
+           checkpoints, preemption, resume) and memory chunking are
+           off — [halo_repeats_ok] — so the program counter still
+           means what they expect everywhere else. *)
+        acc := s :: !acc
       | Host_ir.Repeat (n, body) ->
         for _ = 1 to n do List.iter go body done
       | s -> acc := s :: !acc
@@ -1074,15 +1466,7 @@ let run_bounded ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d)
              single-block chunks cannot fit, which bounds the loop. *)
           match stmt with
           | Host_ir.Launch { kernel; grid; block; args } when capped ->
-            let key =
-              {
-                Launch_cache.kernel = kernel.Kir.name;
-                grid;
-                block;
-                args;
-                mem_cap;
-              }
-            in
+            let key = key_of kernel grid block args in
             let cur =
               Option.value ~default:1 (Hashtbl.find_opt forced key)
             in
@@ -1127,6 +1511,17 @@ let run_bounded ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d)
           mr_chunks = !chunks_run;
           mr_oom_refinements = !oom_refinements;
         };
+      tune =
+        (if tune_enabled then
+           {
+             tn_launches = !tune_launches;
+             tn_predicted_s = !tune_pred;
+             tn_actual_s = !tune_act;
+             tn_err_hist = Array.copy tune_err_hist;
+             tn_halo_blocks = !halo_blocks;
+             tn_halo_steps = !halo_steps;
+           }
+         else no_tune);
       faults =
         (if healing then
            {
@@ -1144,11 +1539,11 @@ let run_bounded ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d)
   | Some h -> Preempted (result, h)
   | None -> Done result
 
-let run ?cfg ?tiling ?cache ?checkpoint_every ?domains ?overlap
+let run ?cfg ?tiling ?cache ?checkpoint_every ?domains ?overlap ?autotune
     ~(machine : Gpusim.Machine.t) (exe : exe) : result =
   match
     run_bounded ?cfg ?tiling ?cache ?checkpoint_every ?domains ?overlap
-      ~machine exe
+      ?autotune ~machine exe
   with
   | Done r -> r
   | Preempted _ -> assert false (* no abort_at: cannot preempt *)

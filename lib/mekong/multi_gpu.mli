@@ -64,6 +64,24 @@ type mem_report = {
 val no_mem : mem_report
 val pp_mem_report : Format.formatter -> mem_report -> unit
 
+val tune_err_buckets : float array
+(** Relative-error histogram bucket upper bounds in percent (the last
+    histogram slot is open-ended: everything above the final bound). *)
+
+type tune_report = {
+  tn_launches : int;  (** autotuned launches measured *)
+  tn_predicted_s : float;  (** summed predicted launch seconds *)
+  tn_actual_s : float;  (** summed measured launch seconds *)
+  tn_err_hist : int array;
+      (** per-launch relative-error histogram over
+          {!tune_err_buckets} (length = buckets + 1) *)
+  tn_halo_blocks : int;  (** temporal blocks executed by halo tiling *)
+  tn_halo_steps : int;  (** kernel steps inside those blocks *)
+}
+
+val no_tune : tune_report
+val pp_tune_report : Format.formatter -> tune_report -> unit
+
 type result = {
   machine : Gpusim.Machine.t;
   time : float;  (** simulated end-to-end seconds *)
@@ -81,6 +99,10 @@ type result = {
       (** memory-pressure adaptation: chunked launches, chunks executed
           and live-OOM plan refinements (all zero on machines with
           unlimited device memory) *)
+  tune : tune_report;
+      (** autotuner calibration: predicted vs. measured per-launch
+          seconds, the relative-error histogram, and halo-tiling
+          activity (all zero when autotuning is off) *)
 }
 
 val launch_bindings :
@@ -100,6 +122,7 @@ val run :
   ?checkpoint_every:int ->
   ?domains:int ->
   ?overlap:bool ->
+  ?autotune:bool ->
   machine:Gpusim.Machine.t ->
   exe ->
   result
@@ -158,7 +181,30 @@ val run :
     sequential chunks that fit, each synchronizing, launching and
     updating trackers on its own.  Feasible runs complete
     bit-identically to the uncapped run; infeasible ones fail with a
-    one-line diagnostic naming the buffer, device and shortfall. *)
+    one-line diagnostic naming the buffer, device and shortfall.
+
+    [autotune] (default false) replaces the fixed partitioning strategy
+    with a cost-driven search per launch ({!Autotune.choose}): 1-D on
+    each viable axis, near-square 2-D tile grids,
+    throughput-proportional uneven splits on heterogeneous fleets
+    ({!Gpusim.Config.device_speeds}), and 1-D splits over fewer devices
+    than the fleet offers, each scored with the simulator's own
+    compute/transfer/host cost model; the argmin wins, with a 2%
+    hysteresis preferring the model's fixed axis.  Double-buffered
+    stencil loops ([Repeat (n, [Launch; Swap])]) whose winner is
+    halo-eligible execute halo/overlapped-tiled: per temporal block the
+    engine exchanges one widened boundary strip, then runs the block's
+    launches with a one-block-row redundant-compute apron and no
+    per-step sync or barrier.  Results stay bit-identical to the
+    fixed-strategy engine on every app (DESIGN.md §18 gives the
+    legality argument); only the schedule — and so simulated time and
+    transfer counts — changes.  Requires a patterns config (alpha or
+    beta); under gamma the flag is ignored.  Plans are cached under a
+    key extended with the scoring inputs ({!Autotune.signature}), so
+    device loss or speed changes never replay a stale choice; halo
+    tiling additionally requires ideal hardware, no preemption/resume,
+    and unlimited device memory, and falls back to the per-step
+    schedule otherwise. *)
 
 type handoff = {
   h_index : int;  (** flattened-statement index to resume from *)
@@ -182,6 +228,7 @@ val run_bounded :
   ?checkpoint_every:int ->
   ?domains:int ->
   ?overlap:bool ->
+  ?autotune:bool ->
   ?abort_at:float ->
   ?resume:handoff ->
   machine:Gpusim.Machine.t ->

@@ -51,6 +51,62 @@ let make ~grid ~axis ~n =
       in
       { device = d; min_blocks; max_blocks })
 
+(* Split [grid] into contiguous chunks along [axis] sized proportionally
+   to [weights] (per-device relative throughput on a heterogeneous
+   fleet).  Chunk boundaries are the rounded cumulative weight prefix,
+   so the split is deterministic, contiguous, and covers the grid
+   exactly; a uniform weight vector reproduces [make].  Devices whose
+   rounded share is empty get an empty partition (filtered by callers,
+   like [make]). *)
+let make_weighted ~grid ~axis ~weights =
+  let n = Array.length weights in
+  if n = 0 then invalid_arg "Partition.make_weighted: need at least one weight";
+  Array.iter
+    (fun w ->
+       if not (w > 0.0) then
+         invalid_arg "Partition.make_weighted: weights must be positive")
+    weights;
+  let total = Dim3.get grid axis in
+  let wsum = Array.fold_left ( +. ) 0.0 weights in
+  (* start_of is a rounding of a monotone sequence ending exactly at
+     [total], hence monotone with start_of 0 = 0 and start_of n = total. *)
+  let start_of d =
+    if d <= 0 then 0
+    else if d >= n then total
+    else begin
+      let prefix = ref 0.0 in
+      for i = 0 to d - 1 do
+        prefix := !prefix +. weights.(i)
+      done;
+      Float.to_int (Float.round (float_of_int total *. !prefix /. wsum))
+    end
+  in
+  List.init n (fun d ->
+      let lo = start_of d and hi = start_of (d + 1) in
+      let min_blocks =
+        List.fold_left
+          (fun acc a -> Dim3.set acc a (if a = axis then lo else 0))
+          Dim3.one Dim3.axes
+      in
+      let max_blocks =
+        List.fold_left
+          (fun acc a -> Dim3.set acc a (if a = axis then hi else Dim3.get grid a))
+          Dim3.one Dim3.axes
+      in
+      { device = d; min_blocks; max_blocks })
+
+(* Widen a partition by [blocks] block-rows on each side along [axis],
+   clamped to the grid (halo-tiled stencil launches redundantly
+   recompute this apron instead of exchanging per step). *)
+let widen p ~grid ~axis ~blocks =
+  let lo = max 0 (Dim3.get p.min_blocks axis - blocks) in
+  let hi = min (Dim3.get grid axis) (Dim3.get p.max_blocks axis + blocks) in
+  {
+    p with
+    min_blocks = Dim3.set p.min_blocks axis lo;
+    max_blocks = Dim3.set p.max_blocks axis hi;
+  }
+
 (* Split one partition into [n] contiguous sub-chunks along [axis]
    (memory-pressure chunking: the chunks launch sequentially on the
    partition's own device).  Balanced like [make], covering exactly

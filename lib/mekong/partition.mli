@@ -22,6 +22,19 @@ val make : grid:Dim3.t -> axis:Dim3.axis -> n:int -> t list
 (** Split [grid] into [n] contiguous balanced chunks of blocks along
     [axis]; devices beyond the block count get empty partitions. *)
 
+val make_weighted : grid:Dim3.t -> axis:Dim3.axis -> weights:float array -> t list
+(** Split [grid] into contiguous chunks along [axis] sized
+    proportionally to [weights] (per-device relative throughput on a
+    heterogeneous fleet), by rounded cumulative prefix: deterministic,
+    contiguous, covers the grid exactly.  Uniform weights reproduce
+    [make].  Raises [Invalid_argument] on an empty or non-positive
+    weight vector. *)
+
+val widen : t -> grid:Dim3.t -> axis:Dim3.axis -> blocks:int -> t
+(** Widen the partition by [blocks] block-rows on each side along
+    [axis], clamped to the grid (the redundant-compute apron of a
+    halo-tiled stencil launch). *)
+
 val split : t -> axis:Dim3.axis -> n:int -> t list
 (** Split one partition into at most [n] contiguous balanced sub-chunks
     along [axis], covering its block box exactly in ascending block

@@ -81,6 +81,70 @@ let compile ?assume ?instrument_writes ?model_file (prog : Host_ir.t) :
     let exe = pass2 model prog in
     Ok { model; exe; original_source; rewritten_source; model_file }
 
+(* Static plan explanation (`mekongc plan` / `run --explain-plan`):
+   re-derive the autotuner's candidate search for every distinct launch
+   of the program, outside any engine run.  The scoring inputs the
+   engine reads from live state are reconstructed statically: buffer
+   lengths from the Mallocs, double-buffer aliases from the Swaps,
+   iteration context from the enclosing Repeat products, and the live
+   set as the full fleet.  On ideal hardware this is exactly what the
+   engine's first build of each plan computes. *)
+let explain_plans ~(cfg : Gpusim.Config.t) (a : artifacts) :
+  Autotune.choice list =
+  let prog = a.exe.Multi_gpu.prog in
+  let lens : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let aliases = ref [] in
+  let iters : (string, int) Hashtbl.t = Hashtbl.create 4 in
+  let rec scan ~n (s : Host_ir.stmt) =
+    match s with
+    | Host_ir.Malloc (name, len) -> Hashtbl.replace lens name len
+    | Host_ir.Swap (x, y) ->
+      if not (List.mem (x, y) !aliases || List.mem (y, x) !aliases) then
+        aliases := (x, y) :: !aliases
+    | Host_ir.Launch { kernel; _ } ->
+      let cur =
+        Option.value ~default:1 (Hashtbl.find_opt iters kernel.Kir.name)
+      in
+      if n > cur then Hashtbl.replace iters kernel.Kir.name n
+    | Host_ir.Repeat (k, body) -> List.iter (scan ~n:(n * k)) body
+    | _ -> ()
+  in
+  List.iter (scan ~n:1) prog.Host_ir.body;
+  let aliases = List.rev !aliases in
+  let live = List.init cfg.Gpusim.Config.n_devices Fun.id in
+  let buf_len b =
+    (* Unknown names (never Malloc'd) leave ranges unclamped. *)
+    Option.value ~default:max_int (Hashtbl.find_opt lens b)
+  in
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  let rec collect (s : Host_ir.stmt) =
+    match s with
+    | Host_ir.Launch { kernel; grid; block; args } ->
+      let k = (kernel.Kir.name, grid, block, args) in
+      if not (Hashtbl.mem seen k) then begin
+        Hashtbl.add seen k ();
+        match List.assoc_opt kernel.Kir.name a.exe.Multi_gpu.compiled with
+        | None -> ()
+        | Some ck ->
+          let choice =
+            Autotune.choose ~cfg ~live ~km:ck.Multi_gpu.ck_model
+              ~enums:ck.Multi_gpu.ck_enums
+              ~partitioned:ck.Multi_gpu.ck_partitioned ~kernel ~grid ~block
+              ~args ~aliases
+              ~iters:
+                (Option.value ~default:1
+                   (Hashtbl.find_opt iters kernel.Kir.name))
+              ~buf_len ()
+          in
+          acc := choice :: !acc
+      end
+    | Host_ir.Repeat (_, body) -> List.iter collect body
+    | _ -> ()
+  in
+  List.iter collect prog.Host_ir.body;
+  List.rev !acc
+
 (* Wall-clock compile times of the reference single pass and of the
    full two-pass partitioning pipeline (experiment E6; the paper
    reports 1.9x-2.2x). *)

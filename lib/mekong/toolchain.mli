@@ -42,6 +42,15 @@ val compile :
     reloaded between the passes, as the two gpucc invocations
     communicate through the file system. *)
 
+val explain_plans : cfg:Gpusim.Config.t -> artifacts -> Autotune.choice list
+(** Re-derive the autotuner's candidate search ({!Autotune.choose}) for
+    every distinct launch of the compiled program, statically: buffer
+    lengths come from the [Malloc]s, double-buffer aliases from the
+    [Swap]s, iteration context from the enclosing [Repeat] products,
+    and the live set is the full fleet of [cfg].  On ideal hardware
+    this matches what an autotuned engine run computes when it first
+    builds each plan.  Backs [mekongc plan] and [run --explain-plan]. *)
+
 val compile_time_ratio : ?repeat:int -> Host_ir.t -> float * float * float
 (** (single-pass seconds, two-pass seconds, ratio) — experiment E6. *)
 

@@ -84,6 +84,7 @@ type report = {
 type jstate = {
   js_spec : Job.spec;
   js_seq : int;  (* submission index, the final tie-breaker *)
+  js_predicted : float;  (* static runtime estimate (EDF queue key) *)
   mutable js_exe : Mekong.Multi_gpu.exe option;
   mutable js_handoff : Mekong.Multi_gpu.handoff option;
   mutable js_strikes : int;
@@ -134,6 +135,51 @@ let footprint_elems (prog : Host_ir.t) =
   in
   List.iter go prog.Host_ir.body;
   !hw
+
+(* Static runtime estimate for deadline-aware admission: each launch's
+   ops-per-block through the simulator's wave/autoboost formula on the
+   job's requested lease size, each memcpy's bytes over the host link,
+   Repeat-multiplied.  The same static walk the partition autotuner
+   scores candidates with, collapsed to a single number — an ordering
+   heuristic for the queue, never a promise to the job. *)
+let predicted_runtime (fleet : Gpusim.Config.t) (spec : Job.spec) =
+  let n = max 1 (min spec.Job.devices fleet.Gpusim.Config.n_devices) in
+  let slots =
+    fleet.Gpusim.Config.sms_per_device * fleet.Gpusim.Config.blocks_per_sm
+  in
+  let boost = Gpusim.Config.boost_factor fleet ~active:n in
+  let total = ref 0.0 in
+  let rec go ~mult (s : Host_ir.stmt) =
+    match s with
+    | Host_ir.Launch { kernel; grid; block; args } ->
+      let blocks = grid.Dim3.x * grid.Dim3.y * grid.Dim3.z in
+      let per_dev = (blocks + n - 1) / n in
+      let scalar_env =
+        Mekong.Multi_gpu.launch_bindings kernel ~grid ~block ~args
+      in
+      let opb = Costmodel.ops_per_block kernel ~scalar_env ~block in
+      let block_time =
+        opb
+        *. float_of_int fleet.Gpusim.Config.blocks_per_sm
+        /. (fleet.Gpusim.Config.ops_per_sm *. boost)
+      in
+      let t =
+        block_time *. Float.max 1.0 (float_of_int per_dev /. float_of_int slots)
+      in
+      total := !total +. (mult *. (t +. fleet.Gpusim.Config.launch_latency))
+    | Host_ir.Memcpy_h2d { src = a; _ } | Host_ir.Memcpy_d2h { dst = a; _ } ->
+      total :=
+        !total
+        +. mult
+           *. ((float_of_int (a.Host_ir.len * fleet.Gpusim.Config.elem_bytes)
+                /. fleet.Gpusim.Config.pcie_bandwidth)
+               +. fleet.Gpusim.Config.transfer_latency)
+    | Host_ir.Repeat (k, body) ->
+      List.iter (go ~mult:(mult *. float_of_int k)) body
+    | _ -> ()
+  in
+  List.iter (go ~mult:1.0) spec.Job.prog.Host_ir.body;
+  !total
 
 let run (cfg : config) (specs : Job.spec list) : report =
   let fleet_n = cfg.fleet.Gpusim.Config.n_devices in
@@ -206,8 +252,22 @@ let run (cfg : config) (specs : Job.spec list) : report =
       max 1 ((bytes + cap - 1) / cap)
   in
   let enqueue (j : jstate) =
+    (* Deadline-aware admission order.  Within a priority band, jobs
+       carrying a deadline come first, ordered by latest feasible start
+       (arrival + deadline - predicted runtime): earliest-deadline-
+       first weighted by each job's own predicted length, so a short-
+       deadline job is not pinned behind a long job that merely
+       arrived earlier.  With no deadlines pending the key collapses
+       to the original (priority, arrival, seq) FIFO exactly. *)
     let key (x : jstate) =
-      (-x.js_spec.Job.priority, x.js_spec.Job.arrival, x.js_seq)
+      let deadline = x.js_spec.Job.deadline in
+      let cls = if deadline = None then 1 else 0 in
+      let urgency =
+        match deadline with
+        | Some d -> x.js_spec.Job.arrival +. d -. x.js_predicted
+        | None -> x.js_spec.Job.arrival
+      in
+      (-x.js_spec.Job.priority, cls, urgency, x.js_seq)
     in
     pending :=
       List.merge (fun a b -> compare (key a) (key b)) !pending [ j ];
@@ -438,6 +498,7 @@ let run (cfg : config) (specs : Job.spec list) : report =
          {
            js_spec = s;
            js_seq = i;
+           js_predicted = predicted_runtime cfg.fleet s;
            js_exe = s.Job.exe;
            js_handoff = None;
            js_strikes = 0;

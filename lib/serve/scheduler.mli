@@ -75,9 +75,24 @@ type report = {
   r_peak_queue : int;
 }
 
+val predicted_runtime : Gpusim.Config.t -> Job.spec -> float
+(** Static runtime estimate of one job on its requested lease size:
+    each launch's {!Costmodel.ops_per_block} through the simulator's
+    wave/autoboost formula, each memcpy's bytes over the host link,
+    [Repeat]-multiplied.  Orders deadline admission (see {!run}); an
+    ordering heuristic, never a promise to the job. *)
+
 val run : config -> Job.spec list -> report
 (** Drive every job to a terminal outcome.  Specs may arrive in any
-    order; duplicate job names raise [Invalid_argument]. *)
+    order; duplicate job names raise [Invalid_argument].
+
+    Admission order: within a priority band, jobs carrying a deadline
+    are served first, ordered by latest feasible start time
+    (arrival + deadline - {!predicted_runtime}) — earliest-deadline-
+    first weighted by each job's own predicted length, so a
+    short-deadline job is not pinned behind a long job that merely
+    arrived earlier.  With no deadlines pending the order is exactly
+    the original (priority, arrival, submission) FIFO. *)
 
 val tenants : report -> Slo.tenant list
 (** Per-tenant SLO aggregation of a run. *)

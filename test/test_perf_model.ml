@@ -132,6 +132,188 @@ let test_stats_consistency () =
   Alcotest.(check int) "p2p = B all-gather" (3 * n * n * 4)
     s.Gpusim.Machine.p2p_bytes
 
+(* ---------------- Autotuner cost model ---------------- *)
+
+let qtest t = QCheck_alcotest.to_alcotest t
+
+let choices_of ~cfg prog =
+  match Mekong.Toolchain.compile prog with
+  | Ok a -> Mekong.Toolchain.explain_plans ~cfg a
+  | Error e -> failwith (Mekong.Toolchain.error_message e)
+
+let candidate (ch : Mekong.Autotune.choice) name =
+  match
+    List.find_opt
+      (fun (c : Mekong.Autotune.candidate) ->
+         Mekong.Autotune.shape_name c.Mekong.Autotune.shape = name)
+      ch.Mekong.Autotune.c_candidates
+  with
+  | Some c -> c
+  | None ->
+    Alcotest.failf "no candidate %s for kernel %s" name
+      ch.Mekong.Autotune.c_kernel
+
+(* Hand-computed steady-state cross-device footprints on 4 devices.
+
+   matmul n=64, 1-D over rows: every device reads all of B but homes
+   only its linear quarter, so the per-launch exchange is the B
+   all-gather: 4 * (3/4 * n^2) elements = 3 n^2 * 4 bytes.  A rows and
+   C tiles match the distribution exactly and move nothing.
+
+   hotspot n=128, 1-D over rows: each of the 3 interior cuts exchanges
+   one halo row in each direction: 2 * 3 * n elements * 4 bytes. *)
+let test_autotune_cost_cases () =
+  let cfg = Gpusim.Config.k80_box ~n_devices:4 () in
+  (* matmul *)
+  let prog, _, _ = Apps.Workloads.functional_matmul ~n:64 in
+  (match choices_of ~cfg prog with
+   | [ ch ] ->
+     let fixed = candidate ch "fixed-1d-y" in
+     Alcotest.(check int) "matmul 1-D bytes = B all-gather" (3 * 64 * 64 * 4)
+       fixed.Mekong.Autotune.cross_bytes;
+     let two_d = candidate ch "2d-yx" in
+     checkb "matmul 2-D moves fewer bytes than 1-D" true
+       (two_d.Mekong.Autotune.cross_bytes < fixed.Mekong.Autotune.cross_bytes);
+     (* ...but per-row range emission makes 2-D lose on this host. *)
+     checkb "matmul 2-D host cost dominates" true
+       (two_d.Mekong.Autotune.host_s > fixed.Mekong.Autotune.host_s);
+     checkb "winner never scores above fixed" true
+       (ch.Mekong.Autotune.c_winner.Mekong.Autotune.score
+        <= fixed.Mekong.Autotune.score)
+   | l -> Alcotest.failf "matmul: expected 1 choice, got %d" (List.length l));
+  (* hotspot *)
+  let prog, _, _ = Apps.Workloads.functional_hotspot ~n:128 ~iterations:4 in
+  match choices_of ~cfg prog with
+  | [ ch ] ->
+    let fixed = candidate ch "fixed-1d-y" in
+    Alcotest.(check int) "hotspot 1-D bytes = row halos" (2 * 3 * 128 * 4)
+      fixed.Mekong.Autotune.cross_bytes;
+    let xsplit = candidate ch "1d-x" in
+    checkb "column halos cost more transfer time than row halos" true
+      (xsplit.Mekong.Autotune.transfer_s > fixed.Mekong.Autotune.transfer_s);
+    checkb "hotspot winner carries a halo plan" true
+      (Mekong.Autotune.halo_depth ch.Mekong.Autotune.c_winner >= 2);
+    checkb "winner never scores above fixed" true
+      (ch.Mekong.Autotune.c_winner.Mekong.Autotune.score
+       <= fixed.Mekong.Autotune.score)
+  | l -> Alcotest.failf "hotspot: expected 1 choice, got %d" (List.length l)
+
+(* Uneven splits on a heterogeneous fleet: the rounded cumulative
+   prefix gives each device a share proportional to its speed, and the
+   scored makespan of the weighted candidate beats the balanced fixed
+   split (which is pinned to the slowest device). *)
+let test_autotune_weighted_hetero () =
+  let parts =
+    Mekong.Partition.make_weighted
+      ~grid:{ Dim3.x = 1; y = 16; z = 1 }
+      ~axis:Dim3.Y
+      ~weights:[| 1.0; 1.0; 2.0 |]
+  in
+  let sizes =
+    List.map (fun (p : Mekong.Partition.t) -> Mekong.Partition.n_blocks p) parts
+  in
+  Alcotest.(check (list int)) "weighted 1:1:2 over 16 rows" [ 4; 4; 8 ] sizes;
+  let cfg =
+    Gpusim.Config.k80_box ~n_devices:4
+      ~device_speeds:[| 1.0; 1.0; 0.5; 0.25 |] ()
+  in
+  let prog, _, _ = Apps.Workloads.functional_matmul ~n:64 in
+  match choices_of ~cfg prog with
+  | [ ch ] ->
+    let fixed = candidate ch "fixed-1d-y" in
+    let weighted = candidate ch "weighted-1d-y" in
+    (* Balanced: the 0.25x device runs a full quarter at 4x block time.
+       Weighted: it gets ~1/11 of the rows, so the makespan drops. *)
+    checkb "weighted compute makespan beats balanced on 1:1:0.5:0.25" true
+      (weighted.Mekong.Autotune.compute_s < fixed.Mekong.Autotune.compute_s)
+  | l -> Alcotest.failf "expected 1 choice, got %d" (List.length l)
+
+(* The headline safety property: the autotuned engine is a pure
+   schedule change.  On random functional instances, fleets and
+   speed mixes, its output is bit-identical to the fixed-strategy
+   engine (both equal the CPU reference). *)
+let prop_autotune_bit_identical =
+  QCheck.Test.make ~name:"autotuned = fixed-axis across random apps/fleets"
+    ~count:25
+    QCheck.(triple (int_range 0 3) (int_range 1 6) bool)
+    (fun (app, g, hetero) ->
+       let instance () =
+         match app with
+         | 0 ->
+           let n = 17 + (app * 7) + (g * 31) in
+           let p, out, cpu = Apps.Workloads.functional_vecadd ~n in
+           (p, out, cpu)
+         | 1 ->
+           let p, out, cpu =
+             Apps.Workloads.functional_hotspot ~n:(8 + (4 * g)) ~iterations:(1 + g)
+           in
+           (p, out, cpu)
+         | 2 ->
+           let p, out, cpu = Apps.Workloads.functional_matmul ~n:(4 + (3 * g)) in
+           (p, out, cpu)
+         | _ ->
+           let p, out, cpu =
+             Apps.Workloads.functional_nbody ~n:(16 + (8 * g)) ~iterations:2
+           in
+           (p, out, cpu)
+       in
+       let device_speeds =
+         if hetero then
+           Some (Array.init g (fun d -> 1.0 /. float_of_int (1 + (d mod 3))))
+         else None
+       in
+       let run_engine ~autotune =
+         let prog, out, cpu = instance () in
+         let exe =
+           match Mekong.Toolchain.compile prog with
+           | Ok a -> a.Mekong.Toolchain.exe
+           | Error e -> failwith (Mekong.Toolchain.error_message e)
+         in
+         let m =
+           Gpusim.Machine.create ~functional:true
+             (Gpusim.Config.test_box ~n_devices:g ?device_speeds ())
+         in
+         ignore (Mekong.Multi_gpu.run ~autotune ~machine:m exe);
+         (out, cpu)
+       in
+       let fixed_out, cpu = run_engine ~autotune:false in
+       let tuned_out, _ = run_engine ~autotune:true in
+       fixed_out = tuned_out && tuned_out = cpu ())
+
+(* Halo-tiling regression: with autotuning on, the steady-state
+   per-iteration exchanged bytes on the iterated stencil shrink
+   against the seed engine.  Differencing two iteration counts
+   removes the one-time distribution/consolidation traffic. *)
+let test_autotune_halo_bytes_shrink () =
+  let p2p ~autotune ~iterations =
+    let prog, out, cpu =
+      Apps.Workloads.functional_hotspot ~n:128 ~iterations
+    in
+    let exe =
+      match Mekong.Toolchain.compile prog with
+      | Ok a -> a.Mekong.Toolchain.exe
+      | Error e -> failwith (Mekong.Toolchain.error_message e)
+    in
+    let m =
+      Gpusim.Machine.create ~functional:true
+        (Gpusim.Config.k80_box ~n_devices:4 ())
+    in
+    let r = Mekong.Multi_gpu.run ~autotune ~machine:m exe in
+    checkb "bit-identical to CPU" true (out = cpu ());
+    if autotune then
+      checkb "halo tiling engaged" true
+        (r.Mekong.Multi_gpu.tune.Mekong.Multi_gpu.tn_halo_steps > 0);
+    (Gpusim.Machine.stats m).Gpusim.Machine.p2p_bytes
+  in
+  let per_iter ~autotune =
+    (p2p ~autotune ~iterations:24 - p2p ~autotune ~iterations:8) / (24 - 8)
+  in
+  let seed = per_iter ~autotune:false in
+  let tuned = per_iter ~autotune:true in
+  checkb
+    (Printf.sprintf "per-iteration p2p bytes shrink (%d < %d)" tuned seed)
+    true (tuned < seed)
+
 let () =
   Alcotest.run "perf-model"
     [
@@ -147,5 +329,15 @@ let () =
           Alcotest.test_case "transfer fraction growth" `Quick
             test_transfers_grow_with_devices;
           Alcotest.test_case "stats consistency" `Quick test_stats_consistency;
+        ] );
+      ( "autotune",
+        [
+          Alcotest.test_case "hand-computed cost cases" `Quick
+            test_autotune_cost_cases;
+          Alcotest.test_case "weighted split on heterogeneous fleet" `Quick
+            test_autotune_weighted_hetero;
+          Alcotest.test_case "halo tiling shrinks per-iteration bytes" `Quick
+            test_autotune_halo_bytes_shrink;
+          qtest prop_autotune_bit_identical;
         ] );
     ]

@@ -219,6 +219,59 @@ let test_expired_in_queue_times_out () =
     checkb "never dispatched" true (started = None)
   | o -> Alcotest.failf "starved: %s" (Serve.Job.outcome_name o)
 
+(* A short-deadline job must not miss its deadline sitting behind an
+   earlier-arrived long job with no deadline: the queue orders
+   deadline-carrying jobs first, by latest feasible start time
+   (arrival + deadline - predicted runtime).  Before the EDF key this
+   scenario timed out "urgent" — FIFO dispatched "cheap" first. *)
+let test_edf_short_deadline_not_starved () =
+  (* The long job must dominate the short one well past the fixed
+     memcpy/launch latencies, so an iterated stencil vs. a small
+     vecadd (~4x on the test box). *)
+  let mk_long () =
+    let p, _, _ = Apps.Workloads.functional_hotspot ~n:64 ~iterations:20 in
+    p
+  in
+  let long = mk_long () in
+  let short, _, _ = Apps.Workloads.functional_vecadd ~n:256 in
+  let solo prog =
+    let exe = compile_exn prog in
+    let m = Gpusim.Machine.create ~functional:true (fleet 1) in
+    (Mekong.Multi_gpu.run ~machine:m exe).Mekong.Multi_gpu.time
+  in
+  let t_long = solo long and t_short = solo short in
+  (* The static estimate must at least order these two correctly —
+     that ordering is all the EDF key consumes. *)
+  checkb "predicted_runtime orders long above short" true
+    (Serve.Scheduler.predicted_runtime (fleet 1) (Serve.Job.make ~name:"l" ~tenant:"a" long)
+     > Serve.Scheduler.predicted_runtime (fleet 1)
+         (Serve.Job.make ~name:"s" ~tenant:"a" short));
+  (* Enough slack to run right after the blocker, not enough to also
+     wait for the cheap long job.  Arrivals are small fractions of the
+     blocker's runtime so both queue while it occupies the device. *)
+  let deadline = t_long +. (4.0 *. t_short) in
+  checkb "scenario sound: urgent misses if dispatched after cheap" true
+    (t_long +. t_long +. t_short > deadline);
+  let specs =
+    [
+      Serve.Job.make ~name:"blocker" ~tenant:"a" ~arrival:0.0 long;
+      Serve.Job.make ~name:"cheap" ~tenant:"a" ~arrival:(t_long /. 100.0)
+        (mk_long ());
+      Serve.Job.make ~name:"urgent" ~tenant:"b" ~arrival:(t_long /. 50.0)
+        ~deadline short;
+    ]
+  in
+  let r = Serve.Scheduler.run (Serve.Scheduler.config (fleet 1)) specs in
+  let started n =
+    match outcome_of r n with
+    | Serve.Job.Completed { started; _ } -> started
+    | o -> Alcotest.failf "%s not completed: %s" n (Serve.Job.outcome_name o)
+  in
+  checkb "urgent meets its deadline" true (is_completed (outcome_of r "urgent"));
+  checkb "urgent dispatched before the earlier-arrived cheap job" true
+    (started "urgent" < started "cheap");
+  checkb "cheap still completes" true (is_completed (outcome_of r "cheap"))
+
 (* ---------------- Circuit breaker ---------------- *)
 
 let test_poison_quarantined () =
@@ -403,6 +456,8 @@ let () =
             test_deadline_times_out;
           Alcotest.test_case "queued job times out at deadline" `Quick
             test_expired_in_queue_times_out;
+          Alcotest.test_case "EDF: short deadline not starved by FIFO" `Quick
+            test_edf_short_deadline_not_starved;
           Alcotest.test_case "poison jobs quarantined" `Quick
             test_poison_quarantined;
           Alcotest.test_case "device loss degrades gracefully" `Quick
