@@ -93,7 +93,13 @@ let k80 ?(capped = true) g =
     Gpusim.Machine.create ~functional:false
       (Gpusim.Config.k80_box ~n_devices:g ?mem_capacity ~topology:!topology ())
   in
-  if !trace_path <> None then Gpusim.Machine.enable_trace m;
+  if !trace_path <> None then begin
+    Gpusim.Machine.enable_trace m;
+    (* Causal recording rides along with tracing so the exported trace
+       carries the critical-path lane and the report the critpath.*
+       counters (its cost is only paid when --trace asks for it). *)
+    Gpusim.Machine.enable_causal m
+  end;
   m
 
 (* Fault spec from --faults SEED,RATE[,DEV@TIME...]; injected into the
@@ -248,10 +254,20 @@ let stats_of values =
     percentile a 100.0 )
 
 (* --repeat support for the wall-clock measurements: one warmup run
-   (when N > 1), then the median over N timed runs.  [f] performs the
-   complete setup and execution and returns its own result, so repeated
-   runs never share mutated state; the result of the last run is
-   returned alongside the median. *)
+   (when N > 1), then summary statistics over N timed runs.  [f]
+   performs the complete setup and execution and returns its own
+   result, so repeated runs never share mutated state; the result of
+   the last run is returned alongside the stats.  The raw per-repeat
+   samples ride along into the BENCH json so `bench compare` can
+   derive a noise bound instead of guessing one. *)
+type wall_stats = {
+  ws_median : float;
+  ws_min : float;
+  ws_max : float;
+  ws_stddev : float;
+  ws_samples : float array; (* chronological, unsorted *)
+}
+
 let median_wall f =
   let n = max 1 !repeat in
   if n > 1 then ignore (f ());
@@ -263,8 +279,34 @@ let median_wall f =
     walls.(i) <- Unix.gettimeofday () -. t0;
     last := Some r
   done;
+  let samples = Array.copy walls in
   Array.sort compare walls;
-  (percentile walls 50.0, Option.get !last)
+  let mean = Array.fold_left ( +. ) 0.0 walls /. float_of_int n in
+  let var =
+    Array.fold_left (fun a w -> a +. ((w -. mean) *. (w -. mean))) 0.0 walls
+    /. float_of_int n
+  in
+  ( {
+      ws_median = percentile walls 50.0;
+      ws_min = walls.(0);
+      ws_max = walls.(n - 1);
+      ws_stddev = sqrt var;
+      ws_samples = samples;
+    },
+    Option.get !last )
+
+(* The wall-clock fields every timing entry carries: the median plus
+   the spread `bench compare` needs for its noise bound. *)
+let wall_fields (s : wall_stats) =
+  [
+    ("wall_seconds", jflt s.ws_median);
+    ("wall_min_seconds", jflt s.ws_min);
+    ("wall_max_seconds", jflt s.ws_max);
+    ("wall_stddev_seconds", jflt s.ws_stddev);
+    ( "wall_samples",
+      Json_out.List (Array.to_list (Array.map (fun w -> jflt w) s.ws_samples))
+    );
+  ]
 
 (* ------------------------------------------------------------------ *)
 (* Table 1: benchmark configurations                                    *)
@@ -612,7 +654,7 @@ let run_cachebench () =
     "wall time(s)" "hits" "misses";
   Printf.printf "%s\n" (line 60);
   let measure cache =
-    let wall, r =
+    let ws, r =
       median_wall (fun () ->
           let m = k80 8 in
           Mekong.Multi_gpu.run ~cache ~machine:m exe)
@@ -620,19 +662,21 @@ let run_cachebench () =
     Kcompile.add_stats ~into:exec_totals r.Mekong.Multi_gpu.exec;
     Printf.printf "%-12s %14.4f %14.3f %8d %8d\n%!"
       (if cache then "cache on" else "cache off")
-      r.Mekong.Multi_gpu.time wall
+      r.Mekong.Multi_gpu.time ws.ws_median
       r.Mekong.Multi_gpu.cache.Mekong.Launch_cache.hits
       r.Mekong.Multi_gpu.cache.Mekong.Launch_cache.misses;
     add_timing
-      [
+      ([
         ("kind", jstr "cache");
         ("variant", jstr (if cache then "cache_on" else "cache_off"));
         ("sim_seconds", jflt r.Mekong.Multi_gpu.time);
-        ("wall_seconds", jflt wall);
-        ("hits", jint r.Mekong.Multi_gpu.cache.Mekong.Launch_cache.hits);
-        ("misses", jint r.Mekong.Multi_gpu.cache.Mekong.Launch_cache.misses);
-      ];
-    (r.Mekong.Multi_gpu.time, wall)
+      ]
+       @ wall_fields ws
+       @ [
+         ("hits", jint r.Mekong.Multi_gpu.cache.Mekong.Launch_cache.hits);
+         ("misses", jint r.Mekong.Multi_gpu.cache.Mekong.Launch_cache.misses);
+       ]);
+    (r.Mekong.Multi_gpu.time, ws.ws_median)
   in
   let t_on, w_on = measure true in
   let t_off, w_off = measure false in
@@ -1053,9 +1097,9 @@ let run_exec () =
          Kcompile.add_stats ~into:exec_totals r.Single_gpu.exec;
          out
        in
-       let w_int, out_int = median_wall (single `Interpreter) in
-       let w_cmp, out_cmp = median_wall (single `Compiled) in
-       let w_par, (out_par, r_par) =
+       let ws_int, out_int = median_wall (single `Interpreter) in
+       let ws_cmp, out_cmp = median_wall (single `Compiled) in
+       let ws_par, (out_par, r_par) =
          median_wall (fun () ->
              let prog, out = mk () in
              let a =
@@ -1076,6 +1120,9 @@ let run_exec () =
        in
        let identical = out_cmp = out_int && out_par = out_int in
        if not identical then campaign_failed := true;
+       let w_int = ws_int.ws_median
+       and w_cmp = ws_cmp.ws_median
+       and w_par = ws_par.ws_median in
        let spd = w_int /. w_cmp and pspd = w_int /. w_par in
        if name = "matmul" then begin
          matmul_speedup := spd;
@@ -1083,16 +1130,16 @@ let run_exec () =
        end;
        let engaged = r_par.Mekong.Multi_gpu.exec.Kcompile.st_domains in
        List.iter
-         (fun (variant, wall, extra) ->
+         (fun (variant, ws, extra) ->
             add_timing
               ((("kind", jstr "exec") :: ("app", jstr name)
-                :: ("variant", jstr variant)
-                :: ("wall_seconds", jflt wall) :: extra)
+                :: ("variant", jstr variant) :: wall_fields ws)
+               @ extra
                @ [ ("bit_identical", Json_out.Bool identical) ]))
          [
-           ("interpreter", w_int, []);
-           ("compiled", w_cmp, [ ("speedup", jflt spd) ]);
-           ( "parallel", w_par,
+           ("interpreter", ws_int, []);
+           ("compiled", ws_cmp, [ ("speedup", jflt spd) ]);
+           ( "parallel", ws_par,
              [ ("speedup", jflt pspd); ("domains_engaged", jint engaged) ] );
          ];
        Printf.printf "%-8s %11.4f %11.4f %11.4f %8.2fx %8.2fx  %s\n%!" name
@@ -1758,6 +1805,9 @@ let run_servecampaign () =
       [
         ("kind", jstr "serve_variant");
         ("variant", jstr variant);
+        (* Flattened so `bench compare` can gate the scheduler makespan
+           per variant; the full per-tenant breakdown stays nested. *)
+        ("makespan_seconds", Obs.Json.Float r.Serve.Scheduler.r_makespan);
         ("report", Serve.Scheduler.report_to_json r);
       ];
     (built, r)
@@ -2283,7 +2333,10 @@ let run_campaign name f =
   Printf.printf "[%s report written to %s]\n%!" name file;
   match (!trace_path, !last_machine) with
   | Some file, Some m ->
-    Gpusim.Trace_export.write ~spans:(Obs.Span.records ()) ~file m;
+    let critpath =
+      Option.map Obs.Causal.analyze (Gpusim.Machine.causal_dag m)
+    in
+    Gpusim.Trace_export.write ~spans:(Obs.Span.records ()) ?critpath ~file m;
     Printf.printf "[%s trace written to %s]\n%!" name file
   | _ -> ()
 
@@ -2314,7 +2367,44 @@ let usage =
   String.concat "|" (List.map fst campaigns)
   ^ "|all [--faults SEED,RATE[,DEV@TIME...]] [--mem-cap BYTES] \
      [--topology flat|islands:SIZE,LINK_GBS,UPLINK_GBS] [--repeat N] \
-     [--domains N] [--json PATH] [--trace PATH]"
+     [--domains N] [--json PATH] [--trace PATH]\n\
+     \       compare OLD.json NEW.json [--threshold PCT] [--json DIFF.json]"
+
+(* `bench compare OLD.json NEW.json`: the perf-regression gate.  Exits
+   1 when any timing slowed down beyond threshold + noise, quiet
+   otherwise; --json writes the full diff (the CI artifact). *)
+let threshold_pct = ref Obs.Regress.default_threshold_pct
+
+let run_compare old_file new_file =
+  let read file =
+    let doc =
+      try
+        let ic = open_in_bin file in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with Sys_error e ->
+        Printf.eprintf "cannot read %s: %s\n" file e;
+        exit 2
+    in
+    match Obs.Json.parse doc with
+    | Ok j -> j
+    | Error e ->
+      Printf.eprintf "%s is not valid JSON: %s\n" file e;
+      exit 2
+  in
+  let old_doc = read old_file and new_doc = read new_file in
+  let r =
+    Obs.Regress.compare_docs ~threshold_pct:!threshold_pct ~old_doc ~new_doc
+      ()
+  in
+  Format.printf "%a@?" Obs.Regress.pp r;
+  (match !json_path with
+   | Some file ->
+     Obs.Json.write ~file (Obs.Regress.to_json r);
+     Printf.printf "[diff written to %s]\n%!" file
+   | None -> ());
+  if r.Obs.Regress.regressions > 0 then exit 1
 
 let () =
   let int_flag flag v rest k =
@@ -2356,13 +2446,21 @@ let () =
     | "--json" :: path :: rest ->
       json_path := Some path;
       parse acc rest
+    | "--threshold" :: v :: rest ->
+      (match float_of_string_opt v with
+       | Some t when t >= 0.0 ->
+         threshold_pct := t;
+         parse acc rest
+       | _ ->
+         Printf.eprintf "--threshold needs a non-negative number, got %S\n" v;
+         exit 2)
     | "--trace" :: path :: rest ->
       trace_path := Some path;
       Obs.Span.set_clock Unix.gettimeofday;
       Obs.Span.set_enabled true;
       parse acc rest
     | [ ("--faults" | "--mem-cap" | "--topology" | "--repeat" | "--domains"
-        | "--json" | "--trace") as flag ]
+        | "--json" | "--trace" | "--threshold") as flag ]
       ->
       Printf.eprintf "%s needs an argument\n" flag;
       exit 2
@@ -2371,6 +2469,9 @@ let () =
   in
   let which =
     match parse [] (List.tl (Array.to_list Sys.argv)) with
+    | [ "compare"; old_file; new_file ] ->
+      run_compare old_file new_file;
+      exit 0
     | [] -> "all"
     | [ w ] -> w
     | _ ->

@@ -3,7 +3,10 @@
    Operates on the built-in demo applications (the paper's benchmarks),
    since kernels live in the embedded IR rather than in CUDA C++ files:
 
-     mekongc analyze  <app>      print the polyhedral application model
+     mekongc analyze  <app|f>    causal critical-path and what-if
+                                 bottleneck analysis of a run (or of a
+                                 DAG dumped by --dump-dag)
+     mekongc poly     <app>      print the polyhedral application model
      mekongc rewrite  <app>      print the rewritten multi-GPU host source
      mekongc kernels  <app>      print original and partitioned kernel IR
      mekongc run      <app>      compile and run on N simulated GPUs
@@ -55,7 +58,7 @@ let compile_app (name, mk) =
   | Ok a -> a
   | Error e -> die "%s: %s" name (Mekong.Toolchain.error_message e)
 
-let analyze_cmd =
+let poly_cmd =
   let run app =
     let artifacts = compile_app app in
     List.iter
@@ -76,7 +79,7 @@ let analyze_cmd =
     print_endline "--- model (s-expression) ---";
     print_endline (Mekong.Model.to_string artifacts.Mekong.Toolchain.model)
   in
-  Cmd.v (Cmd.info "analyze" ~doc:"print the polyhedral application model")
+  Cmd.v (Cmd.info "poly" ~doc:"print the polyhedral application model")
     Term.(const run $ app_arg)
 
 let rewrite_cmd =
@@ -272,7 +275,12 @@ let run_cmd =
     in
     if explain then print_choices (Mekong.Toolchain.explain_plans ~cfg artifacts);
     let machine = Gpusim.Machine.create ~functional:true cfg in
-    if trace <> None then Gpusim.Machine.enable_trace machine;
+    if trace <> None then begin
+      Gpusim.Machine.enable_trace machine;
+      (* Causal recording rides along so the exported trace carries
+         the critical-path lane. *)
+      Gpusim.Machine.enable_causal machine
+    end;
     (match faults with
      | Some spec when not (Gpusim.Faults.is_null spec) ->
        Gpusim.Machine.inject_faults machine (Gpusim.Faults.create spec)
@@ -298,7 +306,11 @@ let run_cmd =
         res.Mekong.Multi_gpu.tune;
     match trace with
     | Some file ->
-      Gpusim.Trace_export.write ~spans:(Obs.Span.records ()) ~file machine;
+      let critpath =
+        Option.map Obs.Causal.analyze (Gpusim.Machine.causal_dag machine)
+      in
+      Gpusim.Trace_export.write ~spans:(Obs.Span.records ()) ?critpath ~file
+        machine;
       Printf.printf "trace written to %s\n" file
     | None -> ()
   in
@@ -380,8 +392,17 @@ let serve_cmd =
              in-flight jobs preempt into a checkpoint handoff, re-queue \
              and re-admit onto the surviving devices")
   in
+  let analyze_flag =
+    Arg.(
+      value & flag
+      & info [ "analyze" ]
+          ~doc:
+            "append a causal critical-path analysis of the scheduler run: \
+             time attribution across queue wait, lease occupancy and \
+             requeue stalls")
+  in
   let run gpus jobs tenants poison seed max_queue mem_cap deadline losses
-      domains json trace =
+      domains json trace analyze =
     if gpus < 1 then die "--gpus must be positive (got %d)" gpus;
     (match mem_cap with
      | Some c when c <= 0 -> die "--mem-cap must be positive (got %d)" c
@@ -405,6 +426,33 @@ let serve_cmd =
     if json then
       print_endline (Obs.Json.to_string (Serve.Scheduler.report_to_json r))
     else Format.printf "%a@?" Serve.Scheduler.pp r;
+    if analyze then begin
+      let an = Obs.Causal.analyze (Serve.Scheduler.causal_dag r) in
+      if json then
+        print_endline
+          (Obs.Json.to_string
+             (Obs.Json.Obj
+                [
+                  ( "makespan_seconds",
+                    Obs.Json.Float an.Obs.Causal.an_makespan );
+                  ( "by_category",
+                    Obs.Json.Obj
+                      (List.map
+                         (fun (c, s) -> (c, Obs.Json.Float s))
+                         an.Obs.Causal.an_by_category) );
+                ]))
+      else begin
+        Printf.printf "\ncritical path (%.6f s makespan)\n"
+          an.Obs.Causal.an_makespan;
+        List.iter
+          (fun (cat, s) ->
+             Printf.printf "  %-14s %12.6f s %6.1f%%\n" cat s
+               (if an.Obs.Causal.an_makespan > 0.0 then
+                  100.0 *. s /. an.Obs.Causal.an_makespan
+                else 0.0))
+          an.Obs.Causal.an_by_category
+      end
+    end;
     match trace with
     | Some file ->
       Serve.Strace.write ~file r;
@@ -420,7 +468,7 @@ let serve_cmd =
     Term.(
       const run $ gpus_arg $ jobs_arg $ tenants_arg $ poison_arg $ seed_arg
       $ max_queue_arg $ mem_cap_arg $ deadline_arg $ lose_arg $ domains_arg
-      $ json_flag $ trace_arg)
+      $ json_flag $ trace_arg $ analyze_flag)
 
 let profile_cmd =
   let run app gpus faults domains json trace overlap topology =
@@ -432,6 +480,9 @@ let profile_cmd =
         (Gpusim.Config.k80_box ~n_devices:gpus ~topology ())
     in
     Gpusim.Machine.enable_trace machine;
+    (* The profile always records causally: its report carries the
+       critpath.* counters and the obs.dropped.* warning. *)
+    Gpusim.Machine.enable_causal machine;
     (match faults with
      | Some spec when not (Gpusim.Faults.is_null spec) ->
        Gpusim.Machine.inject_faults machine (Gpusim.Faults.create spec)
@@ -449,7 +500,11 @@ let profile_cmd =
     end;
     match trace with
     | Some file ->
-      Gpusim.Trace_export.write ~spans:(Obs.Span.records ()) ~file machine;
+      let critpath =
+        Option.map Obs.Causal.analyze (Gpusim.Machine.causal_dag machine)
+      in
+      Gpusim.Trace_export.write ~spans:(Obs.Span.records ()) ?critpath ~file
+        machine;
       if not json then Printf.printf "trace written to %s\n" file
     | None -> ()
   in
@@ -461,6 +516,197 @@ let profile_cmd =
     Term.(
       const run $ app_arg $ gpus_arg $ faults_arg $ domains_arg $ json_flag
       $ trace_arg $ overlap_arg $ topology_arg)
+
+(* mekongc analyze: causal critical-path analysis and what-if
+   bottleneck modeling.  The positional argument is either a built-in
+   app (compile + run with causal recording on) or a path to a DAG
+   previously saved with --dump-dag (re-analyze offline, no run). *)
+let analyze_cmd =
+  let target_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"APP|DAG.json"
+          ~doc:"built-in app to run, or a causal DAG file to re-analyze")
+  in
+  let what_if_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "what-if" ] ~docv:"CAT[:FACTOR]"
+          ~doc:
+            "predict the makespan with category $(docv)'s cost multiplied \
+             by FACTOR (default 0, i.e. removed): bandwidth-like categories \
+             (h2d, d2h, p2p, spill, xfer) rescale transfer variable time \
+             plus link occupancy, \"link\" rescales only contention, \
+             anything else rescales full durations")
+  in
+  let dump_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dump-dag" ] ~docv:"FILE"
+          ~doc:"save the causal DAG as JSON for offline re-analysis")
+  in
+  let parse_what_if spec =
+    match String.index_opt spec ':' with
+    | None -> (spec, 0.0)
+    | Some i ->
+      let cat = String.sub spec 0 i in
+      let f = String.sub spec (i + 1) (String.length spec - i - 1) in
+      (match float_of_string_opt f with
+       | Some factor when factor >= 0.0 -> (cat, factor)
+       | _ -> die "--what-if factor must be a non-negative number (got %S)" f)
+  in
+  let load_dag file =
+    let src =
+      let ic = open_in_bin file in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Obs.Json.parse src with
+    | Error e -> die "%s is not valid JSON: %s" file e
+    | Ok j -> (
+        match Obs.Causal.of_json j with
+        | Ok dag -> dag
+        | Error e -> die "%s is not a causal DAG dump: %s" file e)
+  in
+  let run target gpus faults domains trace mem_cap overlap topology autotune
+      what_if_opt dump json =
+    (match mem_cap with
+     | Some c when c <= 0 -> die "--mem-cap must be positive (got %d)" c
+     | _ -> ());
+    let dag, machine =
+      match List.assoc_opt target apps with
+      | Some mk ->
+        set_domains domains;
+        if trace <> None then enable_observability ();
+        let artifacts = compile_app (target, mk) in
+        let cfg =
+          Gpusim.Config.k80_box ~n_devices:gpus ?mem_capacity:mem_cap
+            ~topology ()
+        in
+        let machine = Gpusim.Machine.create ~functional:true cfg in
+        Gpusim.Machine.enable_causal machine;
+        if trace <> None then Gpusim.Machine.enable_trace machine;
+        (match faults with
+         | Some spec when not (Gpusim.Faults.is_null spec) ->
+           Gpusim.Machine.inject_faults machine (Gpusim.Faults.create spec)
+         | _ -> ());
+        ignore
+          (Mekong.Multi_gpu.run ?domains ~overlap ~autotune ~machine
+             artifacts.Mekong.Toolchain.exe);
+        (Option.get (Gpusim.Machine.causal_dag machine), Some machine)
+      | None ->
+        if Sys.file_exists target then (load_dag target, None)
+        else
+          die "unknown app or missing DAG file %S (apps: %s)" target
+            (String.concat ", " (List.map fst apps))
+    in
+    let an = Obs.Causal.analyze dag in
+    let what_if_rows =
+      match what_if_opt with
+      | Some spec ->
+        let cat, factor = parse_what_if spec in
+        [ (cat, factor, Obs.Causal.what_if dag ~category:cat ~factor) ]
+      | None ->
+        (* The standard sweep: each category removed outright, the
+           upper bound of what fixing that bottleneck could buy. *)
+        List.filter_map
+          (fun cat ->
+             if List.mem_assoc cat an.Obs.Causal.an_by_category then
+               Some (cat, 0.0, Obs.Causal.what_if dag ~category:cat ~factor:0.0)
+             else None)
+          Obs.Causal.what_if_categories
+    in
+    (match dump with
+     | Some file ->
+       Obs.Json.write ~file (Obs.Causal.to_json dag);
+       if not json then Printf.printf "causal DAG written to %s\n" file
+     | None -> ());
+    if json then
+      print_endline
+        (Obs.Json.to_string
+           (Obs.Json.Obj
+              [
+                ("target", Obs.Json.Str target);
+                ("makespan_seconds", Obs.Json.Float an.Obs.Causal.an_makespan);
+                ( "critical_path_seconds",
+                  Obs.Json.Float (Obs.Causal.critical_path_length an) );
+                ("replay_drift", Obs.Json.Float an.Obs.Causal.an_replay_drift);
+                ("nodes", Obs.Json.Int an.Obs.Causal.an_nodes);
+                ("dropped", Obs.Json.Int an.Obs.Causal.an_dropped);
+                ( "by_category",
+                  Obs.Json.Obj
+                    (List.map
+                       (fun (c, s) -> (c, Obs.Json.Float s))
+                       an.Obs.Causal.an_by_category) );
+                ( "what_if",
+                  Obs.Json.List
+                    (List.map
+                       (fun (cat, factor, predicted) ->
+                          Obs.Json.Obj
+                            [
+                              ("category", Obs.Json.Str cat);
+                              ("factor", Obs.Json.Float factor);
+                              ("predicted_seconds", Obs.Json.Float predicted);
+                            ])
+                       what_if_rows) );
+              ]))
+    else begin
+      Printf.printf "causal analysis: %s (%d nodes, makespan %.6f s)\n" target
+        an.Obs.Causal.an_nodes an.Obs.Causal.an_makespan;
+      Printf.printf
+        "critical path: %.6f s attributed (identity-replay drift %.2f%%)\n\n"
+        (Obs.Causal.critical_path_length an)
+        (100.0 *. an.Obs.Causal.an_replay_drift);
+      Printf.printf "%-16s %12s %8s\n" "category" "seconds" "share";
+      List.iter
+        (fun (cat, s) ->
+           Printf.printf "%-16s %12.6f %7.1f%%\n" cat s
+             (if an.Obs.Causal.an_makespan > 0.0 then
+                100.0 *. s /. an.Obs.Causal.an_makespan
+              else 0.0))
+        an.Obs.Causal.an_by_category;
+      if what_if_rows <> [] then begin
+        Printf.printf "\nwhat-if (predicted makespan under rescaled cost)\n";
+        List.iter
+          (fun (cat, factor, predicted) ->
+             Printf.printf "  %-12s x%-4g %12.6f s  (%+.1f%%)\n" cat factor
+               predicted
+               (if an.Obs.Causal.an_makespan > 0.0 then
+                  100.0
+                  *. (predicted -. an.Obs.Causal.an_makespan)
+                  /. an.Obs.Causal.an_makespan
+                else 0.0))
+          what_if_rows
+      end;
+      if an.Obs.Causal.an_dropped > 0 then
+        Printf.printf
+          "\nWARNING: %d node(s) dropped from the causal DAG; the analysis \
+           is INCOMPLETE\n"
+          an.Obs.Causal.an_dropped
+    end;
+    match (trace, machine) with
+    | Some file, Some m ->
+      Gpusim.Trace_export.write ~spans:(Obs.Span.records ()) ~critpath:an
+        ~file m;
+      if not json then Printf.printf "trace written to %s\n" file
+    | Some _, None -> die "--trace needs an app run, not a DAG file"
+    | None, _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "causal critical-path analysis of a run: per-category time \
+          attribution that sums exactly to the makespan, plus what-if \
+          bottleneck modeling (predicted makespan with one cost category \
+          rescaled or removed)")
+    Term.(
+      const run $ target_arg $ gpus_arg $ faults_arg $ domains_arg $ trace_arg
+      $ mem_cap_arg $ overlap_arg $ topology_arg $ autotune_arg $ what_if_arg
+      $ dump_arg $ json_flag)
 
 let check_trace_cmd =
   let run file =
@@ -541,8 +787,8 @@ let () =
     exit
       (Cmd.eval ~catch:false
          (Cmd.group info
-            [ analyze_cmd; rewrite_cmd; kernels_cmd; run_cmd; plan_cmd;
-              serve_cmd; profile_cmd; check_trace_cmd; model_cmd;
+            [ analyze_cmd; poly_cmd; rewrite_cmd; kernels_cmd; run_cmd;
+              plan_cmd; serve_cmd; profile_cmd; check_trace_cmd; model_cmd;
               compile_file_cmd ]))
   with
   | Sys_error m -> die "%s" m

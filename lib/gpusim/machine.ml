@@ -134,6 +134,14 @@ type t = {
   mutable lru_clock : int;
       (* monotone counter handed out by [lru_tick]; the runtime stamps
          resident segments with it to order evictions *)
+  mutable causal : Obs.Causal.builder option;
+      (* causal DAG recording when enabled: every scheduled op becomes
+         a node carrying its dependency edges, resolved here at the
+         source (events to producing nodes, stream ordering to engine
+         predecessors) *)
+  mutable phase : string;
+      (* engine phase label stamped on causal nodes ("" = none); the
+         spill phase also switches a d2h's attribution category *)
 }
 
 let issue_overhead = 1.5e-6 (* host-side cost of issuing one async op *)
@@ -201,6 +209,8 @@ let create ?(functional = false) cfg =
        | Some spec when not (Faults.is_null spec) -> Some (Faults.create spec)
        | _ -> None);
     lru_clock = 0;
+    causal = None;
+    phase = "";
   }
 
 (* Enable event tracing.  Events land in a bounded ring buffer (the
@@ -232,6 +242,47 @@ let trace_dropped m = match m.trace with None -> 0 | Some r -> Obs.Ring.dropped 
 
 let record m ev =
   match m.trace with None -> () | Some r -> Obs.Ring.push r ev
+
+(* --- Causal recording --------------------------------------------------- *)
+
+let enable_causal ?capacity m =
+  m.causal <- Some (Obs.Causal.builder ?capacity ())
+
+let causal_enabled m = m.causal <> None
+let causal_dag m = Option.map Obs.Causal.dag m.causal
+
+let causal_dropped m =
+  match m.causal with None -> 0 | Some b -> Obs.Causal.builder_dropped b
+
+let set_phase m phase = m.phase <- phase
+
+let with_phase m phase f =
+  let saved = m.phase in
+  m.phase <- phase;
+  Fun.protect ~finally:(fun () -> m.phase <- saved) f
+
+(* Record one op as a causal node; -1 when recording is off or the
+   builder overflowed (callers pass it on as a dep, where it is
+   filtered out). *)
+let causal_add m ~label ~category ~resources ~ready ~start ~finish ~fixed
+    ~legs ~deps ~wait =
+  match m.causal with
+  | None -> -1
+  | Some b ->
+    Obs.Causal.add b ~label ~category ~phase:m.phase ~resources ~ready ~start
+      ~finish ~fixed ~legs ~deps ~wait
+
+(* Resolve an awaited completion time to the node that produced it. *)
+let causal_ev m t =
+  match m.causal with
+  | None -> -1
+  | Some b -> Option.value ~default:(-1) (Obs.Causal.node_at b t)
+
+(* Last causal node recorded on a timeline (stream-order edges). *)
+let causal_last m tl =
+  match m.causal with
+  | None -> -1
+  | Some b -> Option.value ~default:(-1) (Obs.Causal.last_on b (Timeline.name tl))
 
 (* Byte-matrix accounting, charged exactly where [stats] bytes are. *)
 let count_pair m ~src ~dst ~bytes =
@@ -416,13 +467,38 @@ let synchronize m =
     m.cfg.Config.sync_device_seconds *. float_of_int (n_devices m)
   in
   let drained = elapsed m in
+  (* Barrier edges: the sync waits every device engine, so its causal
+     predecessors are the last recorded node of each one. *)
+  let deps =
+    if m.causal = None then []
+    else
+      Array.fold_left
+        (fun acc d ->
+           causal_last m d.compute :: causal_last m d.copy_in
+           :: causal_last m d.copy_out :: acc)
+        [] m.devices
+  in
+  let sstart, sfinish =
+    Timeline.schedule m.host ~after:drained ~duration:serial ~category:"sync"
+  in
   ignore
-    (Timeline.schedule m.host ~after:drained ~duration:serial ~category:"sync")
+    (causal_add m ~label:"sync" ~category:"barrier" ~resources:[ "host" ]
+       ~ready:sstart ~start:sstart ~finish:sfinish ~fixed:serial ~legs:[]
+       ~deps ~wait:"")
 
 (* Charge host-side computation (e.g. dependency resolution) to the
    host timeline. *)
 let host_work m ~seconds ~category =
-  ignore (Timeline.schedule m.host ~after:0.0 ~duration:seconds ~category);
+  let hstart, hfinish =
+    Timeline.schedule m.host ~after:0.0 ~duration:seconds ~category
+  in
+  (* Backoff sleeps attribute to "retry" — the time lost to fault
+     recovery, not to useful host work. *)
+  let ccat = if category = "backoff" then "retry" else category in
+  ignore
+    (causal_add m ~label:category ~category:ccat ~resources:[ "host" ]
+       ~ready:hstart ~start:hstart ~finish:hfinish ~fixed:0.0 ~legs:[]
+       ~deps:[] ~wait:"");
   if category = "pattern" then
     m.stats.pattern_seconds <- m.stats.pattern_seconds +. seconds
 
@@ -546,11 +622,25 @@ let count_transfer m ~seconds =
    is the usual way to make that true).  That is what lets a
    double-buffered pipeline fetch the next chunk underneath the
    current kernel. *)
-let transfer m ~engines ~deps ~events ~bytes ~legs ~bandwidth =
-  let issue =
-    snd
-      (Timeline.schedule m.host ~after:0.0 ~duration:issue_overhead
-         ~category:"issue")
+let transfer m ~kind ~engines ~deps ~events ~bytes ~legs ~bandwidth =
+  let issue_start, issue =
+    Timeline.schedule m.host ~after:0.0 ~duration:issue_overhead
+      ~category:"issue"
+  in
+  let issue_id =
+    causal_add m ~label:(kind ^ ".issue") ~category:"issue"
+      ~resources:[ "host" ] ~ready:issue_start ~start:issue_start ~finish:issue
+      ~fixed:issue_overhead ~legs:[] ~deps:[] ~wait:""
+  in
+  (* Causal predecessors, resolved before the op is recorded: the host
+     issue, every awaited event (mapped to the node that produced it)
+     and the stream-order edge to each [deps] timeline's last op.
+     Engine ordering is derived by the builder from [resources]. *)
+  let causal_deps =
+    if m.causal = None then []
+    else
+      issue_id
+      :: (List.map (causal_ev m) events @ List.map (causal_last m) deps)
   in
   let ready = List.fold_left Float.max issue events in
   let ready =
@@ -568,6 +658,16 @@ let transfer m ~engines ~deps ~events ~bytes ~legs ~bandwidth =
        Timeline.wait_until t start;
        ignore (Timeline.schedule t ~after:start ~duration:dur ~category:"transfer"))
     engines;
+  (* A d2h issued while the runtime is evicting under memory pressure
+     attributes to "spill", not to ordinary downloads. *)
+  let category = if m.phase = "spill" && kind = "d2h" then "spill" else kind in
+  ignore
+    (causal_add m ~label:kind ~category
+       ~resources:(List.map Timeline.name engines)
+       ~ready ~start ~finish:(start +. dur)
+       ~fixed:m.cfg.Config.transfer_latency
+       ~legs:(List.map (fun (l, occ) -> (Timeline.name l.l_tl, occ)) legs)
+       ~deps:causal_deps ~wait:"link_wait");
   count_transfer m ~seconds:dur;
   (start, start +. dur)
 
@@ -595,8 +695,8 @@ let h2d_async ?deps m ~src ~src_off ~dst ~dst_off ~len : evt =
     | Some evs -> ([], evs) (* explicit stream: the events order it *)
   in
   let ev_start, ev_finish =
-    transfer m ~engines:[ dev.copy_in ] ~deps:tl_deps ~events ~bytes ~legs
-      ~bandwidth
+    transfer m ~kind:"h2d" ~engines:[ dev.copy_in ] ~deps:tl_deps ~events
+      ~bytes ~legs ~bandwidth
   in
   record m
     { ev_kind = `H2d; ev_src = -1; ev_dst = dev.dev_id; ev_bytes = bytes;
@@ -628,8 +728,8 @@ let d2h_async ?deps m ~src ~src_off ~dst ~dst_off ~len : evt =
     | Some evs -> ([], evs)
   in
   let ev_start, ev_finish =
-    transfer m ~engines:[ dev.copy_out ] ~deps:tl_deps ~events ~bytes ~legs
-      ~bandwidth
+    transfer m ~kind:"d2h" ~engines:[ dev.copy_out ] ~deps:tl_deps ~events
+      ~bytes ~legs ~bandwidth
   in
   record m
     { ev_kind = `D2h; ev_src = dev.dev_id; ev_dst = -1; ev_bytes = bytes;
@@ -668,7 +768,8 @@ let p2p_common ?deps m ~op ~src ~dst ~len ~blit : evt =
     | Some evs -> ([], evs)
   in
   let ev_start, ev_finish =
-    transfer m ~engines ~deps:tl_deps ~events ~bytes ~legs ~bandwidth
+    transfer m ~kind:"p2p" ~engines ~deps:tl_deps ~events ~bytes ~legs
+      ~bandwidth
   in
   record m
     { ev_kind = `P2p; ev_src = sdev.dev_id; ev_dst = ddev.dev_id;
@@ -756,10 +857,22 @@ let launch_async ?(deps = []) m ~device:d ~blocks ~ops_per_block ~run : evt =
   in
   (match fate with `Lost -> fail_lost m ~op:"kernel" d | `Ok | `Transient -> ());
   m.active_devices <- max m.active_devices (d + 1);
-  let issue =
-    snd
-      (Timeline.schedule m.host ~after:0.0
-         ~duration:m.cfg.Config.launch_latency ~category:"issue")
+  let issue_start, issue =
+    Timeline.schedule m.host ~after:0.0 ~duration:m.cfg.Config.launch_latency
+      ~category:"issue"
+  in
+  let issue_id =
+    causal_add m ~label:"launch.issue" ~category:"issue" ~resources:[ "host" ]
+      ~ready:issue_start ~start:issue_start ~finish:issue
+      ~fixed:m.cfg.Config.launch_latency ~legs:[] ~deps:[] ~wait:""
+  in
+  (* Launch-waits-copy-engine edges (default-stream ordering) plus the
+     caller's explicit events, resolved before the kernel is recorded. *)
+  let causal_deps =
+    if m.causal = None then []
+    else
+      issue_id :: causal_last m dev.copy_in :: causal_last m dev.copy_out
+      :: List.map (causal_ev m) deps
   in
   let after =
     Float.max issue
@@ -770,6 +883,11 @@ let launch_async ?(deps = []) m ~device:d ~blocks ~ops_per_block ~run : evt =
   let kstart, kfinish =
     Timeline.schedule dev.compute ~after ~duration:dur ~category:"kernel"
   in
+  ignore
+    (causal_add m ~label:"kernel" ~category:"compute"
+       ~resources:[ Timeline.name dev.compute ]
+       ~ready:kstart ~start:kstart ~finish:kfinish ~fixed:0.0 ~legs:[]
+       ~deps:causal_deps ~wait:"");
   m.stats.n_launches <- m.stats.n_launches + 1;
   m.stats.kernel_seconds <- m.stats.kernel_seconds +. dur;
   (* A transient fault consumes the launch's time but produces no
@@ -810,6 +928,22 @@ let device_timelines m d =
   let dev = device m d in
   (dev.compute, dev.copy_in, dev.copy_out)
 
+(* Total per-engine log entries evicted from the bounded rings — a
+   truncated log silently drops lanes from the Chrome trace and edges
+   from the causal DAG, so the drop count is surfaced as a metric and
+   a loud report warning. *)
+let timeline_dropped m =
+  let sum =
+    Array.fold_left
+      (fun acc d ->
+         acc + Timeline.log_dropped d.compute + Timeline.log_dropped d.copy_in
+         + Timeline.log_dropped d.copy_out)
+      (Timeline.log_dropped m.host) m.devices
+  in
+  List.fold_left
+    (fun acc (_, tl) -> acc + Timeline.log_dropped tl)
+    sum (link_timelines m)
+
 let pp_stats fmt s =
   Format.fprintf fmt
     "h2d=%dB d2h=%dB p2p=%dB transfers=%d launches=%d faults=%d \
@@ -840,6 +974,9 @@ let publish_metrics ?(into = Obs.Metrics.default) m =
   seti "gpusim.devices" (n_devices m);
   seti "gpusim.devices_live" (List.length (live_devices m));
   seti "gpusim.trace_dropped" (trace_dropped m);
+  seti "obs.dropped.trace" (trace_dropped m);
+  seti "obs.dropped.timeline" (timeline_dropped m);
+  seti "obs.dropped.causal" (causal_dropped m);
   seti "gpusim.mem.spills" s.n_spills;
   seti "gpusim.mem.spill_bytes" s.spill_bytes;
   (if mem_capacity m < max_int then

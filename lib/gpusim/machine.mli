@@ -223,6 +223,35 @@ val trace_enabled : t -> bool
 val trace_dropped : t -> int
 (** Events evicted from the bounded trace since it was enabled. *)
 
+val timeline_dropped : t -> int
+(** Total per-engine log entries evicted from the bounded rings. *)
+
+val enable_causal : ?capacity:int -> t -> unit
+(** Record every scheduled operation as a node of a causal DAG, with
+    its dependency edges resolved at the source: awaited events map to
+    the nodes that produced them, default-stream ordering to the
+    engines' preceding ops, launches to the copy engines they wait,
+    transfers to their host issue op and the fabric legs they occupy
+    (link-contention stalls are recorded per node).  Bounded (default
+    1,048,576 nodes); overflow drops the newest nodes and counts them
+    — a truncated DAG is flagged, never silently analyzed. *)
+
+val causal_enabled : t -> bool
+
+val causal_dag : t -> Obs.Causal.dag option
+(** Snapshot the recorded DAG ([None] when recording is off). *)
+
+val causal_dropped : t -> int
+
+val set_phase : t -> string -> unit
+(** Label subsequently recorded causal nodes with an engine phase
+    (barrier, sync_reads, halo_exchange, ...); [""] clears it. *)
+
+val with_phase : t -> string -> (unit -> 'a) -> 'a
+(** Run [f] with the phase label set, restoring the previous label
+    (exception-safe).  The ["spill"] phase also switches a d2h's
+    attribution category to spill. *)
+
 val byte_matrix : t -> ((int * int) * int) list
 (** Bytes moved per (src, dst) endpoint pair, sorted; -1 is the host.
     Always accounted (independent of tracing), charged at exactly the

@@ -25,6 +25,7 @@ let device_pid d = 2 + d
 let host_tid_timeline = 0
 let host_tid_spans = 1
 let host_tid_faults = 2
+let host_tid_critpath = 3
 
 let tid_compute = 0
 let tid_copy_in = 1
@@ -171,20 +172,74 @@ let span_events spans =
               }))
     spans
 
+(* Critical-path lane: the analysis segments tile [0, makespan], so
+   the lane renders as one unbroken bar colored by category, with flow
+   arrows chaining consecutive segments (the causal hand-off the
+   validator checks never points backwards in time). *)
+let critpath_events (an : Obs.Causal.analysis) =
+  let open Obs.Chrome_trace in
+  let segs = Array.of_list an.Obs.Causal.an_segments in
+  List.concat
+    (List.init (Array.length segs) (fun i ->
+         let s = segs.(i) in
+         let seg =
+           Complete
+             {
+               name = s.Obs.Causal.sg_label;
+               cat = s.Obs.Causal.sg_category;
+               pid = host_pid;
+               tid = host_tid_critpath;
+               ts = us s.Obs.Causal.sg_start;
+               dur = us (s.Obs.Causal.sg_finish -. s.Obs.Causal.sg_start);
+               args =
+                 [
+                   ("category", Obs.Json.Str s.Obs.Causal.sg_category);
+                   ("node", Obs.Json.Int s.Obs.Causal.sg_node);
+                 ];
+             }
+         in
+         if i + 1 >= Array.length segs then [ seg ]
+         else
+           let boundary = us s.Obs.Causal.sg_finish in
+           [
+             seg;
+             Flow_start
+               {
+                 name = "critpath";
+                 cat = "critpath";
+                 pid = host_pid;
+                 tid = host_tid_critpath;
+                 ts = boundary;
+                 id = i;
+               };
+             Flow_finish
+               {
+                 name = "critpath";
+                 cat = "critpath";
+                 pid = host_pid;
+                 tid = host_tid_critpath;
+                 ts = boundary;
+                 id = i;
+               };
+           ]))
+
 (* Lane, then time; longer events first on ties so nested spans render
    (and validate) properly.  This also guarantees per-lane monotone
-   timestamps regardless of the order events were gathered in. *)
+   timestamps regardless of the order events were gathered in.  Flow
+   starts sort before finishes on ties, preserving pairing order. *)
 let lane_order a b =
   let open Obs.Chrome_trace in
   let key = function
     | Complete e -> (e.pid, e.tid, e.ts, -.e.dur)
     | Instant e -> (e.pid, e.tid, e.ts, 0.0)
+    | Flow_start e -> (e.pid, e.tid, e.ts, 1.0)
+    | Flow_finish e -> (e.pid, e.tid, e.ts, 2.0)
     | Process_name e -> (e.pid, -1, neg_infinity, 0.0)
     | Thread_name e -> (e.pid, e.tid, neg_infinity, 0.0)
   in
   compare (key a) (key b)
 
-let events ?(spans = []) m =
+let events ?(spans = []) ?critpath m =
   let timing =
     List.concat_map event_lanes (Machine.trace m)
     @ timeline_lane ~pid:host_pid ~tid:host_tid_timeline ~cat:"host"
@@ -194,9 +249,26 @@ let events ?(spans = []) m =
            (fun tid (_, tl) -> timeline_lane ~pid:fabric_pid ~tid ~cat:"fabric" tl)
            (Machine.link_timelines m))
     @ span_events spans
+    @ (match critpath with None -> [] | Some an -> critpath_events an)
   in
-  metadata m @ List.stable_sort lane_order timing
+  let meta =
+    metadata m
+    @
+    match critpath with
+    | None -> []
+    | Some _ ->
+      [
+        Obs.Chrome_trace.Thread_name
+          { pid = host_pid; tid = host_tid_critpath; name = "critical path" };
+      ]
+  in
+  meta @ List.stable_sort lane_order timing
 
-let to_json ?spans m = Obs.Chrome_trace.to_json (events ?spans m)
-let to_string ?spans m = Obs.Chrome_trace.to_string (events ?spans m)
-let write ?spans ~file m = Obs.Chrome_trace.write ~file (events ?spans m)
+let to_json ?spans ?critpath m =
+  Obs.Chrome_trace.to_json (events ?spans ?critpath m)
+
+let to_string ?spans ?critpath m =
+  Obs.Chrome_trace.to_string (events ?spans ?critpath m)
+
+let write ?spans ?critpath ~file m =
+  Obs.Chrome_trace.write ~file (events ?spans ?critpath m)

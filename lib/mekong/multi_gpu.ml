@@ -241,7 +241,12 @@ let run_bounded ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d)
   (* Engine phases are spanned on the simulated host clock as well as
      wall time, so the trace shows where simulated time is created. *)
   let sim () = Gpusim.Machine.host_time m in
-  let span name f = Obs.Span.with_span ~cat:"engine" ~sim name f in
+  (* The span name doubles as the causal phase label, so DAG nodes
+     carry the engine phase that scheduled them. *)
+  let span name f =
+    Obs.Span.with_span ~cat:"engine" ~sim name (fun () ->
+        Gpusim.Machine.with_phase m name f)
+  in
   let host_costs = (Gpusim.Machine.config m).Gpusim.Config.host in
   let n_devices = Gpusim.Machine.n_devices m in
   Gpusim.Machine.set_active_devices m n_devices;

@@ -41,6 +41,21 @@ let collect ?result ?(spans = true) (m : Gpusim.Machine.t) : Obs.Report.t =
   (match result with
    | Some r -> Multi_gpu.publish_metrics ~into:reg r
    | None -> ());
+  (* Causal critical path, when the machine recorded one: the
+     per-category attribution sums exactly to the makespan, so these
+     counters reconcile with rp_elapsed by construction. *)
+  (match Gpusim.Machine.causal_dag m with
+   | None -> ()
+   | Some dag ->
+     let an = Obs.Causal.analyze dag in
+     Obs.Metrics.set reg "critpath.makespan" an.Obs.Causal.an_makespan;
+     Obs.Metrics.set reg "critpath.length"
+       (Obs.Causal.critical_path_length an);
+     Obs.Metrics.set reg "critpath.nodes" (float_of_int an.Obs.Causal.an_nodes);
+     Obs.Metrics.set reg "critpath.replay_drift" an.Obs.Causal.an_replay_drift;
+     List.iter
+       (fun (cat, s) -> Obs.Metrics.set reg ("critpath." ^ cat) s)
+       an.Obs.Causal.an_by_category);
   let counters =
     List.filter_map
       (fun (s : Obs.Metrics.sample) ->

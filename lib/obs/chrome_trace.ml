@@ -8,7 +8,9 @@
    requires.  [validate] is the bundled checker: it re-parses an
    exported document and enforces the structural invariants the
    exporters promise (field presence and types, non-negative
-   durations, per-lane monotone timestamps). *)
+   durations, per-lane monotone timestamps, flow edges paired and
+   never pointing backwards in time, critical-path lanes tiling
+   contiguously). *)
 
 type event =
   | Complete of {
@@ -27,6 +29,22 @@ type event =
       tid : int;
       ts : float;
       args : (string * Json.t) list;
+    }
+  | Flow_start of {
+      name : string;
+      cat : string;
+      pid : int;
+      tid : int;
+      ts : float;
+      id : int; (* pairs a start with its finish *)
+    }
+  | Flow_finish of {
+      name : string;
+      cat : string;
+      pid : int;
+      tid : int;
+      ts : float;
+      id : int;
     }
   | Process_name of { pid : int; name : string }
   | Thread_name of { pid : int; tid : int; name : string }
@@ -58,6 +76,30 @@ let event_json = function
         ("ts", Json.Float e.ts);
       ]
        @ args_json e.args)
+  | Flow_start e ->
+    Json.Obj
+      [
+        ("name", Json.Str e.name);
+        ("cat", Json.Str (if e.cat = "" then "default" else e.cat));
+        ("ph", Json.Str "s");
+        ("id", Json.Int e.id);
+        ("pid", Json.Int e.pid);
+        ("tid", Json.Int e.tid);
+        ("ts", Json.Float e.ts);
+      ]
+  | Flow_finish e ->
+    Json.Obj
+      [
+        ("name", Json.Str e.name);
+        ("cat", Json.Str (if e.cat = "" then "default" else e.cat));
+        ("ph", Json.Str "f");
+        (* bind the arrow to the enclosing slice's start *)
+        ("bp", Json.Str "e");
+        ("id", Json.Int e.id);
+        ("pid", Json.Int e.pid);
+        ("tid", Json.Int e.tid);
+        ("ts", Json.Float e.ts);
+      ]
   | Process_name e ->
     Json.Obj
       [
@@ -93,6 +135,15 @@ let validate_events events =
   (* Last timestamp seen per (pid, tid) lane, for the monotonicity
      check over timing events. *)
   let last_ts : (int * int, float) Hashtbl.t = Hashtbl.create 16 in
+  (* Flow bookkeeping: each id must open ("s") exactly once before its
+     single finish ("f"), and the edge must not point backwards in
+     time. *)
+  let flow_start : (int, float) Hashtbl.t = Hashtbl.create 16 in
+  let flow_done : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  (* Lanes named "critical path" promise contiguous tiling: each
+     complete event starts where the previous one ended. *)
+  let lane_names : (int * int, string) Hashtbl.t = Hashtbl.create 16 in
+  let lane_end : (int * int, float) Hashtbl.t = Hashtbl.create 16 in
   let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
   let check_event i ev =
     let field k =
@@ -121,12 +172,20 @@ let validate_events events =
       | Ok _ -> err "event %d: field %S is not a string" i k
     in
     let ( let* ) = Result.bind in
-    let* _name = str_field "name" in
+    let* name = str_field "name" in
     let* ph = str_field "ph" in
     let* pid = int_field "pid" in
     let* tid = int_field "tid" in
     match ph with
-    | "M" -> Ok ()
+    | "M" ->
+      (if name = "thread_name" then
+         match Json.member "args" ev with
+         | Some args -> (
+             match Json.member "name" args with
+             | Some (Json.Str n) -> Hashtbl.replace lane_names (pid, tid) n
+             | _ -> ())
+         | None -> ());
+      Ok ()
     | "X" | "i" ->
       let* ts = num_field "ts" in
       if not (Float.is_finite ts) then err "event %d: non-finite ts" i
@@ -146,12 +205,58 @@ let validate_events events =
               i pid tid ts prev
           | _ ->
             Hashtbl.replace last_ts lane ts;
-            Ok ()
+            if ph = "X" && Hashtbl.find_opt lane_names lane = Some "critical path"
+            then begin
+              let tol = 1e-6 +. (1e-9 *. Float.abs ts) in
+              match Hashtbl.find_opt lane_end lane with
+              | Some stop when Float.abs (ts -. stop) > tol ->
+                err
+                  "event %d: critical-path lane (pid=%d, tid=%d) has a gap: \
+                   segment starts at %g but the previous ended at %g"
+                  i pid tid ts stop
+              | _ ->
+                Hashtbl.replace lane_end lane (ts +. dur);
+                Ok ()
+            end
+            else Ok ()
         end
+    | "s" | "f" ->
+      let* ts = num_field "ts" in
+      let* id = int_field "id" in
+      if not (Float.is_finite ts) then err "event %d: non-finite ts" i
+      else if ph = "s" then
+        if Hashtbl.mem flow_start id then
+          err "event %d: flow %d started twice" i id
+        else begin
+          Hashtbl.replace flow_start id ts;
+          Ok ()
+        end
+      else begin
+        match Hashtbl.find_opt flow_start id with
+        | None -> err "event %d: flow %d finishes before it starts" i id
+        | Some _ when Hashtbl.mem flow_done id ->
+          err "event %d: flow %d finished twice" i id
+        | Some start when ts < start ->
+          err
+            "event %d: flow %d points backwards in time (%g before its \
+             start %g)"
+            i id ts start
+        | Some _ ->
+          Hashtbl.replace flow_done id ();
+          Ok ()
+      end
     | ph -> err "event %d: unknown phase %S" i ph
   in
   let rec go i = function
-    | [] -> Ok ()
+    | [] ->
+      Hashtbl.fold
+        (fun id _ acc ->
+           match acc with
+           | Error _ -> acc
+           | Ok () ->
+             if Hashtbl.mem flow_done id then Ok ()
+             else err "flow %d never finishes (dangling edge)" id)
+        flow_start (Ok ())
     | ev :: rest -> (
         match check_event i ev with
         | Error _ as e -> e

@@ -21,6 +21,22 @@ type event =
       ts : float;
       args : (string * Json.t) list;
     }
+  | Flow_start of {
+      name : string;
+      cat : string;
+      pid : int;
+      tid : int;
+      ts : float;
+      id : int;  (** pairs a start with its finish *)
+    }
+  | Flow_finish of {
+      name : string;
+      cat : string;
+      pid : int;
+      tid : int;
+      ts : float;
+      id : int;
+    }
   | Process_name of { pid : int; name : string }
   | Thread_name of { pid : int; tid : int; name : string }
 
@@ -33,8 +49,10 @@ val write : file:string -> event list -> unit
 val validate : Json.t -> (unit, string) result
 (** Structural check of a parsed trace: required fields with the right
     types on every event, non-negative durations, per-(pid, tid)-lane
-    monotone timestamps.  Accepts both the object and bare-array
-    forms. *)
+    monotone timestamps, flow edges opened exactly once and finished
+    exactly once with no edge pointing backwards in time, and lanes
+    named "critical path" tiling contiguously (no gaps between
+    segments).  Accepts both the object and bare-array forms. *)
 
 val validate_string : string -> (unit, string) result
 val validate_file : file:string -> (unit, string) result

@@ -1,0 +1,230 @@
+(* Noise-aware comparison of two BENCH_<campaign>.json documents: the
+   regression gate behind `bench compare OLD.json NEW.json`.
+
+   Each document's "timings" array is keyed by its identity fields
+   (every string field — kind / app / size / variant / fraction — plus
+   gpus), and every time-valued "*_seconds" field is compared per key:
+
+   - simulated fields ("sim_seconds", "capped_seconds", ...) come from
+     the deterministic machine model, so any change is real: the noise
+     bound is zero and the bare threshold applies.
+   - "wall_seconds" is real wall clock: the noise bound is derived
+     from the per-repeat samples shipped in the same entry (two
+     relative standard deviations, the larger of the two runs), with a
+     floor for single-sample entries where the spread is unknowable.
+
+   A row regresses when its relative slowdown exceeds threshold +
+   noise — "beyond noise", not "within it".  Keys present on only one
+   side are reported (Added / Removed) but never gate. *)
+
+type verdict = Improved | Unchanged | Regressed | Added | Removed
+
+let verdict_name = function
+  | Improved -> "improved"
+  | Unchanged -> "unchanged"
+  | Regressed -> "REGRESSED"
+  | Added -> "added"
+  | Removed -> "removed"
+
+type row = {
+  rg_key : string;
+  rg_metric : string;  (* the time field compared, e.g. "sim_seconds" *)
+  rg_old : float;  (* nan when missing *)
+  rg_new : float;  (* nan when missing *)
+  rg_delta_pct : float;  (* 100 * (new - old) / old; nan when missing *)
+  rg_noise_pct : float;  (* noise bound granted on top of the threshold *)
+  rg_verdict : verdict;
+}
+
+type result = {
+  rows : row list;  (* stable order: old document's key order *)
+  regressions : int;
+  threshold_pct : float;
+}
+
+(* Noise floor for wall-clock entries that carry no spread information
+   (single repeat): one sample says nothing about variance, so grant a
+   generous bound rather than gate on timer jitter. *)
+let wall_noise_floor_pct = 20.0
+
+let default_threshold_pct = 15.0
+
+(* --- document access ---------------------------------------------------- *)
+
+let num k j = Option.bind (Json.member k j) Json.to_number
+
+let timings doc =
+  match Json.member "timings" doc with Some (Json.List l) -> l | _ -> []
+
+(* Identity of one timing entry: every string-valued field (kind, app,
+   size, variant, fraction, ...) plus the numeric "gpus", sorted by
+   field name so key text is stable across schema evolution.  Entries
+   whose identity collides (repeated measurements of one
+   configuration) keep first-wins semantics. *)
+let key_of entry =
+  let fields = match entry with Json.Obj fs -> fs | _ -> [] in
+  let ids =
+    List.filter_map
+      (function
+        | (k, Json.Str v) -> Some (k, k ^ "=" ^ v)
+        | ("gpus", v) ->
+          Option.map
+            (fun n -> ("gpus", Printf.sprintf "gpus=%g" n))
+            (Json.to_number v)
+        | _ -> None)
+      fields
+  in
+  String.concat " " (List.map snd (List.sort compare ids))
+
+(* A measured (gated) field: time-valued, excluding the wall-spread
+   descriptors that merely qualify "wall_seconds". *)
+let measured k =
+  (not
+     (List.mem k
+        [ "wall_min_seconds"; "wall_max_seconds"; "wall_stddev_seconds" ]))
+  && String.length k > 8
+  && String.sub k (String.length k - 8) 8 = "_seconds"
+
+let measured_fields entry =
+  match entry with
+  | Json.Obj fs ->
+    List.filter_map
+      (fun (k, v) ->
+         if measured k && Json.to_number v <> None then Some k else None)
+      fs
+  | _ -> []
+
+let index doc =
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun e ->
+       let k = key_of e in
+       if not (Hashtbl.mem tbl k) then begin
+         Hashtbl.add tbl k e;
+         order := k :: !order
+       end)
+    (timings doc);
+  (tbl, List.rev !order)
+
+(* Relative noise (in percent) of one entry's wall measurement: two
+   relative standard deviations, or the floor when the entry has no
+   usable spread. *)
+let wall_noise_pct entry =
+  match (num "wall_stddev_seconds" entry, num "wall_seconds" entry) with
+  | Some sd, Some med when med > 0.0 && sd > 0.0 ->
+    Float.max wall_noise_floor_pct (200.0 *. sd /. med)
+  | _ -> wall_noise_floor_pct
+
+let compare_docs ?(threshold_pct = default_threshold_pct) ~old_doc ~new_doc ()
+  =
+  let old_tbl, old_order = index old_doc in
+  let new_tbl, new_order = index new_doc in
+  let row key metric noise =
+    let v tbl = Option.bind (Hashtbl.find_opt tbl key) (num metric) in
+    match (v old_tbl, v new_tbl) with
+    | None, None -> None
+    | Some o, None ->
+      Some
+        {
+          rg_key = key; rg_metric = metric; rg_old = o; rg_new = nan;
+          rg_delta_pct = nan; rg_noise_pct = 0.0; rg_verdict = Removed;
+        }
+    | None, Some n ->
+      Some
+        {
+          rg_key = key; rg_metric = metric; rg_old = nan; rg_new = n;
+          rg_delta_pct = nan; rg_noise_pct = 0.0; rg_verdict = Added;
+        }
+    | Some o, Some n ->
+      let delta = if o = 0.0 then 0.0 else 100.0 *. (n -. o) /. o in
+      let bound = threshold_pct +. noise in
+      let verdict =
+        if delta > bound then Regressed
+        else if delta < -.bound then Improved
+        else Unchanged
+      in
+      Some
+        {
+          rg_key = key; rg_metric = metric; rg_old = o; rg_new = n;
+          rg_delta_pct = delta; rg_noise_pct = noise; rg_verdict = verdict;
+        }
+  in
+  let added =
+    List.filter (fun k -> not (Hashtbl.mem old_tbl k)) new_order
+  in
+  let rows =
+    List.concat_map
+      (fun key ->
+         let wall_noise =
+           match Hashtbl.find_opt new_tbl key with
+           | Some e -> (
+               match Hashtbl.find_opt old_tbl key with
+               | Some old_e ->
+                 Float.max (wall_noise_pct e) (wall_noise_pct old_e)
+               | None -> wall_noise_pct e)
+           | None -> 0.0
+         in
+         (* Every time-valued field either side carries; only the wall
+            clock gets a noise bound — everything else comes off the
+            deterministic simulated machine. *)
+         let metrics =
+           List.sort_uniq compare
+             (List.concat_map
+                (fun tbl ->
+                   match Hashtbl.find_opt tbl key with
+                   | Some e -> measured_fields e
+                   | None -> [])
+                [ old_tbl; new_tbl ])
+         in
+         List.filter_map
+           (fun metric ->
+              row key metric
+                (if metric = "wall_seconds" then wall_noise else 0.0))
+           metrics)
+      (old_order @ added)
+  in
+  let regressions =
+    List.length (List.filter (fun r -> r.rg_verdict = Regressed) rows)
+  in
+  { rows; regressions; threshold_pct }
+
+(* --- rendering ---------------------------------------------------------- *)
+
+let to_json r =
+  Json.Obj
+    [
+      ("threshold_pct", Json.Float r.threshold_pct);
+      ("regressions", Json.Int r.regressions);
+      ( "rows",
+        Json.List
+          (List.map
+             (fun row ->
+                Json.Obj
+                  [
+                    ("key", Json.Str row.rg_key);
+                    ("metric", Json.Str row.rg_metric);
+                    ("old", Json.Float row.rg_old);
+                    ("new", Json.Float row.rg_new);
+                    ("delta_pct", Json.Float row.rg_delta_pct);
+                    ("noise_pct", Json.Float row.rg_noise_pct);
+                    ("verdict", Json.Str (verdict_name row.rg_verdict));
+                  ])
+             r.rows) );
+    ]
+
+let pp fmt r =
+  let p f = Format.fprintf fmt f in
+  p "%-44s %-12s %12s %12s %8s %7s  %s@."
+    "configuration" "metric" "old" "new" "delta" "noise" "verdict";
+  List.iter
+    (fun row ->
+       p "%-44s %-12s %12.6f %12.6f %7.1f%% %6.1f%%  %s@." row.rg_key
+         row.rg_metric row.rg_old row.rg_new row.rg_delta_pct
+         row.rg_noise_pct
+         (verdict_name row.rg_verdict))
+    r.rows;
+  if r.regressions > 0 then
+    p "@.%d regression(s) beyond %.0f%%+noise@." r.regressions
+      r.threshold_pct
+  else p "@.no regressions beyond %.0f%%+noise@." r.threshold_pct

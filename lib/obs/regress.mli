@@ -1,0 +1,47 @@
+(** Noise-aware comparison of two [BENCH_<campaign>.json] documents —
+    the logic behind [bench compare OLD.json NEW.json] and the CI
+    regression gate.
+
+    Timing entries are matched by identity (every string field — kind,
+    app, size, variant, fraction — plus gpus) and every time-valued
+    ["*_seconds"] field is compared: simulated fields are
+    deterministic and get a zero noise bound, wall-clock
+    "wall_seconds" gets a bound derived from the per-repeat samples
+    shipped in the entry (two relative standard deviations, floored at
+    {!wall_noise_floor_pct} when the spread is unknown).  A row
+    regresses only when its slowdown exceeds threshold + noise. *)
+
+type verdict = Improved | Unchanged | Regressed | Added | Removed
+
+val verdict_name : verdict -> string
+
+type row = {
+  rg_key : string;  (** entry identity, e.g. "kind=partitioned app=hotspot ..." *)
+  rg_metric : string;  (** the time field compared, e.g. "sim_seconds" *)
+  rg_old : float;  (** nan when the key is new *)
+  rg_new : float;  (** nan when the key disappeared *)
+  rg_delta_pct : float;  (** 100 * (new - old) / old *)
+  rg_noise_pct : float;  (** noise granted on top of the threshold *)
+  rg_verdict : verdict;
+}
+
+type result = {
+  rows : row list;  (** old document's order, added keys last *)
+  regressions : int;
+  threshold_pct : float;
+}
+
+val wall_noise_floor_pct : float
+(** 20: the bound granted to wall entries with no usable spread. *)
+
+val default_threshold_pct : float
+(** 15: slowdown beyond noise that fails the gate. *)
+
+val compare_docs :
+  ?threshold_pct:float -> old_doc:Json.t -> new_doc:Json.t -> unit -> result
+
+val to_json : result -> Json.t
+(** The diff artifact CI uploads. *)
+
+val pp : Format.formatter -> result -> unit
+(** Aligned table, one row per (configuration, metric). *)

@@ -102,7 +102,26 @@ let pp fmt t =
        spans;
      p "%s@." (line 74));
   if t.rp_trace_dropped > 0 then
-    p "@.trace ring overflowed: %d event(s) dropped@." t.rp_trace_dropped
+    p "@.trace ring overflowed: %d event(s) dropped@." t.rp_trace_dropped;
+  (* Any dropped observability event means the tables above undercount:
+     say so loudly rather than let a silently-truncated profile pass
+     for a complete one. *)
+  let dropped =
+    List.filter
+      (fun (name, v) ->
+         v > 0.0 && String.length name > 12
+         && String.sub name 0 12 = "obs.dropped.")
+      t.rp_counters
+  in
+  match dropped with
+  | [] -> ()
+  | dropped ->
+    p "@.WARNING: observability buffers overflowed; this report is \
+       INCOMPLETE@.";
+    List.iter
+      (fun (name, v) ->
+         p "  %-24s %d event(s) dropped@." name (int_of_float v))
+      dropped
 
 let to_string t = Format.asprintf "%a" pp t
 

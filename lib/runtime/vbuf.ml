@@ -209,6 +209,7 @@ let spill_range ?(cfg = Rconfig.alpha) t ~dev ~start ~stop =
       ~sim:(fun () -> Gpusim.Machine.host_time t.machine)
       "spill"
       (fun () ->
+         Gpusim.Machine.with_phase t.machine "spill" @@ fun () ->
          List.iter
            (fun (seg : Tracker.segment) ->
               let s = seg.Tracker.start and e = seg.Tracker.stop in

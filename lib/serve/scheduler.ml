@@ -596,6 +596,73 @@ let device_seconds_by_tenant (r : report) =
 let tenants (r : report) =
   Slo.collect ~jobs:r.r_jobs ~device_seconds:(device_seconds_by_tenant r)
 
+(* Post-hoc causal DAG of one run, built from the lease segments: one
+   queue node per dispatched job covering [arrival, first dispatch]
+   (category "queue_wait"), then one "run" node per lease segment on
+   its devices, chained job-locally so a requeue gap (preemption,
+   retry backoff) shows up as a "requeue_wait" stall.  Nodes are added
+   in (finish, job, order) order — a topological order, since a job
+   occupies one lease at a time and its queue node ends exactly when
+   its first segment starts — so the analysis and what-if machinery
+   from Obs.Causal applies unchanged to scheduler runs. *)
+let causal_dag (r : report) : Obs.Causal.dag =
+  let b = Obs.Causal.builder () in
+  let segs_of : (string, segment list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+       let prev = Option.value ~default:[] (Hashtbl.find_opt segs_of s.sg_job) in
+       Hashtbl.replace segs_of s.sg_job (s :: prev))
+    r.r_segments;
+  (* (time, job, job-local rank) items; rank 0 is the queue node. *)
+  let items = ref [] in
+  List.iter
+    (fun (j : Job.report) ->
+       match Hashtbl.find_opt segs_of j.Job.r_name with
+       | None -> () (* never dispatched: nothing ran, nothing to blame *)
+       | Some rev_segs ->
+         let segs = List.rev rev_segs in
+         let first = List.hd segs in
+         items :=
+           ((first.sg_start, j.Job.r_name, 0), `Queue (j, first.sg_start))
+           :: !items;
+         List.iteri
+           (fun i s ->
+              items := ((s.sg_stop, j.Job.r_name, i + 1), `Run s) :: !items)
+           segs)
+    r.r_jobs;
+  let items = List.sort (fun (ka, _) (kb, _) -> compare ka kb) !items in
+  let last : (string, int * float) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (_, item) ->
+       match item with
+       | `Queue ((j : Job.report), first_start) ->
+         let id =
+           Obs.Causal.add b
+             ~label:(j.Job.r_name ^ ".queue")
+             ~category:"queue_wait" ~phase:j.Job.r_tenant
+             ~resources:[ "job:" ^ j.Job.r_name ]
+             ~ready:j.Job.r_arrival ~start:j.Job.r_arrival ~finish:first_start
+             ~fixed:0.0 ~legs:[] ~deps:[] ~wait:""
+         in
+         Hashtbl.replace last j.Job.r_name (id, first_start)
+       | `Run s ->
+         let deps, ready =
+           match Hashtbl.find_opt last s.sg_job with
+           | Some (id, fin) -> ([ id ], fin)
+           | None -> ([], s.sg_start)
+         in
+         let id =
+           Obs.Causal.add b ~label:s.sg_job ~category:"run" ~phase:s.sg_tenant
+             ~resources:
+               (("job:" ^ s.sg_job)
+                :: List.map (Printf.sprintf "dev%d") s.sg_devices)
+             ~ready ~start:s.sg_start ~finish:s.sg_stop ~fixed:0.0 ~legs:[]
+             ~deps ~wait:"requeue_wait"
+         in
+         Hashtbl.replace last s.sg_job (id, s.sg_stop))
+    items;
+  Obs.Causal.dag b
+
 let count_outcomes (r : report) =
   List.fold_left
     (fun (c, rj, t, q) (j : Job.report) ->
@@ -655,7 +722,10 @@ let publish_metrics ?(into = Obs.Metrics.default) (r : report) =
        set ~labels "serve.tenant.queue_p99_seconds" t.Slo.t_queue_p99;
        set ~labels "serve.tenant.turnaround_p50_seconds" t.Slo.t_turnaround_p50;
        set ~labels "serve.tenant.turnaround_p99_seconds" t.Slo.t_turnaround_p99;
-       set ~labels "serve.tenant.device_seconds" t.Slo.t_device_seconds)
+       set ~labels "serve.tenant.device_seconds" t.Slo.t_device_seconds;
+       set ~labels "serve.tenant.burn.queue_seconds" t.Slo.t_burn_queue;
+       set ~labels "serve.tenant.burn.run_seconds" t.Slo.t_burn_run;
+       set ~labels "serve.tenant.burn.stall_seconds" t.Slo.t_burn_stall)
     (tenants r)
 
 let pp fmt (r : report) =

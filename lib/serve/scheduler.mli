@@ -97,6 +97,14 @@ val run : config -> Job.spec list -> report
 val tenants : report -> Slo.tenant list
 (** Per-tenant SLO aggregation of a run. *)
 
+val causal_dag : report -> Obs.Causal.dag
+(** Causal DAG of the run, built from the lease segments: a
+    "queue_wait" node per dispatched job (arrival to first dispatch),
+    a "run" node per lease segment on its devices, chained job-locally
+    with requeue gaps surfacing as "requeue_wait" stalls.  Feed it to
+    {!Obs.Causal.analyze} / {!Obs.Causal.what_if} for critical-path
+    and bottleneck analysis of a serving run. *)
+
 val report_to_json : report -> Obs.Json.t
 (** Everything: summary, per-tenant SLOs, per-job outcomes. *)
 

@@ -14,6 +14,12 @@ type tenant = {
   t_turnaround_p50 : float;
   t_turnaround_p99 : float;
   t_device_seconds : float;
+  (* SLO burn attribution: where each tenant's completed-job turnaround
+     went.  queue + run + stall = total turnaround (stall clamped at 0
+     when multi-device leases make engine_time exceed wall time). *)
+  t_burn_queue : float;
+  t_burn_run : float;
+  t_burn_stall : float;
 }
 
 (* Same interpolation bench/main.ml uses, so the campaign's gate
@@ -42,6 +48,9 @@ type acc = {
   mutable a_queue : float list;
   mutable a_turnaround : float list;
   mutable a_device_seconds : float;
+  mutable a_burn_queue : float;
+  mutable a_burn_run : float;
+  mutable a_burn_stall : float;
 }
 
 let collect ~(jobs : Job.report list) ~device_seconds =
@@ -62,6 +71,9 @@ let collect ~(jobs : Job.report list) ~device_seconds =
           a_queue = [];
           a_turnaround = [];
           a_device_seconds = 0.0;
+          a_burn_queue = 0.0;
+          a_burn_run = 0.0;
+          a_burn_stall = 0.0;
         }
       in
       Hashtbl.add tbl name a;
@@ -72,13 +84,19 @@ let collect ~(jobs : Job.report list) ~device_seconds =
        let a = acc_of r.Job.r_tenant in
        a.a_submitted <- a.a_submitted + 1;
        match r.Job.r_outcome with
-       | Job.Completed { queue_latency; turnaround; retries; preemptions; _ }
+       | Job.Completed
+           { queue_latency; turnaround; engine_time; retries; preemptions; _ }
          ->
          a.a_completed <- a.a_completed + 1;
          a.a_retries <- a.a_retries + retries;
          a.a_preemptions <- a.a_preemptions + preemptions;
          a.a_queue <- queue_latency :: a.a_queue;
-         a.a_turnaround <- turnaround :: a.a_turnaround
+         a.a_turnaround <- turnaround :: a.a_turnaround;
+         a.a_burn_queue <- a.a_burn_queue +. queue_latency;
+         a.a_burn_run <- a.a_burn_run +. engine_time;
+         a.a_burn_stall <-
+           a.a_burn_stall
+           +. Float.max 0.0 (turnaround -. queue_latency -. engine_time)
        | Job.Rejected _ -> a.a_rejected <- a.a_rejected + 1
        | Job.Timed_out _ -> a.a_timed_out <- a.a_timed_out + 1
        | Job.Quarantined { strikes; _ } ->
@@ -108,6 +126,9 @@ let collect ~(jobs : Job.report list) ~device_seconds =
          t_turnaround_p50 = percentile turnaround 50.0;
          t_turnaround_p99 = percentile turnaround 99.0;
          t_device_seconds = a.a_device_seconds;
+         t_burn_queue = a.a_burn_queue;
+         t_burn_run = a.a_burn_run;
+         t_burn_stall = a.a_burn_stall;
        }
        :: rows)
     tbl []
@@ -131,18 +152,23 @@ let to_json rows : Obs.Json.t =
               ("queue_p99_seconds", Float t.t_queue_p99);
               ("turnaround_p50_seconds", Float t.t_turnaround_p50);
               ("turnaround_p99_seconds", Float t.t_turnaround_p99);
-              ("device_seconds", Float t.t_device_seconds) ])
+              ("device_seconds", Float t.t_device_seconds);
+              ("burn_queue_seconds", Float t.t_burn_queue);
+              ("burn_run_seconds", Float t.t_burn_run);
+              ("burn_stall_seconds", Float t.t_burn_stall) ])
        rows)
 
 let pp fmt rows =
   Format.fprintf fmt
-    "%-12s %5s %5s %5s %5s %5s %8s %8s %8s %8s@\n"
-    "tenant" "subm" "done" "rej" "tout" "quar" "q_p50" "q_p99" "t_p50" "t_p99";
+    "%-12s %5s %5s %5s %5s %5s %8s %8s %8s %8s %8s %8s %8s@\n"
+    "tenant" "subm" "done" "rej" "tout" "quar" "q_p50" "q_p99" "t_p50" "t_p99"
+    "burn_q" "burn_r" "burn_s";
   List.iter
     (fun t ->
        Format.fprintf fmt
-         "%-12s %5d %5d %5d %5d %5d %8.2g %8.2g %8.2g %8.2g@\n"
+         "%-12s %5d %5d %5d %5d %5d %8.2g %8.2g %8.2g %8.2g %8.2g %8.2g \
+          %8.2g@\n"
          t.t_name t.t_submitted t.t_completed t.t_rejected t.t_timed_out
          t.t_quarantined t.t_queue_p50 t.t_queue_p99 t.t_turnaround_p50
-         t.t_turnaround_p99)
+         t.t_turnaround_p99 t.t_burn_queue t.t_burn_run t.t_burn_stall)
     rows

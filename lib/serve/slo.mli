@@ -15,6 +15,12 @@ type tenant = {
   t_turnaround_p50 : float;
   t_turnaround_p99 : float;
   t_device_seconds : float;  (** lease occupancy, all attempts *)
+  t_burn_queue : float;
+      (** summed queue wait of the tenant's completed jobs, seconds *)
+  t_burn_run : float;  (** summed engine time of completed jobs *)
+  t_burn_stall : float;
+      (** turnaround not explained by queue or engine time (requeue
+          gaps, retry backoff), clamped at 0 per job *)
 }
 
 val percentile : float array -> float -> float

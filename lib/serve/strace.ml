@@ -61,11 +61,13 @@ let events (r : Scheduler.report) : Obs.Chrome_trace.event list =
       r.Scheduler.r_losses
   in
   let ts_of = function
-    | Complete { ts; _ } | Instant { ts; _ } -> ts
+    | Complete { ts; _ } | Instant { ts; _ }
+    | Flow_start { ts; _ } | Flow_finish { ts; _ } -> ts
     | Process_name _ | Thread_name _ -> 0.0
   in
   let tid_of = function
-    | Complete { tid; _ } | Instant { tid; _ } -> tid
+    | Complete { tid; _ } | Instant { tid; _ }
+    | Flow_start { tid; _ } | Flow_finish { tid; _ } -> tid
     | Process_name _ | Thread_name _ -> -1
   in
   (* The validator wants per-lane monotone timestamps; a stable sort by
