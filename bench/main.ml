@@ -119,6 +119,10 @@ let fault_totals = ref Mekong.Multi_gpu.no_faults
    that never enable autotuning). *)
 let tune_totals = ref Mekong.Multi_gpu.no_tune
 
+(* Cumulative race-gate counters: verifier verdicts of the compiled
+   kernels plus reducible-merge work (DESIGN.md §20). *)
+let gate_totals = ref Mekong.Multi_gpu.no_gate
+
 (* Cumulative executor counters (compiled vs interpreted launches). *)
 let exec_totals = Kcompile.new_stats ()
 
@@ -177,6 +181,19 @@ let add_tune_report (r : Mekong.Multi_gpu.result) =
       tn_halo_steps = t.tn_halo_steps + u.tn_halo_steps;
     }
 
+let add_gate_report (r : Mekong.Multi_gpu.result) =
+  let open Mekong.Multi_gpu in
+  let t = !gate_totals and g = r.gate in
+  gate_totals :=
+    {
+      gr_safe = t.gr_safe + g.gr_safe;
+      gr_reducible = t.gr_reducible + g.gr_reducible;
+      gr_racy = t.gr_racy + g.gr_racy;
+      gr_unknown = t.gr_unknown + g.gr_unknown;
+      gr_merges = t.gr_merges + g.gr_merges;
+      gr_merged_elems = t.gr_merged_elems + g.gr_merged_elems;
+    }
+
 (* Simulated time of the partitioned application on [g] GPUs. *)
 let multi_time ?cfg ?(autotune = false) bench size g =
   let a = artifacts bench size in
@@ -191,6 +208,7 @@ let multi_time ?cfg ?(autotune = false) bench size g =
     !cache_misses + r.Mekong.Multi_gpu.cache.Mekong.Launch_cache.misses;
   add_fault_report r;
   add_tune_report r;
+  add_gate_report r;
   Kcompile.add_stats ~into:exec_totals r.Mekong.Multi_gpu.exec;
   last_machine := Some m;
   add_timing
@@ -660,6 +678,7 @@ let run_cachebench () =
           Mekong.Multi_gpu.run ~cache ~machine:m exe)
     in
     Kcompile.add_stats ~into:exec_totals r.Mekong.Multi_gpu.exec;
+    add_gate_report r;
     Printf.printf "%-12s %14.4f %14.3f %8d %8d\n%!"
       (if cache then "cache on" else "cache off")
       r.Mekong.Multi_gpu.time ws.ws_median
@@ -856,6 +875,7 @@ let run_faultcampaign () =
        let r0 = Mekong.Multi_gpu.run ~machine:m (compile prog) in
        assert (r0.Mekong.Multi_gpu.faults = Mekong.Multi_gpu.no_faults);
        Kcompile.add_stats ~into:exec_totals r0.Mekong.Multi_gpu.exec;
+       add_gate_report r0;
        let baseline = Array.copy out in
        let t0 = r0.Mekong.Multi_gpu.time in
        List.iteri
@@ -881,6 +901,7 @@ let run_faultcampaign () =
             if not ok then incr violations;
             add_fault_report r;
             Kcompile.add_stats ~into:exec_totals r.Mekong.Multi_gpu.exec;
+            add_gate_report r;
             let f = r.Mekong.Multi_gpu.faults in
             add_timing
               [
@@ -973,6 +994,7 @@ let run_memcampaign () =
        let m0 = machine None in
        let r0 = Mekong.Multi_gpu.run ~machine:m0 (compile prog) in
        Kcompile.add_stats ~into:exec_totals r0.Mekong.Multi_gpu.exec;
+       add_gate_report r0;
        let baseline = Array.copy out in
        let t0 = r0.Mekong.Multi_gpu.time in
        let hw = ref 0 in
@@ -996,6 +1018,7 @@ let run_memcampaign () =
               let ok = out = baseline in
               if not ok then incr violations;
               Kcompile.add_stats ~into:exec_totals r.Mekong.Multi_gpu.exec;
+              add_gate_report r;
               let st = Gpusim.Machine.stats m in
               let mem = r.Mekong.Multi_gpu.mem in
               let t = r.Mekong.Multi_gpu.time in
@@ -1079,6 +1102,19 @@ let run_exec () =
             Apps.Workloads.functional_nbody ~n:512 ~iterations:2
           in
           (p, out) );
+      (* irregular (reducible-atomic) workloads: exact-arithmetic
+         data, so the partition-local accumulation + ordered merge
+         must land on the interpreter's bits exactly *)
+      ( "histogram",
+        fun () ->
+          let p, out, _ =
+            Apps.Workloads.functional_histogram ~n:4096 ~nbins:97
+          in
+          (p, out) );
+      ( "dot",
+        fun () ->
+          let p, out, _ = Apps.Workloads.functional_dot ~n:4096 in
+          (p, out) );
     ]
   in
   Printf.printf "%-8s %11s %11s %11s %9s %9s  %s\n" "App" "interp(s)"
@@ -1115,6 +1151,7 @@ let run_exec () =
                Mekong.Multi_gpu.run ~domains ~machine:m a.Mekong.Toolchain.exe
              in
              Kcompile.add_stats ~into:exec_totals r.Mekong.Multi_gpu.exec;
+             add_gate_report r;
              last_machine := Some m;
              (out, r))
        in
@@ -1557,6 +1594,7 @@ let run_overlapcampaign () =
       Mekong.Multi_gpu.run ?cfg ~overlap ~machine:m a.Mekong.Toolchain.exe
     in
     Kcompile.add_stats ~into:exec_totals r.Mekong.Multi_gpu.exec;
+    add_gate_report r;
     (r.Mekong.Multi_gpu.time, Gpusim.Machine.stats m)
   in
   List.iter
@@ -1617,6 +1655,7 @@ let run_overlapcampaign () =
         (compile prog)
     in
     Kcompile.add_stats ~into:exec_totals r.Mekong.Multi_gpu.exec;
+    add_gate_report r;
     (Array.copy out, r, m)
   in
   List.iter
@@ -2066,6 +2105,7 @@ let run_autotunecampaign () =
     let r = Mekong.Multi_gpu.run ~autotune ~machine:m a.Mekong.Toolchain.exe in
     add_tune_report r;
     Kcompile.add_stats ~into:exec_totals r.Mekong.Multi_gpu.exec;
+    add_gate_report r;
     if not functional then last_machine := Some m;
     r
   in
@@ -2224,6 +2264,7 @@ let run_campaign name f =
   cache_misses := 0;
   fault_totals := Mekong.Multi_gpu.no_faults;
   tune_totals := Mekong.Multi_gpu.no_tune;
+  gate_totals := Mekong.Multi_gpu.no_gate;
   reset_exec ();
   last_machine := None;
   Obs.Span.reset ();
@@ -2249,6 +2290,13 @@ let run_campaign name f =
   Obs.Metrics.set reg "autotune.actual_us"
     (tt.Mekong.Multi_gpu.tn_actual_s *. 1e6);
   set "autotune.halo_blocks" tt.Mekong.Multi_gpu.tn_halo_blocks;
+  let gt = !gate_totals in
+  set "engine.gate.safe" gt.Mekong.Multi_gpu.gr_safe;
+  set "engine.gate.reducible" gt.Mekong.Multi_gpu.gr_reducible;
+  set "engine.gate.racy" gt.Mekong.Multi_gpu.gr_racy;
+  set "engine.gate.unknown" gt.Mekong.Multi_gpu.gr_unknown;
+  set "engine.gate.merges" gt.Mekong.Multi_gpu.gr_merges;
+  set "engine.gate.merged_elems" gt.Mekong.Multi_gpu.gr_merged_elems;
   set "autotune.halo_steps" tt.Mekong.Multi_gpu.tn_halo_steps;
   Array.iteri
     (fun i n ->
@@ -2294,6 +2342,17 @@ let run_campaign name f =
                     ("par_launches", jint exec_totals.Kcompile.st_par);
                     ("max_domains", jint exec_totals.Kcompile.st_domains);
                     ("interpreted", jint exec_totals.Kcompile.st_interpreted);
+                  ] );
+              ( "gate",
+                Json_out.Obj
+                  [
+                    ("safe", jint gt.Mekong.Multi_gpu.gr_safe);
+                    ("reducible", jint gt.Mekong.Multi_gpu.gr_reducible);
+                    ("racy", jint gt.Mekong.Multi_gpu.gr_racy);
+                    ("unknown", jint gt.Mekong.Multi_gpu.gr_unknown);
+                    ("merges", jint gt.Mekong.Multi_gpu.gr_merges);
+                    ( "merged_elems",
+                      jint gt.Mekong.Multi_gpu.gr_merged_elems );
                   ] );
               ( "faults",
                 Json_out.Obj

@@ -10,6 +10,9 @@
      mekongc rewrite  <app>      print the rewritten multi-GPU host source
      mekongc kernels  <app>      print original and partitioned kernel IR
      mekongc run      <app>      compile and run on N simulated GPUs
+     mekongc verify   <app>      data-race verdict per kernel (witnesses
+                                 for races; exit 0 safe/reducible,
+                                 2 racy, 3 unknown)
      mekongc plan     <app>      print the autotuner's candidate plans
      mekongc serve               run a multi-tenant serving campaign
      mekongc profile  <app>      run with full observability and report
@@ -18,9 +21,42 @@
      mekongc compile-file <f.cu> parse a toy .cu file, compile it and
                                  run it on N simulated GPUs
 
-   apps: vecadd, hotspot, nbody, matmul, spmv *)
+   apps: vecadd, hotspot, nbody, matmul, spmv, histogram, dot, racy *)
 
 open Cmdliner
+
+(* Deliberately racy demo app: every thread reads a[0] while thread 0
+   overwrites it, so distinct blocks conflict and no reduction
+   operator explains the collision.  `mekongc verify racy` prints the
+   concrete witness pair and exits 2. *)
+let racy_program () =
+  let kernel =
+    let open Kir in
+    let n = p "n" in
+    let gi = v "gi" in
+    Kir.kernel ~name:"racy"
+      ~params:[ Scalar "n"; Array { name = "a"; dims = [| Dim_param "n" |] } ]
+      [
+        Local ("gi", global_id Dim3.X);
+        If (gi < n, [ store "a" [ gi ] (load "a" [ i 0 ] + f 1.0) ], []);
+      ]
+  in
+  let n = 4096 in
+  let a = Array.init n float_of_int in
+  Host_ir.program ~name:"racy"
+    [
+      Host_ir.Malloc ("a", n);
+      Host_ir.Memcpy_h2d { dst = "a"; src = Host_ir.host_data a };
+      Host_ir.Launch
+        {
+          kernel;
+          grid = Dim3.make ((n + 127) / 128);
+          block = Dim3.make 128;
+          args = [ Host_ir.HInt n; Host_ir.HBuf "a" ];
+        };
+      Host_ir.Memcpy_d2h { dst = Host_ir.host_data (Array.make n nan); src = "a" };
+      Host_ir.Free "a";
+    ]
 
 let apps =
   [
@@ -34,6 +70,12 @@ let apps =
        let x = Array.make 256 1.0 in
        let result = Array.make 256 nan in
        Apps.Spmv.program ~m ~x ~result);
+    ("histogram",
+     fun () ->
+       let p, _, _ = Apps.Workloads.functional_histogram ~n:4096 ~nbins:97 in
+       p);
+    ("dot", fun () -> let p, _, _ = Apps.Workloads.functional_dot ~n:4096 in p);
+    ("racy", fun () -> racy_program ());
   ]
 
 let app_arg =
@@ -295,6 +337,8 @@ let run_cmd =
     Format.printf "%a@." Gpusim.Machine.pp_stats stats;
     Format.printf "%a@." Mekong.Launch_cache.pp_stats res.Mekong.Multi_gpu.cache;
     Format.printf "%a@." Kcompile.pp_stats res.Mekong.Multi_gpu.exec;
+    Format.printf "race gate: %a@." Mekong.Multi_gpu.pp_gate_report
+      res.Mekong.Multi_gpu.gate;
     if Gpusim.Machine.fault_state machine <> None then
       Format.printf "%a@." Mekong.Multi_gpu.pp_fault_report
         res.Mekong.Multi_gpu.faults;
@@ -319,6 +363,40 @@ let run_cmd =
       const run $ app_arg $ gpus_arg $ faults_arg $ domains_arg $ trace_arg
       $ mem_cap_arg $ overlap_arg $ topology_arg $ autotune_arg $ explain_arg
       $ speeds_arg)
+
+(* Static race verdicts, one line per kernel.  Exit codes are part of
+   the contract (CI scripts assert them): 0 when every kernel is safe
+   or reducible, 2 when any kernel is racy (witnesses printed in the
+   verdict line), 3 when any verdict is unknown.  Uses pass 1 only:
+   racy kernels must still get their witnesses printed, and the full
+   pipeline's link step refuses atomic kernels that are neither safe
+   nor reducible. *)
+let verify_cmd =
+  let run (name, mk) =
+    let prog = mk () in
+    let model =
+      match Mekong.Toolchain.pass1 ~instrument_writes:true prog with
+      | Ok (m, _) -> m
+      | Error e -> die "%s: %s" name (Mekong.Toolchain.error_message e)
+    in
+    let racy = ref false and unknown = ref false in
+    List.iter
+      (fun (kernel : Kir.t) ->
+         let km = Mekong.Model.find_exn model kernel.Kir.name in
+         let verdict = Mekong.Verify.verify ~kernel km in
+         Printf.printf "%s: %s\n" kernel.Kir.name
+           (Mekong.Verify.verdict_to_string verdict);
+         match verdict with
+         | Mekong.Verify.Racy _ -> racy := true
+         | Mekong.Verify.Unknown _ -> unknown := true
+         | Mekong.Verify.Safe | Mekong.Verify.Reducible _ -> ())
+      (Host_ir.kernels prog);
+    if !racy then exit 2 else if !unknown then exit 3
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"prove kernels race-free or print concrete race witnesses")
+    Term.(const run $ app_arg)
 
 let json_flag =
   Arg.(value & flag & info [ "json" ] ~doc:"emit the report as JSON")
@@ -788,8 +866,8 @@ let () =
       (Cmd.eval ~catch:false
          (Cmd.group info
             [ analyze_cmd; poly_cmd; rewrite_cmd; kernels_cmd; run_cmd;
-              plan_cmd; serve_cmd; profile_cmd; check_trace_cmd; model_cmd;
-              compile_file_cmd ]))
+              verify_cmd; plan_cmd; serve_cmd; profile_cmd; check_trace_cmd;
+              model_cmd; compile_file_cmd ]))
   with
   | Sys_error m -> die "%s" m
   | Cuparse.Error m -> die "parse error: %s" m

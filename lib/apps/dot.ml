@@ -1,0 +1,69 @@
+(* Dot product: every block accumulates into the single output element
+   through atomicAdd, so the write sets of distinct blocks are NOT
+   disjoint — the classic kernel the boolean race gate had to reject.
+   The verifier classifies the conflict as reducible (one commutative
+   operator, exact atomic map), and the engine runs it with
+   partition-local accumulation plus an ordered merge (DESIGN.md §20). *)
+
+(* __global__ void dot(int n, float *a, float *b, float *out) *)
+let kernel =
+  let open Kir in
+  let n = p "n" in
+  let gi = v "gi" in
+  Kir.kernel ~name:"dot"
+    ~params:
+      [
+        Scalar "n";
+        Array { name = "a"; dims = [| Dim_param "n" |] };
+        Array { name = "b"; dims = [| Dim_param "n" |] };
+        Array { name = "out"; dims = [| Dim_const 1 |] };
+      ]
+    [
+      Local ("gi", global_id Dim3.X);
+      If
+        ( gi < n,
+          [ atomic_add "out" [ i 0 ] (load "a" [ gi ] * load "b" [ gi ]) ],
+          [] );
+    ]
+
+let block = Dim3.make 128
+
+let grid_for n = Dim3.make ((n + 127) / 128)
+
+let program ~n ~(a : float array) ~(b : float array)
+    ~(result : float array) =
+  Host_ir.program ~name:"dot"
+    [
+      Host_ir.Malloc ("a", n);
+      Host_ir.Malloc ("b", n);
+      Host_ir.Malloc ("out", 1);
+      Host_ir.Memcpy_h2d { dst = "a"; src = Host_ir.host_data a };
+      Host_ir.Memcpy_h2d { dst = "b"; src = Host_ir.host_data b };
+      Host_ir.Memcpy_h2d { dst = "out"; src = Host_ir.host_data [| 0.0 |] };
+      Host_ir.Launch
+        {
+          kernel;
+          grid = grid_for n;
+          block;
+          args =
+            [ Host_ir.HInt n; Host_ir.HBuf "a"; Host_ir.HBuf "b";
+              Host_ir.HBuf "out" ];
+        };
+      Host_ir.Memcpy_d2h { dst = Host_ir.host_data result; src = "out" };
+      Host_ir.Free "a";
+      Host_ir.Free "b";
+      Host_ir.Free "out";
+    ]
+
+(* Exact-arithmetic inputs: small integers keep every partial sum
+   exactly representable, so any grouping of the additions produces
+   the same bits (what the cross-device bit-identity tests rely on). *)
+let initial ~n =
+  let a = Array.init n (fun idx -> float_of_int ((idx mod 13) - 6)) in
+  let b = Array.init n (fun idx -> float_of_int ((idx mod 7) + 1)) in
+  (a, b)
+
+let reference (a : float array) (b : float array) =
+  let acc = ref 0.0 in
+  Array.iteri (fun idx av -> acc := !acc +. (av *. b.(idx))) a;
+  [| !acc |]

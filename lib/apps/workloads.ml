@@ -92,3 +92,19 @@ let functional_vecadd ~n =
   let result = Array.make n nan in
   let prog = Vecadd.program ~n ~a ~b ~result in
   (prog, result, fun () -> Vecadd.reference a b)
+
+(* The irregular (atomic/reducible) instances use exact-arithmetic
+   data on purpose: accumulation grouping differs across partition
+   counts, and integer-valued floats make every grouping produce the
+   same bits (see DESIGN.md §20). *)
+let functional_dot ~n =
+  let a, b = Dot.initial ~n in
+  let result = Array.make 1 nan in
+  let prog = Dot.program ~n ~a ~b ~result in
+  (prog, result, fun () -> Dot.reference a b)
+
+let functional_histogram ~n ~nbins =
+  let data = Histogram.initial ~n ~nbins in
+  let result = Array.make nbins nan in
+  let prog = Histogram.program ~n ~nbins ~data ~result in
+  (prog, result, fun () -> Histogram.reference ~nbins data)

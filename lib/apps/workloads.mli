@@ -39,3 +39,10 @@ val functional_nbody :
 val functional_matmul : n:int -> Host_ir.t * float array * (unit -> float array)
 
 val functional_vecadd : n:int -> Host_ir.t * float array * (unit -> float array)
+
+val functional_dot : n:int -> Host_ir.t * float array * (unit -> float array)
+(** Exact-arithmetic dot product (reducible atomics; DESIGN.md §20). *)
+
+val functional_histogram :
+  n:int -> nbins:int -> Host_ir.t * float array * (unit -> float array)
+(** Data-dependent histogram (inexact reducible atomics). *)

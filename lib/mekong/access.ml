@@ -63,6 +63,13 @@ type array_access = {
   dims : Kir.dim array;
   read : Pmap.t option; (* None when the array is never read *)
   write : Pmap.t option;
+  atomic : Pmap.t option;
+      (* atomic read-modify-write accesses, when exactly modeled; [None]
+         both when there are none and when they are unanalyzable
+         (distinguish via [atomic_ops] / [atomic_exact]) *)
+  atomic_ops : Kir.atomic_op list;
+      (* distinct atomic operators applied to this array; [] = none *)
+  atomic_exact : bool; (* false when atomic accesses were unanalyzable *)
   read_exact : bool; (* false when reads were over-approximated *)
   write_instrumented : bool;
       (* writes exist but are unanalyzable; collected at run time by the
@@ -88,7 +95,8 @@ let rec collect_loop_vars acc (s : Kir.stmt) =
   | Kir.If (_, a, b) ->
     let acc = List.fold_left collect_loop_vars acc a in
     List.fold_left collect_loop_vars acc b
-  | Kir.Store _ | Kir.Local _ | Kir.Assign _ | Kir.Syncthreads -> acc
+  | Kir.Store _ | Kir.Atomic _ | Kir.Local _ | Kir.Assign _
+  | Kir.Syncthreads -> acc
 
 let analysis_params kernel =
   Array.of_list
@@ -225,7 +233,7 @@ let rec cond_to_dnf sp locals ~negated (e : Kir.exp) : dnf option =
 
 type raw_access = {
   ra_arr : string;
-  ra_kind : [ `Read | `Write ];
+  ra_kind : [ `Read | `Write | `Atomic of Kir.atomic_op ];
   (* One entry per DNF disjunct: the affine subscripts plus the guard
      conjunction.  [None] marks an unanalyzable (over-approximated)
      access. *)
@@ -270,6 +278,13 @@ let rec walk_stmt ctx (s : Kir.stmt) =
     List.iter (reads_of_exp ctx) idx;
     reads_of_exp ctx e;
     access ctx arr `Write idx
+  | Kir.Atomic (op, arr, idx, e) ->
+    (* The element read by the RMW is tracked through the atomic map
+       itself, not as a plain read: conflicting same-op atomics are
+       reducible, which a read entry would mask. *)
+    List.iter (reads_of_exp ctx) idx;
+    reads_of_exp ctx e;
+    access ctx arr (`Atomic op) idx
   | Kir.Local (n, e) ->
     reads_of_exp ctx e;
     Hashtbl.replace ctx.locals n (to_aff ctx.sp ctx.locals e)
@@ -416,7 +431,43 @@ let whole_array_map kernel arr dims =
    and m2 = read it is the cross-block read-after-write hazard check
    that gates domain-parallel execution (DESIGN.md §13). *)
 
-let cross_block_disjoint ?(assume = []) (m1 : Pmap.t) (m2 : Pmap.t) =
+(* Axes the first (write) map actually constrains.  Along an unused
+   axis the kernel writes the same cells from every block, so a grid
+   extending there would be a write-after-write hazard already on a
+   single GPU; the convention (as in the paper's analysis) is that
+   such grids are degenerate (extent 1) and blocks cannot differ
+   there.  A write map using no grid axis at all writes from every
+   block and is never injective. *)
+let used_grid_axes (m1 : Pmap.t) =
+  List.filter
+    (fun a ->
+       List.exists
+         (fun p ->
+            let comb = Pmap.combined m1 in
+            let bo = Space.var_index_exn comb (bo_name a) in
+            let bi = Space.var_index_exn comb (b_name a) in
+            List.exists
+              (fun c ->
+                 Aff.coeff (Constr.aff c) bo <> 0
+                 || Aff.coeff (Constr.aff c) bi <> 0)
+              (Poly.constraints p))
+         (Pset.pieces (Pmap.rel m1)))
+    axes
+
+(* A satisfiable cross-block conflict: a polyhedron over the doubled
+   space [params; dims(dom)$1 ++ dims(dom)$2 ++ dims(ran)] whose
+   integer points assign two grid positions and a common array element
+   they both touch.  The verifier samples it for concrete witnesses. *)
+type violation = { vi_space : Space.t; vi_poly : Poly.t }
+
+(* Core of the cross-block hazard check: find one satisfiable sign
+   pattern under which distinct blocks of m1 and m2 reach a common
+   element.  When [m1] constrains no grid axis the degenerate-grid
+   convention does not apply here — sign patterns range over all axes,
+   so any two distinct blocks conflict whenever the maps overlap at
+   all. *)
+let violation_candidates ?(assume = []) (m1 : Pmap.t) (m2 : Pmap.t) :
+  violation Seq.t =
   let dom = Pmap.dom_space m1 in
   let nd = Space.n_dims dom in
   assert (nd = 6);
@@ -454,29 +505,8 @@ let cross_block_disjoint ?(assume = []) (m1 : Pmap.t) (m2 : Pmap.t) =
     | `Eq -> [ Constr.eq2 b1 b2; Constr.eq2 bo1 bo2 ]
     | `Lt -> [ Constr.lt2 b1 b2; Constr.le2 bo1 (Aff.sub bo2 bd) ]
   in
-  (* Axes the first (write) map actually constrains.  Along an unused
-     axis the kernel writes the same cells from every block, so a grid
-     extending there would be a write-after-write hazard already on a
-     single GPU; the convention (as in the paper's analysis) is that
-     such grids are degenerate (extent 1) and blocks cannot differ
-     there.  A write map using no grid axis at all writes from every
-     block and is never injective. *)
-  let used_axes =
-    List.filter
-      (fun a ->
-         List.exists
-           (fun p ->
-              let comb = Pmap.combined m1 in
-              let bo = Space.var_index_exn comb (bo_name a) in
-              let bi = Space.var_index_exn comb (b_name a) in
-              List.exists
-                (fun c ->
-                   Aff.coeff (Constr.aff c) bo <> 0
-                   || Aff.coeff (Constr.aff c) bi <> 0)
-                (Poly.constraints p))
-           (Pset.pieces (Pmap.rel m1)))
-      axes
-  in
+  let used_axes = used_grid_axes m1 in
+  let pattern_axes = if used_axes = [] then axes else used_axes in
   let rels = [ `Gt; `Eq; `Lt ] in
   let rec patterns_over = function
     | [] -> [ [] ]
@@ -487,27 +517,38 @@ let cross_block_disjoint ?(assume = []) (m1 : Pmap.t) (m2 : Pmap.t) =
   let patterns =
     List.filter
       (fun pat -> List.exists (fun (_, r) -> r <> `Eq) pat)
-      (patterns_over used_axes)
+      (patterns_over pattern_axes)
   in
-  if used_axes = [] then Pset.is_empty (Pmap.rel m1)
-  else
-  let violation =
-    List.exists
-      (fun p1 ->
-         List.exists
-           (fun p2 ->
-              let base = Poly.add_constrs (Poly.intersect p1 p2) context in
-              List.exists
-                (fun pattern ->
-                   let cs =
-                     List.concat_map (fun (a, r) -> axis_rel a r) pattern
-                   in
-                   not (Poly.is_empty (Poly.add_constrs base cs)))
-                patterns)
-           copies2)
-      copies1
-  in
-  not violation
+  (* Candidates, lazily: emptiness checks stop at the first hit in
+     [find_violation] but run to completion in [find_violations]. *)
+  List.to_seq copies1
+  |> Seq.concat_map (fun p1 ->
+      List.to_seq copies2
+      |> Seq.concat_map (fun p2 ->
+          let base = Poly.add_constrs (Poly.intersect p1 p2) context in
+          List.to_seq patterns
+          |> Seq.filter_map (fun pattern ->
+              let cs =
+                List.concat_map (fun (a, r) -> axis_rel a r) pattern
+              in
+              let cand = Poly.add_constrs base cs in
+              if Poly.is_empty cand then None
+              else Some { vi_space = sp2; vi_poly = cand })))
+
+let find_violation ?assume m1 m2 =
+  match (violation_candidates ?assume m1 m2) () with
+  | Seq.Nil -> None
+  | Seq.Cons (v, _) -> Some v
+
+let find_violations ?assume m1 m2 =
+  List.of_seq (violation_candidates ?assume m1 m2)
+
+let cross_block_disjoint ?(assume = []) (m1 : Pmap.t) (m2 : Pmap.t) =
+  (* Degenerate-grid convention (see [used_grid_axes]): a write map
+     using no grid axis writes from every block and is never injective
+     unless it is empty. *)
+  if used_grid_axes m1 = [] then Pset.is_empty (Pmap.rel m1)
+  else Option.is_none (find_violation ~assume m1 m2)
 
 let write_injective kernel (m : Pmap.t) ~assume =
   ignore kernel;
@@ -526,9 +567,10 @@ let choose_strategy kernel accesses =
     let bo_idx sp = Space.var_index_exn sp (bo_name axis) in
     List.fold_left
       (fun acc a ->
-         match a.write with
-         | None -> acc
-         | Some m ->
+         (* Atomic maps count like write maps: a disjoint-atomic kernel
+            partitions exactly as a plain-store one does. *)
+         List.fold_left
+           (fun acc m ->
            let comb = Pmap.combined m in
            let bo = bo_idx comb in
            (* Find the outermost output dim whose defining equality
@@ -561,6 +603,8 @@ let choose_strategy kernel accesses =
                 | None -> acc)
              acc
              (Pset.pieces (Pmap.rel m)))
+           acc
+           (List.filter_map Fun.id [ a.write; a.atomic ]))
       max_int accesses
   in
   ignore kernel;
@@ -651,13 +695,49 @@ let analyze ?(assume = []) ?(check_writes = true)
            let read, read_exact = build `Read in
            let write, write_exact = build `Write in
            let has_writes = mine `Write <> [] in
+           (* Atomic read-modify-writes: never rejected — conflicting
+              same-op atomics commute, so neither injectivity nor
+              exactness is required for correctness (the verifier
+              classifies them, and the engine runs reducible kernels
+              with partition-local accumulation).  Build the map when
+              every atomic access is affine; leave [None] (inexact)
+              otherwise, as for irregular histograms. *)
+           let atomic_raws =
+             List.filter
+               (fun ra ->
+                  ra.ra_arr = arr
+                  && match ra.ra_kind with `Atomic _ -> true | _ -> false)
+               ctx.raw
+           in
+           let atomic_ops =
+             List.sort_uniq compare
+               (List.filter_map
+                  (fun ra ->
+                     match ra.ra_kind with
+                     | `Atomic op -> Some op
+                     | _ -> None)
+                  atomic_raws)
+           in
+           let atomic, atomic_exact =
+             if atomic_raws = [] then (None, true)
+             else if List.for_all (fun ra -> ra.ra_pieces <> None) atomic_raws
+             then
+               ( Some
+                   (map_of_pieces kernel full arr dims
+                      (List.concat_map
+                         (fun ra -> Option.get ra.ra_pieces)
+                         atomic_raws)),
+                 true )
+             else (None, false)
+           in
            (match write with
             | Some w ->
               if check_writes && not (write_injective kernel w ~assume) then
                 raise (Reject (Non_injective_write arr))
             | None -> ());
            ignore rank;
-           { arr; dims; read; write; read_exact;
+           { arr; dims; read; write; atomic; atomic_ops; atomic_exact;
+             read_exact;
              write_instrumented = has_writes && not write_exact })
         arrays
     in
@@ -686,7 +766,16 @@ let pp fmt (t : t) =
             (if a.read_exact then "" else " (approx)")
             Pset.pp (Pmap.rel m)
         | None -> ());
-       match a.write with
-       | Some m -> Format.fprintf fmt "    write: %a@\n" Pset.pp (Pmap.rel m)
-       | None -> ())
+       (match a.write with
+        | Some m -> Format.fprintf fmt "    write: %a@\n" Pset.pp (Pmap.rel m)
+        | None -> ());
+       match (a.atomic, a.atomic_ops) with
+       | Some m, ops ->
+         Format.fprintf fmt "    atomic [%s]: %a@\n"
+           (String.concat "," (List.map Kir.atomic_name ops))
+           Pset.pp (Pmap.rel m)
+       | None, [] -> ()
+       | None, ops ->
+         Format.fprintf fmt "    atomic [%s]: (unanalyzable)@\n"
+           (String.concat "," (List.map Kir.atomic_name ops)))
     t.accesses

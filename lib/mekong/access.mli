@@ -51,7 +51,14 @@ type array_access = {
   arr : string;
   dims : Kir.dim array;
   read : Pmap.t option;  (** [None] when the array is never read *)
-  write : Pmap.t option;
+  write : Pmap.t option;  (** plain (non-atomic) writes *)
+  atomic : Pmap.t option;
+      (** atomic read-modify-write accesses, when exactly modeled *)
+  atomic_ops : Kir.atomic_op list;
+      (** distinct atomic operators applied to this array; [[]] = none *)
+  atomic_exact : bool;
+      (** [false] when atomic accesses were unanalyzable (e.g.
+          data-dependent histogram bins) *)
   read_exact : bool;  (** [false] when reads were over-approximated *)
   write_instrumented : bool;
       (** writes exist but are unanalyzable; collected at run time by
@@ -71,6 +78,29 @@ val write_injective :
 (** Block-level injectivity of a write map, with the sound blockOff /
     blockIdx consistency relaxation described in the implementation.
     [assume] lists parameter constraints [sum terms + const >= 0]. *)
+
+type violation = { vi_space : Space.t; vi_poly : Poly.t }
+(** A satisfiable cross-block conflict over the doubled space
+    [params; dims(dom)$1 ++ dims(dom)$2 ++ dims(ran)]: integer points
+    assign two grid positions and a common array element they both
+    touch.  The data-race verifier samples it for concrete witnesses. *)
+
+val find_violation :
+  ?assume:((int * string) list * int) list ->
+  Pmap.t -> Pmap.t -> violation option
+(** The core of {!cross_block_disjoint}, keeping the conflict
+    polyhedron instead of reducing it to a boolean.  When [m1]
+    constrains no grid axis, sign patterns range over all axes (any
+    two distinct blocks conflict wherever the maps overlap), unlike
+    {!cross_block_disjoint}'s degenerate-grid convention. *)
+
+val find_violations :
+  ?assume:((int * string) list * int) list ->
+  Pmap.t -> Pmap.t -> violation list
+(** All satisfiable (piece-pair, sign-pattern) conflict polyhedra, not
+    just the first: the blockOff/blockIdx relaxation can make a
+    pattern satisfiable that admits no exact witness, so the verifier
+    tries every candidate. *)
 
 val cross_block_disjoint :
   ?assume:((int * string) list * int) list -> Pmap.t -> Pmap.t -> bool

@@ -70,6 +70,16 @@ let build ?rectangles (km : Model.kernel_model) : t =
     entries =
       List.mapi
         (fun i (a : Model.array_model) ->
+           (* An exactly-modeled atomic access contributes to both
+              enumerators: the RMW reads the element's old value (it
+              must be synchronized before the launch) and writes it
+              (the trackers must learn the new owner). *)
+           let with_atomic m =
+             match (m, a.Model.atomic) with
+             | Some m, Some at -> Some (Pmap.union m at)
+             | (Some _ as m), None | None, (Some _ as m) -> m
+             | None, None -> None
+           in
            precompile
            {
              arr = a.Model.arr;
@@ -77,13 +87,13 @@ let build ?rectangles (km : Model.kernel_model) : t =
              read =
                Option.map
                  (enumerator_of_map ?rectangles ~dims:a.Model.dims)
-                 a.Model.read;
+                 (with_atomic a.Model.read);
              read_name =
                enumerator_name ~kernel:km.Model.kname ~arg_index:i ~kind:`Read;
              write =
                Option.map
                  (enumerator_of_map ?rectangles ~dims:a.Model.dims)
-                 a.Model.write;
+                 (with_atomic a.Model.write);
              write_name =
                enumerator_name ~kernel:km.Model.kname ~arg_index:i ~kind:`Write;
            })

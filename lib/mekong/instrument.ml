@@ -25,6 +25,9 @@ let shadow_kernel (k : Kir.t) : Kir.t =
   let rec strip (s : Kir.stmt) : Kir.stmt =
     match s with
     | Kir.Store (arr, idx, _) -> Kir.Store (arr, idx, Kir.Fconst 0.0)
+    (* Atomics write the addressed element too; the shadow only needs
+       the address, so a constant store records the same offset. *)
+    | Kir.Atomic (_, arr, idx, _) -> Kir.Store (arr, idx, Kir.Fconst 0.0)
     | Kir.Local _ | Kir.Assign _ | Kir.Syncthreads -> s
     | Kir.If (c, t, f) -> Kir.If (c, List.map strip t, List.map strip f)
     | Kir.For { var; from_; to_; body } ->

@@ -42,6 +42,10 @@ type key = {
          cache behavior — are unchanged from the fixed-strategy engine.
          With autotuning on, a plan chosen under one scoring regime is
          never replayed under another (e.g. after a device loss). *)
+  reduce : string;
+      (* reduction-mode signature of the launch: "op:arr,..." for
+         kernels the verifier proved reducible, "" otherwise, so a
+         plan is never replayed under a different execution mode *)
 }
 
 type ranges = {

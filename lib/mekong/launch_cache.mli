@@ -23,6 +23,9 @@ type key = {
           fixed-strategy engine.  A plan chosen under one scoring
           regime (live set, speeds, topology, iteration context) is
           never replayed under another. *)
+  reduce : string;
+      (** reduction-mode signature: ["op:arr,..."] for kernels the
+          verifier proved reducible, [""] otherwise *)
 }
 
 type ranges = {

@@ -15,6 +15,12 @@ type array_model = {
   dims : Kir.dim array;
   read : Pmap.t option;
   write : Pmap.t option;
+  atomic : Pmap.t option;
+      (* atomic read-modify-write accesses, when exactly modeled *)
+  atomic_ops : Kir.atomic_op list;
+      (* distinct atomic operators applied to this array *)
+  atomic_exact : bool;
+      (* false when atomic accesses were unanalyzable *)
   read_exact : bool;
   write_instrumented : bool;
       (* writes collected at run time by the instrumentation fallback *)
@@ -51,6 +57,9 @@ let of_analysis (a : Access.t) : kernel_model =
              dims = acc.Access.dims;
              read = acc.Access.read;
              write = acc.Access.write;
+             atomic = acc.Access.atomic;
+             atomic_ops = acc.Access.atomic_ops;
+             atomic_exact = acc.Access.atomic_exact;
              read_exact = acc.Access.read_exact;
              write_instrumented = acc.Access.write_instrumented;
            })
@@ -71,20 +80,37 @@ let of_analyses l = { kernels = List.map of_analysis l }
    - for every array both read and written, no distinct blocks b1, b2
      have write(b1) overlap read(b2) — reads over-approximated to the
      whole array make this conservatively false, so inexact reads of
-     written arrays fall back to sequential execution. *)
+     written arrays fall back to sequential execution;
+   - atomic accesses count as writes here: the executor's compiled
+     atomic is a plain load-combine-store, indivisible only when the
+     blocks touching an element share one domain, so block-parallel
+     execution needs the same cross-block disjointness proof.
+     Reducible (conflicting same-op atomic) kernels are legal to
+     *partition* but not to block-parallelize; the engine gives them
+     partition-local accumulators and runs their blocks in order. *)
 let parallel_safe ~kernel (km : kernel_model) =
   let assume = Access.default_assume kernel in
   List.for_all
     (fun am ->
        if am.write_instrumented then false
+       else if am.atomic_ops <> [] && (not am.atomic_exact || am.atomic = None)
+       then false
        else
-         match am.write with
-         | None -> true
-         | Some w ->
-           Access.cross_block_disjoint ~assume w w
-           && (match am.read with
-             | None -> true
-             | Some r -> Access.cross_block_disjoint ~assume w r))
+         let disj m1 m2 = Access.cross_block_disjoint ~assume m1 m2 in
+         let vs_reads m =
+           match am.read with None -> true | Some r -> disj m r
+         in
+         (match am.write with
+          | None -> true
+          | Some w ->
+            disj w w && vs_reads w
+            && (match am.atomic with None -> true | Some a -> disj w a))
+         &&
+         (match am.atomic with
+          | None -> true
+          | Some a ->
+            disj a a && vs_reads a
+            && (match am.write with None -> true | Some w -> disj a w)))
     km.arrays
 
 (* --- Serialization ----------------------------------------------------------- *)
@@ -175,6 +201,17 @@ let map_of_sexp x =
   in
   Pmap.make ~dom ~ran (Pset.of_polys comb pieces)
 
+let atomic_op_to_sexp op =
+  Sexp.atom
+    (match op with Kir.AAdd -> "add" | Kir.AMin -> "min" | Kir.AMax -> "max")
+
+let atomic_op_of_sexp x =
+  match Sexp.as_atom x with
+  | "add" -> Kir.AAdd
+  | "min" -> Kir.AMin
+  | "max" -> Kir.AMax
+  | s -> raise (Sexp.Parse_error ("bad atomic op " ^ s))
+
 let array_to_sexp (a : array_model) =
   let open Sexp in
   list
@@ -186,6 +223,15 @@ let array_to_sexp (a : array_model) =
         [ atom "write-instrumented";
           atom (string_of_bool a.write_instrumented) ];
     ]
+     (* Atomic fields are emitted only when atomics exist, so models of
+        atomic-free kernels stay byte-identical to older writers. *)
+     @ (if a.atomic_ops = [] then []
+        else
+          [ list (atom "atomic-ops" :: List.map atomic_op_to_sexp a.atomic_ops);
+            list [ atom "atomic-exact"; atom (string_of_bool a.atomic_exact) ] ])
+     @ (match a.atomic with
+        | Some m -> [ list [ atom "atomic"; map_to_sexp m ] ]
+        | None -> [])
      @ (match a.read with
         | Some m -> [ list [ atom "read"; map_to_sexp m ] ]
         | None -> [])
@@ -203,6 +249,17 @@ let array_of_sexp x =
       (match Sexp.field_opt "write-instrumented" x with
        | Some [ b ] -> bool_of_string (Sexp.as_atom b)
        | _ -> false);
+    (* Absent in models written before atomics existed: no atomics. *)
+    atomic_ops =
+      (match Sexp.field_opt "atomic-ops" x with
+       | Some ops -> List.map atomic_op_of_sexp ops
+       | None -> []);
+    atomic_exact =
+      (match Sexp.field_opt "atomic-exact" x with
+       | Some [ b ] -> bool_of_string (Sexp.as_atom b)
+       | _ -> true);
+    atomic =
+      Option.map (fun l -> map_of_sexp (List.hd l)) (Sexp.field_opt "atomic" x);
     read = Option.map (fun l -> map_of_sexp (List.hd l)) (Sexp.field_opt "read" x);
     write = Option.map (fun l -> map_of_sexp (List.hd l)) (Sexp.field_opt "write" x);
   }

@@ -10,6 +10,12 @@ type array_model = {
   dims : Kir.dim array;
   read : Pmap.t option;
   write : Pmap.t option;
+  atomic : Pmap.t option;
+      (** atomic read-modify-write accesses, when exactly modeled *)
+  atomic_ops : Kir.atomic_op list;
+      (** distinct atomic operators applied to this array; [[]] = none *)
+  atomic_exact : bool;
+      (** [false] when atomic accesses were unanalyzable *)
   read_exact : bool;
   write_instrumented : bool;
       (** writes collected at run time by the instrumentation fallback
@@ -39,8 +45,10 @@ val parallel_safe : kernel:Kir.t -> kernel_model -> bool
     (re-checked here) and no array read by one block is written
     by a distinct block ({!Access.cross_block_disjoint} on each
     read/write map pair; over-approximated reads of written arrays
-    conservatively fail).  [kernel] supplies the extent-positivity
-    context, as in {!Access.analyze}. *)
+    conservatively fail).  Atomic accesses count as writes here: the
+    compiled atomic is not indivisible across domains, so inexact or
+    conflicting atomics conservatively fail.  [kernel] supplies the
+    extent-positivity context, as in {!Access.analyze}. *)
 
 val to_string : t -> string
 (** One s-expression per kernel, newline separated. *)

@@ -16,9 +16,12 @@ type compiled_kernel = {
   ck_shadow : Kir.t option;
       (* partitioned minimal clone collecting write sets at run time
          for arrays with unanalyzable writes (paper §11 fallback) *)
-  ck_parallel_safe : bool;
-      (* the model proves distinct blocks touch disjoint data, so one
-         partition's blocks may run domain-parallel (DESIGN.md §13) *)
+  ck_gate : Verify.verdict;
+      (* the data-race verifier's verdict on the original kernel:
+         [Safe] lets a partition's blocks run domain-parallel
+         (DESIGN.md §13), [Reducible] routes atomic accumulation
+         through partition-local buffers with an ordered merge
+         (DESIGN.md §20), anything else runs blocks sequentially *)
 }
 
 (* The "linked binary": the host program plus, per kernel, the
@@ -54,19 +57,64 @@ let compile_kernel ?rectangles ?force_strategy (model : Model.t) (k : Kir.t) =
     (* The gate works on the original kernel's maps: a partition's
        blocks are a subset of the full grid's blocks, so full-grid
        disjointness covers every partition launch. *)
-    ck_parallel_safe = Model.parallel_safe ~kernel:k km;
+    ck_gate =
+      (match Verify.verify ~kernel:k km with
+       | Verify.Reducible red as g ->
+         (* The engine redirects *every* access to a reducible array
+            into an identity-initialized accumulator; a plain read or
+            write on the same array would observe identity values
+            instead of live data, so only purely-atomic arrays take
+            the reducible path. *)
+         let plainly_accessed (arr, _) =
+           match
+             List.find_opt
+               (fun (a : Model.array_model) -> a.Model.arr = arr)
+               km.Model.arrays
+           with
+           | Some a ->
+             a.Model.read <> None || a.Model.write <> None
+             || a.Model.write_instrumented
+           | None -> false
+         in
+         if List.exists plainly_accessed red then
+           Verify.Unknown
+             "reducible array is also plainly read or written"
+         else g
+       | g -> g);
   }
 
 let link ?rectangles ?force_strategy ~(model : Model.t) (prog : Host_ir.t) :
   exe =
   Host_ir.validate prog;
-  {
-    prog;
-    compiled =
-      List.map
-        (fun k -> (k.Kir.name, compile_kernel ?rectangles ?force_strategy model k))
-        (Host_ir.kernels prog);
-  }
+  let compiled =
+    List.map
+      (fun k -> (k.Kir.name, compile_kernel ?rectangles ?force_strategy model k))
+      (Host_ir.kernels prog)
+  in
+  (* Atomic kernels have no sequential fallback that preserves CUDA
+     semantics across partitions (overlapping read-modify-writes would
+     race through the trackers), so they must be proven safe or
+     reducible at link time; the diagnostic carries the verifier's
+     typed reason. *)
+  List.iter
+    (fun (name, ck) ->
+       let has_atomics =
+         List.exists
+           (fun (a : Model.array_model) -> a.Model.atomic_ops <> [])
+           ck.ck_model.Model.arrays
+       in
+       match ck.ck_gate with
+       | Verify.Safe | Verify.Reducible _ -> ()
+       | (Verify.Racy _ | Verify.Unknown _) as g when has_atomics ->
+         invalid_arg
+           (Printf.sprintf
+              "Multi_gpu.link: atomic kernel %s is neither safe nor \
+               reducible: %s"
+              name
+              (Verify.verdict_to_string g))
+       | Verify.Racy _ | Verify.Unknown _ -> ())
+    compiled;
+  { prog; compiled }
 
 exception All_devices_lost
 (* Terminal: the fault schedule killed every device.  Raised instead of
@@ -100,6 +148,44 @@ let no_mem = { mr_chunked_launches = 0; mr_chunks = 0; mr_oom_refinements = 0 }
 let pp_mem_report fmt r =
   Format.fprintf fmt "chunked_launches=%d chunks=%d oom_refinements=%d"
     r.mr_chunked_launches r.mr_chunks r.mr_oom_refinements
+
+type gate_report = {
+  gr_safe : int; (* kernels the verifier proved race-free *)
+  gr_reducible : int; (* kernels whose conflicts are same-op atomics *)
+  gr_racy : int; (* kernels with a validated concrete witness *)
+  gr_unknown : int; (* kernels the analysis could not decide *)
+  gr_merges : int; (* reducible merge phases executed *)
+  gr_merged_elems : int; (* element combines across all merges *)
+}
+
+let no_gate =
+  {
+    gr_safe = 0;
+    gr_reducible = 0;
+    gr_racy = 0;
+    gr_unknown = 0;
+    gr_merges = 0;
+    gr_merged_elems = 0;
+  }
+
+let pp_gate_report fmt r =
+  Format.fprintf fmt
+    "safe=%d reducible=%d racy=%d unknown=%d merges=%d merged_elems=%d"
+    r.gr_safe r.gr_reducible r.gr_racy r.gr_unknown r.gr_merges
+    r.gr_merged_elems
+
+(* Identity and combine of the reducible merge, matching the
+   interpreter's atomic semantics element-wise so host merging is
+   bit-compatible with in-place accumulation. *)
+let reduce_identity = function
+  | Kir.AAdd -> 0.0
+  | Kir.AMin -> infinity
+  | Kir.AMax -> neg_infinity
+
+let reduce_combine = function
+  | Kir.AAdd -> ( +. )
+  | Kir.AMin -> Stdlib.min
+  | Kir.AMax -> Stdlib.max
 
 (* Relative-error histogram bucket upper bounds, in percent (the last
    bucket is open-ended). *)
@@ -151,6 +237,9 @@ type result = {
       (* autotuner calibration: predicted vs. measured per-launch
          seconds and the halo-tiling activity (all zero when
          autotuning is off) *)
+  gate : gate_report;
+      (* per-kernel verifier verdict counts plus the reducible-merge
+         activity of this run *)
 }
 
 let publish_metrics ?(into = Obs.Metrics.default) (r : result) =
@@ -163,6 +252,12 @@ let publish_metrics ?(into = Obs.Metrics.default) (r : result) =
   seti "engine.oom_refinements" r.mem.mr_oom_refinements;
   seti "cache.plan_hits" r.cache.Launch_cache.hits;
   seti "cache.plan_misses" r.cache.Launch_cache.misses;
+  seti "engine.gate.safe" r.gate.gr_safe;
+  seti "engine.gate.reducible" r.gate.gr_reducible;
+  seti "engine.gate.racy" r.gate.gr_racy;
+  seti "engine.gate.unknown" r.gate.gr_unknown;
+  seti "engine.gate.merges" r.gate.gr_merges;
+  seti "engine.gate.merged_elems" r.gate.gr_merged_elems;
   seti "faults.observed" r.faults.fr_faults;
   seti "faults.retries" r.faults.fr_retries;
   seti "faults.replays" r.faults.fr_replays;
@@ -324,16 +419,6 @@ let run_bounded ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d)
       Autotune.signature ~cfg:(Gpusim.Machine.config m) ~live:!live
         ~iters:(iters_of kernel)
   in
-  let key_of kernel grid block args =
-    {
-      Launch_cache.kernel = kernel.Kir.name;
-      grid;
-      block;
-      args;
-      mem_cap;
-      tune = tune_sig kernel;
-    }
-  in
   (* Winning halo schedules by launch key, filled by [build_plan] when
      the autotuner's winner carries one; the Repeat executor consults
      it (plan [pl_halo >= 2] guarantees an entry from the same build). *)
@@ -390,6 +475,29 @@ let run_bounded ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d)
        if not (Hashtbl.mem compiled_tbl name) then
          Hashtbl.add compiled_tbl name ck)
     exe.compiled;
+  (* The launch-key reduction field: which arrays this kernel
+     accumulates reducibly, under which operator.  Static per link,
+     but part of the key so a plan can never be replayed under a
+     different execution mode. *)
+  let reduce_sig kernel =
+    match Hashtbl.find_opt compiled_tbl kernel.Kir.name with
+    | Some { ck_gate = Verify.Reducible red; _ } ->
+      String.concat ","
+        (List.map (fun (arr, op) -> Kir.atomic_name op ^ ":" ^ arr) red)
+    | _ -> ""
+  in
+  let key_of kernel grid block args =
+    {
+      Launch_cache.kernel = kernel.Kir.name;
+      grid;
+      block;
+      args;
+      mem_cap;
+      tune = tune_sig kernel;
+      reduce = reduce_sig kernel;
+    }
+  in
+  let gate_merges = ref 0 and gate_merged_elems = ref 0 in
   (* The cache lives for one cache generation: device count, tiling and
      measurement config are fixed within it, so they need not be part
      of the key.  A permanent device loss changes the partitioning and
@@ -449,10 +557,18 @@ let run_bounded ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d)
          charge ~tracker_ops:ops ~ranges:rg_raw ~dispatches:0)
       pp.Launch_cache.pp_writes
   in
-  let launch_pp ck ~arg_arrays ~block (pp : Launch_cache.partition_plan) =
+  let launch_pp ?redirect ck ~arg_arrays ~block
+      (pp : Launch_cache.partition_plan) =
     let buffer_of name =
       Gpu_runtime.Vbuf.instance (find (List.assoc name arg_arrays))
         pp.Launch_cache.pp_part.Partition.device
+    in
+    (* Reducible arrays never touch device buffers: every access lands
+       in the partition-local accumulator, and the touched flags let
+       the merge skip identity elements (preserving the base bits,
+       -0.0 included). *)
+    let redirect a =
+      match redirect with None -> None | Some f -> f a
     in
     charge ~tracker_ops:0 ~ranges:0 ~dispatches:1;
     Gpusim.Machine.launch m
@@ -489,24 +605,46 @@ let run_bounded ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d)
           (* Resolve each array argument to its device-local
              backing data once per launch, not per access. *)
           let load a =
-            let data = Gpusim.Buffer.data_exn (buffer_of a) in
-            fun off -> data.(off)
+            match redirect a with
+            | Some (acc, _) -> fun off -> acc.(off)
+            | None ->
+              let data = Gpusim.Buffer.data_exn (buffer_of a) in
+              fun off -> data.(off)
           in
           let store a =
-            let data = Gpusim.Buffer.data_exn (buffer_of a) in
-            fun off v -> data.(off) <- v
+            match redirect a with
+            | Some (acc, touched) ->
+              fun off v ->
+                acc.(off) <- v;
+                touched.(off) <- true
+            | None ->
+              let data = Gpusim.Buffer.data_exn (buffer_of a) in
+              fun off v -> data.(off) <- v
           in
           let pool =
-            if ck.ck_parallel_safe && domains > 1 then
+            match ck.ck_gate with
+            | Verify.Safe when domains > 1 ->
               Some (Gpu_runtime.Dpool.get ())
-            else None
+            | _ ->
+              (* Reducible accumulation is a read-modify-write through
+                 the shared accumulator: not domain-atomic, so blocks
+                 run sequentially (deterministic in-partition order). *)
+              None
           in
           Kcompile.record_path exec_stats
             (Kcompile.run ?pool ~max_domains:domains cck ~load ~store)
         | Error _ ->
-          let load a off = (Gpusim.Buffer.data_exn (buffer_of a)).(off) in
+          let load a off =
+            match redirect a with
+            | Some (acc, _) -> acc.(off)
+            | None -> (Gpusim.Buffer.data_exn (buffer_of a)).(off)
+          in
           let store a off v =
-            (Gpusim.Buffer.data_exn (buffer_of a)).(off) <- v
+            match redirect a with
+            | Some (acc, touched) ->
+              acc.(off) <- v;
+              touched.(off) <- true
+            | None -> (Gpusim.Buffer.data_exn (buffer_of a)).(off) <- v
           in
           exec_stats.Kcompile.st_interpreted <-
             exec_stats.Kcompile.st_interpreted + 1;
@@ -878,6 +1016,65 @@ let run_bounded ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d)
             which memory-pressure chunking does not support; raise the \
             capacity"
            kernel.Kir.name);
+    (* Reducible execution (DESIGN.md §20): atomic read-modify-writes
+       on each reducible array are redirected into partition-local
+       accumulators over the operator's identity, then merged into the
+       host-gathered base in ascending partition order.  The merge
+       order is fixed no matter how devices skew, so every run of one
+       (data, device-count) point produces the same bits; the h2d
+       writeback makes the host authoritative, which corrects the
+       trackers' per-partition write claims on the overlapping
+       elements.  This path engages at every device count — including
+       one — so grouping is a function of the partition shape alone. *)
+    let reducible =
+      match ck.ck_gate with Verify.Reducible red -> red | _ -> []
+    in
+    let functional = Gpusim.Machine.is_functional m in
+    let red_bases =
+      if reducible = [] then []
+      else begin
+        Gpusim.Machine.synchronize m;
+        List.map
+          (fun (arr, op) ->
+             let vb = find (List.assoc arr arg_arrays) in
+             let dst =
+               if functional then
+                 Some (Array.make (Gpu_runtime.Vbuf.len vb) 0.0)
+               else None
+             in
+             let ops, () =
+               with_tracker_ops vb (fun () ->
+                   Gpu_runtime.Vbuf.d2h ~cfg vb ~dst)
+             in
+             charge ~tracker_ops:ops ~ranges:0 ~dispatches:0;
+             (arr, op, dst))
+          reducible
+      end
+    in
+    let red_acc =
+      if reducible = [] || not functional then None
+      else
+        Some
+          (Array.of_list
+             (List.map
+                (fun (_ : Launch_cache.partition_plan) ->
+                   List.map
+                     (fun (arr, op) ->
+                        let len =
+                          Gpu_runtime.Vbuf.len
+                            (find (List.assoc arr arg_arrays))
+                        in
+                        ( arr,
+                          ( Array.make len (reduce_identity op),
+                            Array.make len false ) ))
+                     reducible)
+                partitions))
+    in
+    let redirect_of index =
+      match red_acc with
+      | None -> None
+      | Some accs -> Some (fun a -> List.assoc_opt a accs.(index))
+    in
     let pool = pool_of () in
     (* Segment batching (p2p_multi packing) was introduced for the
        fragmented transfers of 2-D tiles, and autotuned runs keep it
@@ -897,7 +1094,9 @@ let run_bounded ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d)
     in
     let sync_reads ?stamp pp = sync_pp_reads ?stamp ~pool ~batch pp in
     let update_writes ?stamp pp = update_pp_writes ?stamp ~pool pp in
-    let launch_partition pp = launch_pp ck ~arg_arrays ~block pp in
+    let launch_partition ~index pp =
+      launch_pp ?redirect:(redirect_of index) ck ~arg_arrays ~block pp
+    in
     let tune_t0 =
       if tune_enabled && plan.Launch_cache.pl_predicted_s > 0.0 then
         Some (Gpusim.Machine.elapsed m)
@@ -926,7 +1125,10 @@ let run_bounded ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d)
       if not overlap then
         span "barrier" (fun () -> Gpusim.Machine.synchronize m);
       (* (3): launch each partition on its device. *)
-      span "launch" (fun () -> List.iter launch_partition partitions);
+      span "launch" (fun () ->
+          List.iteri
+            (fun index pp -> launch_partition ~index pp)
+            partitions);
       (* (4): update the trackers to account for the writes. *)
       if cfg.Gpu_runtime.Rconfig.patterns then
         span "tracker_update" (fun () ->
@@ -948,8 +1150,8 @@ let run_bounded ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d)
       incr chunked_launches;
       span "chunked_launch" (fun () ->
           Gpusim.Machine.synchronize m;
-          List.iter
-            (fun (pp : Launch_cache.partition_plan) ->
+          List.iteri
+            (fun index (pp : Launch_cache.partition_plan) ->
                let chunk_list =
                  match pp.Launch_cache.pp_chunks with
                  | [] -> [ pp ]
@@ -970,11 +1172,47 @@ let run_bounded ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d)
                          Gpu_runtime.Vbuf.ensure_resident ~cfg ~pool
                            ~stamp (find rg_buf) ~dev ~ranges:rg_ranges)
                       cp.Launch_cache.pp_writes;
-                    launch_partition cp;
+                    (* Chunks accumulate into their parent partition's
+                       buffer: the merge order stays per-partition. *)
+                    launch_partition ~index cp;
                     update_writes ~stamp cp)
                  chunk_list)
             partitions)
     end;
+    (* Reducible merge: fold every partition's touched accumulator
+       elements into the host base in ascending partition order, then
+       scatter the result back.  Untouched elements keep the base's
+       exact bits. *)
+    if reducible <> [] then
+      span "reduce_merge" (fun () ->
+          Gpusim.Machine.synchronize m;
+          incr gate_merges;
+          List.iter
+            (fun (arr, op, base) ->
+               let vb = find (List.assoc arr arg_arrays) in
+               (match (base, red_acc) with
+                | Some base, Some accs ->
+                  let combine = reduce_combine op in
+                  Array.iter
+                    (fun per_pp ->
+                       let acc, touched = List.assoc arr per_pp in
+                       Array.iteri
+                         (fun off t ->
+                            if t then begin
+                              base.(off) <- combine base.(off) acc.(off);
+                              incr gate_merged_elems
+                            end)
+                         touched)
+                    accs
+                | _ -> ());
+               let ops, () =
+                 with_tracker_ops vb (fun () ->
+                     Gpu_runtime.Vbuf.h2d ~cfg ~pool:(pool_of ()) vb
+                       ~src:base)
+               in
+               charge ~tracker_ops:ops ~ranges:0 ~dispatches:0)
+            red_bases;
+          Gpusim.Machine.synchronize m);
     (* (4b): instrumented write-set collection (paper §11 fallback).
        The shadow kernel runs once per partition, recording the exact
        elements written; a dynamic check rejects cross-partition
@@ -1115,9 +1353,16 @@ let run_bounded ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d)
     in
     let hp =
       (* Instrumented write collection (paper §11) is data-dependent
-         and per-launch; it composes with the per-step schedule only. *)
-      if plan.Launch_cache.pl_halo >= 2 && ck.ck_shadow = None then
-        Hashtbl.find_opt halo_infos key
+         and per-launch, and reducible accumulation needs its merge
+         phase after every launch; both compose with the per-step
+         schedule only. *)
+      if
+        plan.Launch_cache.pl_halo >= 2
+        && ck.ck_shadow = None
+        && (match ck.ck_gate with
+            | Verify.Reducible _ -> false
+            | _ -> true)
+      then Hashtbl.find_opt halo_infos key
       else None
     in
     match hp with
@@ -1538,6 +1783,24 @@ let run_bounded ?(cfg = Gpu_runtime.Rconfig.alpha) ?(tiling = `One_d)
              fr_devices_lost = !devices_lost;
            }
          else no_faults);
+      gate =
+        (let s = ref 0 and r = ref 0 and ra = ref 0 and u = ref 0 in
+         Hashtbl.iter
+           (fun _ ck ->
+              match ck.ck_gate with
+              | Verify.Safe -> incr s
+              | Verify.Reducible _ -> incr r
+              | Verify.Racy _ -> incr ra
+              | Verify.Unknown _ -> incr u)
+           compiled_tbl;
+         {
+           gr_safe = !s;
+           gr_reducible = !r;
+           gr_racy = !ra;
+           gr_unknown = !u;
+           gr_merges = !gate_merges;
+           gr_merged_elems = !gate_merged_elems;
+         });
     }
   in
   match !preempted with

@@ -10,10 +10,13 @@ type compiled_kernel = {
   ck_shadow : Kir.t option;
       (** partitioned minimal clone collecting write sets at run time
           for arrays with unanalyzable writes (paper §11 fallback) *)
-  ck_parallel_safe : bool;
-      (** {!Model.parallel_safe} on the kernel's model: when true, one
-          partition's blocks may execute domain-parallel with
-          bit-identical results (DESIGN.md §13) *)
+  ck_gate : Verify.verdict;
+      (** the data-race verifier's verdict on the original kernel:
+          [Safe] lets one partition's blocks execute domain-parallel
+          with bit-identical results (DESIGN.md §13); [Reducible]
+          routes atomic accumulation through partition-local buffers
+          merged in ascending partition order (DESIGN.md §20); any
+          other verdict runs blocks sequentially *)
 }
 
 type exe = {
@@ -32,7 +35,12 @@ val link :
   Host_ir.t -> exe
 (** [rectangles:false] disables the enumerator rectangle-union
     optimization; [force_strategy] overrides the model's suggested
-    partitioning axis (both for ablations). *)
+    partitioning axis (both for ablations).  Raises [Invalid_argument]
+    for kernels that use atomics but whose verifier verdict is neither
+    [Safe] nor [Reducible]: overlapping read-modify-writes have no
+    partitioned execution that preserves CUDA semantics, and the
+    diagnostic carries the verifier's typed reason (witnesses
+    included). *)
 
 exception All_devices_lost
 (** Terminal: the fault schedule killed every device of the machine.
@@ -63,6 +71,19 @@ type mem_report = {
 
 val no_mem : mem_report
 val pp_mem_report : Format.formatter -> mem_report -> unit
+
+type gate_report = {
+  gr_safe : int;  (** kernels the verifier proved race-free *)
+  gr_reducible : int;
+      (** kernels whose only conflicts are same-operator atomics *)
+  gr_racy : int;  (** kernels with a validated concrete witness *)
+  gr_unknown : int;  (** kernels the analysis could not decide *)
+  gr_merges : int;  (** reducible merge phases executed *)
+  gr_merged_elems : int;  (** element combines across all merges *)
+}
+
+val no_gate : gate_report
+val pp_gate_report : Format.formatter -> gate_report -> unit
 
 val tune_err_buckets : float array
 (** Relative-error histogram bucket upper bounds in percent (the last
@@ -103,6 +124,9 @@ type result = {
       (** autotuner calibration: predicted vs. measured per-launch
           seconds, the relative-error histogram, and halo-tiling
           activity (all zero when autotuning is off) *)
+  gate : gate_report;
+      (** per-kernel verifier verdict counts plus the reducible-merge
+          activity of this run *)
 }
 
 val launch_bindings :
@@ -140,9 +164,14 @@ val run :
 
     Functional launches run through the {!Kcompile} closure executor
     (with automatic interpreter fallback, both bit-identical to
-    {!Keval.run}); kernels whose models pass {!Model.parallel_safe}
+    {!Keval.run}); kernels whose verifier verdict is {!Verify.Safe}
     additionally split each partition's block range over the global
-    {!Gpu_runtime.Dpool}.  [domains] caps the domains engaged per
+    {!Gpu_runtime.Dpool}.  Kernels with a {!Verify.Reducible} verdict
+    execute their atomic accumulation through partition-local buffers
+    initialized to the operator's identity, merged into the
+    host-gathered base in ascending partition order after every launch
+    (at every device count, including one), so results are a
+    deterministic function of the partition shape alone.  [domains] caps the domains engaged per
     launch (default {!Gpu_runtime.Dpool.default_domains}, also capped
     by the global pool's size; [domains:1] forces sequential
     execution).  Parallel execution affects wall-clock only — never

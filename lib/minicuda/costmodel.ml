@@ -50,6 +50,11 @@ let rec stmt_ops env (s : Kir.stmt) : float =
     memory_op_weight
     +. List.fold_left (fun a i -> a +. exp_ops i) 0.0 idx
     +. exp_ops e
+  | Kir.Atomic (_, _, idx, e) ->
+    (* read-modify-write: charge both memory ops plus the combine *)
+    (2.0 *. memory_op_weight) +. alu_op_weight
+    +. List.fold_left (fun a i -> a +. exp_ops i) 0.0 idx
+    +. exp_ops e
   | Kir.Local (_, e) | Kir.Assign (_, e) -> alu_op_weight +. exp_ops e
   | Kir.If (c, t, e) ->
     exp_ops c +. Float.max (stmts_ops env t) (stmts_ops env e)

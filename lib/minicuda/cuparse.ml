@@ -374,6 +374,31 @@ and parse_stmt lx ctx : Kir.stmt =
     expect_punct lx ")";
     expect_punct lx ";";
     Kir.Syncthreads
+  | Ident ("atomicAdd" | "atomicMin" | "atomicMax") ->
+    (* atomicAdd(&a[e]..., e); *)
+    let fn = take_ident lx in
+    let op =
+      match fn with
+      | "atomicAdd" -> Kir.AAdd
+      | "atomicMin" -> Kir.AMin
+      | _ -> Kir.AMax
+    in
+    expect_punct lx "(";
+    expect_punct lx "&";
+    let name = take_ident lx in
+    if not (List.mem name ctx.arrays) then
+      fail "%s of non-array %s" fn name;
+    let idx = ref [] in
+    while accept_punct lx "[" do
+      idx := parse_expr lx ctx :: !idx;
+      expect_punct lx "]"
+    done;
+    if !idx = [] then fail "%s of %s without subscript" fn name;
+    expect_punct lx ",";
+    let e = parse_expr lx ctx in
+    expect_punct lx ")";
+    expect_punct lx ";";
+    Kir.Atomic (op, name, List.rev !idx, e)
   | Ident name ->
     advance lx;
     if List.mem name ctx.arrays then begin

@@ -30,11 +30,15 @@
    {!Gpu_runtime.Dpool}.  Each participating domain gets its own local
    environment; array loads/stores go straight to the shared backing
    arrays.  The *caller* is responsible for only passing a pool when
-   the kernel's polyhedral write maps prove distinct blocks never
-   touch overlapping elements (see [Model.parallel_safe]); under that
+   the kernel's verdict proves distinct blocks never touch overlapping
+   elements (see [Verify.verdict] / [Model.parallel_safe]); under that
    gate any block interleaving writes each element exactly once from
    one domain and reads only elements no other block writes, so the
-   result is bit-identical to the sequential order. *)
+   result is bit-identical to the sequential order.  [Atomic] compiles
+   to a plain load-combine-store, which is NOT indivisible across
+   domains — kernels whose conflicts are merely atomic-reducible must
+   run their blocks sequentially within one address space (the engine
+   gives each partition a private accumulation buffer instead). *)
 
 type env = {
   mutable bx : int;
@@ -338,6 +342,21 @@ let rec compile_stmt c bound (s : Kir.stmt) : (env -> unit) * S.t =
         let o = off env in
         let x = v env in
         (Array.unsafe_get env.astore slot) o x),
+      bound )
+  | Kir.Atomic (op, a, idx, e) ->
+    let slot, off = compile_offset c bound a idx in
+    let v = as_fexp (compile_exp c bound e) in
+    let combine =
+      match op with
+      | Kir.AAdd -> ( +. )
+      | Kir.AMin -> fmin
+      | Kir.AMax -> fmax
+    in
+    ( (fun env ->
+        let o = off env in
+        let x = v env in
+        let old = (Array.unsafe_get env.aload slot) o in
+        (Array.unsafe_get env.astore slot) o (combine old x)),
       bound )
   | Kir.Local (n, e) | Kir.Assign (n, e) -> (
       let bound' = S.add n bound in

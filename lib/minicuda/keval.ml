@@ -41,6 +41,17 @@ let bounds_error ~arr ~dim ~extent v =
     (Printf.sprintf "Keval: index %d out of bounds [0,%d) in dim %d of array %s"
        v extent dim arr)
 
+(* One global-memory access, as seen by the [trace] hook.  The race
+   sanitizer and the witness validator both replay kernels through the
+   interpreter and watch this stream. *)
+type trace_event = {
+  te_kind : [ `Load | `Store | `Atomic of Kir.atomic_op ];
+  te_arr : string;
+  te_off : int;  (* linear element offset *)
+  te_block : Dim3.t;
+  te_thread : Dim3.t;
+}
+
 type ctx = {
   kernel : Kir.t;
   grid : Dim3.t;
@@ -50,6 +61,7 @@ type ctx = {
      linear element offset. *)
   load : string -> int -> float;
   store : string -> int -> float -> unit;
+  trace : (trace_event -> unit) option;
   array_dims : (string, int array) Hashtbl.t;
 }
 
@@ -85,10 +97,11 @@ let resolve_dims kernel ~scalars =
       | Kir.Scalar _ | Kir.Fscalar _ -> None)
     kernel.Kir.params
 
-let make_ctx kernel ~grid ~block ~args ~load ~store =
+let make_ctx ?trace kernel ~grid ~block ~args ~load ~store =
   let scalars = bind_scalars kernel ~args in
   let ctx =
-    { kernel; grid; block; scalars; load; store; array_dims = Hashtbl.create 8 }
+    { kernel; grid; block; scalars; load; store; trace;
+      array_dims = Hashtbl.create 8 }
   in
   List.iter
     (fun (name, dims) -> Hashtbl.replace ctx.array_dims name dims)
@@ -102,6 +115,13 @@ type thread_env = {
   thread_idx : Dim3.t;
   locals : (string, value) Hashtbl.t;
 }
+
+let trace env te_kind te_arr te_off =
+  match env.ctx.trace with
+  | None -> ()
+  | Some f ->
+    f { te_kind; te_arr; te_off;
+        te_block = env.block_idx; te_thread = env.thread_idx }
 
 let linear_index ~arr dims idx =
   let n = Array.length dims in
@@ -137,6 +157,7 @@ let rec eval (env : thread_env) (e : Kir.exp) : value =
     let off =
       linear_index ~arr:a dims (List.map (fun i -> as_int (eval env i)) idx)
     in
+    trace env `Load a off;
     VFloat (env.ctx.load a off)
   | Kir.Unop (op, x) -> eval_unop op (eval env x)
   | Kir.Binop (op, x, y) -> eval_binop op (eval env x) (eval env y)
@@ -195,7 +216,28 @@ let rec exec_stmt env (s : Kir.stmt) =
     let off =
       linear_index ~arr:a dims (List.map (fun i -> as_int (eval env i)) idx)
     in
+    trace env `Store a off;
     env.ctx.store a off (as_float (eval env e))
+  | Kir.Atomic (op, a, idx, e) ->
+    let dims =
+      match Hashtbl.find_opt env.ctx.array_dims a with
+      | Some d -> d
+      | None -> invalid_arg ("Keval: unknown array " ^ a)
+    in
+    let off =
+      linear_index ~arr:a dims (List.map (fun i -> as_int (eval env i)) idx)
+    in
+    (* Threads run sequentially, so load-combine-store is indivisible
+       by construction; ties follow Stdlib min/max like Minb/Maxb. *)
+    trace env (`Atomic op) a off;
+    let old = env.ctx.load a off and v = as_float (eval env e) in
+    let combined =
+      match op with
+      | Kir.AAdd -> old +. v
+      | Kir.AMin -> Stdlib.min old v
+      | Kir.AMax -> Stdlib.max old v
+    in
+    env.ctx.store a off combined
   | Kir.Local (n, e) | Kir.Assign (n, e) ->
     Hashtbl.replace env.locals n (eval env e)
   | Kir.If (c, t, e) ->
@@ -225,8 +267,8 @@ let exec_block ctx block_idx =
 
 (* Run a kernel over its full grid, or over the blocks in
    [block_range] = inclusive (lo, hi) coordinates per axis. *)
-let run ?block_range kernel ~grid ~block ~args ~load ~store =
-  let ctx = make_ctx kernel ~grid ~block ~args ~load ~store in
+let run ?block_range ?trace kernel ~grid ~block ~args ~load ~store =
+  let ctx = make_ctx ?trace kernel ~grid ~block ~args ~load ~store in
   match block_range with
   | None -> Dim3.iter grid (fun b -> exec_block ctx b)
   | Some (lo, hi) ->

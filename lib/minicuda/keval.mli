@@ -37,8 +37,20 @@ val arity_error : arr:string -> expected:int -> got:int -> 'a
 val bounds_error : arr:string -> dim:int -> extent:int -> int -> 'a
 (** Raise the out-of-bounds diagnostic, naming the offending array. *)
 
+type trace_event = {
+  te_kind : [ `Load | `Store | `Atomic of Kir.atomic_op ];
+  te_arr : string;
+  te_off : int;  (** linear element offset *)
+  te_block : Dim3.t;
+  te_thread : Dim3.t;
+}
+(** One global-memory access, as seen by the [trace] hook of {!run}.
+    The data-race sanitizer and the witness validator replay kernels
+    through the interpreter and watch this stream. *)
+
 val run :
   ?block_range:Dim3.t * Dim3.t ->
+  ?trace:(trace_event -> unit) ->
   Kir.t ->
   grid:Dim3.t ->
   block:Dim3.t ->
@@ -49,4 +61,5 @@ val run :
 (** Run a kernel over its grid.  [load]/[store] receive the array
     parameter name and a linear element offset (row-major).
     [block_range] restricts execution to the inclusive block-coordinate
-    range. *)
+    range.  [trace] observes every global-memory access, before the
+    access's own [load]/[store] callbacks fire. *)

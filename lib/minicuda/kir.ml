@@ -36,8 +36,17 @@ type exp =
   | Unop of unop * exp
   | Binop of binop * exp * exp
 
+(* The commutative-associative read-modify-write operators.  Their
+   device semantics (one indivisible load-combine-store per call) is
+   what makes cross-block conflicts on the same element reducible
+   instead of racy: any interleaving yields a result obtainable by
+   SOME combining order, and the engines pin one deterministic order. *)
+type atomic_op = AAdd | AMin | AMax
+
 type stmt =
   | Store of string * exp list * exp
+  | Atomic of atomic_op * string * exp list * exp
+    (* atomicAdd(&a[i]..., e); combines the old element with e *)
   | Local of string * exp (* declare-and-initialize a mutable local *)
   | Assign of string * exp (* update a local *)
   | If of exp * stmt list * stmt list
@@ -95,6 +104,9 @@ let ( && ) a b = Binop (And, a, b)
 let ( || ) a b = Binop (Or, a, b)
 let load name idx = Load (name, idx)
 let store name idx e = Store (name, idx, e)
+let atomic_add name idx e = Atomic (AAdd, name, idx, e)
+let atomic_min name idx e = Atomic (AMin, name, idx, e)
+let atomic_max name idx e = Atomic (AMax, name, idx, e)
 let sqrt_ e = Unop (Sqrt, e)
 let rsqrt e = Unop (Rsqrt, e)
 let min_ a b = Binop (Minb, a, b)
@@ -121,6 +133,8 @@ let rec map_exp f e =
 let rec map_stmt f s =
   match s with
   | Store (a, idx, e) -> Store (a, List.map (map_exp f) idx, map_exp f e)
+  | Atomic (op, a, idx, e) ->
+    Atomic (op, a, List.map (map_exp f) idx, map_exp f e)
   | Local (n, e) -> Local (n, map_exp f e)
   | Assign (n, e) -> Assign (n, map_exp f e)
   | If (c, t, e) ->
@@ -147,7 +161,7 @@ let rec fold_exp_in_exp f acc e =
 
 let rec fold_exp_in_stmt f acc s =
   match s with
-  | Store (_, idx, e) ->
+  | Store (_, idx, e) | Atomic (_, _, idx, e) ->
     fold_exp_in_exp f (List.fold_left (fold_exp_in_exp f) acc idx) e
   | Local (_, e) | Assign (_, e) -> fold_exp_in_exp f acc e
   | If (c, t, e) ->
@@ -170,6 +184,9 @@ let special_name = function
 
 let unop_name = function
   | Neg -> "-" | Sqrt -> "sqrtf" | Abs -> "fabsf" | Rsqrt -> "rsqrtf" | Not -> "!"
+
+let atomic_name = function
+  | AAdd -> "atomicAdd" | AMin -> "atomicMin" | AMax -> "atomicMax"
 
 let binop_name = function
   | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/"
@@ -204,6 +221,11 @@ let rec pp_stmt ~indent fmt s =
   match s with
   | Store (a, idx, e) ->
     fprintf fmt "%s%s%s = %a;\n" pad a
+      (String.concat ""
+         (List.map (fun i -> asprintf "[%a]" pp_exp i) idx))
+      pp_exp e
+  | Atomic (op, a, idx, e) ->
+    fprintf fmt "%s%s(&%s%s, %a);\n" pad (atomic_name op) a
       (String.concat ""
          (List.map (fun i -> asprintf "[%a]" pp_exp i) idx))
       pp_exp e

@@ -29,8 +29,16 @@ type exp =
   | Unop of unop * exp
   | Binop of binop * exp * exp
 
+type atomic_op = AAdd | AMin | AMax
+(** Commutative-associative read-modify-write operators.  One call is
+    an indivisible load-combine-store, so cross-block conflicts on the
+    same element are reducible (any combining order is a legal result)
+    rather than racy. *)
+
 type stmt =
   | Store of string * exp list * exp
+  | Atomic of atomic_op * string * exp list * exp
+      (** [atomicAdd(&a[i]..., e);] — combine the old element with [e] *)
   | Local of string * exp  (** declare-and-initialize a mutable local *)
   | Assign of string * exp
   | If of exp * stmt list * stmt list
@@ -85,6 +93,9 @@ val ( && ) : exp -> exp -> exp
 val ( || ) : exp -> exp -> exp
 val load : string -> exp list -> exp
 val store : string -> exp list -> exp -> stmt
+val atomic_add : string -> exp list -> exp -> stmt
+val atomic_min : string -> exp list -> exp -> stmt
+val atomic_max : string -> exp list -> exp -> stmt
 val sqrt_ : exp -> exp
 val rsqrt : exp -> exp
 val min_ : exp -> exp -> exp
@@ -108,6 +119,7 @@ val fold_exp_in_stmt : ('a -> exp -> 'a) -> 'a -> stmt -> 'a
 (** {2 Printing (toy CUDA syntax)} *)
 
 val special_name : special -> string
+val atomic_name : atomic_op -> string
 val pp_exp : Format.formatter -> exp -> unit
 val pp_stmt : indent:int -> Format.formatter -> stmt -> unit
 val pp : Format.formatter -> t -> unit

@@ -60,6 +60,8 @@ let fold_exp e = Kir.map_exp fold_node e
 let rec fold_stmt (s : Kir.stmt) : Kir.stmt list =
   match s with
   | Kir.Store (a, idx, e) -> [ Kir.Store (a, List.map fold_exp idx, fold_exp e) ]
+  | Kir.Atomic (op, a, idx, e) ->
+    [ Kir.Atomic (op, a, List.map fold_exp idx, fold_exp e) ]
   | Kir.Local (n, e) -> [ Kir.Local (n, fold_exp e) ]
   | Kir.Assign (n, e) -> [ Kir.Assign (n, fold_exp e) ]
   | Kir.If (c, t, f) -> (
@@ -98,7 +100,8 @@ let eliminate_dead (body : Kir.stmt list) : Kir.stmt list =
   (* Roots: variables used outside Local/Assign right-hand sides. *)
   let rec root_uses acc (s : Kir.stmt) =
     match s with
-    | Kir.Store (_, idx, e) -> exp_uses (List.fold_left exp_uses acc idx) e
+    | Kir.Store (_, idx, e) | Kir.Atomic (_, _, idx, e) ->
+      exp_uses (List.fold_left exp_uses acc idx) e
     | Kir.Local _ | Kir.Assign _ -> acc
     | Kir.If (c, t, f) ->
       let acc = exp_uses acc c in
@@ -117,7 +120,7 @@ let eliminate_dead (body : Kir.stmt list) : Kir.stmt list =
       let acc = List.fold_left defs acc t in
       List.fold_left defs acc f
     | Kir.For { body; _ } -> List.fold_left defs acc body
-    | Kir.Store _ | Kir.Syncthreads -> acc
+    | Kir.Store _ | Kir.Atomic _ | Kir.Syncthreads -> acc
   in
   let all_defs = List.fold_left defs [] body in
   let live = Hashtbl.create 16 in
@@ -147,7 +150,7 @@ let eliminate_dead (body : Kir.stmt list) : Kir.stmt list =
     | Kir.For { var; from_; to_; body } ->
       let body = List.concat_map clean body in
       if body = [] then [] else [ Kir.For { var; from_; to_; body } ]
-    | Kir.Store _ | Kir.Syncthreads -> [ s ]
+    | Kir.Store _ | Kir.Atomic _ | Kir.Syncthreads -> [ s ]
   in
   List.concat_map clean body
 
@@ -168,7 +171,8 @@ let optimize (k : Kir.t) : Kir.t = { k with Kir.body = optimize_body k.Kir.body 
 (* Simple code metrics, as a compiler would report. *)
 let rec stmt_count (s : Kir.stmt) =
   match s with
-  | Kir.Store _ | Kir.Local _ | Kir.Assign _ | Kir.Syncthreads -> 1
+  | Kir.Store _ | Kir.Atomic _ | Kir.Local _ | Kir.Assign _ | Kir.Syncthreads ->
+    1
   | Kir.If (_, t, f) ->
     1
     + List.fold_left (fun a s -> a + stmt_count s) 0 t

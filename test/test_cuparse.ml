@@ -131,7 +131,11 @@ let test_roundtrip_all_apps () =
   let sp = Apps.Spmv.banded ~n:40 ~band:4 in
   let x = Array.make 40 1.0 in
   let out = Array.make 40 nan in
-  roundtrip_app "spmv" (Apps.Spmv.program ~m:sp ~x ~result:out)
+  roundtrip_app "spmv" (Apps.Spmv.program ~m:sp ~x ~result:out);
+  let hg, _, _ = Apps.Workloads.functional_histogram ~n:64 ~nbins:7 in
+  roundtrip_app "histogram" hg;
+  let dp, _, _ = Apps.Workloads.functional_dot ~n:64 in
+  roundtrip_app "dot" dp
 
 (* ---------------- Text-to-execution pipeline ---------------- *)
 
